@@ -1,0 +1,69 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [EXPERIMENT...] [--csv DIR]
+//!
+//! EXPERIMENT: table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation
+//!             (default: all)
+//! --csv DIR:  additionally write one CSV per table into DIR
+//! ```
+
+use fusedpack_bench::{run_experiment, EXPERIMENTS};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--csv requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: reproduce [EXPERIMENT...] [--csv DIR]");
+                println!("experiments: {}", EXPERIMENTS.join(" "));
+                return;
+            }
+            "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            name => {
+                if !EXPERIMENTS.contains(&name) {
+                    eprintln!("unknown experiment {name:?}; known: {}", EXPERIMENTS.join(" "));
+                    std::process::exit(2);
+                }
+                selected.push(name.to_string());
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected.extend(EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for name in &selected {
+        let start = std::time::Instant::now();
+        let tables = run_experiment(name);
+        for table in &tables {
+            let _ = writeln!(out, "{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{}.csv", table.slug());
+                std::fs::write(&path, table.to_csv()).expect("write csv");
+                let _ = writeln!(out, "   [csv: {path}]");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "   ({name} regenerated in {:.2}s)\n",
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

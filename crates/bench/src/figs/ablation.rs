@@ -1,0 +1,118 @@
+//! Ablations of the design choices DESIGN.md §5 calls out.
+//!
+//! 1. **Launch-cost sensitivity** — rerun the Fig. 9 headline with the
+//!    kernel-launch overhead forced to zero: fusion's advantage should
+//!    collapse, confirming that launch amortization (not some other
+//!    artifact) is what the scheme buys.
+//! 2. **Flush-rule extremes** — threshold → 0 (launch per request,
+//!    degenerate to GPU-Async-like behaviour) and → ∞ (flush only at the
+//!    sync point): both ends lose to the tuned middle, the Fig. 8 U-shape
+//!    stated as an A/B.
+//! 3. **Layout cache** — compare the per-operation datatype cost models.
+
+use crate::figs::{latency, HALO_MSGS};
+use crate::table::{ratio, us, Table};
+use fusedpack_mpi::SchemeKind;
+use fusedpack_net::Platform;
+use fusedpack_sim::Duration;
+use fusedpack_workloads::specfem::specfem3d_cm;
+
+/// A Lassen variant with free kernel launches.
+pub fn lassen_zero_launch() -> Platform {
+    let mut p = Platform::lassen();
+    p.arch.launch_cpu = Duration::ZERO;
+    p.arch.launch_gpu_delay = Duration::ZERO;
+    p
+}
+
+pub fn run() -> Vec<Table> {
+    let w = specfem3d_cm(2000);
+
+    // Ablation 1: launch cost.
+    let mut t1 = Table::new(
+        "Ablation: kernel-launch overhead sensitivity (specfem3D_cm x16)",
+        &["platform", "Proposed (us)", "GPU-Sync (us)", "speedup"],
+    )
+    .with_note("with free launches, fusing kernels buys almost nothing");
+    for (name, platform) in [
+        ("Lassen", Platform::lassen()),
+        ("Lassen (zero launch cost)", lassen_zero_launch()),
+    ] {
+        let f = latency(&platform, SchemeKind::fusion_default(), &w, HALO_MSGS);
+        let s = latency(&platform, SchemeKind::GpuSync, &w, HALO_MSGS);
+        t1.push_row(vec![name.into(), us(f), us(s), ratio(s, f)]);
+    }
+
+    // Ablation 2: flush-rule extremes.
+    let mut t2 = Table::new(
+        "Ablation: flush-rule extremes (specfem3D_cm x16, Lassen)",
+        &["threshold", "latency (us)"],
+    )
+    .with_note("threshold 0 = launch per request; 'inf' = flush only at Waitall");
+    let platform = Platform::lassen();
+    for (label, threshold) in [
+        ("0 (per-request)", 1u64),
+        ("512KB (default)", 512 * 1024),
+        ("inf (sync-point only)", u64::MAX),
+    ] {
+        let lat = latency(
+            &platform,
+            SchemeKind::fusion_with_threshold(threshold),
+            &w,
+            HALO_MSGS,
+        );
+        t2.push_row(vec![label.into(), us(lat)]);
+    }
+
+    // Ablation 3: datatype-processing cost models.
+    let mut t3 = Table::new(
+        "Ablation: layout handling cost per operation (4000-block type)",
+        &["path", "CPU cost"],
+    );
+    use fusedpack_datatype::cache::{flatten_cost, lookup_cost, parse_cost};
+    t3.push_row(vec![
+        "first commit (flatten)".into(),
+        format!("{}", flatten_cost(4000)),
+    ]);
+    t3.push_row(vec![
+        "cached lookup (hybrid/proposed)".into(),
+        format!("{}", lookup_cost()),
+    ]);
+    t3.push_row(vec![
+        "per-op parse (GPU-Sync/Async)".into(),
+        format!("{}", parse_cost(4000)),
+    ]);
+
+    vec![t1, t2, t3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fusion_advantage_collapses_without_launch_cost() {
+        let w = specfem3d_cm(2000);
+        let speedup = |p: &Platform| {
+            let f = latency(p, SchemeKind::fusion_default(), &w, HALO_MSGS);
+            let s = latency(p, SchemeKind::GpuSync, &w, HALO_MSGS);
+            s.as_nanos() as f64 / f.as_nanos() as f64
+        };
+        let with_launch = speedup(&Platform::lassen());
+        let without = speedup(&lassen_zero_launch());
+        assert!(
+            without < with_launch * 0.75,
+            "zero-launch speedup {without:.2}x should be well below {with_launch:.2}x"
+        );
+    }
+
+    #[test]
+    fn default_threshold_beats_both_extremes() {
+        let platform = Platform::lassen();
+        let w = specfem3d_cm(2000);
+        let run = |t: u64| latency(&platform, SchemeKind::fusion_with_threshold(t), &w, HALO_MSGS);
+        let per_request = run(1);
+        let default = run(512 * 1024);
+        assert!(default <= per_request, "{default} vs per-request {per_request}");
+    }
+}

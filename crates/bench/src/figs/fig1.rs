@@ -1,0 +1,86 @@
+//! Fig. 1: time breakdown of GPU-optimized packing kernels across GPU
+//! generations — the kernel launch outweighs the packing kernel itself.
+
+use crate::table::{us, Table};
+use fusedpack_gpu::{kernel, GpuArch, SegmentStats};
+use fusedpack_workloads::{milc::milc_su3_zdown, specfem::specfem3d_cm};
+
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Fig. 1: packing kernel vs launch overhead across architectures",
+        &[
+            "GPU",
+            "workload",
+            "kernel (us)",
+            "launch (us)",
+            "launch/kernel",
+        ],
+    )
+    .with_note("paper: launch overhead remains high across generations and dominates the fast packing kernels");
+
+    let specfem = specfem3d_cm(1000);
+    let milc = milc_su3_zdown(8);
+    for arch in [GpuArch::k80(), GpuArch::p100(), GpuArch::v100()] {
+        for w in [&specfem, &milc] {
+            let stats = SegmentStats::new(w.packed_bytes(), w.blocks());
+            let kernel_t = kernel::single_kernel_time(&arch, stats);
+            let launch = arch.launch_cpu;
+            t.push_row(vec![
+                arch.name.into(),
+                w.name.into(),
+                us(kernel_t),
+                us(launch),
+                format!(
+                    "{:.1}",
+                    launch.as_nanos() as f64 / kernel_t.as_nanos() as f64
+                ),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_dominates_kernels_on_modern_architectures() {
+        // The paper's motivation: on modern GPUs the launch overhead
+        // outweighs the (fast) packing kernels; on Kepler the kernels are
+        // slower, but the launch is still a comparable cost.
+        let t = run();
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            let ratio: f64 = row[4].parse().expect("numeric ratio");
+            if row[0] == "Tesla K80" {
+                assert!(ratio > 0.3, "{}: launch not even comparable", row[1]);
+            } else {
+                assert!(
+                    ratio >= 1.0,
+                    "{} {}: launch should outweigh the kernel (ratio {ratio})",
+                    row[0],
+                    row[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn launch_to_kernel_ratio_worsens_on_newer_gpus() {
+        // Kernels get faster generation over generation while the launch
+        // overhead barely improves — the trend Fig. 1 highlights.
+        let t = run();
+        let ratio_of = |gpu: &str, wl: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == gpu && r[1] == wl)
+                .expect("row")[4]
+                .parse()
+                .expect("numeric")
+        };
+        for wl in ["specfem3D_cm", "MILC"] {
+            assert!(ratio_of("Tesla V100", wl) >= ratio_of("Tesla K80", wl));
+        }
+    }
+}

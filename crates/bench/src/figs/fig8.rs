@@ -1,0 +1,82 @@
+//! Fig. 8: performance effects of the fused-kernel threshold
+//! (specfem3D_cm, 32 back-to-back Isend/Irecv pairs) — the under-fused /
+//! over-fused U-shape of §IV-C.
+
+use crate::figs::latency;
+use crate::table::{us, Table};
+use fusedpack_core::ThresholdTuner;
+use fusedpack_mpi::SchemeKind;
+use fusedpack_net::Platform;
+use fusedpack_workloads::specfem::specfem3d_cm;
+
+/// Boundary point counts giving small / medium / large input sizes.
+pub const INPUT_SIZES: &[u64] = &[1024, 4096, 16384];
+
+/// 32 continuous Isend/Irecv operations per rank, as in the paper's Fig. 8.
+pub const N_MSGS: usize = 32;
+
+pub fn run() -> Table {
+    let platform = Platform::lassen();
+    let thresholds = ThresholdTuner::default_grid();
+
+    let mut headers: Vec<String> = vec!["threshold".into()];
+    for &pts in INPUT_SIZES {
+        headers.push(format!("{}pt (us)", pts));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 8: fused-kernel threshold sweep (specfem3D_cm, 32 ops, Lassen)",
+        &headers_ref,
+    )
+    .with_note("too-low thresholds under-fuse (frequent launches); too-high over-fuse (delayed communication)");
+
+    for &threshold in &thresholds {
+        let mut row = vec![format!("{}KB", threshold / 1024)];
+        for &pts in INPUT_SIZES {
+            let w = specfem3d_cm(pts);
+            let lat = latency(
+                &platform,
+                SchemeKind::fusion_with_threshold(threshold),
+                &w,
+                N_MSGS,
+            );
+            row.push(us(lat));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_under_and_over_fused_regimes() {
+        let platform = Platform::lassen();
+        let w = specfem3d_cm(4096);
+        let tiny = latency(
+            &platform,
+            SchemeKind::fusion_with_threshold(16 * 1024),
+            &w,
+            N_MSGS,
+        );
+        let mid = latency(
+            &platform,
+            SchemeKind::fusion_with_threshold(512 * 1024),
+            &w,
+            N_MSGS,
+        );
+        assert!(
+            mid < tiny,
+            "mid threshold {mid} should beat under-fused {tiny}"
+        );
+    }
+
+    #[test]
+    fn table_has_full_grid() {
+        let t = run();
+        assert_eq!(t.rows.len(), ThresholdTuner::default_grid().len());
+        assert_eq!(t.headers.len(), 1 + INPUT_SIZES.len());
+    }
+}

@@ -1,0 +1,73 @@
+//! One module per reproduced table/figure.
+
+pub mod ablation;
+pub mod approaches;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig8;
+pub mod fig9;
+pub mod ipc;
+pub mod table2;
+
+use fusedpack_mpi::SchemeKind;
+use fusedpack_net::Platform;
+use fusedpack_sim::Duration;
+use fusedpack_workloads::{run_exchange, ExchangeConfig, Workload};
+
+/// The paper's §V-C stress level: 16 buffers each way = 32 non-blocking
+/// operations per rank.
+pub const HALO_MSGS: usize = 16;
+
+/// One latency measurement with the standard protocol (1 warm-up lap,
+/// 1 measured lap, timing-only memory).
+pub fn latency(platform: &Platform, scheme: SchemeKind, workload: &Workload, n_msgs: usize) -> Duration {
+    run_exchange(&ExchangeConfig::new(
+        platform.clone(),
+        scheme,
+        workload.clone(),
+        n_msgs,
+    ))
+    .latency
+}
+
+/// The GPU-driven comparison set of Figs. 9/10/12/13 in paper legend order.
+pub fn gpu_driven_schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::fusion_default(),
+        SchemeKind::GpuSync,
+        SchemeKind::GpuAsync,
+        SchemeKind::CpuGpuHybrid,
+    ]
+}
+
+/// Tune the fusion threshold for one workload on one platform by sweeping
+/// the Fig. 8 grid and keeping the argmin — the evaluation's
+/// *Proposed-Tuned* configuration.
+pub fn tuned_fusion(platform: &Platform, workload: &Workload, n_msgs: usize) -> (SchemeKind, u64) {
+    let mut tuner = fusedpack_core::ThresholdTuner::new();
+    for threshold in fusedpack_core::ThresholdTuner::default_grid() {
+        let lat = latency(
+            platform,
+            SchemeKind::fusion_with_threshold(threshold),
+            workload,
+            n_msgs,
+        );
+        tuner.record(threshold, lat);
+    }
+    let best = tuner.best().expect("grid is non-empty");
+    (SchemeKind::fusion_with_threshold(best), best)
+}
+
+/// Standard size sweeps per workload family (the x-axes of Figs. 12/13).
+pub mod sizes {
+    /// specfem3D boundary point counts (sparse).
+    pub const SPECFEM: &[u64] = &[512, 1024, 2048, 4096, 8192, 16384];
+    /// MILC local lattice extents (dense, small→medium).
+    pub const MILC: &[u64] = &[4, 6, 8, 12, 16, 24];
+    /// NAS_MG grid extents (dense, medium→large).
+    pub const NAS: &[u64] = &[64, 128, 192, 256, 384, 512];
+}

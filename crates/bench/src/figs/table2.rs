@@ -1,0 +1,73 @@
+//! Table II: experimental environment.
+
+use crate::table::Table;
+use fusedpack_net::Platform;
+
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Table II: experimental environment (model constants)",
+        &["spec", "Lassen", "ABCI"],
+    )
+    .with_note("wire speeds from the paper's Table II; host costs are calibrated model inputs");
+    let lassen = Platform::lassen();
+    let abci = Platform::abci();
+
+    let gbps = |bw: f64| format!("{:.0} GB/s", bw / 1e9);
+    let rows: Vec<(&str, String, String)> = vec![
+        ("GPU", lassen.arch.name.into(), abci.arch.name.into()),
+        (
+            "CPU-GPU link",
+            format!("{} ({})", lassen.host_link.name, gbps(lassen.host_link.bw)),
+            format!("{} ({})", abci.host_link.name, gbps(abci.host_link.bw)),
+        ),
+        (
+            "GPU-GPU link",
+            lassen.gpu_gpu.name.into(),
+            abci.gpu_gpu.name.into(),
+        ),
+        (
+            "inter-node",
+            lassen.internode.name.into(),
+            abci.internode.name.into(),
+        ),
+        (
+            "GPUDirect RDMA bw",
+            gbps(lassen.gdr_rdma_bw),
+            gbps(abci.gdr_rdma_bw),
+        ),
+        (
+            "kernel launch (CPU)",
+            format!("{}", lassen.arch.launch_cpu),
+            format!("{}", abci.arch.launch_cpu),
+        ),
+        (
+            "stream sync call",
+            format!("{}", lassen.arch.stream_sync_call),
+            format!("{}", abci.arch.stream_sync_call),
+        ),
+        (
+            "eager limit",
+            format!("{} KB", lassen.eager_limit / 1024),
+            format!("{} KB", abci.eager_limit / 1024),
+        ),
+        (
+            "GPUs/node",
+            lassen.gpus_per_node.to_string(),
+            abci.gpus_per_node.to_string(),
+        ),
+    ];
+    for (name, l, a) in rows {
+        t.push_row(vec![name.into(), l, a]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table2_renders() {
+        let t = super::run();
+        assert!(t.rows.len() >= 8);
+        assert!(t.render().contains("NVLink2"));
+    }
+}

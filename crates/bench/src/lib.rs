@@ -1,0 +1,52 @@
+//! # fusedpack-bench
+//!
+//! The reproduction harness: one module per table/figure of the paper's
+//! evaluation (§V). Each module exposes a `run()` returning a renderable
+//! [`table::Table`]; the `reproduce` binary prints them and writes CSVs,
+//! and the Criterion benches exercise representative cells so `cargo
+//! bench` covers every figure.
+//!
+//! | experiment | module | paper content |
+//! |---|---|---|
+//! | Fig. 1 | [`figs::fig1`] | kernel time vs launch overhead across GPU generations |
+//! | Fig. 8 | [`figs::fig8`] | fusion-threshold sweep (under-/over-fused) |
+//! | Fig. 9 | [`figs::fig9`] | bulk sparse exchange vs #buffers, Lassen |
+//! | Fig. 10 | [`figs::fig10`] | bulk dense exchange vs #buffers, Lassen |
+//! | Fig. 11 | [`figs::fig11`] | cost breakdown of GPU-driven designs, ABCI |
+//! | Fig. 12 | [`figs::fig12`] | four workloads × sizes, Lassen |
+//! | Fig. 13 | [`figs::fig13`] | four workloads × sizes, ABCI |
+//! | Fig. 14 | [`figs::fig14`] | production libraries, normalized |
+//! | Table II | [`figs::table2`] | platform configurations |
+//! | Ablations | [`figs::ablation`] | design-choice ablations (DESIGN.md §5) |
+//! | DirectIPC | [`figs::ipc`] | extension: fused zero-copy intra-node transfers |
+//! | §III / Fig. 4 | [`figs::approaches`] | the three transfer approaches (Algorithms 1-3) |
+
+pub mod figs;
+pub mod table;
+
+pub use table::Table;
+
+/// All experiment names accepted by the `reproduce` binary.
+pub const EXPERIMENTS: &[&str] = &[
+    "table2", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
+    "ipc", "approaches",
+];
+
+/// Run one experiment by name.
+pub fn run_experiment(name: &str) -> Vec<Table> {
+    match name {
+        "table2" => vec![figs::table2::run()],
+        "fig1" => vec![figs::fig1::run()],
+        "fig8" => vec![figs::fig8::run()],
+        "fig9" => vec![figs::fig9::run()],
+        "fig10" => vec![figs::fig10::run()],
+        "fig11" => vec![figs::fig11::run()],
+        "fig12" => figs::fig12::run(),
+        "fig13" => figs::fig13::run(),
+        "fig14" => vec![figs::fig14::run()],
+        "ablation" => figs::ablation::run(),
+        "ipc" => vec![figs::ipc::run()],
+        "approaches" => vec![figs::approaches::run()],
+        other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
+    }
+}

@@ -1,0 +1,176 @@
+//! Plain-text and CSV table rendering for the reproduction harness.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment result: a titled grid of cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub note: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            note: String::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {:?}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned monospace table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        if !self.note.is_empty() {
+            let _ = writeln!(out, "   {}", self.note);
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// File-system-friendly name derived from the title.
+    pub fn slug(&self) -> String {
+        self.title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+}
+
+/// Format a duration in microseconds with sensible precision.
+pub fn us(d: fusedpack_sim::Duration) -> String {
+    let v = d.as_micros_f64();
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a ratio like "5.9x".
+pub fn ratio(a: fusedpack_sim::Duration, b: fusedpack_sim::Duration) -> String {
+    if b.is_zero() {
+        return "-".into();
+    }
+    format!("{:.1}x", a.as_nanos() as f64 / b.as_nanos() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedpack_sim::Duration;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, separator, two rows (+title)
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("T", &["x"]);
+        t.push_row(vec!["a,b".into()]);
+        assert!(t.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    fn slug_is_filesystem_friendly() {
+        let t = Table::new("Fig. 9: bulk (sparse)", &["x"]);
+        assert_eq!(t.slug(), "fig_9_bulk_sparse");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(us(Duration::from_nanos(12_340)), "12.34");
+        assert_eq!(us(Duration::from_micros(250)), "250.0");
+        assert_eq!(us(Duration::from_millis(3)), "3000");
+        assert_eq!(
+            ratio(Duration::from_micros(59), Duration::from_micros(10)),
+            "5.9x"
+        );
+    }
+}

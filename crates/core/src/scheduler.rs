@@ -1,0 +1,430 @@
+//! The fusion scheduler (§IV-A2, Fig. 5).
+//!
+//! Four primary functions, mirroring the paper's ①–④:
+//!
+//! * **① enqueue** — take a pack/unpack/DirectIPC request from the progress
+//!   engine, fill a request-list entry, move the Tail, return the UID (or a
+//!   rejection, the paper's negative UID, when the ring is full).
+//! * **② launch** — when either flush condition of §IV-C holds (the
+//!   progress engine reached a synchronization point, or enough bytes are
+//!   pending), launch one fused kernel over the oldest pending requests
+//!   with the request array as input.
+//! * **③ complete** — as each cooperative group finishes, its request's
+//!   *response status* flips to `Completed`. In this simulation the cluster
+//!   event loop calls [`Scheduler::signal_completion`] at the per-request
+//!   completion instant computed by the GPU model.
+//! * **④ query** — the progress engine checks a UID by comparing request
+//!   status to response status; no kernel-boundary synchronization ever
+//!   happens.
+
+use crate::config::FusionConfig;
+use crate::request::{FusionOp, FusionRequest, Status, Uid};
+use crate::ring::{EnqueueError, RequestRing};
+use fusedpack_datatype::Layout;
+use fusedpack_gpu::{DevPtr, FusedLaunch, FusedWork, Gpu, StreamId};
+use fusedpack_sim::{Duration, Time};
+use std::sync::Arc;
+
+/// Why a fused kernel was launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushReason {
+    /// The progress engine reached a synchronization point (`MPI_Waitall`)
+    /// — §IV-C scenario 1.
+    SyncPoint,
+    /// Pending bytes crossed the fusion threshold — §IV-C scenario 2.
+    ThresholdReached,
+    /// The ring was full and had to be drained to accept new work.
+    RingPressure,
+}
+
+/// A launched batch: the fused requests and the launch timing.
+#[derive(Debug, Clone)]
+pub struct FlushedBatch {
+    pub reason: FlushReason,
+    /// UIDs in the batch, aligned with `launch.request_done`.
+    pub uids: Vec<Uid>,
+    pub launch: FusedLaunch,
+}
+
+/// Scheduler counters (feeding the Fig. 11 "Scheduling" bucket and the
+/// fusion diagnostics in EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    pub enqueued: u64,
+    pub rejected: u64,
+    pub kernels_launched: u64,
+    pub requests_fused: u64,
+    pub bytes_fused: u64,
+    pub flushes_sync: u64,
+    pub flushes_threshold: u64,
+    pub flushes_pressure: u64,
+    pub queries: u64,
+}
+
+impl SchedStats {
+    /// Average requests per fused kernel.
+    pub fn fusion_degree(&self) -> f64 {
+        if self.kernels_launched == 0 {
+            0.0
+        } else {
+            self.requests_fused as f64 / self.kernels_launched as f64
+        }
+    }
+}
+
+/// The fusion scheduler. One instance runs per rank, on the same thread as
+/// the communication progress engine (the common deployment the paper
+/// evaluates).
+#[derive(Debug)]
+pub struct Scheduler {
+    config: FusionConfig,
+    ring: RequestRing,
+    stats: SchedStats,
+}
+
+impl Scheduler {
+    pub fn new(config: FusionConfig) -> Self {
+        let ring = RequestRing::new(config.ring_capacity);
+        Scheduler {
+            config,
+            ring,
+            stats: SchedStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &FusionConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// ① Enqueue a request. Returns the UID (or rejection) and the CPU cost
+    /// of the scheduling work, which the caller charges to its rank clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue(
+        &mut self,
+        op: FusionOp,
+        origin: DevPtr,
+        target: DevPtr,
+        layout: Arc<Layout>,
+        count: u64,
+        bw_cap: Option<f64>,
+    ) -> (Result<Uid, EnqueueError>, Duration) {
+        let res = self.ring.enqueue(op, origin, target, layout, count, bw_cap);
+        match res {
+            Ok(_) => self.stats.enqueued += 1,
+            Err(_) => self.stats.rejected += 1,
+        }
+        (res, self.config.enqueue_cost)
+    }
+
+    /// Are there pending (not yet fused) requests?
+    pub fn has_pending(&self) -> bool {
+        self.ring.pending_bytes() > 0 || !self.ring.pending().is_empty()
+    }
+
+    /// §IV-C scenario 2: pending bytes reached the fusion threshold.
+    pub fn threshold_reached(&self) -> bool {
+        self.ring.pending_bytes() >= self.config.threshold_bytes
+    }
+
+    /// Whether the ring is (nearly) full and should be drained.
+    pub fn under_pressure(&self) -> bool {
+        self.ring.occupied() + 1 >= self.ring.capacity()
+    }
+
+    /// ② Launch one fused kernel over the oldest pending requests (up to
+    /// `max_fused`). Returns `None` when nothing is pending.
+    ///
+    /// The caller is responsible for applying the batch's data movement to
+    /// its memory pools (it owns them) and for scheduling
+    /// [`Scheduler::signal_completion`] at each `launch.request_done[i]`.
+    pub fn flush(
+        &mut self,
+        now: Time,
+        gpu: &mut Gpu,
+        stream: StreamId,
+        reason: FlushReason,
+    ) -> Option<FlushedBatch> {
+        let pending = self.ring.pending();
+        if pending.is_empty() {
+            return None;
+        }
+        let batch: Vec<Uid> = pending
+            .into_iter()
+            .take(self.config.max_fused)
+            .collect();
+        let mut works: Vec<FusedWork> = Vec::with_capacity(batch.len());
+        for &uid in &batch {
+            let req = self.ring.get_mut(uid).expect("pending request is live");
+            req.request_status = Status::Busy;
+            works.push(req.work());
+        }
+        let launch = gpu.launch_fused_capped(now, stream, &works);
+        for (&uid, w) in batch.iter().zip(&works) {
+            self.stats.bytes_fused += w.stats.total_bytes;
+            let _ = uid;
+        }
+        self.stats.kernels_launched += 1;
+        self.stats.requests_fused += batch.len() as u64;
+        match reason {
+            FlushReason::SyncPoint => self.stats.flushes_sync += 1,
+            FlushReason::ThresholdReached => self.stats.flushes_threshold += 1,
+            FlushReason::RingPressure => self.stats.flushes_pressure += 1,
+        }
+        Some(FlushedBatch {
+            reason,
+            uids: batch,
+            launch,
+        })
+    }
+
+    /// ③ The device signals completion of `uid` (called by the event loop
+    /// at the instant the request's cooperative group finishes).
+    pub fn signal_completion(&mut self, uid: Uid) {
+        let req = self
+            .ring
+            .get_mut(uid)
+            .unwrap_or_else(|| panic!("completion for unknown request {uid:?}"));
+        debug_assert_eq!(
+            req.request_status,
+            Status::Busy,
+            "completion for a request that was never launched"
+        );
+        req.response_status = Status::Completed;
+    }
+
+    /// ④ Progress-engine query: is `uid` complete? Returns the answer and
+    /// the CPU cost of the check.
+    pub fn query(&mut self, uid: Uid) -> (bool, Duration) {
+        self.stats.queries += 1;
+        let complete = self.ring.get(uid).is_some_and(|r| r.is_complete());
+        (complete, self.config.query_cost)
+    }
+
+    /// Read a live request (for the caller to apply data movement).
+    pub fn request(&self, uid: Uid) -> &FusionRequest {
+        self.ring
+            .get(uid)
+            .unwrap_or_else(|| panic!("unknown request {uid:?}"))
+    }
+
+    /// Consume a completed request, freeing its ring slot. Returns the CPU
+    /// cost of the completion handling.
+    pub fn retire(&mut self, uid: Uid) -> Duration {
+        self.ring.retire(uid);
+        self.config.complete_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusedpack_datatype::TypeBuilder;
+    use fusedpack_gpu::{DataMode, GpuArch, HostLink, SegmentStats};
+
+    fn gpu() -> Gpu {
+        Gpu::new(
+            GpuArch::v100(),
+            1 << 22,
+            DataMode::ModelOnly,
+            HostLink::nvlink2_cpu(),
+            2,
+        )
+    }
+
+    fn layout(bytes_per_elem: u64) -> Arc<Layout> {
+        // bytes_per_elem across 2 blocks.
+        let half = bytes_per_elem / 2;
+        Arc::new(Layout::of(&TypeBuilder::vector(
+            2,
+            half,
+            half + 8,
+            TypeBuilder::byte(),
+        )))
+    }
+
+    fn sched(threshold: u64) -> Scheduler {
+        Scheduler::new(FusionConfig::with_threshold(threshold))
+    }
+
+    fn enqueue(s: &mut Scheduler, bytes: u64) -> Uid {
+        let (res, _cost) = s.enqueue(
+            FusionOp::Pack,
+            DevPtr { addr: 0, len: 4096 },
+            DevPtr {
+                addr: 8192,
+                len: 4096,
+            },
+            layout(bytes),
+            1,
+            None,
+        );
+        res.expect("ring has room")
+    }
+
+    #[test]
+    fn threshold_triggers_scenario_two() {
+        let mut s = sched(1024);
+        enqueue(&mut s, 512);
+        assert!(!s.threshold_reached());
+        enqueue(&mut s, 512);
+        assert!(s.threshold_reached(), "1024 pending bytes >= threshold");
+    }
+
+    #[test]
+    fn flush_fuses_all_pending_into_one_kernel() {
+        let mut s = sched(u64::MAX);
+        let mut g = gpu();
+        let uids: Vec<Uid> = (0..6).map(|_| enqueue(&mut s, 256)).collect();
+        let batch = s
+            .flush(Time(0), &mut g, StreamId(0), FlushReason::SyncPoint)
+            .expect("pending work");
+        assert_eq!(batch.uids, uids);
+        assert_eq!(batch.launch.request_done.len(), 6);
+        assert_eq!(g.kernels_launched(), 1, "one fused kernel for 6 requests");
+        assert!(!s.has_pending(), "everything went busy");
+        assert_eq!(s.stats().fusion_degree(), 6.0);
+    }
+
+    #[test]
+    fn flush_respects_max_fused() {
+        let cfg = FusionConfig {
+            max_fused: 4,
+            ..FusionConfig::default()
+        };
+        let mut s = Scheduler::new(cfg);
+        let mut g = gpu();
+        for _ in 0..10 {
+            enqueue(&mut s, 128);
+        }
+        let batch = s
+            .flush(Time(0), &mut g, StreamId(0), FlushReason::ThresholdReached)
+            .expect("pending");
+        assert_eq!(batch.uids.len(), 4);
+        assert!(s.has_pending(), "6 requests remain pending");
+    }
+
+    #[test]
+    fn completion_protocol_round_trip() {
+        let mut s = sched(u64::MAX);
+        let mut g = gpu();
+        let uid = enqueue(&mut s, 256);
+        let (done, _) = s.query(uid);
+        assert!(!done, "not complete before launch");
+        let batch = s
+            .flush(Time(0), &mut g, StreamId(0), FlushReason::SyncPoint)
+            .expect("pending");
+        let (done, _) = s.query(uid);
+        assert!(!done, "busy, response not signalled yet");
+        s.signal_completion(uid);
+        let (done, _) = s.query(uid);
+        assert!(done, "response status flipped");
+        let _ = s.retire(uid);
+        let _ = batch;
+    }
+
+    #[test]
+    fn flush_on_empty_ring_is_none() {
+        let mut s = sched(1024);
+        let mut g = gpu();
+        assert!(s
+            .flush(Time(0), &mut g, StreamId(0), FlushReason::SyncPoint)
+            .is_none());
+    }
+
+    #[test]
+    fn rejection_counts_and_pressure() {
+        let cfg = FusionConfig {
+            ring_capacity: 2,
+            ..FusionConfig::default()
+        };
+        let mut s = Scheduler::new(cfg);
+        enqueue(&mut s, 128);
+        assert!(s.under_pressure(), "one free slot left");
+        enqueue(&mut s, 128);
+        let (res, _) = s.enqueue(
+            FusionOp::Pack,
+            DevPtr { addr: 0, len: 64 },
+            DevPtr { addr: 64, len: 64 },
+            layout(128),
+            1,
+            None,
+        );
+        assert!(res.is_err());
+        assert_eq!(s.stats().rejected, 1);
+    }
+
+    #[test]
+    fn mixed_op_batch_records_bytes() {
+        let mut s = sched(u64::MAX);
+        let mut g = gpu();
+        let (pack, _) = s.enqueue(
+            FusionOp::Pack,
+            DevPtr { addr: 0, len: 512 },
+            DevPtr {
+                addr: 512,
+                len: 512,
+            },
+            layout(256),
+            1,
+            None,
+        );
+        let (ipc, _) = s.enqueue(
+            FusionOp::DirectIpc,
+            DevPtr {
+                addr: 1024,
+                len: 512,
+            },
+            DevPtr {
+                addr: 2048,
+                len: 512,
+            },
+            layout(256),
+            1,
+            Some(75.0e9),
+        );
+        pack.expect("ok");
+        ipc.expect("ok");
+        let batch = s
+            .flush(Time(0), &mut g, StreamId(0), FlushReason::SyncPoint)
+            .expect("pending");
+        assert_eq!(batch.uids.len(), 2);
+        assert_eq!(s.stats().bytes_fused, 512);
+    }
+
+    #[test]
+    fn fused_path_cheaper_than_unfused_for_bulk() {
+        // End-to-end scheduler comparison: 16 requests through the fusion
+        // scheduler vs 16 standalone launches, measuring makespan.
+        let stats = SegmentStats::new(16 * 1024, 128);
+        let mut unfused = gpu();
+        let mut t = Time(0);
+        let mut last = Time(0);
+        for _ in 0..16 {
+            let k = unfused.launch_kernel(t, StreamId(0), stats);
+            t = k.cpu_release;
+            last = last.max(k.done);
+        }
+
+        let mut s = sched(u64::MAX);
+        let mut g = gpu();
+        let mut cpu = Time(0);
+        for _ in 0..16 {
+            let uid = enqueue(&mut s, 16 * 1024);
+            let (_, cost) = s.query(uid); // a poll per enqueue, pessimistic
+            cpu = cpu + s.config().enqueue_cost + cost;
+        }
+        let batch = s
+            .flush(cpu, &mut g, StreamId(0), FlushReason::SyncPoint)
+            .expect("pending");
+        assert!(
+            batch.launch.done < last,
+            "fused makespan {:?} must beat serial {:?}",
+            batch.launch.done,
+            last
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Fusion-threshold tuning.
+//!
+//! Two mechanisms:
+//!
+//! * [`ThresholdTuner`] — the paper's §IV-C heuristic: sweep candidate
+//!   thresholds on the target workload/system (Fig. 8) and keep the argmin.
+//!   This is what the evaluation's *Proposed-Tuned* configuration uses.
+//! * [`predict_threshold`] — the model-based prediction the paper leaves as
+//!   future work (§IV-C, §VII): choose the smallest pending-byte threshold
+//!   such that the fused kernel's *body* time is at least the kernel launch
+//!   overhead, so launches are always amortized. Closed-form from the cost
+//!   model: `S ≥ launch_cpu · mem_bw · eff_stride(avg_block)` (clamped to a
+//!   sane range).
+
+use fusedpack_gpu::{kernel, GpuArch};
+use fusedpack_sim::Duration;
+
+/// Records `(threshold, latency)` observations and reports the best.
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdTuner {
+    samples: Vec<(u64, Duration)>,
+}
+
+impl ThresholdTuner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Standard sweep grid used by the Fig. 8 experiment: 16 KB … 4 MB.
+    pub fn default_grid() -> Vec<u64> {
+        (0..9).map(|i| (16 * 1024) << i).collect()
+    }
+
+    /// Record one measurement.
+    pub fn record(&mut self, threshold_bytes: u64, latency: Duration) {
+        self.samples.push((threshold_bytes, latency));
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The threshold with the lowest observed latency (ties → smaller
+    /// threshold, which delays communication less).
+    pub fn best(&self) -> Option<u64> {
+        self.samples
+            .iter()
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .map(|&(t, _)| t)
+    }
+
+    /// All samples, for reporting.
+    pub fn samples(&self) -> &[(u64, Duration)] {
+        &self.samples
+    }
+}
+
+/// Model-based threshold prediction (the paper's future-work extension).
+///
+/// Principle from §IV-C: "make sure the running time of the fused kernel is
+/// longer than the kernel launch overhead". Given the workload's average
+/// contiguous block length, invert the kernel cost model to find the byte
+/// count whose body time equals `launch_cpu`, then round up to the next
+/// power of two for stability. The result is clamped to `[64 KB, 4 MB]` —
+/// below that launches dominate anyway, above it delayed communication
+/// stops overlapping (the "over-fused" regime of Fig. 8).
+pub fn predict_threshold(arch: &GpuArch, avg_block_bytes: f64) -> u64 {
+    let eff = kernel::stride_efficiency(arch, avg_block_bytes);
+    let bytes = arch.launch_cpu.as_secs_f64() * arch.mem_bw * eff;
+    let clamped = bytes.clamp(64.0 * 1024.0, 4.0 * 1024.0 * 1024.0);
+    (clamped as u64).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuner_picks_minimum() {
+        let mut t = ThresholdTuner::new();
+        t.record(16 * 1024, Duration::from_micros(900)); // under-fused
+        t.record(128 * 1024, Duration::from_micros(400));
+        t.record(512 * 1024, Duration::from_micros(250)); // sweet spot
+        t.record(4 * 1024 * 1024, Duration::from_micros(700)); // over-fused
+        assert_eq!(t.best(), Some(512 * 1024));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_threshold() {
+        let mut t = ThresholdTuner::new();
+        t.record(1024 * 1024, Duration::from_micros(100));
+        t.record(64 * 1024, Duration::from_micros(100));
+        assert_eq!(t.best(), Some(64 * 1024));
+    }
+
+    #[test]
+    fn empty_tuner_has_no_best() {
+        assert_eq!(ThresholdTuner::new().best(), None);
+        assert!(ThresholdTuner::new().is_empty());
+    }
+
+    #[test]
+    fn default_grid_spans_fig8_range() {
+        let grid = ThresholdTuner::default_grid();
+        assert_eq!(grid.first(), Some(&(16 * 1024)));
+        assert_eq!(grid.last(), Some(&(4 * 1024 * 1024)));
+        assert!(grid.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn prediction_lands_near_paper_optimum() {
+        // The paper observes ~512 KB works well across its workloads; for a
+        // mid-range block size the prediction should land in the same
+        // decade.
+        let arch = GpuArch::v100();
+        let t = predict_threshold(&arch, 256.0);
+        assert!(
+            (128 * 1024..=4 * 1024 * 1024).contains(&t),
+            "predicted {t} bytes"
+        );
+    }
+
+    #[test]
+    fn sparse_layouts_predict_smaller_thresholds() {
+        // Tiny blocks -> low effective bandwidth -> fewer bytes needed to
+        // out-run the launch overhead.
+        let arch = GpuArch::v100();
+        let sparse = predict_threshold(&arch, 16.0);
+        let dense = predict_threshold(&arch, 64.0 * 1024.0);
+        assert!(sparse < dense);
+    }
+
+    #[test]
+    fn prediction_is_clamped_and_pow2() {
+        let arch = GpuArch::v100();
+        for avg in [1.0, 64.0, 4096.0, 1e9] {
+            let t = predict_threshold(&arch, avg);
+            assert!(t.is_power_of_two());
+            assert!((64 * 1024..=8 * 1024 * 1024).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Ergonomic constructors mirroring the `MPI_Type_create_*` calls.
+
+use crate::typedesc::{Primitive, TypeDesc};
+use std::sync::Arc;
+
+/// Namespace for datatype constructors. All constructors return
+/// `Arc<TypeDesc>` so types compose cheaply.
+pub struct TypeBuilder;
+
+impl TypeBuilder {
+    /// `MPI_BYTE`.
+    pub fn byte() -> Arc<TypeDesc> {
+        Arc::new(TypeDesc::Named(Primitive::Byte))
+    }
+
+    /// `MPI_INT`.
+    pub fn int() -> Arc<TypeDesc> {
+        Arc::new(TypeDesc::Named(Primitive::Int32))
+    }
+
+    /// `MPI_FLOAT`.
+    pub fn float() -> Arc<TypeDesc> {
+        Arc::new(TypeDesc::Named(Primitive::Float32))
+    }
+
+    /// `MPI_DOUBLE`.
+    pub fn double() -> Arc<TypeDesc> {
+        Arc::new(TypeDesc::Named(Primitive::Float64))
+    }
+
+    /// A 16-byte complex-double.
+    pub fn complex() -> Arc<TypeDesc> {
+        Arc::new(TypeDesc::Named(Primitive::Complex128))
+    }
+
+    /// `MPI_Type_contiguous(count, child)`.
+    pub fn contiguous(count: u64, child: Arc<TypeDesc>) -> Arc<TypeDesc> {
+        Arc::new(TypeDesc::Contiguous { count, child })
+    }
+
+    /// `MPI_Type_vector(count, blocklen, stride, child)`; `stride` in units
+    /// of the child extent. Requires `stride >= blocklen` (no overlap).
+    pub fn vector(count: u64, blocklen: u64, stride: u64, child: Arc<TypeDesc>) -> Arc<TypeDesc> {
+        assert!(
+            count == 0 || stride >= blocklen,
+            "overlapping vector: stride {stride} < blocklen {blocklen}"
+        );
+        Arc::new(TypeDesc::Vector {
+            count,
+            blocklen,
+            stride,
+            child,
+        })
+    }
+
+    /// `MPI_Type_create_hvector`; stride in bytes.
+    pub fn hvector(
+        count: u64,
+        blocklen: u64,
+        stride_bytes: u64,
+        child: Arc<TypeDesc>,
+    ) -> Arc<TypeDesc> {
+        assert!(
+            count == 0 || stride_bytes >= blocklen * child.extent(),
+            "overlapping hvector"
+        );
+        Arc::new(TypeDesc::Hvector {
+            count,
+            blocklen,
+            stride_bytes,
+            child,
+        })
+    }
+
+    /// `MPI_Type_indexed(blocks, child)`; `(displacement, blocklen)` pairs
+    /// in units of the child extent. Displacements must be non-decreasing
+    /// and non-overlapping (the halo layouts we model always are; this keeps
+    /// pack order == address order).
+    pub fn indexed(blocks: &[(u64, u64)], child: Arc<TypeDesc>) -> Arc<TypeDesc> {
+        for w in blocks.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "indexed blocks must be sorted and disjoint: {w:?}"
+            );
+        }
+        Arc::new(TypeDesc::Indexed {
+            blocks: blocks.into(),
+            child,
+        })
+    }
+
+    /// `MPI_Type_create_hindexed`; displacements in bytes.
+    pub fn hindexed(blocks: &[(u64, u64)], child: Arc<TypeDesc>) -> Arc<TypeDesc> {
+        let ext = child.extent();
+        for w in blocks.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 * ext <= w[1].0,
+                "hindexed blocks must be sorted and disjoint: {w:?}"
+            );
+        }
+        Arc::new(TypeDesc::Hindexed {
+            blocks: blocks.into(),
+            child,
+        })
+    }
+
+    /// `MPI_Type_create_indexed_block`.
+    pub fn indexed_block(
+        displacements: &[u64],
+        blocklen: u64,
+        child: Arc<TypeDesc>,
+    ) -> Arc<TypeDesc> {
+        for w in displacements.windows(2) {
+            assert!(
+                w[0] + blocklen <= w[1],
+                "indexed_block displacements must be sorted and disjoint"
+            );
+        }
+        Arc::new(TypeDesc::IndexedBlock {
+            displacements: displacements.into(),
+            blocklen,
+            child,
+        })
+    }
+
+    /// `MPI_Type_create_struct(fields)`; `(byte displacement, count, child)`
+    /// triples, sorted by displacement.
+    pub fn structure(fields: &[(u64, u64, Arc<TypeDesc>)]) -> Arc<TypeDesc> {
+        for w in fields.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 * w[0].2.extent() <= w[1].0,
+                "struct fields must be sorted and disjoint"
+            );
+        }
+        Arc::new(TypeDesc::Struct {
+            fields: fields.into(),
+        })
+    }
+
+    /// `MPI_Type_create_subarray` with C (row-major) order.
+    pub fn subarray(
+        sizes: &[u64],
+        subsizes: &[u64],
+        starts: &[u64],
+        child: Arc<TypeDesc>,
+    ) -> Arc<TypeDesc> {
+        assert_eq!(sizes.len(), subsizes.len());
+        assert_eq!(sizes.len(), starts.len());
+        assert!(!sizes.is_empty(), "subarray needs at least one dimension");
+        for i in 0..sizes.len() {
+            assert!(
+                starts[i] + subsizes[i] <= sizes[i],
+                "subarray dim {i}: start {} + subsize {} > size {}",
+                starts[i],
+                subsizes[i],
+                sizes[i]
+            );
+        }
+        Arc::new(TypeDesc::Subarray {
+            sizes: sizes.into(),
+            subsizes: subsizes.into(),
+            starts: starts.into(),
+            child,
+        })
+    }
+
+    /// `MPI_Type_create_resized(0, extent, child)`.
+    pub fn resized(extent: u64, child: Arc<TypeDesc>) -> Arc<TypeDesc> {
+        Arc::new(TypeDesc::Resized { extent, child })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "overlapping vector")]
+    fn overlapping_vector_rejected() {
+        TypeBuilder::vector(2, 4, 2, TypeBuilder::int());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn unsorted_indexed_rejected() {
+        TypeBuilder::indexed(&[(10, 2), (0, 2)], TypeBuilder::int());
+    }
+
+    #[test]
+    #[should_panic(expected = "subarray dim")]
+    fn out_of_bounds_subarray_rejected() {
+        TypeBuilder::subarray(&[4, 4], &[2, 2], &[3, 0], TypeBuilder::int());
+    }
+
+    #[test]
+    fn nested_composition_works() {
+        // MILC-style nested vector: vector of vectors of complex.
+        let inner = TypeBuilder::vector(4, 2, 8, TypeBuilder::complex());
+        let outer = TypeBuilder::vector(3, 1, 2, inner);
+        assert!(outer.size() > 0);
+        assert!(outer.extent() > outer.size());
+    }
+}

@@ -1,0 +1,171 @@
+//! The datatype layout cache.
+//!
+//! Following the scheme of Chu et al. \[24\] (the paper's `data layout` field
+//! in each fusion request is "the cached data layout entry"), committed
+//! types are flattened once and the resulting [`Layout`] is cached, keyed by
+//! the structural hash of the type tree. Subsequent commits of an identical
+//! type reuse the entry.
+//!
+//! The cache also carries the *cost model* for layout processing: schemes
+//! that cache layouts (CPU-GPU-Hybrid, the proposed fusion design) pay the
+//! flattening cost once per type; schemes without a cache (GPU-Sync,
+//! GPU-Async — "Layout Cache: N" in Table I) re-parse the datatype on every
+//! pack/unpack operation.
+
+use crate::layout::Layout;
+use crate::typedesc::TypeDesc;
+use fusedpack_sim::Duration;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Handle to a committed datatype (the engine's `MPI_Datatype`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeHandle(pub u64);
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub commits: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub lookups: u64,
+}
+
+/// CPU cost of flattening a type with `blocks` leaf blocks (first commit).
+pub fn flatten_cost(blocks: u64) -> Duration {
+    Duration::from_nanos(300 + 4 * blocks)
+}
+
+/// CPU cost of a cache lookup (hit path).
+pub fn lookup_cost() -> Duration {
+    Duration::from_nanos(80)
+}
+
+/// CPU cost for a cache-less scheme to parse a datatype's layout on every
+/// operation (the specialized kernels of \[18\]–\[22\] walk the *tree* on the
+/// host and expand blocks on the device, so the host cost grows with block
+/// count only up to a cap).
+pub fn parse_cost(blocks: u64) -> Duration {
+    Duration::from_nanos((200 + blocks / 4).min(3_000))
+}
+
+/// The layout cache.
+#[derive(Debug, Default)]
+pub struct LayoutCache {
+    by_handle: HashMap<TypeHandle, Arc<Layout>>,
+    by_structure: HashMap<u64, TypeHandle>,
+    next: u64,
+    stats: CacheStats,
+}
+
+impl LayoutCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commit a type: flatten (or find the structurally identical cached
+    /// entry) and return its handle plus the CPU cost incurred.
+    pub fn commit(&mut self, desc: &TypeDesc) -> (TypeHandle, Duration) {
+        self.stats.commits += 1;
+        let mut hasher = DefaultHasher::new();
+        desc.hash(&mut hasher);
+        let key = hasher.finish();
+        if let Some(&handle) = self.by_structure.get(&key) {
+            self.stats.hits += 1;
+            return (handle, lookup_cost());
+        }
+        self.stats.misses += 1;
+        let layout = Arc::new(Layout::of(desc));
+        let cost = flatten_cost(layout.num_blocks());
+        let handle = TypeHandle(self.next);
+        self.next += 1;
+        self.by_structure.insert(key, handle);
+        self.by_handle.insert(handle, layout);
+        (handle, cost)
+    }
+
+    /// Look up a committed layout. Returns the layout and the lookup cost.
+    pub fn get(&mut self, handle: TypeHandle) -> (Arc<Layout>, Duration) {
+        self.stats.lookups += 1;
+        let layout = self
+            .by_handle
+            .get(&handle)
+            .unwrap_or_else(|| panic!("uncommitted datatype {handle:?}"))
+            .clone();
+        (layout, lookup_cost())
+    }
+
+    /// Peek without charging a lookup (for assertions/tests).
+    pub fn peek(&self, handle: TypeHandle) -> Option<&Arc<Layout>> {
+        self.by_handle.get(&handle)
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_handle.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_handle.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TypeBuilder;
+
+    #[test]
+    fn identical_types_share_an_entry() {
+        let mut cache = LayoutCache::new();
+        let a = TypeBuilder::vector(4, 2, 5, TypeBuilder::double());
+        let b = TypeBuilder::vector(4, 2, 5, TypeBuilder::double());
+        let (ha, cost_a) = cache.commit(&a);
+        let (hb, cost_b) = cache.commit(&b);
+        assert_eq!(ha, hb);
+        assert!(cost_b < cost_a, "second commit is a cache hit");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn different_types_get_distinct_handles() {
+        let mut cache = LayoutCache::new();
+        let (ha, _) = cache.commit(&TypeBuilder::vector(4, 2, 5, TypeBuilder::double()));
+        let (hb, _) = cache.commit(&TypeBuilder::vector(4, 2, 6, TypeBuilder::double()));
+        assert_ne!(ha, hb);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn get_returns_committed_layout() {
+        let mut cache = LayoutCache::new();
+        let t = TypeBuilder::indexed(&[(0, 2), (5, 3)], TypeBuilder::int());
+        let (h, _) = cache.commit(&t);
+        let (layout, cost) = cache.get(h);
+        assert_eq!(layout.num_blocks(), 2);
+        assert_eq!(cost, lookup_cost());
+        assert_eq!(cache.stats().lookups, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncommitted datatype")]
+    fn get_of_unknown_handle_panics() {
+        LayoutCache::new().get(TypeHandle(999));
+    }
+
+    #[test]
+    fn cost_model_ordering() {
+        // Flattening a sparse type is much more expensive than a lookup,
+        // and per-op parsing sits in between for big types.
+        assert!(flatten_cost(4000) > parse_cost(4000));
+        assert!(parse_cost(4000) > lookup_cost());
+        assert!(flatten_cost(0) > lookup_cost());
+    }
+}

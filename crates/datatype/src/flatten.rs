@@ -1,0 +1,294 @@
+//! Flattening a datatype tree into contiguous segments.
+//!
+//! "Flattening on the fly" (Träff et al., the paper's ref \[35\]): a committed
+//! type is lowered to an ordered list of `(byte offset, byte length)`
+//! segments describing one element. Segments are emitted in *traversal*
+//! order — the order MPI packs bytes — and adjacent segments that happen to
+//! be contiguous in memory are coalesced as they are emitted, so a
+//! `vector(count, blocklen=stride, ...)` collapses to a single segment.
+
+use crate::layout::Segment;
+use crate::typedesc::TypeDesc;
+
+/// Flatten one element of `desc` into segments, appending to `out`.
+/// Offsets are relative to the element base.
+pub fn flatten(desc: &TypeDesc) -> Vec<Segment> {
+    let mut out = Vec::with_capacity(desc.leaf_block_upper_bound().min(1 << 20) as usize);
+    let mut emitter = Emitter { out: &mut out };
+    walk(desc, 0, &mut emitter);
+    out
+}
+
+struct Emitter<'a> {
+    out: &'a mut Vec<Segment>,
+}
+
+impl Emitter<'_> {
+    /// Emit a segment, coalescing with the previous one when contiguous.
+    fn emit(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        if let Some(last) = self.out.last_mut() {
+            if last.offset + last.len == offset {
+                last.len += len;
+                return;
+            }
+        }
+        self.out.push(Segment { offset, len });
+    }
+}
+
+fn walk(desc: &TypeDesc, base: u64, em: &mut Emitter<'_>) {
+    match desc {
+        TypeDesc::Named(p) => em.emit(base, p.size()),
+        TypeDesc::Contiguous { count, child } => {
+            if child.is_contiguous() {
+                em.emit(base, count * child.size());
+            } else {
+                let ext = child.extent();
+                for i in 0..*count {
+                    walk(child, base + i * ext, em);
+                }
+            }
+        }
+        TypeDesc::Vector {
+            count,
+            blocklen,
+            stride,
+            child,
+        } => {
+            let ext = child.extent();
+            walk_strided(child, base, *count, *blocklen, stride * ext, ext, em);
+        }
+        TypeDesc::Hvector {
+            count,
+            blocklen,
+            stride_bytes,
+            child,
+        } => {
+            let ext = child.extent();
+            walk_strided(child, base, *count, *blocklen, *stride_bytes, ext, em);
+        }
+        TypeDesc::Indexed { blocks, child } => {
+            let ext = child.extent();
+            for &(disp, len) in blocks.iter() {
+                walk_block(child, base + disp * ext, len, ext, em);
+            }
+        }
+        TypeDesc::Hindexed { blocks, child } => {
+            let ext = child.extent();
+            for &(disp, len) in blocks.iter() {
+                walk_block(child, base + disp, len, ext, em);
+            }
+        }
+        TypeDesc::IndexedBlock {
+            displacements,
+            blocklen,
+            child,
+        } => {
+            let ext = child.extent();
+            for &disp in displacements.iter() {
+                walk_block(child, base + disp * ext, *blocklen, ext, em);
+            }
+        }
+        TypeDesc::Struct { fields } => {
+            for (disp, count, child) in fields.iter() {
+                let ext = child.extent();
+                walk_block(child, base + disp, *count, ext, em);
+            }
+        }
+        TypeDesc::Subarray {
+            sizes,
+            subsizes,
+            starts,
+            child,
+        } => {
+            walk_subarray(sizes, subsizes, starts, child, base, 0, 0, em);
+        }
+        TypeDesc::Resized { child, .. } => walk(child, base, em),
+    }
+}
+
+/// `count` blocks of `blocklen` children, block starts `stride_bytes` apart.
+fn walk_strided(
+    child: &TypeDesc,
+    base: u64,
+    count: u64,
+    blocklen: u64,
+    stride_bytes: u64,
+    child_ext: u64,
+    em: &mut Emitter<'_>,
+) {
+    for i in 0..count {
+        walk_block(child, base + i * stride_bytes, blocklen, child_ext, em);
+    }
+}
+
+/// One run of `count` consecutive children at `base`.
+fn walk_block(child: &TypeDesc, base: u64, count: u64, child_ext: u64, em: &mut Emitter<'_>) {
+    if child.is_contiguous() && child.size() == child_ext {
+        em.emit(base, count * child.size());
+    } else {
+        for i in 0..count {
+            walk(child, base + i * child_ext, em);
+        }
+    }
+}
+
+/// Row-major traversal of an n-dimensional subarray.
+#[allow(clippy::too_many_arguments)]
+fn walk_subarray(
+    sizes: &[u64],
+    subsizes: &[u64],
+    starts: &[u64],
+    child: &TypeDesc,
+    base: u64,
+    dim: usize,
+    index_offset: u64,
+    em: &mut Emitter<'_>,
+) {
+    let ext = child.extent();
+    if dim == sizes.len() - 1 {
+        // Innermost dimension: one contiguous run of `subsizes[dim]` children.
+        let elem = index_offset * sizes[dim] + starts[dim];
+        walk_block(child, base + elem * ext, subsizes[dim], ext, em);
+        return;
+    }
+    for i in 0..subsizes[dim] {
+        walk_subarray(
+            sizes,
+            subsizes,
+            starts,
+            child,
+            base,
+            dim + 1,
+            (index_offset * sizes[dim]) + starts[dim] + i,
+            em,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TypeBuilder;
+    use crate::layout::Segment;
+
+    fn segs(v: &[(u64, u64)]) -> Vec<Segment> {
+        v.iter()
+            .map(|&(offset, len)| Segment { offset, len })
+            .collect()
+    }
+
+    #[test]
+    fn primitive_is_one_segment() {
+        assert_eq!(flatten(&TypeBuilder::double()), segs(&[(0, 8)]));
+    }
+
+    #[test]
+    fn contiguous_coalesces_to_one_segment() {
+        let t = TypeBuilder::contiguous(100, TypeBuilder::int());
+        assert_eq!(flatten(&t), segs(&[(0, 400)]));
+    }
+
+    #[test]
+    fn vector_emits_count_blocks() {
+        // 3 blocks of 2 ints, stride 4 ints.
+        let t = TypeBuilder::vector(3, 2, 4, TypeBuilder::int());
+        assert_eq!(flatten(&t), segs(&[(0, 8), (16, 8), (32, 8)]));
+    }
+
+    #[test]
+    fn unit_stride_vector_coalesces() {
+        let t = TypeBuilder::vector(5, 2, 2, TypeBuilder::int());
+        assert_eq!(flatten(&t), segs(&[(0, 40)]));
+    }
+
+    #[test]
+    fn hvector_uses_byte_stride() {
+        let t = TypeBuilder::hvector(2, 1, 100, TypeBuilder::double());
+        assert_eq!(flatten(&t), segs(&[(0, 8), (100, 8)]));
+    }
+
+    #[test]
+    fn indexed_respects_displacements() {
+        let t = TypeBuilder::indexed(&[(0, 2), (5, 1), (8, 3)], TypeBuilder::int());
+        assert_eq!(flatten(&t), segs(&[(0, 8), (20, 4), (32, 12)]));
+    }
+
+    #[test]
+    fn adjacent_indexed_blocks_coalesce() {
+        let t = TypeBuilder::indexed(&[(0, 2), (2, 3)], TypeBuilder::int());
+        assert_eq!(flatten(&t), segs(&[(0, 20)]));
+    }
+
+    #[test]
+    fn indexed_block_constant_length() {
+        let t = TypeBuilder::indexed_block(&[0, 4, 8], 2, TypeBuilder::float());
+        assert_eq!(flatten(&t), segs(&[(0, 8), (16, 8), (32, 8)]));
+    }
+
+    #[test]
+    fn struct_on_indexed_nests() {
+        // specfem3D_cm-style: struct of two indexed fields.
+        let idx = TypeBuilder::indexed(&[(0, 1), (3, 1)], TypeBuilder::float());
+        let t = TypeBuilder::structure(&[(0, 1, idx.clone()), (64, 1, idx)]);
+        assert_eq!(flatten(&t), segs(&[(0, 4), (12, 4), (64, 4), (76, 4)]));
+    }
+
+    #[test]
+    fn nested_vector_of_vector() {
+        // Outer: 2 elements of inner, stride 2 inner-extents.
+        // Inner: 2 blocks of 1 int, stride 3 ints (extent 16B... compute).
+        let inner = TypeBuilder::vector(2, 1, 3, TypeBuilder::int()); // ext (1*3+1-3)->((2-1)*3+1)*4=16
+        let outer = TypeBuilder::vector(2, 1, 2, inner);
+        // inner segments: (0,4),(12,4); outer tiles at 0 and 32.
+        assert_eq!(flatten(&outer), segs(&[(0, 4), (12, 4), (32, 4), (44, 4)]));
+    }
+
+    #[test]
+    fn subarray_2d_rows() {
+        // 4x6 ints, subarray 2x3 at (1,2): rows at elements 8..11 and 14..17.
+        let t = TypeBuilder::subarray(&[4, 6], &[2, 3], &[1, 2], TypeBuilder::int());
+        assert_eq!(flatten(&t), segs(&[(32, 12), (56, 12)]));
+    }
+
+    #[test]
+    fn subarray_3d_planes() {
+        // 3x3x3 doubles, 1x2x2 subarray at (1,0,1).
+        let t = TypeBuilder::subarray(&[3, 3, 3], &[1, 2, 2], &[1, 0, 1], TypeBuilder::double());
+        // plane k=1: rows (1,0,1..3) elem 9*1+0+... elements: (1*3+0)*3+1=10 len2; (1*3+1)*3+1=13 len2
+        assert_eq!(flatten(&t), segs(&[(80, 16), (104, 16)]));
+    }
+
+    #[test]
+    fn full_subarray_coalesces_fully() {
+        let t = TypeBuilder::subarray(&[4, 4], &[4, 4], &[0, 0], TypeBuilder::int());
+        assert_eq!(flatten(&t), segs(&[(0, 64)]));
+    }
+
+    #[test]
+    fn total_flattened_bytes_equals_type_size() {
+        let layouts = [
+            TypeBuilder::vector(7, 3, 5, TypeBuilder::double()),
+            TypeBuilder::indexed(&[(0, 2), (4, 1), (9, 5)], TypeBuilder::float()),
+            TypeBuilder::subarray(&[5, 7, 3], &[2, 3, 2], &[1, 2, 0], TypeBuilder::int()),
+            TypeBuilder::structure(&[
+                (0, 4, TypeBuilder::float()),
+                (32, 1, TypeBuilder::vector(2, 1, 3, TypeBuilder::int())),
+            ]),
+        ];
+        for t in layouts {
+            let total: u64 = flatten(&t).iter().map(|s| s.len).sum();
+            assert_eq!(total, t.size(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn resized_does_not_change_segments() {
+        let inner = TypeBuilder::vector(2, 1, 4, TypeBuilder::int());
+        let t = TypeBuilder::resized(256, inner.clone());
+        assert_eq!(flatten(&t), flatten(&inner));
+    }
+}

@@ -1,0 +1,213 @@
+//! Committed layouts: the flattened form of a datatype, ready for use by
+//! packing engines.
+//!
+//! A [`Layout`] is the unit the paper's layout cache stores and the fusion
+//! request objects reference ("data layout: the cached data layout entry,
+//! follow the scheme proposed in \[24\]").
+
+use crate::flatten::flatten;
+use crate::typedesc::TypeDesc;
+use serde::{Deserialize, Serialize};
+
+/// One contiguous run of bytes within an element: `(offset, len)` relative
+/// to the element base address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    pub offset: u64,
+    pub len: u64,
+}
+
+/// The flattened, committed form of a datatype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Segments of one element, in pack (traversal) order.
+    segments: Vec<Segment>,
+    /// Payload bytes per element.
+    size: u64,
+    /// Extent (tiling stride) per element.
+    extent: u64,
+}
+
+impl Layout {
+    /// Flatten and commit one element of `desc`.
+    pub fn of(desc: &TypeDesc) -> Layout {
+        let segments = flatten(desc);
+        let size = segments.iter().map(|s| s.len).sum();
+        debug_assert_eq!(size, desc.size(), "flattening lost bytes");
+        Layout {
+            segments,
+            size,
+            extent: desc.extent(),
+        }
+    }
+
+    /// Build directly from segments (used by tests and synthetic layouts).
+    pub fn from_segments(segments: Vec<Segment>, extent: u64) -> Layout {
+        let size = segments.iter().map(|s| s.len).sum();
+        Layout {
+            segments,
+            size,
+            extent,
+        }
+    }
+
+    /// Segments of one element.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Contiguous blocks per element.
+    pub fn num_blocks(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Payload bytes per element.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Extent per element.
+    pub fn extent(&self) -> u64 {
+        self.extent
+    }
+
+    /// Is one element a single contiguous run starting at offset 0?
+    pub fn is_contiguous(&self) -> bool {
+        self.segments.len() == 1 && self.segments[0].offset == 0 && self.segments[0].len == self.size
+    }
+
+    /// Are `count` elements one single contiguous run? Requires each
+    /// element to be contiguous *and* elements to tile without gaps
+    /// (extent == size) when there is more than one.
+    pub fn is_contiguous_for(&self, count: u64) -> bool {
+        self.is_contiguous() && (count <= 1 || self.extent == self.size)
+    }
+
+    /// Total payload bytes for `count` elements.
+    pub fn total_bytes(&self, count: u64) -> u64 {
+        self.size * count
+    }
+
+    /// Total contiguous blocks for `count` elements (no cross-element
+    /// coalescing — elements are extent-tiled, matching what a real packing
+    /// kernel sees).
+    pub fn total_blocks(&self, count: u64) -> u64 {
+        self.num_blocks() * count
+    }
+
+    /// Shape summary `(total_bytes, total_blocks)` for `count` elements, in
+    /// the form the GPU kernel cost model consumes.
+    pub fn shape(&self, count: u64) -> (u64, u64) {
+        (self.total_bytes(count), self.total_blocks(count))
+    }
+
+    /// Absolute `(address, len)` segments for `count` elements based at
+    /// `base`, in pack order. This is the gather/scatter plan handed to the
+    /// memory pools.
+    pub fn absolute_segments(&self, base: u64, count: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.segments.len() * count as usize);
+        for i in 0..count {
+            let elem_base = base + i * self.extent;
+            for s in &self.segments {
+                out.push((elem_base + s.offset, s.len));
+            }
+        }
+        out
+    }
+
+    /// The footprint in bytes that `count` elements occupy in memory
+    /// (`(count-1)*extent + last element's reach`).
+    pub fn footprint(&self, count: u64) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let reach = self
+            .segments
+            .iter()
+            .map(|s| s.offset + s.len)
+            .max()
+            .unwrap_or(0);
+        (count - 1) * self.extent + reach.max(self.extent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TypeBuilder;
+
+    #[test]
+    fn layout_of_vector() {
+        let t = TypeBuilder::vector(3, 2, 4, TypeBuilder::int());
+        let l = Layout::of(&t);
+        assert_eq!(l.num_blocks(), 3);
+        assert_eq!(l.size(), 24);
+        assert_eq!(l.extent(), ((3 - 1) * 4 + 2) * 4);
+        assert!(!l.is_contiguous());
+    }
+
+    #[test]
+    fn contiguous_layout_detected() {
+        let l = Layout::of(&TypeBuilder::contiguous(16, TypeBuilder::double()));
+        assert!(l.is_contiguous());
+        assert_eq!(l.shape(4), (512, 4));
+    }
+
+    #[test]
+    fn absolute_segments_tile_by_extent() {
+        let t = TypeBuilder::vector(2, 1, 3, TypeBuilder::int()); // segs (0,4),(12,4), extent 16
+        let l = Layout::of(&t);
+        let abs = l.absolute_segments(1000, 2);
+        assert_eq!(abs, vec![(1000, 4), (1012, 4), (1016, 4), (1028, 4)]);
+    }
+
+    #[test]
+    fn shape_scales_with_count() {
+        let t = TypeBuilder::indexed(&[(0, 1), (4, 2), (9, 1)], TypeBuilder::float());
+        let l = Layout::of(&t);
+        assert_eq!(l.shape(1), (16, 3));
+        assert_eq!(l.shape(10), (160, 30));
+    }
+
+    #[test]
+    fn footprint_covers_all_segments() {
+        let t = TypeBuilder::vector(2, 1, 3, TypeBuilder::int());
+        let l = Layout::of(&t);
+        // extent 16, reach 16 -> 2 elements: 32 bytes.
+        assert_eq!(l.footprint(2), 32);
+        assert_eq!(l.footprint(0), 0);
+        // Every absolute segment must fall inside the footprint.
+        for count in [1u64, 2, 5] {
+            let fp = l.footprint(count);
+            for (addr, len) in l.absolute_segments(0, count) {
+                assert!(addr + len <= fp, "segment ({addr},{len}) outside {fp}");
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_for_count_requires_gapless_tiling() {
+        // One element of a 1x1 subarray of a 3x3 grid is contiguous, but
+        // its extent (the full grid) leaves gaps between elements.
+        let t = TypeBuilder::subarray(&[3, 3], &[1, 1], &[0, 0], TypeBuilder::int());
+        let l = Layout::of(&t);
+        assert!(l.is_contiguous());
+        assert!(l.is_contiguous_for(1));
+        assert!(!l.is_contiguous_for(2), "extent 36 != size 4");
+
+        let packed = Layout::of(&TypeBuilder::contiguous(4, TypeBuilder::int()));
+        assert!(packed.is_contiguous_for(10));
+    }
+
+    #[test]
+    fn from_segments_roundtrip() {
+        let l = Layout::from_segments(
+            vec![Segment { offset: 4, len: 8 }, Segment { offset: 20, len: 8 }],
+            32,
+        );
+        assert_eq!(l.size(), 16);
+        assert_eq!(l.extent(), 32);
+        assert_eq!(l.num_blocks(), 2);
+        assert!(!l.is_contiguous());
+    }
+}

@@ -1,0 +1,26 @@
+//! # fusedpack-datatype
+//!
+//! An MPI Derived DataType (DDT) engine: the type constructors of the MPI
+//! standard (`contiguous`, `vector`, `hvector`, `indexed`, `hindexed`,
+//! `indexed_block`, `struct`, `subarray`, `resized`), *flattening* of a
+//! committed type into a list of `(offset, length)` contiguous segments
+//! ("flattening on the fly", Träff et al.), a layout cache following the
+//! scheme of Chu et al. \[24\], and a host-side reference pack/unpack used
+//! both by tests and by the CPU-driven packing paths.
+//!
+//! The segment list is the lingua franca of the whole workspace: the GPU
+//! kernel cost model consumes its [`shape`](layout::Layout::shape), the
+//! memory pools consume its absolute segments, and the fusion scheduler
+//! carries cached layout references in its request objects.
+
+pub mod builder;
+pub mod cache;
+pub mod flatten;
+pub mod layout;
+pub mod pack;
+pub mod typedesc;
+
+pub use builder::TypeBuilder;
+pub use cache::{CacheStats, LayoutCache, TypeHandle};
+pub use layout::{Layout, Segment};
+pub use typedesc::{Primitive, TypeDesc};

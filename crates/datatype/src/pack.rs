@@ -1,0 +1,185 @@
+//! Host-side reference pack/unpack.
+//!
+//! The ground truth for every packing engine in the workspace: tests verify
+//! the simulated GPU gather/scatter paths and the wire protocols against
+//! these functions, and the CPU-driven (GDRCopy) paths use them directly.
+
+use crate::layout::Layout;
+
+/// Pack `count` elements laid out per `layout` starting at `src\[0\]` into a
+/// contiguous buffer. Returns the packed bytes.
+pub fn pack(src: &[u8], layout: &Layout, count: u64) -> Vec<u8> {
+    let mut dst = vec![0u8; layout.total_bytes(count) as usize];
+    pack_into(src, layout, count, &mut dst);
+    dst
+}
+
+/// Pack into a caller-provided buffer of exactly `layout.total_bytes(count)`
+/// bytes.
+pub fn pack_into(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
+    assert_eq!(
+        dst.len() as u64,
+        layout.total_bytes(count),
+        "destination size mismatch"
+    );
+    let mut out = 0usize;
+    for i in 0..count {
+        let base = (i * layout.extent()) as usize;
+        for seg in layout.segments() {
+            let lo = base + seg.offset as usize;
+            let hi = lo + seg.len as usize;
+            dst[out..out + seg.len as usize].copy_from_slice(&src[lo..hi]);
+            out += seg.len as usize;
+        }
+    }
+    debug_assert_eq!(out as u64, layout.total_bytes(count));
+}
+
+/// Unpack a contiguous buffer into `count` elements laid out per `layout`
+/// starting at `dst\[0\]`. Bytes outside the layout's segments are untouched.
+pub fn unpack(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
+    assert_eq!(
+        src.len() as u64,
+        layout.total_bytes(count),
+        "source size mismatch"
+    );
+    let mut inp = 0usize;
+    for i in 0..count {
+        let base = (i * layout.extent()) as usize;
+        for seg in layout.segments() {
+            let lo = base + seg.offset as usize;
+            let hi = lo + seg.len as usize;
+            dst[lo..hi].copy_from_slice(&src[inp..inp + seg.len as usize]);
+            inp += seg.len as usize;
+        }
+    }
+    debug_assert_eq!(inp as u64, layout.total_bytes(count));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TypeBuilder;
+    use crate::layout::Layout;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_vector_selects_blocks_in_order() {
+        // 2 blocks of 2 bytes, stride 4 bytes.
+        let t = TypeBuilder::vector(2, 2, 4, TypeBuilder::byte());
+        let l = Layout::of(&t);
+        let src: Vec<u8> = (0..8).collect();
+        assert_eq!(pack(&src, &l, 1), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn pack_multiple_elements_tiles_by_extent() {
+        let t = TypeBuilder::vector(2, 1, 2, TypeBuilder::byte()); // segs (0,1),(2,1), extent 3
+        let l = Layout::of(&t);
+        let src: Vec<u8> = (10..19).collect();
+        // elements at 0 and 3: bytes 10,12 then 13,15
+        assert_eq!(pack(&src, &l, 2), vec![10, 12, 13, 15]);
+    }
+
+    #[test]
+    fn unpack_restores_scattered_positions() {
+        let t = TypeBuilder::indexed(&[(1, 2), (5, 1)], TypeBuilder::byte());
+        let l = Layout::of(&t);
+        let packed = vec![7, 8, 9];
+        let mut dst = vec![0u8; l.footprint(1) as usize];
+        unpack(&packed, &l, 1, &mut dst);
+        assert_eq!(dst, vec![0, 7, 8, 0, 0, 9]);
+    }
+
+    #[test]
+    fn unpack_leaves_gaps_untouched() {
+        let t = TypeBuilder::vector(2, 1, 3, TypeBuilder::byte());
+        let l = Layout::of(&t);
+        let mut dst = vec![0xEE; 6];
+        unpack(&[1, 2], &l, 1, &mut dst);
+        assert_eq!(dst, vec![1, 0xEE, 0xEE, 2, 0xEE, 0xEE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination size mismatch")]
+    fn pack_into_checks_sizes() {
+        let t = TypeBuilder::contiguous(4, TypeBuilder::byte());
+        let l = Layout::of(&t);
+        let mut small = vec![0u8; 2];
+        pack_into(&[0u8; 4], &l, 1, &mut small);
+    }
+
+    /// Strategy: a random (but valid) datatype with modest sizes.
+    fn arb_type() -> impl Strategy<Value = std::sync::Arc<crate::typedesc::TypeDesc>> {
+        prop_oneof![
+            (1u64..8, 1u64..4, 0u64..8).prop_map(|(count, blocklen, pad)| {
+                TypeBuilder::vector(count, blocklen, blocklen + pad, TypeBuilder::int())
+            }),
+            prop::collection::vec((0u64..4, 1u64..4), 1..6).prop_map(|raw| {
+                // Convert gaps into sorted disjoint (disp, len) blocks.
+                let mut disp = 0;
+                let blocks: Vec<(u64, u64)> = raw
+                    .into_iter()
+                    .map(|(gap, len)| {
+                        let d = disp + gap;
+                        disp = d + len;
+                        (d, len)
+                    })
+                    .collect();
+                TypeBuilder::indexed(&blocks, TypeBuilder::float())
+            }),
+            (2u64..6, 2u64..6).prop_flat_map(|(rows, cols)| {
+                (1..=rows, 1..=cols).prop_map(move |(sr, sc)| {
+                    TypeBuilder::subarray(&[rows, cols], &[sr, sc], &[rows - sr, cols - sc],
+                        TypeBuilder::double())
+                })
+            }),
+        ]
+    }
+
+    proptest! {
+        /// unpack(pack(x)) restores exactly the bytes the layout touches.
+        #[test]
+        fn pack_unpack_roundtrip(t in arb_type(), count in 1u64..4, seed in 0u64..1000) {
+            let l = Layout::of(&t);
+            let fp = l.footprint(count) as usize;
+            let mut rng = fusedpack_sim::Pcg32::seeded(seed);
+            let mut src = vec![0u8; fp];
+            rng.fill_bytes(&mut src);
+
+            let packed = pack(&src, &l, count);
+            prop_assert_eq!(packed.len() as u64, l.total_bytes(count));
+
+            let mut dst = vec![0u8; fp];
+            unpack(&packed, &l, count, &mut dst);
+
+            // Every byte inside a segment must match the source.
+            for (addr, len) in l.absolute_segments(0, count) {
+                let (a, b) = (addr as usize, (addr + len) as usize);
+                prop_assert_eq!(&dst[a..b], &src[a..b]);
+            }
+        }
+
+        /// pack(unpack(y)) is the identity on packed buffers.
+        #[test]
+        fn unpack_pack_roundtrip(t in arb_type(), count in 1u64..4, seed in 0u64..1000) {
+            let l = Layout::of(&t);
+            let mut rng = fusedpack_sim::Pcg32::seeded(seed);
+            let mut packed = vec![0u8; l.total_bytes(count) as usize];
+            rng.fill_bytes(&mut packed);
+
+            let mut scattered = vec![0u8; l.footprint(count) as usize];
+            unpack(&packed, &l, count, &mut scattered);
+            let repacked = pack(&scattered, &l, count);
+            prop_assert_eq!(repacked, packed);
+        }
+
+        /// Packed size equals type size x count for arbitrary types.
+        #[test]
+        fn packed_size_is_type_size(t in arb_type(), count in 1u64..5) {
+            let l = Layout::of(&t);
+            let src = vec![0u8; l.footprint(count) as usize];
+            prop_assert_eq!(pack(&src, &l, count).len() as u64, t.size() * count);
+        }
+    }
+}

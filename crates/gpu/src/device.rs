@@ -1,0 +1,299 @@
+//! The GPU device: memory + streams + copy engines + launch API.
+//!
+//! All methods are *passive*: they take the instant at which the host CPU
+//! issues the operation and return the timing of everything that follows.
+//! The caller (the cluster driver in `fusedpack-mpi`) owns the event loop
+//! and is responsible for (a) advancing the rank's CPU clock to
+//! `cpu_release` and (b) scheduling completion events at the returned
+//! instants. Data movement is applied eagerly at submission time — sound
+//! because the simulated schemes never mutate a source buffer while a kernel
+//! that reads it is in flight, and results only become *visible* to the
+//! model at the completion instant.
+
+use crate::arch::GpuArch;
+use crate::copy::{CopyPath, HostLink};
+use crate::fused::{self, FusedLaunch};
+use crate::gdr::GdrWindow;
+use crate::kernel::{self, SegmentStats};
+use crate::mem::{DataMode, MemPool};
+use crate::stream::{Stream, StreamId};
+use fusedpack_sim::{Duration, FifoResource, Time};
+
+/// Timing of one kernel launch or async copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTiming {
+    /// When the launching CPU becomes free again (launch call returned).
+    pub cpu_release: Time,
+    /// When the work starts on the device.
+    pub start: Time,
+    /// When the work completes on the device.
+    pub done: Time,
+}
+
+/// One modelled GPU.
+#[derive(Debug)]
+pub struct Gpu {
+    pub arch: GpuArch,
+    pub mem: MemPool,
+    pub gdr: GdrWindow,
+    host_link: HostLink,
+    streams: Vec<Stream>,
+    copy_engine_h2d: FifoResource,
+    copy_engine_d2h: FifoResource,
+    kernels_launched: u64,
+    fused_launched: u64,
+    requests_fused: u64,
+}
+
+impl Gpu {
+    /// Create a device with `num_streams` streams and `mem_capacity` bytes
+    /// of device memory.
+    pub fn new(
+        arch: GpuArch,
+        mem_capacity: u64,
+        mode: DataMode,
+        host_link: HostLink,
+        num_streams: usize,
+    ) -> Self {
+        assert!(num_streams >= 1, "need at least one stream");
+        let gdr = GdrWindow::for_link(&host_link);
+        Gpu {
+            arch,
+            mem: MemPool::new(mem_capacity, mode),
+            gdr,
+            host_link,
+            streams: vec![Stream::new(); num_streams],
+            copy_engine_h2d: FifoResource::new(),
+            copy_engine_d2h: FifoResource::new(),
+            kernels_launched: 0,
+            fused_launched: 0,
+            requests_fused: 0,
+        }
+    }
+
+    #[inline]
+    pub fn host_link(&self) -> &HostLink {
+        &self.host_link
+    }
+
+    #[inline]
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total kernel launches so far (single + fused).
+    pub fn kernels_launched(&self) -> u64 {
+        self.kernels_launched
+    }
+
+    /// Fused launches and the number of requests they carried.
+    pub fn fusion_counters(&self) -> (u64, u64) {
+        (self.fused_launched, self.requests_fused)
+    }
+
+    fn stream_mut(&mut self, stream: StreamId) -> &mut Stream {
+        &mut self.streams[stream.0 as usize]
+    }
+
+    /// Reference to a stream (for event recording / queries).
+    pub fn stream(&self, stream: StreamId) -> &Stream {
+        &self.streams[stream.0 as usize]
+    }
+
+    /// Launch a standalone pack/unpack kernel at `at` on `stream`.
+    ///
+    /// The CPU is busy `[at, cpu_release)` with the driver call; the kernel
+    /// becomes eligible `launch_gpu_delay` later and runs FIFO on the stream.
+    pub fn launch_kernel(&mut self, at: Time, stream: StreamId, stats: SegmentStats) -> KernelTiming {
+        let cpu_release = at + self.arch.launch_cpu;
+        let ready = cpu_release + self.arch.launch_gpu_delay;
+        let dur = kernel::single_kernel_time(&self.arch, stats);
+        let (start, done) = self.stream_mut(stream).submit(ready, dur);
+        self.kernels_launched += 1;
+        KernelTiming {
+            cpu_release,
+            start,
+            done,
+        }
+    }
+
+    /// Launch one *fused* kernel covering `works` requests at `at`.
+    ///
+    /// Costs a single CPU-side launch; per-request completion instants are
+    /// returned individually (the cooperative groups signal their response
+    /// status as they finish — no kernel-boundary synchronization).
+    pub fn launch_fused(&mut self, at: Time, stream: StreamId, works: &[SegmentStats]) -> FusedLaunch {
+        let works: Vec<fused::FusedWork> = works.iter().map(|&w| w.into()).collect();
+        self.launch_fused_capped(at, stream, &works)
+    }
+
+    /// [`Gpu::launch_fused`] with per-request bandwidth caps (DirectIPC
+    /// requests bounded by the peer link).
+    pub fn launch_fused_capped(
+        &mut self,
+        at: Time,
+        stream: StreamId,
+        works: &[fused::FusedWork],
+    ) -> FusedLaunch {
+        let cpu_release = at + self.arch.launch_cpu;
+        let ready = cpu_release + self.arch.launch_gpu_delay;
+        let timing = fused::fused_timing_capped(&self.arch, works);
+        let (start, done) = self.stream_mut(stream).submit(ready, timing.total);
+        self.kernels_launched += 1;
+        self.fused_launched += 1;
+        self.requests_fused += works.len() as u64;
+        FusedLaunch {
+            cpu_release,
+            start,
+            request_done: timing.per_request.iter().map(|&d| start + d).collect(),
+            done,
+        }
+    }
+
+    /// `cudaMemcpyAsync`: issue an async copy of `bytes` along `path` at
+    /// `at` on `stream`. The copy occupies both the per-direction DMA engine
+    /// and the stream (so later kernels on the stream wait for it).
+    pub fn memcpy_async(&mut self, at: Time, stream: StreamId, bytes: u64, path: CopyPath) -> KernelTiming {
+        let cpu_release = at + self.arch.memcpy_async_call;
+        let ready = cpu_release + self.arch.launch_gpu_delay;
+        let wire = match path {
+            CopyPath::H2D | CopyPath::D2H => self.host_link.transfer_time(bytes),
+            CopyPath::D2D => Duration::from_secs_f64(bytes as f64 / (self.arch.mem_bw / 2.0)),
+        };
+        let dur = self.arch.dma_setup + wire;
+        // Serialize on the DMA engine first, then mirror into the stream so
+        // stream-ordered work behind the copy waits for it.
+        let engine = match path {
+            CopyPath::H2D => &mut self.copy_engine_h2d,
+            CopyPath::D2H | CopyPath::D2D => &mut self.copy_engine_d2h,
+        };
+        let (eng_start, eng_done) = engine.acquire(ready, dur);
+        let stream = self.stream_mut(stream);
+        let (_, done) = stream.submit(eng_start, eng_done - eng_start);
+        self.kernels_launched += 0; // copies are not kernels
+        KernelTiming {
+            cpu_release,
+            start: eng_start,
+            done,
+        }
+    }
+
+    /// Reset per-iteration state (streams, engines, counters) while keeping
+    /// memory contents and allocations.
+    pub fn reset_timing(&mut self) {
+        for s in &mut self.streams {
+            s.reset();
+        }
+        self.copy_engine_h2d.reset();
+        self.copy_engine_d2h.reset();
+        self.kernels_launched = 0;
+        self.fused_launched = 0;
+        self.requests_fused = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::new(
+            GpuArch::v100(),
+            1 << 20,
+            DataMode::Full,
+            HostLink::nvlink2_cpu(),
+            4,
+        )
+    }
+
+    #[test]
+    fn launch_charges_cpu_then_runs() {
+        let mut g = gpu();
+        let t = g.launch_kernel(Time(1000), StreamId(0), SegmentStats::new(4096, 16));
+        assert_eq!(t.cpu_release, Time(1000) + g.arch.launch_cpu);
+        assert_eq!(t.start, t.cpu_release + g.arch.launch_gpu_delay);
+        assert!(t.done > t.start);
+        assert_eq!(g.kernels_launched(), 1);
+    }
+
+    #[test]
+    fn same_stream_kernels_serialize_different_streams_overlap() {
+        let mut g = gpu();
+        // Long kernels (64 MiB) so the stream is still busy when the second
+        // launch arrives.
+        let stats = SegmentStats::new(64 << 20, 16384);
+        let a = g.launch_kernel(Time(0), StreamId(0), stats);
+        let b = g.launch_kernel(a.cpu_release, StreamId(0), stats);
+        assert_eq!(b.start, a.done, "same stream: FIFO");
+
+        let mut g2 = gpu();
+        let a2 = g2.launch_kernel(Time(0), StreamId(0), stats);
+        let b2 = g2.launch_kernel(a2.cpu_release, StreamId(1), stats);
+        assert!(b2.start < a2.done, "different streams: concurrent");
+    }
+
+    #[test]
+    fn fused_launch_pays_one_cpu_launch() {
+        let mut g = gpu();
+        let works = vec![SegmentStats::new(4096, 16); 8];
+        let f = g.launch_fused(Time(0), StreamId(0), &works);
+        assert_eq!(f.cpu_release, Time(0) + g.arch.launch_cpu);
+        assert_eq!(f.request_done.len(), 8);
+        assert!(f.request_done.iter().all(|&t| t <= f.done));
+        let (fused, reqs) = g.fusion_counters();
+        assert_eq!((fused, reqs), (1, 8));
+    }
+
+    #[test]
+    fn fused_beats_back_to_back_singles_end_to_end() {
+        // 8 small pack requests: fused finishes far earlier than 8 serial
+        // launch+kernel rounds — the paper's Fig. 2 "DYNAMIC KERNEL FUSION".
+        let stats = SegmentStats::new(16 * 1024, 64);
+        let mut g1 = gpu();
+        let mut t = Time(0);
+        let mut last_done = Time(0);
+        for _ in 0..8 {
+            let k = g1.launch_kernel(t, StreamId(0), stats);
+            t = k.cpu_release;
+            last_done = k.done;
+        }
+        let mut g2 = gpu();
+        let f = g2.launch_fused(Time(0), StreamId(0), &[stats; 8]);
+        assert!(
+            f.done.as_nanos() * 3 < last_done.as_nanos(),
+            "fused {:?} should be >3x faster than serial singles {:?}",
+            f.done,
+            last_done
+        );
+    }
+
+    #[test]
+    fn memcpy_serializes_on_engine_and_stream() {
+        let mut g = gpu();
+        let a = g.memcpy_async(Time(0), StreamId(0), 1 << 20, CopyPath::D2H);
+        let b = g.memcpy_async(a.cpu_release, StreamId(1), 1 << 20, CopyPath::D2H);
+        assert_eq!(b.start, a.done, "same engine serializes across streams");
+        // A kernel behind the copy on stream 0 waits for it.
+        let k = g.launch_kernel(b.cpu_release, StreamId(0), SegmentStats::new(64, 1));
+        assert!(k.start >= a.done);
+    }
+
+    #[test]
+    fn h2d_and_d2h_engines_are_independent() {
+        let mut g = gpu();
+        let a = g.memcpy_async(Time(0), StreamId(0), 8 << 20, CopyPath::H2D);
+        let b = g.memcpy_async(a.cpu_release, StreamId(1), 8 << 20, CopyPath::D2H);
+        assert!(b.start < a.done, "opposite directions overlap");
+    }
+
+    #[test]
+    fn reset_timing_clears_counters_but_not_memory() {
+        let mut g = gpu();
+        let ptr = g.mem.alloc(4, 1);
+        g.mem.write(ptr, &[1, 2, 3, 4]);
+        g.launch_kernel(Time(0), StreamId(0), SegmentStats::new(64, 1));
+        g.reset_timing();
+        assert_eq!(g.kernels_launched(), 0);
+        assert_eq!(g.mem.read(ptr), &[1, 2, 3, 4]);
+    }
+}

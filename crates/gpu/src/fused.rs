@@ -1,0 +1,261 @@
+//! The fused kernel model.
+//!
+//! The paper's fused kernel takes an *array of requests* as input and uses
+//! CUDA cooperative groups to partition its thread blocks across requests
+//! (paper Fig. 6): each group of blocks independently executes the device
+//! function for its request (pack, unpack, or DirectIPC) and then signals
+//! per-request completion by writing the request's *response status* — there
+//! is no synchronization at the kernel boundary.
+//!
+//! Timing model. Request `i` has work-unit demand `u_i` (see
+//! [`crate::kernel::work_units`]). The GPU can keep `C = capacity_blocks()`
+//! blocks resident:
+//!
+//! * if `Σu ≤ C` every request gets all the blocks it can use and runs at
+//!   its standalone body rate — this is the paper's key observation that a
+//!   fused kernel takes about as long as one typical kernel, because the
+//!   individual kernels badly under-occupy the machine;
+//! * if `Σu > C` blocks are assigned proportionally (`b_i = C·u_i/Σu`, at
+//!   least one) and every request slows accordingly.
+//!
+//! Each request completes individually at `start + fixed + t_i`; the kernel
+//! itself retires when the slowest group finishes.
+
+use crate::arch::GpuArch;
+use crate::kernel::{self, SegmentStats};
+use fusedpack_sim::{Duration, Time};
+
+/// Per-request and whole-kernel durations of one fused launch (relative to
+/// kernel start on the device).
+#[derive(Debug, Clone)]
+pub struct FusedTiming {
+    /// Completion offset of each request, in input order.
+    pub per_request: Vec<Duration>,
+    /// When the whole kernel retires (max of the above plus fixed costs).
+    pub total: Duration,
+    /// Thread blocks assigned to each request (diagnostics / tests).
+    pub blocks_assigned: Vec<u64>,
+}
+
+/// Absolute-time view of a fused launch as returned by
+/// [`crate::device::Gpu::launch_fused`].
+#[derive(Debug, Clone)]
+pub struct FusedLaunch {
+    /// When the launching CPU becomes free again.
+    pub cpu_release: Time,
+    /// When the kernel starts executing on the device.
+    pub start: Time,
+    /// Absolute completion instant of each request, in input order.
+    pub request_done: Vec<Time>,
+    /// When the whole kernel retires.
+    pub done: Time,
+}
+
+/// One request inside a fused launch: its layout shape plus an optional
+/// external bandwidth cap (a DirectIPC request touching a peer GPU's memory
+/// is limited by the NVLink/PCIe path, not local HBM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedWork {
+    pub stats: SegmentStats,
+    pub bw_cap: Option<f64>,
+}
+
+impl From<SegmentStats> for FusedWork {
+    fn from(stats: SegmentStats) -> Self {
+        FusedWork {
+            stats,
+            bw_cap: None,
+        }
+    }
+}
+
+/// Compute the timing of a fused kernel over `works` on `arch`.
+pub fn fused_timing(arch: &GpuArch, works: &[SegmentStats]) -> FusedTiming {
+    let works: Vec<FusedWork> = works.iter().map(|&w| w.into()).collect();
+    fused_timing_capped(arch, &works)
+}
+
+/// [`fused_timing`] with per-request bandwidth caps.
+pub fn fused_timing_capped(arch: &GpuArch, works: &[FusedWork]) -> FusedTiming {
+    let fixed = arch.kernel_fixed + arch.fused_partition;
+    if works.is_empty() {
+        return FusedTiming {
+            per_request: Vec::new(),
+            total: fixed,
+            blocks_assigned: Vec::new(),
+        };
+    }
+    let capacity = arch.capacity_blocks();
+    let units: Vec<u64> = works
+        .iter()
+        .map(|w| kernel::work_units(arch, w.stats))
+        .collect();
+    let total_units: u64 = units.iter().sum();
+
+    let blocks_assigned: Vec<u64> = if total_units <= capacity {
+        units.clone()
+    } else {
+        units
+            .iter()
+            .map(|&u| {
+                if u == 0 {
+                    0
+                } else {
+                    ((u as u128 * capacity as u128) / total_units as u128).max(1) as u64
+                }
+            })
+            .collect()
+    };
+
+    let mut per_request = Vec::with_capacity(works.len());
+    let mut slowest = Duration::ZERO;
+    for (w, &blocks) in works.iter().zip(&blocks_assigned) {
+        let t = if w.stats.is_empty() || blocks == 0 {
+            Duration::ZERO
+        } else {
+            let eff = kernel::stride_efficiency(arch, w.stats.avg_block());
+            let occ = (blocks as f64 / capacity as f64).min(1.0);
+            let mut bw = arch.mem_bw * eff * occ;
+            if let Some(cap) = w.bw_cap {
+                // External-link ceiling still suffers (attenuated) stride
+                // penalties on the remote side.
+                bw = bw.min(cap * eff.max(0.25));
+            }
+            Duration::from_secs_f64(w.stats.total_bytes as f64 / bw)
+        };
+        let done = fixed + t;
+        slowest = slowest.max(done);
+        per_request.push(done);
+    }
+
+    FusedTiming {
+        per_request,
+        total: slowest,
+        blocks_assigned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> GpuArch {
+        GpuArch::v100()
+    }
+
+    #[test]
+    fn empty_fusion_costs_fixed_overhead_only() {
+        let arch = v100();
+        let t = fused_timing(&arch, &[]);
+        assert_eq!(t.total, arch.kernel_fixed + arch.fused_partition);
+        assert!(t.per_request.is_empty());
+    }
+
+    #[test]
+    fn underutilized_requests_fuse_for_free() {
+        // The paper's headline GPU-side claim: fusing N small kernels takes
+        // about as long as one, because each under-occupies the machine.
+        let arch = v100();
+        let one = SegmentStats::new(4096, 16); // 16 units << 160 capacity
+        let solo = fused_timing(&arch, &[one]);
+        let eight = fused_timing(&arch, &[one; 8]); // 128 units, still < 160
+        assert_eq!(
+            solo.total, eight.total,
+            "8 under-occupying requests should finish together with 1"
+        );
+        // And all eight complete at the same offset.
+        assert!(eight.per_request.iter().all(|&d| d == eight.per_request[0]));
+    }
+
+    #[test]
+    fn oversubscription_slows_requests_proportionally() {
+        let arch = v100();
+        let big = SegmentStats::new(8 << 20, 2048); // 2048 units >> capacity
+        let solo = fused_timing(&arch, &[big]);
+        let duo = fused_timing(&arch, &[big, big]);
+        // Two saturating requests each get half the machine: roughly 2x.
+        let ratio = duo.total.as_nanos() as f64 / solo.total.as_nanos() as f64;
+        assert!(
+            (1.8..=2.2).contains(&ratio),
+            "expected ~2x slowdown, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn every_nonempty_request_gets_at_least_one_block() {
+        let arch = v100();
+        let mut works = vec![SegmentStats::new(64 << 20, 16384)]; // hog
+        for _ in 0..20 {
+            works.push(SegmentStats::new(64, 1)); // tiny
+        }
+        let t = fused_timing(&arch, &works);
+        assert!(t.blocks_assigned.iter().skip(1).all(|&b| b >= 1));
+    }
+
+    #[test]
+    fn per_request_completions_bounded_by_total() {
+        let arch = v100();
+        let works = [
+            SegmentStats::new(1 << 20, 256),
+            SegmentStats::new(4096, 64),
+            SegmentStats::new(128, 8),
+        ];
+        let t = fused_timing(&arch, &works);
+        for &d in &t.per_request {
+            assert!(d <= t.total);
+        }
+        assert_eq!(t.total, *t.per_request.iter().max().expect("non-empty"));
+    }
+
+    #[test]
+    fn small_requests_in_mixed_fusion_finish_early() {
+        // Per-request completion signalling lets the progress engine send a
+        // small message before a huge co-fused request finishes.
+        let arch = v100();
+        let works = [
+            SegmentStats::new(64 << 20, 16384), // huge
+            SegmentStats::new(1024, 16),        // small
+        ];
+        let t = fused_timing(&arch, &works);
+        assert!(
+            t.per_request[1] < t.per_request[0] / 10,
+            "small request {:?} should finish long before huge {:?}",
+            t.per_request[1],
+            t.per_request[0]
+        );
+    }
+
+    #[test]
+    fn bw_capped_request_slows_only_itself() {
+        let arch = v100();
+        let stats = SegmentStats::new(4 << 20, 512);
+        let free = fused_timing(&arch, &[stats, stats]);
+        let capped = fused_timing_capped(
+            &arch,
+            &[
+                FusedWork {
+                    stats,
+                    bw_cap: Some(50.0e9), // DirectIPC over NVLink2 (ABCI)
+                },
+                FusedWork {
+                    stats,
+                    bw_cap: None,
+                },
+            ],
+        );
+        assert!(capped.per_request[0] > free.per_request[0]);
+        assert_eq!(capped.per_request[1], free.per_request[1]);
+    }
+
+    #[test]
+    fn fused_beats_sequential_singles_on_device_time() {
+        // Even ignoring launch overhead, running N under-occupying kernels
+        // back-to-back takes ~N * t while the fused kernel takes ~t.
+        let arch = v100();
+        let w = SegmentStats::new(16384, 64);
+        let single = kernel::single_kernel_time(&arch, w);
+        let sequential = Duration(single.as_nanos() * 2);
+        let fused = fused_timing(&arch, &[w, w]).total;
+        assert!(fused < sequential);
+    }
+}

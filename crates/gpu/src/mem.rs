@@ -1,0 +1,389 @@
+//! Device (and host) memory pools.
+//!
+//! A [`MemPool`] is a flat address space with a bump allocator. Pools back
+//! both GPU device memory and host staging memory; pointers are plain
+//! `(addr, len)` pairs valid within one pool.
+//!
+//! Pools run in one of two [`DataMode`]s:
+//!
+//! * `Full` — the pool holds real bytes and every copy moves them, so tests
+//!   can verify end-to-end pack/unpack correctness;
+//! * `ModelOnly` — no backing storage; copies are no-ops. Benchmark sweeps
+//!   use this to avoid allocating gigabytes per iteration (timing is
+//!   independent of the data).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a pool carries real bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataMode {
+    /// Real backing storage; copies move bytes.
+    Full,
+    /// Timing-only; no storage, copies are no-ops.
+    ModelOnly,
+}
+
+/// A pointer into a [`MemPool`]: offset and length in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DevPtr {
+    pub addr: u64,
+    pub len: u64,
+}
+
+impl DevPtr {
+    /// A sub-range of this allocation.
+    pub fn slice(self, offset: u64, len: u64) -> DevPtr {
+        assert!(
+            offset + len <= self.len,
+            "slice {offset}+{len} out of bounds of {self:?}"
+        );
+        DevPtr {
+            addr: self.addr + offset,
+            len,
+        }
+    }
+
+    /// End address (one past the last byte).
+    #[inline]
+    pub fn end(self) -> u64 {
+        self.addr + self.len
+    }
+}
+
+/// A flat memory pool with a bump allocator.
+#[derive(Debug, Clone)]
+pub struct MemPool {
+    mode: DataMode,
+    capacity: u64,
+    cursor: u64,
+    bytes: Vec<u8>,
+    /// High-water mark of allocations, for sizing diagnostics.
+    peak: u64,
+}
+
+impl MemPool {
+    /// Create a pool of `capacity` bytes.
+    pub fn new(capacity: u64, mode: DataMode) -> Self {
+        let bytes = match mode {
+            DataMode::Full => vec![0u8; capacity as usize],
+            DataMode::ModelOnly => Vec::new(),
+        };
+        MemPool {
+            mode,
+            capacity,
+            cursor: 0,
+            bytes,
+            peak: 0,
+        }
+    }
+
+    #[inline]
+    pub fn mode(&self) -> DataMode {
+        self.mode
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    #[inline]
+    pub fn allocated(&self) -> u64 {
+        self.cursor
+    }
+
+    /// High-water mark of allocations.
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Allocate `len` bytes with `align` alignment (power of two).
+    ///
+    /// Panics if the pool is exhausted: pool sizing is a configuration
+    /// decision made by the workload driver, so exhaustion is a bug there.
+    pub fn alloc(&mut self, len: u64, align: u64) -> DevPtr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.cursor + align - 1) & !(align - 1);
+        assert!(
+            addr + len <= self.capacity,
+            "pool exhausted: need {len}B at {addr}, capacity {}B",
+            self.capacity
+        );
+        self.cursor = addr + len;
+        self.peak = self.peak.max(self.cursor);
+        DevPtr { addr, len }
+    }
+
+    /// Release everything allocated so far (bulk free between iterations).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Read the bytes behind `ptr`. Empty in `ModelOnly` mode.
+    pub fn read(&self, ptr: DevPtr) -> &[u8] {
+        match self.mode {
+            DataMode::Full => &self.bytes[ptr.addr as usize..ptr.end() as usize],
+            DataMode::ModelOnly => &[],
+        }
+    }
+
+    /// Overwrite the bytes behind `ptr`.
+    pub fn write(&mut self, ptr: DevPtr, data: &[u8]) {
+        if self.mode == DataMode::ModelOnly {
+            return;
+        }
+        assert_eq!(
+            data.len() as u64,
+            ptr.len,
+            "write length mismatch: {} vs {:?}",
+            data.len(),
+            ptr
+        );
+        self.bytes[ptr.addr as usize..ptr.end() as usize].copy_from_slice(data);
+    }
+
+    /// Copy `len` bytes within this pool.
+    pub fn copy_within(&mut self, src: u64, dst: u64, len: u64) {
+        if self.mode == DataMode::ModelOnly || len == 0 {
+            return;
+        }
+        self.bytes
+            .copy_within(src as usize..(src + len) as usize, dst as usize);
+    }
+
+    /// Copy between two pools (e.g. host→device). No-op if either side is
+    /// `ModelOnly`.
+    pub fn copy_between(src: &MemPool, src_off: u64, dst: &mut MemPool, dst_off: u64, len: u64) {
+        if src.mode == DataMode::ModelOnly || dst.mode == DataMode::ModelOnly || len == 0 {
+            return;
+        }
+        dst.bytes[dst_off as usize..(dst_off + len) as usize]
+            .copy_from_slice(&src.bytes[src_off as usize..(src_off + len) as usize]);
+    }
+
+    /// Gather scattered segments from `src` into a contiguous region of
+    /// `dst` (e.g. GDRCopy packing GPU memory into a host staging buffer).
+    pub fn gather_between(
+        src: &MemPool,
+        segments: &[(u64, u64)],
+        dst: &mut MemPool,
+        dst_off: u64,
+    ) -> u64 {
+        let total: u64 = segments.iter().map(|&(_, len)| len).sum();
+        if src.mode == DataMode::ModelOnly || dst.mode == DataMode::ModelOnly {
+            return total;
+        }
+        let mut out = dst_off as usize;
+        for &(addr, len) in segments {
+            dst.bytes[out..out + len as usize]
+                .copy_from_slice(&src.bytes[addr as usize..(addr + len) as usize]);
+            out += len as usize;
+        }
+        total
+    }
+
+    /// Scatter a contiguous region of `src` out to segments of `dst`
+    /// (e.g. GDRCopy unpacking a host buffer into GPU memory).
+    pub fn scatter_between(
+        src: &MemPool,
+        src_off: u64,
+        dst: &mut MemPool,
+        segments: &[(u64, u64)],
+    ) -> u64 {
+        let total: u64 = segments.iter().map(|&(_, len)| len).sum();
+        if src.mode == DataMode::ModelOnly || dst.mode == DataMode::ModelOnly {
+            return total;
+        }
+        let mut inp = src_off as usize;
+        for &(addr, len) in segments {
+            dst.bytes[addr as usize..(addr + len) as usize]
+                .copy_from_slice(&src.bytes[inp..inp + len as usize]);
+            inp += len as usize;
+        }
+        total
+    }
+
+    /// Gather scattered segments into a fresh byte vector (used for
+    /// cross-device transfers where both pools are borrowed).
+    pub fn gather_to_vec(&self, segments: &[(u64, u64)]) -> Vec<u8> {
+        if self.mode == DataMode::ModelOnly {
+            return Vec::new();
+        }
+        let total: usize = segments.iter().map(|&(_, len)| len as usize).sum();
+        let mut out = Vec::with_capacity(total);
+        for &(addr, len) in segments {
+            out.extend_from_slice(&self.bytes[addr as usize..(addr + len) as usize]);
+        }
+        out
+    }
+
+    /// Scatter a contiguous byte slice out to segments of this pool.
+    pub fn scatter_from_slice(&mut self, data: &[u8], segments: &[(u64, u64)]) {
+        if self.mode == DataMode::ModelOnly || data.is_empty() {
+            return;
+        }
+        let mut inp = 0usize;
+        for &(addr, len) in segments {
+            self.bytes[addr as usize..(addr + len) as usize]
+                .copy_from_slice(&data[inp..inp + len as usize]);
+            inp += len as usize;
+        }
+        debug_assert_eq!(inp, data.len(), "segment total must match data length");
+    }
+
+    /// Gather scattered `(src_offset, len)` segments into a contiguous region
+    /// starting at `dst` — the data movement a packing kernel performs.
+    /// Returns the number of bytes packed.
+    pub fn gather(&mut self, segments: &[(u64, u64)], dst: u64) -> u64 {
+        let mut out = dst;
+        if self.mode == DataMode::ModelOnly {
+            return segments.iter().map(|&(_, len)| len).sum();
+        }
+        for &(src, len) in segments {
+            self.bytes
+                .copy_within(src as usize..(src + len) as usize, out as usize);
+            out += len;
+        }
+        out - dst
+    }
+
+    /// Scatter a contiguous region starting at `src` out to `(dst_offset,
+    /// len)` segments — the data movement an unpacking kernel performs.
+    pub fn scatter(&mut self, src: u64, segments: &[(u64, u64)]) -> u64 {
+        let mut inp = src;
+        if self.mode == DataMode::ModelOnly {
+            return segments.iter().map(|&(_, len)| len).sum();
+        }
+        for &(dst, len) in segments {
+            self.bytes
+                .copy_within(inp as usize..(inp + len) as usize, dst as usize);
+            inp += len;
+        }
+        inp - src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment_and_bounds() {
+        let mut p = MemPool::new(1024, DataMode::Full);
+        let a = p.alloc(10, 1);
+        assert_eq!(a.addr, 0);
+        let b = p.alloc(16, 64);
+        assert_eq!(b.addr, 64);
+        assert_eq!(p.allocated(), 80);
+        assert_eq!(p.peak(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool exhausted")]
+    fn exhaustion_panics() {
+        let mut p = MemPool::new(16, DataMode::Full);
+        p.alloc(32, 1);
+    }
+
+    #[test]
+    fn reset_frees_but_keeps_peak() {
+        let mut p = MemPool::new(128, DataMode::Full);
+        p.alloc(100, 1);
+        p.reset();
+        assert_eq!(p.allocated(), 0);
+        assert_eq!(p.peak(), 100);
+        let a = p.alloc(50, 1);
+        assert_eq!(a.addr, 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut p = MemPool::new(64, DataMode::Full);
+        let ptr = p.alloc(4, 1);
+        p.write(ptr, &[1, 2, 3, 4]);
+        assert_eq!(p.read(ptr), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn gather_packs_segments_in_order() {
+        let mut p = MemPool::new(64, DataMode::Full);
+        let src = p.alloc(16, 1);
+        let dst = p.alloc(8, 1);
+        p.write(src, &(0..16).collect::<Vec<u8>>());
+        // Gather bytes at offsets 2..4, 8..10, 12..16.
+        let n = p.gather(&[(src.addr + 2, 2), (src.addr + 8, 2), (src.addr + 12, 4)], dst.addr);
+        assert_eq!(n, 8);
+        assert_eq!(p.read(dst), &[2, 3, 8, 9, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn scatter_inverts_gather() {
+        let mut p = MemPool::new(128, DataMode::Full);
+        let orig = p.alloc(16, 1);
+        let packed = p.alloc(8, 1);
+        let out = p.alloc(16, 1);
+        p.write(orig, &(100..116).collect::<Vec<u8>>());
+        let segs_src: Vec<(u64, u64)> = vec![(orig.addr + 1, 3), (orig.addr + 10, 5)];
+        p.gather(&segs_src, packed.addr);
+        let segs_dst: Vec<(u64, u64)> = vec![(out.addr + 1, 3), (out.addr + 10, 5)];
+        p.scatter(packed.addr, &segs_dst);
+        let o = p.read(out);
+        assert_eq!(&o[1..4], &[101, 102, 103]);
+        assert_eq!(&o[10..15], &[110, 111, 112, 113, 114]);
+    }
+
+    #[test]
+    fn model_only_pool_is_storage_free() {
+        let mut p = MemPool::new(1 << 40, DataMode::ModelOnly); // 1 TiB, no alloc
+        let ptr = p.alloc(1 << 30, 256);
+        assert!(p.read(ptr).is_empty());
+        p.write(ptr, &[]); // no-op, no panic
+        assert_eq!(p.gather(&[(0, 100), (200, 50)], 0), 150);
+    }
+
+    #[test]
+    fn gather_and_scatter_between_pools() {
+        let mut dev = MemPool::new(64, DataMode::Full);
+        let mut host = MemPool::new(64, DataMode::Full);
+        let src = dev.alloc(16, 1);
+        dev.write(src, &(0..16).collect::<Vec<u8>>());
+        let segs = vec![(src.addr + 1, 2u64), (src.addr + 8, 3u64)];
+        let n = MemPool::gather_between(&dev, &segs, &mut host, 0);
+        assert_eq!(n, 5);
+        assert_eq!(&host.read(DevPtr { addr: 0, len: 5 }), &[1, 2, 8, 9, 10]);
+
+        let mut dev2 = MemPool::new(64, DataMode::Full);
+        dev2.alloc(16, 1);
+        let out_segs = vec![(3u64, 2u64), (10u64, 3u64)];
+        MemPool::scatter_between(&host, 0, &mut dev2, &out_segs);
+        let v = dev2.read(DevPtr { addr: 0, len: 16 }).to_vec();
+        assert_eq!(&v[3..5], &[1, 2]);
+        assert_eq!(&v[10..13], &[8, 9, 10]);
+    }
+
+    #[test]
+    fn copy_between_pools() {
+        let mut a = MemPool::new(16, DataMode::Full);
+        let mut b = MemPool::new(16, DataMode::Full);
+        let pa = a.alloc(4, 1);
+        let pb = b.alloc(4, 1);
+        a.write(pa, &[9, 8, 7, 6]);
+        MemPool::copy_between(&a, pa.addr, &mut b, pb.addr, 4);
+        assert_eq!(b.read(pb), &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn devptr_slice() {
+        let p = DevPtr { addr: 100, len: 50 };
+        let s = p.slice(10, 20);
+        assert_eq!(s, DevPtr { addr: 110, len: 20 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn devptr_slice_bounds_checked() {
+        DevPtr { addr: 0, len: 10 }.slice(5, 10);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the fused-kernel timing model: invariants that
+//! must hold for any mix of requests.
+
+use fusedpack_gpu::{fused, kernel, FusedWork, GpuArch, SegmentStats};
+use proptest::prelude::*;
+
+fn arb_stats() -> impl Strategy<Value = SegmentStats> {
+    (1u64..1_000_000, 1u64..5_000).prop_map(|(bytes, blocks)| {
+        SegmentStats::new(bytes, blocks.min(bytes))
+    })
+}
+
+fn arb_arch() -> impl Strategy<Value = GpuArch> {
+    prop_oneof![
+        Just(GpuArch::k80()),
+        Just(GpuArch::p100()),
+        Just(GpuArch::v100()),
+    ]
+}
+
+proptest! {
+    /// The kernel retires exactly when its slowest request does, and no
+    /// request finishes before the fixed startup.
+    #[test]
+    fn total_is_max_of_requests(arch in arb_arch(), works in prop::collection::vec(arb_stats(), 1..32)) {
+        let t = fused::fused_timing(&arch, &works);
+        let max = *t.per_request.iter().max().expect("non-empty");
+        prop_assert_eq!(t.total, max);
+        let fixed = arch.kernel_fixed + arch.fused_partition;
+        for &d in &t.per_request {
+            prop_assert!(d >= fixed);
+        }
+    }
+
+    /// Fusing never beats the physics: each request in a fused kernel takes
+    /// at least its standalone body time (it can only get fewer blocks).
+    #[test]
+    fn fusion_never_accelerates_a_request(
+        arch in arb_arch(),
+        works in prop::collection::vec(arb_stats(), 1..24),
+    ) {
+        let t = fused::fused_timing(&arch, &works);
+        let fixed = arch.kernel_fixed + arch.fused_partition;
+        for (w, &d) in works.iter().zip(&t.per_request) {
+            let body = kernel::body_time(&arch, *w);
+            prop_assert!(
+                d + fusedpack_sim::Duration(1) >= fixed + body,
+                "request {:?} finished in {} < fixed {} + body {}",
+                w, d, fixed, body
+            );
+        }
+    }
+
+    /// Adding a request never makes existing requests finish sooner.
+    #[test]
+    fn adding_work_is_monotone(
+        arch in arb_arch(),
+        mut works in prop::collection::vec(arb_stats(), 1..16),
+        extra in arb_stats(),
+    ) {
+        let before = fused::fused_timing(&arch, &works);
+        works.push(extra);
+        let after = fused::fused_timing(&arch, &works);
+        for (b, a) in before.per_request.iter().zip(&after.per_request) {
+            prop_assert!(a >= b, "existing request sped up: {} -> {}", b, a);
+        }
+    }
+
+    /// In the paper's target regime — every request under-occupies the GPU
+    /// and they all fit the machine together — one fused launch always
+    /// beats launching the same requests back-to-back (launch amortization
+    /// plus idle-gap removal).
+    ///
+    /// This is deliberately NOT asserted for arbitrary mixes: with static
+    /// cooperative-group partitioning, co-fusing a tiny request with a
+    /// machine-saturating one slows the big one proportionally, and the
+    /// single saved launch may not pay for that — the "over-fused" regime
+    /// the scheduler threshold exists to avoid (paper SIV-C).
+    #[test]
+    fn fused_beats_serial_singles_when_underoccupied(
+        arch in arb_arch(),
+        works in prop::collection::vec(
+            (1u64..8_192, 1u64..6).prop_map(|(bytes, blocks)| {
+                SegmentStats::new(bytes, blocks.min(bytes))
+            }),
+            2..4,
+        ),
+    ) {
+        // All requests together fit even K80's 26-block capacity.
+        let total_units: u64 = works.iter().map(|w| kernel::work_units(&arch, *w)).sum();
+        prop_assume!(total_units <= arch.capacity_blocks());
+
+        let fused_total = arch.launch_cpu + fused::fused_timing(&arch, &works).total;
+        // Serial: each kernel pays CPU launch then runs alone.
+        let serial: u64 = works
+            .iter()
+            .map(|w| (arch.launch_cpu + kernel::single_kernel_time(&arch, *w)).as_nanos())
+            .sum();
+        prop_assert!(
+            fused_total.as_nanos() <= serial,
+            "fused {} vs serial {}",
+            fused_total,
+            serial
+        );
+    }
+
+    /// Bandwidth caps only ever slow things down.
+    #[test]
+    fn caps_are_monotone(arch in arb_arch(), stats in arb_stats(), cap in 1.0e9..100.0e9) {
+        let free = fused::fused_timing(&arch, &[stats]);
+        let capped = fused::fused_timing_capped(
+            &arch,
+            &[FusedWork { stats, bw_cap: Some(cap) }],
+        );
+        prop_assert!(capped.per_request[0] >= free.per_request[0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Program execution: stepping ranks through their [`AppOp`] sequences.
+
+use super::{Cluster, Event, RankId};
+use crate::program::AppOp;
+use crate::sendrecv::{PackState, RecvId, RecvOp, RecvState, SendId, SendOp, StagingLoc};
+use fusedpack_core::FlushReason;
+use fusedpack_sim::Time;
+
+impl Cluster {
+    /// Execute ops for rank `r` starting no earlier than `t`, until it
+    /// blocks or its program ends.
+    pub(crate) fn step_rank(&mut self, r: usize, t: Time) {
+        {
+            let rank = &mut self.ranks[r];
+            if rank.done || rank.blocked {
+                return;
+            }
+            rank.cpu = rank.cpu.max(t);
+        }
+        loop {
+            let pc = self.ranks[r].pc;
+            let op = match self.ranks[r].program.ops.get(pc) {
+                Some(op) => op.clone(),
+                None => {
+                    self.ranks[r].done = true;
+                    return;
+                }
+            };
+            self.ranks[r].pc += 1;
+            match op {
+                AppOp::Commit { slot, desc } => {
+                    let rank = &mut self.ranks[r];
+                    let (handle, cost) = rank.ddt_cache.commit(&desc);
+                    rank.cpu += cost;
+                    let (layout, cost) = rank.ddt_cache.get(handle);
+                    rank.cpu += cost;
+                    if rank.types.len() <= slot.0 {
+                        rank.types.resize(slot.0 + 1, layout.clone());
+                    }
+                    rank.types[slot.0] = layout;
+                }
+                AppOp::Irecv {
+                    buf,
+                    ty,
+                    count,
+                    src,
+                    tag,
+                } => self.exec_irecv(r, buf, ty, count, src, tag),
+                AppOp::Isend {
+                    buf,
+                    ty,
+                    count,
+                    dst,
+                    tag,
+                } => self.exec_isend(r, buf, ty, count, dst, tag),
+                AppOp::Pack {
+                    src,
+                    ty,
+                    count,
+                    dst,
+                } => self.exec_explicit_copy(r, src, ty, count, dst, true, true),
+                AppOp::Unpack {
+                    src,
+                    ty,
+                    count,
+                    dst,
+                } => self.exec_explicit_copy(r, src, ty, count, dst, false, true),
+                AppOp::PackAsync {
+                    src,
+                    ty,
+                    count,
+                    dst,
+                } => self.exec_explicit_copy(r, src, ty, count, dst, true, false),
+                AppOp::UnpackAsync {
+                    src,
+                    ty,
+                    count,
+                    dst,
+                } => self.exec_explicit_copy(r, src, ty, count, dst, false, false),
+                AppOp::DeviceSync => self.exec_device_sync(r),
+                AppOp::Waitall => {
+                    if self.enter_waitall(r) {
+                        // Blocked: resume from the op *after* Waitall once
+                        // requests drain (pc already advanced).
+                        return;
+                    }
+                }
+                AppOp::ResetTimer => {
+                    let rank = &mut self.ranks[r];
+                    rank.lap_start = rank.cpu;
+                    rank.breakdown_at_reset = rank.breakdown;
+                }
+                AppOp::RecordLap => {
+                    let rank = &mut self.ranks[r];
+                    let lap = rank.cpu.since(rank.lap_start);
+                    rank.laps.push(lap);
+                    let delta = rank.breakdown.delta_since(&rank.breakdown_at_reset);
+                    rank.lap_breakdowns.push(delta);
+                }
+            }
+        }
+    }
+
+    /// Post a receive: create the RecvOp, then try to match any unexpected
+    /// message that already arrived.
+    fn exec_irecv(
+        &mut self,
+        r: usize,
+        buf: crate::program::BufId,
+        ty: crate::program::TypeSlot,
+        count: u64,
+        src: RankId,
+        tag: u32,
+    ) {
+        let rid = {
+            let rank = &mut self.ranks[r];
+            rank.cpu += self.platform.mpi_call;
+            let layout = rank.types[ty.0].clone();
+            let packed_bytes = layout.total_bytes(count);
+            let blocks = layout.total_blocks(count);
+            let rid = RecvId(rank.recvs.len());
+            rank.recvs.push(RecvOp {
+                id: rid,
+                src,
+                tag,
+                user_buf: rank.bufs[buf.0],
+                layout,
+                count,
+                packed_bytes,
+                blocks,
+                staging: StagingLoc::None,
+                state: RecvState::Posted,
+                unpack: PackState::NotStarted,
+                fusion_uid: None,
+                ipc_send_id: None,
+            });
+            rid
+        };
+        // An RTS or eager message may already be waiting.
+        if let Some(pos) = self.ranks[r]
+            .unexpected
+            .iter()
+            .position(|m| m.src == src && m.tag == tag && m.is_matchable())
+        {
+            let msg = self.ranks[r].unexpected.remove(pos);
+            let now = self.ranks[r].cpu;
+            self.match_message(r, rid, msg, now);
+        }
+    }
+
+    /// Start a send: create the SendOp and hand it to the scheme.
+    fn exec_isend(
+        &mut self,
+        r: usize,
+        buf: crate::program::BufId,
+        ty: crate::program::TypeSlot,
+        count: u64,
+        dst: RankId,
+        tag: u32,
+    ) {
+        let sid = {
+            let rank = &mut self.ranks[r];
+            rank.cpu += self.platform.mpi_call;
+            let layout = rank.types[ty.0].clone();
+            let packed_bytes = layout.total_bytes(count);
+            let blocks = layout.total_blocks(count);
+            let sid = SendId(rank.sends.len());
+            rank.sends.push(SendOp {
+                id: sid,
+                dst,
+                tag,
+                user_buf: rank.bufs[buf.0],
+                layout,
+                count,
+                packed_bytes,
+                blocks,
+                eager: packed_bytes <= self.platform.eager_limit,
+                staging: StagingLoc::None,
+                pack: PackState::NotStarted,
+                rts_sent: false,
+                cts: None,
+                data_issued: false,
+                fusion_uid: None,
+                completed: false,
+            });
+            sid
+        };
+        self.begin_pack(r, sid);
+    }
+
+    /// Explicit pack/unpack between two device buffers (Algorithms 1 & 2).
+    ///
+    /// `pack == true` gathers the non-contiguous `src` into the contiguous
+    /// `dst`; `pack == false` scatters the contiguous `src` out to `dst`.
+    /// `blocking` selects MPI-style per-call synchronization (Algorithm 1)
+    /// vs application-style fire-and-forget (Algorithm 2).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_explicit_copy(
+        &mut self,
+        r: usize,
+        src: crate::program::BufId,
+        ty: crate::program::TypeSlot,
+        count: u64,
+        dst: crate::program::BufId,
+        pack: bool,
+        blocking: bool,
+    ) {
+        use fusedpack_gpu::SegmentStats;
+        let (layout, src_ptr, dst_ptr) = {
+            let rank = &self.ranks[r];
+            (
+                rank.types[ty.0].clone(),
+                rank.bufs[src.0],
+                rank.bufs[dst.0],
+            )
+        };
+        let stats = SegmentStats::new(layout.total_bytes(count), layout.total_blocks(count));
+        // Data movement within device memory.
+        if pack {
+            let segs = layout.absolute_segments(src_ptr.addr, count);
+            self.gpus[r].mem.gather(&segs, dst_ptr.addr);
+        } else {
+            let segs = layout.absolute_segments(dst_ptr.addr, count);
+            self.gpus[r].mem.scatter(src_ptr.addr, &segs);
+        }
+        if blocking {
+            // MPI_Pack/MPI_Unpack: the library parses the datatype and
+            // synchronizes at the kernel boundary before returning.
+            let rank = &mut self.ranks[r];
+            rank.cpu += self.platform.mpi_call
+                + fusedpack_datatype::cache::parse_cost(stats.num_blocks);
+            self.sync_kernel_public(r, stats);
+        } else {
+            // Application kernel: launch on a round-robin stream, return.
+            let stream = {
+                let rank = &mut self.ranks[r];
+                let s = rank.next_stream % 4;
+                rank.next_stream = rank.next_stream.wrapping_add(1);
+                fusedpack_gpu::StreamId(s)
+            };
+            let at = self.ranks[r].cpu;
+            let k = self.gpus[r].launch_kernel(at, stream, stats);
+            let launch_cpu = self.gpus[r].arch.launch_cpu;
+            let rank = &mut self.ranks[r];
+            rank.breakdown.launch += launch_cpu;
+            rank.breakdown.pack += k.done.since(k.start);
+            rank.cpu = k.cpu_release;
+            rank.app_kernels_done = rank.app_kernels_done.max(k.done);
+        }
+    }
+
+    /// `cudaDeviceSynchronize`: block until application kernels drain.
+    fn exec_device_sync(&mut self, r: usize) {
+        let sync_call = self.gpus[r].arch.stream_sync_call;
+        let rank = &mut self.ranks[r];
+        let wait = rank.app_kernels_done.since(rank.cpu);
+        rank.breakdown.sync += wait + sync_call;
+        rank.cpu = rank.cpu.max(rank.app_kernels_done) + sync_call;
+    }
+
+    /// Enter Waitall. Returns `true` if the rank blocked.
+    fn enter_waitall(&mut self, r: usize) -> bool {
+        // §IV-C scenario 1: the progress engine reached a synchronization
+        // point — flush any pending fusion requests immediately.
+        if self.ranks[r].sched.as_ref().is_some_and(|s| s.has_pending()) {
+            self.fusion_flush(r, FlushReason::SyncPoint);
+        }
+        if self.ranks[r].all_requests_complete() {
+            self.exit_waitall(r);
+            return false;
+        }
+        let rank = &mut self.ranks[r];
+        rank.blocked = true;
+        rank.wait_anchor = rank.cpu;
+        true
+    }
+
+    /// All requests drained: free them and reset staging pools.
+    fn exit_waitall(&mut self, r: usize) {
+        let rank = &mut self.ranks[r];
+        rank.cpu += self.platform.mpi_call;
+        debug_assert!(rank.uid_map.is_empty(), "fusion uids leaked");
+        rank.sends.clear();
+        rank.recvs.clear();
+        self.staging_mems[r].reset();
+        self.host_mems[r].reset();
+    }
+
+    /// Called whenever a request completes: if the rank is blocked in
+    /// Waitall and everything is done, unblock and continue.
+    pub(crate) fn check_unblock(&mut self, r: usize, now: Time) {
+        if !self.ranks[r].blocked {
+            return;
+        }
+        if !self.ranks[r].all_requests_complete() {
+            return;
+        }
+        let resume = {
+            let rank = &mut self.ranks[r];
+            rank.blocked = false;
+            rank.cpu = rank.cpu.max(now);
+            rank.cpu
+        };
+        self.exit_waitall(r);
+        let rid = self.ranks[r].id;
+        self.events.push_at(resume.max(self.events.now()), Event::Wake(rid));
+    }
+}

@@ -1,0 +1,354 @@
+//! The simulated cluster: ranks, GPUs, NICs, and the deterministic event
+//! loop that drives them.
+//!
+//! Construction goes through [`ClusterBuilder`]: pick a platform
+//! (Table II), a datatype-processing scheme, add one program per rank, and
+//! `build()`. [`Cluster::run`] executes every program to completion and
+//! returns a [`RunReport`] with per-rank lap times, Fig.-11 breakdowns, and
+//! scheduler statistics.
+
+mod exec;
+mod protocol;
+mod rank;
+mod schemes;
+
+use crate::message::WireMsg;
+use crate::program::{BufInit, Program};
+use crate::scheme::{HybridPolicy, SchemeKind};
+use crate::sendrecv::{RecvId, SendId};
+use fusedpack_core::{SchedStats, Scheduler, Uid};
+use fusedpack_gpu::{DataMode, Gpu, MemPool};
+use fusedpack_net::{Link, Nic};
+use fusedpack_net::platform::Platform;
+use fusedpack_sim::trace::Trace;
+use fusedpack_sim::{Duration, EventQueue, Pcg32, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+pub(crate) use rank::RankState;
+
+/// Rendezvous sub-protocol for large messages (§IV-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RndvProtocol {
+    /// Sender RDMA-WRITEs after receiving a CTS; the RTS can overlap with
+    /// packing — the sub-protocol the paper's design prefers (default).
+    #[default]
+    Rput,
+    /// Sender announces packed data with the RTS; the receiver pulls it
+    /// with an RDMA READ. No handshake/packing overlap.
+    Rget,
+}
+
+/// A rank (one process driving one GPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RankId(pub u32);
+
+/// Internal simulation events.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// (Re)start executing a rank's program.
+    Wake(RankId),
+    /// An asynchronous pack (kernel or staged copies) finished on the
+    /// sender.
+    PackDone(RankId, SendId),
+    /// An asynchronous unpack finished on the receiver.
+    UnpackDone(RankId, RecvId),
+    /// A fused-kernel cooperative group signalled one request's completion.
+    FusionDone(RankId, Uid),
+    /// A wire message reached its destination.
+    Deliver(Box<WireMsg>),
+    /// The initiator-side completion (CQE) of an RDMA write.
+    SendComplete(RankId, SendId),
+}
+
+/// Builder for a simulated cluster run.
+pub struct ClusterBuilder {
+    platform: Platform,
+    scheme: SchemeKind,
+    data_mode: DataMode,
+    gdrcopy: bool,
+    trace_capacity: usize,
+    rndv: RndvProtocol,
+    ranks: Vec<(u32, Program)>,
+}
+
+impl ClusterBuilder {
+    pub fn new(platform: Platform, scheme: SchemeKind) -> Self {
+        ClusterBuilder {
+            platform,
+            scheme,
+            data_mode: DataMode::Full,
+            gdrcopy: true,
+            trace_capacity: 0,
+            rndv: RndvProtocol::default(),
+            ranks: Vec::new(),
+        }
+    }
+
+    /// Select the rendezvous sub-protocol (default: RPUT, which lets the
+    /// handshake overlap with packing).
+    pub fn rendezvous(mut self, rndv: RndvProtocol) -> Self {
+        self.rndv = rndv;
+        self
+    }
+
+    /// Keep a structured trace of the most recent `capacity` protocol and
+    /// scheduling events (debugging aid; see [`Cluster::trace`]).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Simulate a system without the GDRCopy kernel module (the paper notes
+    /// it "may not be available in all HPC systems"): the hybrid/adaptive
+    /// schemes must fall back to GPU kernels for every message.
+    pub fn without_gdrcopy(mut self) -> Self {
+        self.gdrcopy = false;
+        self
+    }
+
+    /// Select whether buffers carry real bytes (`Full`, default: tests) or
+    /// only timing is simulated (`ModelOnly`: benchmark sweeps).
+    pub fn data_mode(mut self, mode: DataMode) -> Self {
+        self.data_mode = mode;
+        self
+    }
+
+    /// Add a rank running `program` on `node`.
+    pub fn add_rank(mut self, node: u32, program: Program) -> Self {
+        self.ranks.push((node, program));
+        self
+    }
+
+    /// Instantiate the cluster: allocate GPU/host pools sized from the
+    /// programs' declarations, initialize buffers, and seed the event loop.
+    pub fn build(self) -> Cluster {
+        assert!(!self.ranks.is_empty(), "need at least one rank");
+        let num_nodes = self.ranks.iter().map(|&(n, _)| n).max().expect("ranks") + 1;
+        let hybrid = HybridPolicy::for_link(
+            &self.platform.host_link,
+            matches!(self.scheme, SchemeKind::Adaptive),
+        );
+
+        let mut ranks = Vec::new();
+        let mut gpus = Vec::new();
+        let mut staging_mems = Vec::new();
+        let mut host_mems = Vec::new();
+
+        for (idx, (node, program)) in self.ranks.into_iter().enumerate() {
+            let user_bytes: u64 = program.buffers.iter().map(|b| b.len + 256).sum::<u64>() + 4096;
+            // Staging high-water estimate: every comm op may need a packed
+            // buffer simultaneously within one Waitall epoch; programs
+            // over-declare via their buffer sizes, so size generously.
+            let staging_bytes = 2 * user_bytes + (1 << 20);
+
+            let mut gpu = self.platform.make_gpu(user_bytes, self.data_mode);
+            if !self.gdrcopy {
+                gpu.gdr = fusedpack_gpu::GdrWindow::unavailable();
+            }
+            let mut rank = RankState::new(RankId(idx as u32), node, program);
+            // Allocate and initialize declared buffers.
+            for decl in rank.program.buffers.clone() {
+                let ptr = gpu.mem.alloc(decl.len, 64);
+                match decl.init {
+                    BufInit::Zero => {}
+                    BufInit::Random(seed) => {
+                        if self.data_mode == DataMode::Full {
+                            let mut rng = Pcg32::new(seed, idx as u64);
+                            let mut bytes = vec![0u8; decl.len as usize];
+                            rng.fill_bytes(&mut bytes);
+                            gpu.mem.write(ptr, &bytes);
+                        }
+                    }
+                }
+                rank.bufs.push(ptr);
+            }
+            if let SchemeKind::Fusion(cfg) = &self.scheme {
+                rank.sched = Some(Scheduler::new(cfg.clone()));
+            }
+            ranks.push(rank);
+            gpus.push(gpu);
+            staging_mems.push(MemPool::new(staging_bytes, self.data_mode));
+            host_mems.push(MemPool::new(staging_bytes, self.data_mode));
+        }
+
+        let nics = (0..num_nodes).map(|_| self.platform.make_nic()).collect();
+        let mut events = EventQueue::new();
+        for r in 0..ranks.len() {
+            events.push_at(Time::ZERO, Event::Wake(RankId(r as u32)));
+        }
+
+        Cluster {
+            platform: self.platform,
+            scheme: self.scheme,
+            hybrid,
+            data_mode: self.data_mode,
+            events,
+            ranks,
+            gpus,
+            staging_mems,
+            host_mems,
+            nics,
+            rndv: self.rndv,
+            intra_links: HashMap::new(),
+            trace: if self.trace_capacity > 0 {
+                Trace::enabled(self.trace_capacity)
+            } else {
+                Trace::disabled()
+            },
+        }
+    }
+}
+
+/// The running cluster.
+pub struct Cluster {
+    pub(crate) platform: Platform,
+    pub(crate) scheme: SchemeKind,
+    pub(crate) hybrid: HybridPolicy,
+    pub(crate) data_mode: DataMode,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) ranks: Vec<RankState>,
+    pub(crate) gpus: Vec<Gpu>,
+    /// Device staging pools (packed buffers), reset at each Waitall exit.
+    pub(crate) staging_mems: Vec<MemPool>,
+    /// Host staging pools (hybrid CPU path, naive libraries, bounce
+    /// buffers), reset with the device staging pools.
+    pub(crate) host_mems: Vec<MemPool>,
+    /// One NIC per node.
+    pub(crate) nics: Vec<Nic>,
+    /// Rendezvous sub-protocol.
+    pub(crate) rndv: RndvProtocol,
+    /// Lazily created intra-node GPU↔GPU links, keyed by (node, node).
+    pub(crate) intra_links: HashMap<(u32, u32), Link>,
+    /// Optional structured event trace.
+    pub(crate) trace: Trace,
+}
+
+/// Results of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Lap durations recorded by each rank (`RecordLap` ops).
+    pub laps: Vec<Vec<Duration>>,
+    /// Per-rank Fig.-11 cost buckets (cumulative over the whole run).
+    pub breakdowns: Vec<crate::breakdown::Breakdown>,
+    /// Per-rank, per-lap breakdown deltas (aligned with `laps`).
+    pub lap_breakdowns: Vec<Vec<crate::breakdown::Breakdown>>,
+    /// Fusion scheduler statistics per rank (None for other schemes).
+    pub sched_stats: Vec<Option<SchedStats>>,
+    /// Kernel launches per rank's GPU.
+    pub kernels_launched: Vec<u64>,
+    /// Virtual end time of the whole run.
+    pub end_time: Time,
+    /// Events processed (diagnostics).
+    pub events_processed: u64,
+}
+
+impl RunReport {
+    /// Max lap `i` across ranks — the iteration's makespan, the paper's
+    /// reported latency.
+    pub fn lap_makespan(&self, i: usize) -> Duration {
+        self.laps
+            .iter()
+            .filter_map(|laps| laps.get(i).copied())
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Number of laps recorded by every rank.
+    pub fn lap_count(&self) -> usize {
+        self.laps.iter().map(|l| l.len()).min().unwrap_or(0)
+    }
+
+    /// Makespan of the final lap (warm caches) — the headline number.
+    pub fn final_lap(&self) -> Duration {
+        let n = self.lap_count();
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            self.lap_makespan(n - 1)
+        }
+    }
+}
+
+impl Cluster {
+    /// Run every rank's program to completion.
+    pub fn run(&mut self) -> RunReport {
+        while let Some((t, ev)) = self.events.pop() {
+            self.dispatch(t, ev);
+        }
+        for rank in &self.ranks {
+            assert!(
+                rank.done,
+                "rank {:?} deadlocked at pc={} (blocked={})",
+                rank.id, rank.pc, rank.blocked
+            );
+        }
+        RunReport {
+            laps: self.ranks.iter().map(|r| r.laps.clone()).collect(),
+            breakdowns: self.ranks.iter().map(|r| r.breakdown).collect(),
+            lap_breakdowns: self.ranks.iter().map(|r| r.lap_breakdowns.clone()).collect(),
+            sched_stats: self
+                .ranks
+                .iter()
+                .map(|r| r.sched.as_ref().map(|s| s.stats()))
+                .collect(),
+            kernels_launched: self.gpus.iter().map(|g| g.kernels_launched()).collect(),
+            end_time: self.events.now(),
+            events_processed: self.events.processed(),
+        }
+    }
+
+    /// Read back a rank's buffer (tests verify end-to-end transfers).
+    pub fn rank_buffer(&self, rank: RankId, buf: crate::program::BufId) -> Vec<u8> {
+        let r = &self.ranks[rank.0 as usize];
+        let ptr = r.bufs[buf.0];
+        self.gpus[rank.0 as usize].mem.read(ptr).to_vec()
+    }
+
+    fn dispatch(&mut self, t: Time, ev: Event) {
+        match ev {
+            Event::Wake(r) => self.step_rank(r.0 as usize, t),
+            Event::PackDone(r, sid) => self.on_pack_done(r.0 as usize, sid, t),
+            Event::UnpackDone(r, rid) => self.on_unpack_done(r.0 as usize, rid, t),
+            Event::FusionDone(r, uid) => self.on_fusion_done(r.0 as usize, uid, t),
+            Event::Deliver(msg) => self.on_deliver(*msg, t),
+            Event::SendComplete(r, sid) => self.on_send_complete(r.0 as usize, sid, t),
+        }
+    }
+
+    /// Effective processing time for rank work arriving at wall time `t`.
+    pub(crate) fn eff_now(&self, r: usize, t: Time) -> Time {
+        t.max(self.ranks[r].cpu)
+    }
+
+    /// Fetch the intra-node link between two nodes' GPUs, creating it on
+    /// first use.
+    pub(crate) fn intra_link(&mut self, a: u32, b: u32) -> &mut Link {
+        let key = (a.min(b), a.max(b));
+        let spec = self.platform.gpu_gpu.clone();
+        self.intra_links
+            .entry(key)
+            .or_insert_with(|| Link::new(spec))
+    }
+}
+
+impl Cluster {
+    /// The data mode this cluster was built with.
+    pub fn mode(&self) -> DataMode {
+        self.data_mode
+    }
+
+    /// The structured event trace (empty unless built
+    /// [`ClusterBuilder::with_trace`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Record a trace event if tracing is enabled.
+    pub(crate) fn trace_event(&mut self, component: &'static str, f: impl FnOnce() -> String) {
+        if self.trace.is_enabled() {
+            let now = self.events.now();
+            self.trace.record(now, component, f());
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Wire protocols: eager, rendezvous RPUT handshake, tag matching, and
+//! payload delivery.
+
+use super::{Cluster, Event, RankId, RndvProtocol};
+use crate::message::{WireKind, WireMsg};
+use crate::scheme::SchemeKind;
+use crate::sendrecv::{CtsInfo, RecvId, RecvState, SendId, StagingLoc};
+use fusedpack_gpu::MemPool;
+use fusedpack_net::rdma::CTRL_BYTES;
+use fusedpack_sim::Time;
+
+impl Cluster {
+    /// Transport `bytes` from rank `src` to rank `dst`. Returns
+    /// `(delivered, initiator_completion)`. `gdr` caps inter-node bandwidth
+    /// by the NIC↔GPU path; intra-node transfers ride the GPU↔GPU link.
+    pub(crate) fn transport(
+        &mut self,
+        src: usize,
+        dst: usize,
+        at: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> (Time, Time) {
+        let (src_node, dst_node) = (self.ranks[src].node, self.ranks[dst].node);
+        if src_node == dst_node {
+            let link = self.intra_link(src_node, dst_node);
+            let (_, delivered) = link.transmit(at, bytes);
+            (delivered, delivered)
+        } else {
+            let nic = &mut self.nics[src_node as usize];
+            let (_, delivered) = if gdr {
+                nic.post_send_gdr(at, bytes)
+            } else {
+                nic.post_send(at, bytes)
+            };
+            // Initiator completion (CQE/ACK) one wire latency later.
+            (delivered, delivered + nic.wire().latency)
+        }
+    }
+
+    /// Send a control packet (RTS/CTS); fire-and-forget.
+    pub(crate) fn send_ctrl(&mut self, src: usize, dst: RankId, tag: u32, kind: WireKind) {
+        let at = self.ranks[src].cpu;
+        let (delivered, _) = self.transport(src, dst.0 as usize, at, CTRL_BYTES, false);
+        self.events.push_at(
+            delivered.max(self.events.now()),
+            Event::Deliver(Box::new(WireMsg {
+                src: self.ranks[src].id,
+                dst,
+                tag,
+                kind,
+                payload: Vec::new(),
+            })),
+        );
+    }
+
+    /// Read the packed payload bytes behind a staging location.
+    pub(crate) fn read_staging(&self, r: usize, loc: StagingLoc) -> Vec<u8> {
+        match loc {
+            StagingLoc::Gpu(p) => self.staging_mems[r].read(p).to_vec(),
+            StagingLoc::Host(p) => self.host_mems[r].read(p).to_vec(),
+            StagingLoc::UserGpu(p) => self.gpus[r].mem.read(p).to_vec(),
+            StagingLoc::None => Vec::new(),
+        }
+    }
+
+    /// Put a send's payload on the wire as soon as both its pack and its
+    /// protocol prerequisites are met.
+    pub(crate) fn try_issue(&mut self, r: usize, sid: SendId) {
+        let rget = self.rndv == RndvProtocol::Rget;
+        let (dst, tag, bytes, eager, staging, cts) = {
+            let s = &self.ranks[r].sends[sid.0];
+            let ready = if rget && !s.eager {
+                // RGET needs only the pack; there is no CTS.
+                !s.data_issued && s.pack == crate::sendrecv::PackState::Done
+            } else {
+                s.ready_to_issue()
+            };
+            if !ready {
+                return;
+            }
+            (s.dst, s.tag, s.packed_bytes, s.eager, s.staging, s.cts)
+        };
+        self.ranks[r].sends[sid.0].data_issued = true;
+        let payload = self.read_staging(r, staging);
+        let gdr_src = matches!(staging, StagingLoc::Gpu(_) | StagingLoc::UserGpu(_));
+        let at = self.ranks[r].cpu;
+        let src_id = self.ranks[r].id;
+
+        if !eager && self.rndv == RndvProtocol::Rget {
+            // RGET: announce the packed buffer; the receiver pulls it.
+            let send = &mut self.ranks[r].sends[sid.0];
+            if !send.rts_sent {
+                send.rts_sent = true;
+                let tag = send.tag;
+                self.send_ctrl(
+                    r,
+                    dst,
+                    tag,
+                    WireKind::Rts {
+                        send_id: sid,
+                        packed_bytes: bytes,
+                        ipc_origin: None,
+                        rget: true,
+                    },
+                );
+            }
+            // Local completion arrives as a Fin once the read drains.
+            return;
+        }
+        if eager {
+            let (delivered, _) = self.transport(r, dst.0 as usize, at, bytes + CTRL_BYTES, gdr_src);
+            self.events.push_at(
+                delivered.max(self.events.now()),
+                Event::Deliver(Box::new(WireMsg {
+                    src: src_id,
+                    dst,
+                    tag,
+                    kind: WireKind::Eager {
+                        send_id: sid,
+                        packed_bytes: bytes,
+                    },
+                    payload,
+                })),
+            );
+            // Eager sends complete locally once injected.
+            self.ranks[r].sends[sid.0].completed = true;
+            let now = self.ranks[r].cpu;
+            self.check_unblock(r, now);
+        } else {
+            let cts = cts.expect("rendezvous issue requires CTS");
+            let gdr = gdr_src || !cts.host_staging;
+            let (delivered, completion) = self.transport(r, dst.0 as usize, at, bytes, gdr);
+            self.events.push_at(
+                delivered.max(self.events.now()),
+                Event::Deliver(Box::new(WireMsg {
+                    src: src_id,
+                    dst,
+                    tag: 0,
+                    kind: WireKind::RdmaData {
+                        send_id: sid,
+                        recv_id: cts.recv_id,
+                    },
+                    payload,
+                })),
+            );
+            self.events
+                .push_at(completion.max(self.events.now()), Event::SendComplete(src_id, sid));
+        }
+    }
+
+    /// A message arrived at its destination NIC.
+    pub(crate) fn on_deliver(&mut self, msg: WireMsg, t: Time) {
+        let r = msg.dst.0 as usize;
+        self.trace_event("wire", || {
+            format!("{:?} -> {:?}: {:?}", msg.src, msg.dst, std::mem::discriminant(&msg.kind))
+        });
+        let eff = self.eff_now(r, t);
+        self.ranks[r].account_wait(eff);
+        self.ranks[r].cpu = eff + self.platform.progress_poll;
+
+        match msg.kind {
+            WireKind::Rts { .. } | WireKind::Eager { .. } => {
+                let matched = self.ranks[r].recvs.iter().position(|op| {
+                    op.state == RecvState::Posted && op.src == msg.src && op.tag == msg.tag
+                });
+                match matched {
+                    Some(idx) => {
+                        let rid = RecvId(idx);
+                        let now = self.ranks[r].cpu;
+                        self.match_message(r, rid, msg, now);
+                    }
+                    None => self.ranks[r].unexpected.push(msg),
+                }
+            }
+            WireKind::Cts {
+                send_id,
+                recv_id,
+                staging_addr,
+                host_staging,
+            } => {
+                self.ranks[r].sends[send_id.0].cts = Some(CtsInfo {
+                    recv_id,
+                    staging_addr,
+                    host_staging,
+                });
+                self.try_issue(r, send_id);
+            }
+            WireKind::RdmaData { send_id, recv_id } => {
+                self.deposit_payload(r, recv_id, &msg.payload);
+                self.ranks[r].recvs[recv_id.0].state = RecvState::Unpacking;
+                if self.rndv == RndvProtocol::Rget {
+                    // The sender's buffer has been drained by our read.
+                    self.send_ctrl(r, msg.src, 0, WireKind::Fin { send_id });
+                }
+                self.begin_unpack(r, recv_id);
+            }
+            WireKind::RdmaReadReq { send_id, recv_id } => {
+                // Served by the sender's NIC hardware: no CPU time charged
+                // beyond the poll above; the payload flows back over this
+                // node's wire.
+                let (staging, bytes, dst) = {
+                    let s = &self.ranks[r].sends[send_id.0];
+                    (s.staging, s.packed_bytes, msg.src)
+                };
+                let payload = self.read_staging(r, staging);
+                let gdr = matches!(staging, StagingLoc::Gpu(_) | StagingLoc::UserGpu(_));
+                let at = self.events.now();
+                let (delivered, _) = self.transport(r, dst.0 as usize, at, bytes, gdr);
+                let src_id = self.ranks[r].id;
+                self.events.push_at(
+                    delivered.max(self.events.now()),
+                    Event::Deliver(Box::new(WireMsg {
+                        src: src_id,
+                        dst,
+                        tag: 0,
+                        kind: WireKind::RdmaData {
+                            send_id,
+                            recv_id,
+                        },
+                        payload,
+                    })),
+                );
+            }
+            WireKind::Fin { send_id } => {
+                self.ranks[r].sends[send_id.0].completed = true;
+                let now = self.ranks[r].cpu;
+                self.check_unblock(r, now);
+            }
+        }
+    }
+
+    /// A matchable message met its posted receive.
+    pub(crate) fn match_message(&mut self, r: usize, rid: RecvId, msg: WireMsg, now: Time) {
+        self.ranks[r].cpu = self.ranks[r].cpu.max(now) + self.platform.mpi_call;
+        match msg.kind {
+            WireKind::Rts {
+                send_id,
+                ipc_origin: Some(origin),
+                ..
+            } => {
+                // DirectIPC: no staging, no CTS, no wire payload — fuse a
+                // zero-copy load of the sender's buffer.
+                let src = msg.src.0 as usize;
+                self.ranks[r].recvs[rid.0].state = RecvState::Unpacking;
+                self.ranks[r].recvs[rid.0].ipc_send_id = Some(send_id);
+                self.begin_direct_ipc(r, rid, src, origin);
+            }
+            WireKind::Rts { send_id, rget, .. } => {
+                let (bytes, blocks) = {
+                    let op = &self.ranks[r].recvs[rid.0];
+                    (op.packed_bytes, op.blocks)
+                };
+                let staging = self.recv_staging_for(r, rid, bytes, blocks);
+                let op = &mut self.ranks[r].recvs[rid.0];
+                op.staging = staging;
+                op.state = RecvState::AwaitingData;
+                let src = msg.src;
+                if rget {
+                    // Pull the announced data with an RDMA READ.
+                    self.send_ctrl(r, src, 0, WireKind::RdmaReadReq { send_id, recv_id: rid });
+                } else {
+                    self.send_ctrl(
+                        r,
+                        src,
+                        0,
+                        WireKind::Cts {
+                            send_id,
+                            recv_id: rid,
+                            staging_addr: staging.addr(),
+                            host_staging: staging.is_host(),
+                        },
+                    );
+                }
+            }
+            WireKind::Eager { .. } => {
+                let (bytes, blocks) = {
+                    let op = &self.ranks[r].recvs[rid.0];
+                    (op.packed_bytes, op.blocks)
+                };
+                let staging = self.recv_staging_for(r, rid, bytes, blocks);
+                self.ranks[r].recvs[rid.0].staging = staging;
+                self.deposit_payload(r, rid, &msg.payload);
+                self.ranks[r].recvs[rid.0].state = RecvState::Unpacking;
+                self.begin_unpack(r, rid);
+            }
+            _ => unreachable!("only matchable kinds reach match_message"),
+        }
+    }
+
+    /// Receive staging for one operation: contiguous layouts land straight
+    /// in the user buffer (no unpack), everything else gets a staging
+    /// buffer per the scheme's policy.
+    fn recv_staging_for(&mut self, r: usize, rid: RecvId, bytes: u64, blocks: u64) -> StagingLoc {
+        let op = &self.ranks[r].recvs[rid.0];
+        if op.layout.is_contiguous_for(op.count) {
+            return StagingLoc::UserGpu(fusedpack_gpu::DevPtr {
+                addr: op.user_buf.addr,
+                len: bytes,
+            });
+        }
+        self.alloc_recv_staging(r, bytes, blocks)
+    }
+
+    /// Choose where the receiver stages the packed payload.
+    fn alloc_recv_staging(&mut self, r: usize, bytes: u64, blocks: u64) -> StagingLoc {
+        let host = match &self.scheme {
+            SchemeKind::NaiveCopy(_) => true,
+            SchemeKind::CpuGpuHybrid | SchemeKind::Adaptive => {
+                self.hybrid.use_cpu_path(bytes, blocks) && self.gpus[r].gdr.available
+            }
+            _ => false,
+        };
+        if host {
+            StagingLoc::Host(self.host_mems[r].alloc(bytes.max(1), 64))
+        } else {
+            StagingLoc::Gpu(self.staging_mems[r].alloc(bytes.max(1), 64))
+        }
+    }
+
+    /// Write an arrived payload into the receive staging buffer.
+    fn deposit_payload(&mut self, r: usize, rid: RecvId, payload: &[u8]) {
+        if payload.is_empty() {
+            return; // model-only mode
+        }
+        let op = &self.ranks[r].recvs[rid.0];
+        match op.staging {
+            StagingLoc::Gpu(p) => self.staging_mems[r].write(p, payload),
+            StagingLoc::Host(p) => self.host_mems[r].write(p, payload),
+            StagingLoc::UserGpu(p) => self.gpus[r].mem.write(p, payload),
+            StagingLoc::None => panic!("payload arrived before staging was allocated"),
+        }
+    }
+
+    /// RDMA initiator completion: the send is done.
+    pub(crate) fn on_send_complete(&mut self, r: usize, sid: SendId, t: Time) {
+        let eff = self.eff_now(r, t);
+        self.ranks[r].account_wait(eff);
+        self.ranks[r].cpu = eff + self.platform.progress_poll;
+        self.ranks[r].sends[sid.0].completed = true;
+        let now = self.ranks[r].cpu;
+        self.check_unblock(r, now);
+    }
+
+    /// Allocate a sender-side staging buffer.
+    pub(crate) fn alloc_send_staging(&mut self, r: usize, bytes: u64, host: bool) -> StagingLoc {
+        if host {
+            StagingLoc::Host(self.host_mems[r].alloc(bytes.max(1), 64))
+        } else {
+            StagingLoc::Gpu(self.staging_mems[r].alloc(bytes.max(1), 64))
+        }
+    }
+
+    /// Apply a pack's data movement: gather the user buffer's segments into
+    /// the staging buffer.
+    pub(crate) fn apply_pack_movement(&mut self, r: usize, sid: SendId) {
+        let (segs, staging) = {
+            let s = &self.ranks[r].sends[sid.0];
+            (
+                s.layout.absolute_segments(s.user_buf.addr, s.count),
+                s.staging,
+            )
+        };
+        match staging {
+            StagingLoc::Gpu(p) => {
+                MemPool::gather_between(&self.gpus[r].mem, &segs, &mut self.staging_mems[r], p.addr);
+            }
+            StagingLoc::Host(p) => {
+                MemPool::gather_between(&self.gpus[r].mem, &segs, &mut self.host_mems[r], p.addr);
+            }
+            StagingLoc::UserGpu(_) => {} // contiguous: nothing to move
+            StagingLoc::None => panic!("pack movement without staging"),
+        }
+    }
+
+    /// Apply an unpack's data movement: scatter staging into the user
+    /// buffer.
+    pub(crate) fn apply_unpack_movement(&mut self, r: usize, rid: RecvId) {
+        let (segs, staging) = {
+            let op = &self.ranks[r].recvs[rid.0];
+            (
+                op.layout.absolute_segments(op.user_buf.addr, op.count),
+                op.staging,
+            )
+        };
+        match staging {
+            StagingLoc::Gpu(p) => {
+                MemPool::scatter_between(
+                    &self.staging_mems[r],
+                    p.addr,
+                    &mut self.gpus[r].mem,
+                    &segs,
+                );
+            }
+            StagingLoc::Host(p) => {
+                MemPool::scatter_between(&self.host_mems[r], p.addr, &mut self.gpus[r].mem, &segs);
+            }
+            StagingLoc::UserGpu(_) => {} // contiguous: payload landed in place
+            StagingLoc::None => panic!("unpack movement without staging"),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-rank runtime state.
+
+use crate::breakdown::Breakdown;
+use crate::cluster::RankId;
+use crate::message::WireMsg;
+use crate::program::Program;
+use crate::sendrecv::{PackState, RecvOp, RecvState, SendOp};
+use fusedpack_core::{Scheduler, Uid};
+use fusedpack_datatype::{Layout, LayoutCache};
+use fusedpack_gpu::DevPtr;
+use fusedpack_sim::{Duration, Time};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which operation a fusion UID belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpRef {
+    Send(usize),
+    Recv(usize),
+}
+
+/// What a blocked rank is waiting on (for the Fig. 11 `Comm.` bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitKind {
+    /// A local kernel/DMA is still running — its time is already accounted
+    /// in the `pack` bucket.
+    LocalKernel,
+    /// Pure network wait: observed communication time.
+    Network,
+}
+
+/// One rank's full runtime state: its program cursor, virtual CPU clock,
+/// MPI request lists, matching queues, scheme state, and accounting.
+pub(crate) struct RankState {
+    pub id: RankId,
+    pub node: u32,
+    pub program: Program,
+    pub pc: usize,
+    /// The host thread's clock: when the CPU next becomes free. Every MPI
+    /// call, kernel launch, and scheduler action advances it — one thread
+    /// runs application, progress engine, and scheduler, the deployment
+    /// the paper evaluates (§IV-A2).
+    pub cpu: Time,
+    pub blocked: bool,
+    pub done: bool,
+    /// Buffer id → device pointer in the rank's user pool.
+    pub bufs: Vec<DevPtr>,
+    /// Type slot → committed layout.
+    pub types: Vec<Arc<Layout>>,
+    pub ddt_cache: LayoutCache,
+    pub sends: Vec<SendOp>,
+    pub recvs: Vec<RecvOp>,
+    /// Unexpected-message queue (RTS/eager that arrived before the recv).
+    pub unexpected: Vec<WireMsg>,
+    /// Fusion UID → owning operation.
+    pub uid_map: HashMap<Uid, OpRef>,
+    /// Fusion scheduler (only for `SchemeKind::Fusion`).
+    pub sched: Option<Scheduler>,
+    /// Round-robin stream cursor for the GPU-Async scheme.
+    pub next_stream: u32,
+    /// Completion horizon of application-launched kernels (Algorithm 2's
+    /// `DeviceSync` waits for this).
+    pub app_kernels_done: Time,
+    pub breakdown: Breakdown,
+    pub laps: Vec<Duration>,
+    pub lap_start: Time,
+    /// Breakdown snapshot at the last `ResetTimer` (for per-lap deltas).
+    pub breakdown_at_reset: Breakdown,
+    /// Per-lap breakdown deltas, aligned with `laps`.
+    pub lap_breakdowns: Vec<Breakdown>,
+    /// Anchor for attributing blocked-wait intervals.
+    pub wait_anchor: Time,
+}
+
+impl RankState {
+    pub fn new(id: RankId, node: u32, program: Program) -> Self {
+        RankState {
+            id,
+            node,
+            program,
+            pc: 0,
+            cpu: Time::ZERO,
+            blocked: false,
+            done: false,
+            bufs: Vec::new(),
+            types: Vec::new(),
+            ddt_cache: LayoutCache::new(),
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            unexpected: Vec::new(),
+            uid_map: HashMap::new(),
+            sched: None,
+            next_stream: 0,
+            app_kernels_done: Time::ZERO,
+            breakdown: Breakdown::default(),
+            laps: Vec::new(),
+            lap_start: Time::ZERO,
+            breakdown_at_reset: Breakdown::default(),
+            lap_breakdowns: Vec::new(),
+            wait_anchor: Time::ZERO,
+        }
+    }
+
+    /// Are all outstanding requests finished (Waitall condition)?
+    pub fn all_requests_complete(&self) -> bool {
+        self.sends.iter().all(|s| s.completed) && self.recvs.iter().all(|r| r.is_complete())
+    }
+
+    /// Classify what a blocked rank is waiting on *right now*.
+    pub fn classify_wait(&self) -> WaitKind {
+        let kernel_in_flight = self
+            .sends
+            .iter()
+            .any(|s| !s.completed && s.pack == PackState::InFlight)
+            || self
+                .recvs
+                .iter()
+                .any(|r| r.state == RecvState::Unpacking && r.unpack == PackState::InFlight);
+        if kernel_in_flight {
+            WaitKind::LocalKernel
+        } else {
+            WaitKind::Network
+        }
+    }
+
+    /// Attribute the blocked interval since the last anchor, then move the
+    /// anchor to `up_to`.
+    pub fn account_wait(&mut self, up_to: Time) {
+        if self.blocked && up_to > self.wait_anchor {
+            let delta = up_to.since(self.wait_anchor);
+            match self.classify_wait() {
+                // Kernel time is already counted in the pack bucket.
+                WaitKind::LocalKernel => {}
+                WaitKind::Network => self.breakdown.comm += delta,
+            }
+        }
+        self.wait_anchor = self.wait_anchor.max(up_to);
+    }
+
+    /// Are any receives still waiting for their payload to arrive? (Used by
+    /// the fusion scheduler's receiver-side linger policy.)
+    pub fn recvs_awaiting_data(&self) -> bool {
+        self.recvs
+            .iter()
+            .any(|r| matches!(r.state, RecvState::Posted | RecvState::AwaitingData))
+    }
+}

@@ -1,0 +1,604 @@
+//! Scheme-specific packing/unpacking logic.
+//!
+//! Every scheme must answer two calls: [`Cluster::begin_pack`] when an
+//! `Isend` with a non-contiguous GPU buffer starts, and
+//! [`Cluster::begin_unpack`] when a payload lands in receive staging. The
+//! differences between the paper's five designs live entirely here.
+
+use super::{Cluster, Event};
+use crate::message::WireKind;
+use crate::scheme::{NaiveFlavor, SchemeKind};
+use crate::sendrecv::{PackState, RecvId, RecvState, SendId, StagingLoc};
+use fusedpack_core::{EnqueueError, FlushReason, FusionOp, Uid};
+use fusedpack_datatype::cache::{lookup_cost, parse_cost};
+use fusedpack_gpu::{SegmentStats, StreamId};
+use fusedpack_sim::{Duration, Time};
+
+use super::rank::OpRef;
+
+/// Number of streams the GPU-Async scheme \[23\] multiplexes kernels over.
+const ASYNC_STREAMS: u32 = 4;
+
+/// Per-operation task bookkeeping of the GPU-Async design \[23\]: callback
+/// registration and completion-queue management, beyond the raw
+/// `cudaEventRecord` (part of its "Scheduling" cost in Fig. 11).
+const ASYNC_TASK_COST: Duration = Duration(1_500);
+
+impl Cluster {
+    /// Start packing for a send, per the active scheme.
+    pub(crate) fn begin_pack(&mut self, r: usize, sid: SendId) {
+        let (bytes, blocks, eager, contiguous, user_buf) = {
+            let s = &self.ranks[r].sends[sid.0];
+            (
+                s.packed_bytes,
+                s.blocks,
+                s.eager,
+                s.layout.is_contiguous_for(s.count),
+                s.user_buf,
+            )
+        };
+        // Contiguous layouts need no packing at all: send in place from the
+        // user buffer (GPUDirect).
+        if contiguous {
+            self.charge(r, lookup_cost(), Bucket::Sync);
+            let send = &mut self.ranks[r].sends[sid.0];
+            send.staging = StagingLoc::UserGpu(fusedpack_gpu::DevPtr {
+                addr: user_buf.addr,
+                len: bytes,
+            });
+            send.pack = PackState::Done;
+            self.send_rts_or_issue(r, sid, eager);
+            return;
+        }
+        let stats = SegmentStats::new(bytes, blocks);
+
+        match self.scheme.clone() {
+            SchemeKind::GpuSync => {
+                self.charge(r, parse_cost(blocks), Bucket::Sync);
+                let staging = self.alloc_send_staging(r, bytes, false);
+                self.ranks[r].sends[sid.0].staging = staging;
+                self.apply_pack_movement(r, sid);
+                self.sync_kernel(r, stats, Bucket::Pack);
+                self.ranks[r].sends[sid.0].pack = PackState::Done;
+                self.send_rts_or_issue(r, sid, eager);
+            }
+            SchemeKind::GpuAsync => {
+                self.charge(r, parse_cost(blocks), Bucket::Sync);
+                self.charge(r, ASYNC_TASK_COST, Bucket::Scheduling);
+                let staging = self.alloc_send_staging(r, bytes, false);
+                self.ranks[r].sends[sid.0].staging = staging;
+                self.apply_pack_movement(r, sid);
+                let arch_event_record = self.gpus[r].arch.event_record;
+                let stream = self.async_stream(r);
+                let at = self.ranks[r].cpu;
+                let k = self.gpus[r].launch_kernel(at, stream, stats);
+                let rank = &mut self.ranks[r];
+                rank.breakdown.launch += self.gpus[r].arch.launch_cpu;
+                rank.breakdown.pack += k.done.since(k.start);
+                rank.breakdown.scheduling += arch_event_record;
+                rank.cpu = k.cpu_release + arch_event_record;
+                rank.sends[sid.0].pack = PackState::InFlight;
+                let rank_id = rank.id;
+                self.events
+                    .push_at(k.done.max(self.events.now()), Event::PackDone(rank_id, sid));
+                // RTS overlaps with the packing kernel.
+                self.send_rts_or_issue(r, sid, eager);
+            }
+            SchemeKind::Fusion(cfg) => {
+                self.charge(r, lookup_cost(), Bucket::Sync);
+                let dst = self.ranks[r].sends[sid.0].dst;
+                let same_node = self.ranks[r].node == self.ranks[dst.0 as usize].node;
+                if cfg.enable_direct_ipc && same_node {
+                    // DirectIPC (the zero-copy scheme of [24], fused as a
+                    // third operation kind): no packing at all on the
+                    // sender — advertise the source buffer in the RTS and
+                    // wait for the receiver's fused load to finish (Fin).
+                    let (tag, origin, bytes) = {
+                        let s = &self.ranks[r].sends[sid.0];
+                        (s.tag, s.user_buf.addr, s.packed_bytes)
+                    };
+                    self.ranks[r].sends[sid.0].pack = PackState::Done;
+                    self.ranks[r].sends[sid.0].rts_sent = true;
+                    self.ranks[r].sends[sid.0].data_issued = true;
+                    self.send_ctrl(
+                        r,
+                        dst,
+                        tag,
+                        WireKind::Rts {
+                            send_id: sid,
+                            packed_bytes: bytes,
+                            ipc_origin: Some(origin),
+                            rget: false,
+                        },
+                    );
+                    return;
+                }
+                let staging = self.alloc_send_staging(r, bytes, false);
+                self.ranks[r].sends[sid.0].staging = staging;
+                self.apply_pack_movement(r, sid);
+                // RPUT: RTS goes out before packing happens (§IV-B1),
+                // overlapping the handshake with the fused kernel.
+                self.send_rts_or_issue(r, sid, eager);
+                match self.fusion_enqueue(r, FusionOp::Pack, sid.0, true) {
+                    Ok(uid) => {
+                        self.ranks[r].sends[sid.0].fusion_uid = Some(uid);
+                        self.ranks[r].sends[sid.0].pack = PackState::InFlight;
+                        self.ranks[r].uid_map.insert(uid, OpRef::Send(sid.0));
+                        if self.ranks[r].sched.as_ref().expect("fusion").threshold_reached() {
+                            self.fusion_flush(r, FlushReason::ThresholdReached);
+                        }
+                    }
+                    Err(EnqueueError::RingFull) => {
+                        // Paper's fallback path (negative UID): process this
+                        // message with the synchronous kernel scheme.
+                        self.sync_kernel(r, stats, Bucket::Pack);
+                        self.ranks[r].sends[sid.0].pack = PackState::Done;
+                        self.try_issue(r, sid);
+                    }
+                }
+            }
+            SchemeKind::CpuGpuHybrid | SchemeKind::Adaptive => {
+                self.charge(r, lookup_cost(), Bucket::Sync);
+                let cpu_path = self.hybrid.use_cpu_path(bytes, blocks)
+                    && self.gpus[r].gdr.available;
+                if cpu_path {
+                    let staging = self.alloc_send_staging(r, bytes, true);
+                    self.ranks[r].sends[sid.0].staging = staging;
+                    self.apply_pack_movement(r, sid);
+                    let cost = self.gpus[r].gdr.read_time(stats);
+                    self.charge(r, cost, Bucket::Pack);
+                } else {
+                    let staging = self.alloc_send_staging(r, bytes, false);
+                    self.ranks[r].sends[sid.0].staging = staging;
+                    self.apply_pack_movement(r, sid);
+                    self.sync_kernel(r, stats, Bucket::Pack);
+                }
+                self.ranks[r].sends[sid.0].pack = PackState::Done;
+                self.send_rts_or_issue(r, sid, eager);
+            }
+            SchemeKind::NaiveCopy(flavor) => {
+                self.charge(r, parse_cost(blocks), Bucket::Sync);
+                let staging = self.alloc_send_staging(r, bytes, true);
+                self.ranks[r].sends[sid.0].staging = staging;
+                self.apply_pack_movement(r, sid);
+                let done = self.naive_staged_copies(r, stats, flavor);
+                self.ranks[r].sends[sid.0].pack = PackState::InFlight;
+                let rank_id = self.ranks[r].id;
+                self.events
+                    .push_at(done.max(self.events.now()), Event::PackDone(rank_id, sid));
+            }
+        }
+    }
+
+    /// Start unpacking for a receive whose payload just landed in staging.
+    pub(crate) fn begin_unpack(&mut self, r: usize, rid: RecvId) {
+        let (bytes, blocks) = {
+            let op = &self.ranks[r].recvs[rid.0];
+            (op.packed_bytes, op.blocks)
+        };
+        // Contiguous payloads already landed in the user buffer.
+        if matches!(self.ranks[r].recvs[rid.0].staging, StagingLoc::UserGpu(_)) {
+            let rank = &mut self.ranks[r];
+            rank.recvs[rid.0].unpack = PackState::Done;
+            rank.recvs[rid.0].state = RecvState::Complete;
+            let now = rank.cpu;
+            self.check_unblock(r, now);
+            return;
+        }
+        let stats = SegmentStats::new(bytes, blocks);
+
+        match self.scheme.clone() {
+            SchemeKind::GpuSync => {
+                self.charge(r, parse_cost(blocks), Bucket::Sync);
+                self.sync_kernel(r, stats, Bucket::Pack);
+                self.finish_unpack(r, rid);
+            }
+            SchemeKind::GpuAsync => {
+                self.charge(r, parse_cost(blocks), Bucket::Sync);
+                self.charge(r, ASYNC_TASK_COST, Bucket::Scheduling);
+                let arch_event_record = self.gpus[r].arch.event_record;
+                let stream = self.async_stream(r);
+                let at = self.ranks[r].cpu;
+                let k = self.gpus[r].launch_kernel(at, stream, stats);
+                let rank = &mut self.ranks[r];
+                rank.breakdown.launch += self.gpus[r].arch.launch_cpu;
+                rank.breakdown.pack += k.done.since(k.start);
+                rank.breakdown.scheduling += arch_event_record;
+                rank.cpu = k.cpu_release + arch_event_record;
+                rank.recvs[rid.0].unpack = PackState::InFlight;
+                let rank_id = rank.id;
+                self.events
+                    .push_at(k.done.max(self.events.now()), Event::UnpackDone(rank_id, rid));
+            }
+            SchemeKind::Fusion(_) => {
+                self.charge(r, lookup_cost(), Bucket::Sync);
+                match self.fusion_enqueue(r, FusionOp::Unpack, rid.0, false) {
+                    Ok(uid) => {
+                        self.ranks[r].recvs[rid.0].fusion_uid = Some(uid);
+                        self.ranks[r].recvs[rid.0].unpack = PackState::InFlight;
+                        self.ranks[r].uid_map.insert(uid, OpRef::Recv(rid.0));
+                        let sched = self.ranks[r].sched.as_ref().expect("fusion");
+                        if sched.threshold_reached() {
+                            self.fusion_flush(r, FlushReason::ThresholdReached);
+                        } else if !self.ranks[r].recvs_awaiting_data() {
+                            // No more arrivals can fuse with this batch:
+                            // launching now is the paper's scenario 1 from
+                            // the receiver's perspective.
+                            self.fusion_flush(r, FlushReason::SyncPoint);
+                        }
+                    }
+                    Err(EnqueueError::RingFull) => {
+                        self.sync_kernel(r, stats, Bucket::Pack);
+                        self.finish_unpack(r, rid);
+                    }
+                }
+            }
+            SchemeKind::CpuGpuHybrid | SchemeKind::Adaptive => {
+                self.charge(r, lookup_cost(), Bucket::Sync);
+                if self.ranks[r].recvs[rid.0].staging.is_host() {
+                    let cost = self.gpus[r].gdr.write_time(stats);
+                    self.charge(r, cost, Bucket::Pack);
+                } else {
+                    self.sync_kernel(r, stats, Bucket::Pack);
+                }
+                self.finish_unpack(r, rid);
+            }
+            SchemeKind::NaiveCopy(flavor) => {
+                self.charge(r, parse_cost(blocks), Bucket::Sync);
+                let done = self.naive_staged_copies(r, stats, flavor);
+                self.ranks[r].recvs[rid.0].unpack = PackState::InFlight;
+                let rank_id = self.ranks[r].id;
+                self.events
+                    .push_at(done.max(self.events.now()), Event::UnpackDone(rank_id, rid));
+            }
+        }
+    }
+
+    /// An asynchronous pack finished (GPU-Async event / naive DMA).
+    pub(crate) fn on_pack_done(&mut self, r: usize, sid: SendId, t: Time) {
+        let eff = self.eff_now(r, t);
+        self.ranks[r].account_wait(eff);
+        let detect = self.completion_detect_cost(r);
+        self.charge_at(r, eff, detect, Bucket::Sync);
+        self.ranks[r].sends[sid.0].pack = PackState::Done;
+        let eager = self.ranks[r].sends[sid.0].eager;
+        self.send_rts_or_issue(r, sid, eager);
+    }
+
+    /// An asynchronous unpack finished.
+    pub(crate) fn on_unpack_done(&mut self, r: usize, rid: RecvId, t: Time) {
+        let eff = self.eff_now(r, t);
+        self.ranks[r].account_wait(eff);
+        let detect = self.completion_detect_cost(r);
+        self.charge_at(r, eff, detect, Bucket::Sync);
+        self.finish_unpack(r, rid);
+    }
+
+    /// A fused-kernel cooperative group signalled a request's completion.
+    pub(crate) fn on_fusion_done(&mut self, r: usize, uid: Uid, t: Time) {
+        let eff = self.eff_now(r, t);
+        self.ranks[r].account_wait(eff);
+        let (query_cost, complete_cost) = {
+            let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
+            sched.signal_completion(uid);
+            let (done, qc) = sched.query(uid);
+            debug_assert!(done);
+            (qc, sched.retire(uid))
+        };
+        self.charge_at(r, eff, query_cost, Bucket::Sync);
+        self.charge(r, complete_cost, Bucket::Scheduling);
+
+        let opref = self.ranks[r]
+            .uid_map
+            .remove(&uid)
+            .expect("fusion uid maps to an operation");
+        match opref {
+            OpRef::Send(i) => {
+                self.ranks[r].sends[i].pack = PackState::Done;
+                self.try_issue(r, SendId(i));
+            }
+            OpRef::Recv(i) => self.finish_unpack(r, RecvId(i)),
+        }
+    }
+
+    /// Launch one fused kernel over the pending requests (§IV-A2 ②).
+    pub(crate) fn fusion_flush(&mut self, r: usize, reason: FlushReason) {
+        let mut sched = self.ranks[r].sched.take().expect("fusion scheme");
+        loop {
+            let now = self.ranks[r].cpu;
+            let Some(batch) = sched.flush(now, &mut self.gpus[r], StreamId(0), reason) else {
+                break;
+            };
+            self.trace_event("fusion", || {
+                format!(
+                    "rank {r}: fused {} requests ({:?})",
+                    batch.uids.len(),
+                    batch.reason
+                )
+            });
+            {
+                let rank = &mut self.ranks[r];
+                rank.cpu = batch.launch.cpu_release;
+                rank.breakdown.launch += self.gpus[r].arch.launch_cpu;
+                rank.breakdown.pack += batch.launch.done.since(batch.launch.start);
+            }
+            let rank_id = self.ranks[r].id;
+            for (&uid, &done) in batch.uids.iter().zip(&batch.launch.request_done) {
+                self.events
+                    .push_at(done.max(self.events.now()), Event::FusionDone(rank_id, uid));
+            }
+            // One batch per flush unless more than max_fused were pending.
+            if !sched.has_pending() {
+                break;
+            }
+        }
+        self.ranks[r].sched = Some(sched);
+    }
+
+    /// Fuse a DirectIPC request on the receiver: its cooperative groups
+    /// will load the sender's buffer over NVLink/PCIe straight into the
+    /// local user buffer — no staging, no wire payload.
+    pub(crate) fn begin_direct_ipc(&mut self, r: usize, rid: RecvId, src: usize, origin: u64) {
+        self.charge(r, lookup_cost(), Bucket::Sync);
+        // Apply the data movement now (visible at the completion event):
+        // gather from the peer GPU, scatter into the local user buffer.
+        // The sender's layout is taken to equal the receiver's committed
+        // layout — valid for MPI's matched-signature transfers; a full
+        // implementation would ship the sender's cached-layout handle in
+        // the RTS, as [24] does for its IPC cache exchange.
+        {
+            let (layout, count, user_buf) = {
+                let op = &self.ranks[r].recvs[rid.0];
+                (op.layout.clone(), op.count, op.user_buf)
+            };
+            let src_segs = layout.absolute_segments(origin, count);
+            let packed = self.gpus[src].mem.gather_to_vec(&src_segs);
+            let dst_segs = layout.absolute_segments(user_buf.addr, count);
+            self.gpus[r].mem.scatter_from_slice(&packed, &dst_segs);
+        }
+        let link_bw = self.platform.gpu_gpu.bw;
+        let (origin_ptr, target, layout, count) = {
+            let op = &self.ranks[r].recvs[rid.0];
+            (
+                fusedpack_gpu::DevPtr {
+                    addr: origin,
+                    len: op.user_buf.len,
+                },
+                op.user_buf,
+                op.layout.clone(),
+                op.count,
+            )
+        };
+        let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
+        let (res, cost) = sched.enqueue(
+            FusionOp::DirectIpc,
+            origin_ptr,
+            target,
+            layout,
+            count,
+            Some(link_bw),
+        );
+        self.charge(r, cost, Bucket::Scheduling);
+        match res {
+            Ok(uid) => {
+                self.ranks[r].recvs[rid.0].fusion_uid = Some(uid);
+                self.ranks[r].recvs[rid.0].unpack = PackState::InFlight;
+                self.ranks[r].uid_map.insert(uid, OpRef::Recv(rid.0));
+                let sched = self.ranks[r].sched.as_ref().expect("fusion");
+                if sched.threshold_reached() {
+                    self.fusion_flush(r, FlushReason::ThresholdReached);
+                } else if !self.ranks[r].recvs_awaiting_data() {
+                    self.fusion_flush(r, FlushReason::SyncPoint);
+                }
+            }
+            Err(EnqueueError::RingFull) => {
+                // Fallback: a standalone link-capped kernel, synchronous.
+                let (bytes, blocks) = {
+                    let op = &self.ranks[r].recvs[rid.0];
+                    (op.packed_bytes, op.blocks)
+                };
+                let stats = SegmentStats::new(bytes, blocks);
+                self.sync_kernel(r, stats, Bucket::Pack);
+                self.finish_unpack(r, rid);
+            }
+        }
+    }
+
+    // ---- shared helpers -------------------------------------------------
+
+    /// Enqueue a fusion request for a send (pack) or recv (unpack).
+    fn fusion_enqueue(
+        &mut self,
+        r: usize,
+        op: FusionOp,
+        idx: usize,
+        is_send: bool,
+    ) -> Result<Uid, EnqueueError> {
+        let (origin, target, layout, count) = if is_send {
+            let s = &self.ranks[r].sends[idx];
+            let StagingLoc::Gpu(staging) = s.staging else {
+                panic!("fusion pack staging must be on the GPU");
+            };
+            (s.user_buf, staging, s.layout.clone(), s.count)
+        } else {
+            let op = &self.ranks[r].recvs[idx];
+            let StagingLoc::Gpu(staging) = op.staging else {
+                panic!("fusion unpack staging must be on the GPU");
+            };
+            (staging, op.user_buf, op.layout.clone(), op.count)
+        };
+        // Unpack data movement is applied at enqueue time: the payload is
+        // already in staging, and results only become visible at the
+        // completion event.
+        if !is_send {
+            self.apply_unpack_movement(r, RecvId(idx));
+        }
+        let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
+        let (res, cost) = sched.enqueue(op, origin, target, layout, count, None);
+        self.charge(r, cost, Bucket::Scheduling);
+        res
+    }
+
+    /// [`Cluster::sync_kernel`] for callers outside this module (explicit
+    /// `MPI_Pack`/`MPI_Unpack` execution).
+    pub(crate) fn sync_kernel_public(&mut self, r: usize, stats: SegmentStats) {
+        self.sync_kernel(r, stats, Bucket::Pack);
+    }
+
+    /// Synchronous kernel execution: launch, then block the CPU until the
+    /// kernel completes (`cudaStreamSynchronize`) — the GPU-Sync pattern.
+    fn sync_kernel(&mut self, r: usize, stats: SegmentStats, kernel_bucket: Bucket) {
+        let at = self.ranks[r].cpu;
+        let k = self.gpus[r].launch_kernel(at, StreamId(0), stats);
+        let arch = &self.gpus[r].arch;
+        let launch_cpu = arch.launch_cpu;
+        let sync_call = arch.stream_sync_call;
+        let rank = &mut self.ranks[r];
+        rank.breakdown.launch += launch_cpu;
+        self.bucket_add(r, kernel_bucket, k.done.since(k.start));
+        let rank = &mut self.ranks[r];
+        // Blocked wait from the launch call's return to kernel completion,
+        // plus the synchronize call itself.
+        rank.breakdown.sync += k.done.since(k.cpu_release) + sync_call;
+        rank.cpu = k.done + sync_call;
+    }
+
+    /// Aggregate per-block staged copies (`cudaMemcpyAsync` each) — the
+    /// production-library path. Returns the completion instant of the DMA.
+    fn naive_staged_copies(&mut self, r: usize, stats: SegmentStats, flavor: NaiveFlavor) -> Time {
+        let arch = &self.gpus[r].arch;
+        let call = Duration::from_nanos(
+            (arch.memcpy_async_call.as_nanos() as f64 * flavor.call_cost_factor()) as u64,
+        );
+        let issue = call * stats.num_blocks;
+        let dma = arch.dma_setup * stats.num_blocks
+            + self.gpus[r].host_link().transfer_time(stats.total_bytes);
+        let start = self.ranks[r].cpu;
+        self.bucket_add(r, Bucket::Launch, issue);
+        self.bucket_add(r, Bucket::Pack, dma);
+        self.ranks[r].cpu = start + issue;
+        start + issue.max(dma)
+    }
+
+    /// Mark a receive fully complete.
+    fn finish_unpack(&mut self, r: usize, rid: RecvId) {
+        // Non-fusion schemes apply the scatter here (fusion and DirectIPC
+        // applied it at enqueue). DirectIPC receives never have staging.
+        if self.ranks[r].recvs[rid.0].fusion_uid.is_none()
+            && self.ranks[r].recvs[rid.0].ipc_send_id.is_none()
+        {
+            self.apply_unpack_movement(r, rid);
+        }
+        let rank = &mut self.ranks[r];
+        rank.recvs[rid.0].unpack = PackState::Done;
+        rank.recvs[rid.0].state = RecvState::Complete;
+        let ipc = rank.recvs[rid.0].ipc_send_id;
+        let src = rank.recvs[rid.0].src;
+        let now = rank.cpu;
+        if let Some(send_id) = ipc {
+            // Tell the sender its buffer is free (DirectIPC completion).
+            self.send_ctrl(r, src, 0, WireKind::Fin { send_id });
+        }
+        self.check_unblock(r, now);
+    }
+
+    /// Send the RTS for a rendezvous message, or try the eager path.
+    fn send_rts_or_issue(&mut self, r: usize, sid: SendId, eager: bool) {
+        if eager || self.rndv == super::RndvProtocol::Rget {
+            // Eager needs only the pack; RGET sends its RTS (with the
+            // packed-buffer announcement) from try_issue once packing is
+            // done — no early handshake to overlap.
+            self.try_issue(r, sid);
+            return;
+        }
+        if !self.ranks[r].sends[sid.0].rts_sent {
+            self.ranks[r].sends[sid.0].rts_sent = true;
+            let (dst, tag, bytes) = {
+                let s = &self.ranks[r].sends[sid.0];
+                (s.dst, s.tag, s.packed_bytes)
+            };
+            self.send_ctrl(
+                r,
+                dst,
+                tag,
+                WireKind::Rts {
+                    send_id: sid,
+                    packed_bytes: bytes,
+                    ipc_origin: None,
+                    rget: false,
+                },
+            );
+        } else {
+            self.try_issue(r, sid);
+        }
+    }
+
+    /// Round-robin stream selection for GPU-Async.
+    fn async_stream(&mut self, r: usize) -> StreamId {
+        let rank = &mut self.ranks[r];
+        let s = rank.next_stream % ASYNC_STREAMS;
+        rank.next_stream = rank.next_stream.wrapping_add(1);
+        StreamId(s)
+    }
+
+    /// Cost of detecting an asynchronous completion.
+    ///
+    /// GPU-Async's progress engine scans *every* outstanding event per
+    /// progress trip (`cudaEventQuery` each), so detection cost grows with
+    /// the number of in-flight kernels — the extra synchronization penalty
+    /// the paper blames for GPU-Async losing to GPU-Sync on Lassen
+    /// (Fig. 10 discussion).
+    fn completion_detect_cost(&self, r: usize) -> Duration {
+        match &self.scheme {
+            SchemeKind::GpuAsync => {
+                let rank = &self.ranks[r];
+                let outstanding = rank
+                    .sends
+                    .iter()
+                    .filter(|s| !s.completed && s.pack == PackState::InFlight)
+                    .count()
+                    + rank
+                        .recvs
+                        .iter()
+                        .filter(|op| op.unpack == PackState::InFlight)
+                        .count();
+                // One query per stream-head event per progress trip.
+                let scanned = outstanding.clamp(1, ASYNC_STREAMS as usize);
+                self.gpus[r].arch.event_query * (scanned as u64)
+            }
+            _ => self.platform.progress_poll,
+        }
+    }
+
+    /// Charge CPU time to a rank and a breakdown bucket.
+    pub(crate) fn charge(&mut self, r: usize, cost: Duration, bucket: Bucket) {
+        self.ranks[r].cpu += cost;
+        self.bucket_add(r, bucket, cost);
+    }
+
+    /// Charge starting from an explicit instant (event handlers).
+    fn charge_at(&mut self, r: usize, at: Time, cost: Duration, bucket: Bucket) {
+        let rank = &mut self.ranks[r];
+        rank.cpu = rank.cpu.max(at) + cost;
+        self.bucket_add(r, bucket, cost);
+    }
+
+    fn bucket_add(&mut self, r: usize, bucket: Bucket, d: Duration) {
+        let b = &mut self.ranks[r].breakdown;
+        match bucket {
+            Bucket::Pack => b.pack += d,
+            Bucket::Launch => b.launch += d,
+            Bucket::Scheduling => b.scheduling += d,
+            Bucket::Sync => b.sync += d,
+        }
+    }
+}
+
+/// Breakdown bucket selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Bucket {
+    Pack,
+    Launch,
+    Scheduling,
+    Sync,
+}

@@ -1,0 +1,18 @@
+//! # fusedpack-net
+//!
+//! Interconnect models for the simulated GPU cluster: α–β links with FIFO
+//! serialization, NICs with per-message injection overhead, RDMA READ/WRITE
+//! verbs (the transport under the rendezvous RGET/RPUT protocols), and the
+//! [`platform::Platform`] descriptions of the paper's two evaluation systems
+//! (Table II): LLNL **Lassen** (POWER9 + V100, NVLink2 everywhere) and
+//! **ABCI** (Xeon + V100, PCIe Gen3 to the host).
+
+pub mod link;
+pub mod nic;
+pub mod platform;
+pub mod rdma;
+
+pub use link::{Link, LinkSpec};
+pub use nic::{Nic, NodeId};
+pub use platform::Platform;
+pub use rdma::{RdmaEngine, RdmaOp, RdmaVerb};

@@ -1,0 +1,126 @@
+//! Host channel adapters (NICs).
+//!
+//! Each node owns one NIC. A NIC charges a fixed injection overhead per
+//! posted work request (doorbell, WQE processing) and then hands the
+//! message to the inter-node link. Send and receive directions are
+//! independent engines, so full-duplex traffic overlaps.
+
+use crate::link::{Link, LinkSpec};
+use fusedpack_sim::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// One node's host channel adapter.
+#[derive(Debug)]
+pub struct Nic {
+    /// Outbound wire (this node → fabric).
+    tx: Link,
+    /// Per-work-request injection overhead.
+    injection: Duration,
+    /// Effective bandwidth cap for GPUDirect transfers (NIC↔GPU path).
+    gdr_bw_cap: f64,
+    posted: u64,
+}
+
+impl Nic {
+    pub fn new(wire: LinkSpec, injection: Duration, gdr_bw_cap: f64) -> Self {
+        Nic {
+            tx: Link::new(wire),
+            injection,
+            gdr_bw_cap,
+            posted: 0,
+        }
+    }
+
+    /// Post a send of host-resident data at `now`.
+    /// Returns `(wire_start, delivered_at_peer)`.
+    pub fn post_send(&mut self, now: Time, bytes: u64) -> (Time, Time) {
+        self.posted += 1;
+        self.tx.transmit(now + self.injection, bytes)
+    }
+
+    /// Post a send that sources GPU memory via GPUDirect RDMA: same wire,
+    /// but bandwidth capped by the NIC↔GPU path (PCIe peer-to-peer on ABCI).
+    pub fn post_send_gdr(&mut self, now: Time, bytes: u64) -> (Time, Time) {
+        self.posted += 1;
+        self.tx
+            .transmit_capped(now + self.injection, bytes, self.gdr_bw_cap)
+    }
+
+    /// Injection overhead per work request.
+    pub fn injection(&self) -> Duration {
+        self.injection
+    }
+
+    /// Effective GPUDirect bandwidth.
+    pub fn gdr_bw(&self) -> f64 {
+        self.gdr_bw_cap.min(self.tx.spec().bw)
+    }
+
+    pub fn wire(&self) -> &LinkSpec {
+        self.tx.spec()
+    }
+
+    pub fn posted(&self) -> u64 {
+        self.posted
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.tx.bytes_carried()
+    }
+
+    pub fn reset(&mut self) {
+        self.tx.reset();
+        self.posted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> Nic {
+        Nic::new(
+            LinkSpec::ib_edr_dual(),
+            Duration::from_nanos(400),
+            21.0e9,
+        )
+    }
+
+    #[test]
+    fn injection_overhead_delays_wire_start() {
+        let mut n = nic();
+        let (start, _) = n.post_send(Time(0), 1024);
+        assert_eq!(start, Time(400));
+    }
+
+    #[test]
+    fn gdr_send_is_slower_for_large_messages() {
+        let mut a = nic();
+        let mut b = nic();
+        let (_, host) = a.post_send(Time(0), 64 << 20);
+        let (_, gdr) = b.post_send_gdr(Time(0), 64 << 20);
+        assert!(gdr > host);
+    }
+
+    #[test]
+    fn sends_serialize_on_the_wire() {
+        let mut n = nic();
+        let (_, d1) = n.post_send(Time(0), 25_000_000); // 1ms serialization
+        let (s2, _) = n.post_send(Time(0), 1024);
+        assert!(s2 >= d1 - n.wire().latency, "second send queues behind first");
+        assert_eq!(n.posted(), 2);
+        assert_eq!(n.bytes_sent(), 25_001_024);
+    }
+
+    #[test]
+    fn gdr_bw_reported_as_min_of_paths() {
+        let n = nic();
+        assert_eq!(n.gdr_bw(), 21.0e9);
+        let wide = Nic::new(LinkSpec::ib_edr_dual(), Duration(1), 99.0e9);
+        assert_eq!(wide.gdr_bw(), 25.0e9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Platform descriptions: the paper's Table II encoded as constructors.
+//!
+//! | spec | Lassen | ABCI |
+//! |---|---|---|
+//! | CPU | 2× POWER9, 44c | 2× Xeon Gold 6148, 20c |
+//! | GPU | 4× V100 16 GB | 4× V100 16 GB |
+//! | CPU↔GPU | NVLink2 75 GB/s | PCIe Gen3 ×16, 32 GB/s |
+//! | GPU↔GPU | NVLink2 75 GB/s | NVLink2 50 GB/s |
+//! | inter-node | 2× IB EDR 25 GB/s | 2× IB EDR 25 GB/s |
+//!
+//! Beyond the wire speeds, a platform carries the host-side cost constants
+//! of its MPI runtime (call overheads, progress-poll cost) and the
+//! effective GPUDirect bandwidth of its NIC↔GPU path — the PCIe
+//! peer-to-peer ceiling is what makes ABCI's inter-node GPU transfers
+//! slower and thus more overlappable, the effect behind Fig. 13.
+
+use crate::link::LinkSpec;
+use crate::nic::Nic;
+use fusedpack_gpu::{DataMode, Gpu, GpuArch, HostLink};
+use fusedpack_sim::Duration;
+
+/// Everything needed to instantiate a simulated cluster node.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    pub name: &'static str,
+    pub arch: GpuArch,
+    pub host_link: HostLink,
+    /// GPU↔GPU link within a node.
+    pub gpu_gpu: LinkSpec,
+    /// Inter-node wire.
+    pub internode: LinkSpec,
+    /// Effective NIC↔GPU bandwidth for GPUDirect RDMA, bytes/s.
+    pub gdr_rdma_bw: f64,
+    /// NIC per-work-request injection overhead.
+    pub nic_injection: Duration,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// CPU cost of a lightweight MPI call (Isend/Irecv bookkeeping).
+    pub mpi_call: Duration,
+    /// CPU cost of one progress-engine poll iteration.
+    pub progress_poll: Duration,
+    /// Eager/rendezvous switchover for GPU-resident data.
+    pub eager_limit: u64,
+}
+
+impl Platform {
+    /// LLNL Lassen (Table II, left column).
+    pub fn lassen() -> Self {
+        Platform {
+            name: "Lassen",
+            arch: GpuArch::v100(),
+            host_link: HostLink::nvlink2_cpu(),
+            gpu_gpu: LinkSpec::nvlink2_75(),
+            internode: LinkSpec::ib_edr_dual(),
+            // POWER9's NVLink-attached NIC path sustains most of the wire.
+            gdr_rdma_bw: 21.0e9,
+            nic_injection: Duration::from_nanos(400),
+            gpus_per_node: 4,
+            mpi_call: Duration::from_nanos(250),
+            progress_poll: Duration::from_nanos(150),
+            eager_limit: 8 * 1024,
+        }
+    }
+
+    /// AIST ABCI (Table II, right column).
+    pub fn abci() -> Self {
+        Platform {
+            name: "ABCI",
+            arch: {
+                let mut a = GpuArch::v100();
+                // x86 driver stack: costlier launches and synchronization
+                // than POWER9 (consistent with the paper's much larger
+                // overhead gaps on ABCI, up to 19x vs 8.5x on Lassen).
+                a.launch_cpu = Duration::from_nanos(8_300);
+                a.stream_sync_call = Duration::from_nanos(5_200);
+                a.event_record = Duration::from_nanos(1_700);
+                a.event_query = Duration::from_nanos(1_150);
+                a
+            },
+            host_link: HostLink::pcie_gen3(),
+            gpu_gpu: LinkSpec::nvlink2_50(),
+            internode: LinkSpec::ib_edr_dual(),
+            // PCIe Gen3 peer-to-peer through switches caps GPUDirect.
+            gdr_rdma_bw: 11.0e9,
+            nic_injection: Duration::from_nanos(450),
+            gpus_per_node: 4,
+            mpi_call: Duration::from_nanos(320),
+            progress_poll: Duration::from_nanos(200),
+            eager_limit: 8 * 1024,
+        }
+    }
+
+    /// Build one GPU for this platform.
+    pub fn make_gpu(&self, mem_capacity: u64, mode: DataMode) -> Gpu {
+        Gpu::new(
+            self.arch.clone(),
+            mem_capacity,
+            mode,
+            self.host_link.clone(),
+            // One stream per possible concurrent operation class; the
+            // GPU-Async baseline [23] multiplexes over several.
+            8,
+        )
+    }
+
+    /// Build one NIC for this platform.
+    pub fn make_nic(&self) -> Nic {
+        Nic::new(self.internode.clone(), self.nic_injection, self.gdr_rdma_bw)
+    }
+
+    /// Effective one-way bandwidth for an inter-node GPU-to-GPU transfer.
+    pub fn effective_internode_gpu_bw(&self) -> f64 {
+        self.internode.bw.min(self.gdr_rdma_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lassen_and_abci_match_table_ii_contrast() {
+        let lassen = Platform::lassen();
+        let abci = Platform::abci();
+        // Same GPU, same fabric...
+        assert_eq!(lassen.arch.name, abci.arch.name);
+        assert_eq!(lassen.internode.name, abci.internode.name);
+        // ...but ABCI's host link and GPUDirect path are slower.
+        assert!(lassen.host_link.bw > abci.host_link.bw);
+        assert!(lassen.gdr_rdma_bw > abci.gdr_rdma_bw);
+        assert!(lassen.gpu_gpu.bw > abci.gpu_gpu.bw);
+        assert!(
+            lassen.effective_internode_gpu_bw() > abci.effective_internode_gpu_bw(),
+            "ABCI inter-node GPU transfers must be slower (Fig. 13 driver)"
+        );
+    }
+
+    #[test]
+    fn abci_launches_cost_more() {
+        assert!(Platform::abci().arch.launch_cpu > Platform::lassen().arch.launch_cpu);
+    }
+
+    #[test]
+    fn factories_build_consistent_components() {
+        let p = Platform::lassen();
+        let gpu = p.make_gpu(1 << 20, DataMode::Full);
+        assert_eq!(gpu.arch.name, "Tesla V100");
+        assert!(gpu.gdr.available);
+        let nic = p.make_nic();
+        assert_eq!(nic.gdr_bw(), 21.0e9);
+    }
+
+    #[test]
+    fn lassen_gdr_window_fast_abci_slow() {
+        let l = Platform::lassen().make_gpu(1024, DataMode::ModelOnly);
+        let a = Platform::abci().make_gpu(1024, DataMode::ModelOnly);
+        assert!(l.gdr.read_bw > 10.0 * a.gdr.read_bw);
+    }
+}

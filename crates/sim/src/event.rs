@@ -1,0 +1,208 @@
+//! The event queue at the heart of the simulator.
+//!
+//! A min-heap ordered by `(time, sequence)`. The sequence number is assigned
+//! when an event is pushed, which gives *stable FIFO ordering* for events
+//! scheduled at the same instant — essential for deterministic replays of the
+//! MPI progress engine, where many zero-cost bookkeeping events share a
+//! timestamp.
+
+use crate::clock::{Duration, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// `now()` never moves backwards: popping an event advances the clock to the
+/// event's timestamp, and pushing an event in the past panics in debug builds
+/// (it is clamped to `now` in release builds so long simulations degrade
+/// gracefully instead of deadlocking).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: Time,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the most recently popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    pub fn push_at(&mut self, at: Time, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < now {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        self.heap.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` after `delay` from now.
+    #[inline]
+    pub fn push_after(&mut self, delay: Duration, payload: E) {
+        self.push_at(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event and advance the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        self.popped += 1;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|ev| ev.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_at(Time(30), "c");
+        q.push_at(Time(10), "a");
+        q.push_at(Time(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(Time(10), "a"), (Time(20), "b"), (Time(30), "c")]
+        );
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push_at(Time(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push_at(Time(42), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time(42));
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push_at(Time(100), 0u8);
+        q.pop();
+        q.push_after(Duration(5), 1u8);
+        assert_eq!(q.pop(), Some((Time(105), 1u8)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push_at(Time(10), 1);
+        q.push_at(Time(50), 5);
+        assert_eq!(q.pop(), Some((Time(10), 1)));
+        // Schedule something between now and the pending event.
+        q.push_at(Time(20), 2);
+        assert_eq!(q.pop(), Some((Time(20), 2)));
+        assert_eq!(q.pop(), Some((Time(50), 5)));
+        assert!(q.pop().is_none());
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push_at(Time(100), ());
+        q.pop();
+        q.push_at(Time(10), ());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push_at(Time(7), ());
+        q.push_at(Time(3), ());
+        assert_eq!(q.peek_time(), Some(Time(3)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # fusedpack-sim
+//!
+//! A small, deterministic discrete-event simulation engine used by every other
+//! crate in the `fusedpack` workspace to model a GPU cluster: virtual time in
+//! nanoseconds, an event queue with stable FIFO ordering for simultaneous
+//! events, FIFO resources (streams, links, copy engines), a seedable RNG, and
+//! statistics accumulators.
+//!
+//! The engine is intentionally generic: it knows nothing about GPUs or MPI.
+//! Higher layers define their own event payload type and drive the loop.
+//!
+//! ## Determinism
+//!
+//! Two runs with the same inputs produce bit-identical event orderings:
+//! ties in event time are broken by a monotonically increasing sequence
+//! number assigned at `push` time. All randomness goes through [`rng::Pcg32`]
+//! with explicit seeds.
+
+pub mod clock;
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+
+pub use clock::{Duration, Time};
+pub use event::EventQueue;
+pub use resource::FifoResource;
+pub use rng::Pcg32;
+pub use stats::{Accumulator, Summary};

@@ -1,0 +1,46 @@
+//! Property-based tests of the event queue's ordering guarantees.
+
+use fusedpack_sim::{EventQueue, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing time order, with FIFO tie-breaking.
+    #[test]
+    fn pops_are_ordered_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push_at(Time(t), (t, seq));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, seq))) = q.pop() {
+            prop_assert_eq!(at, Time(t));
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t > lt || (t == lt && seq > lseq),
+                    "order violated: ({lt},{lseq}) then ({t},{seq})");
+            }
+            last = Some((t, seq));
+        }
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+
+    /// Interleaved push/pop never lets the clock move backwards.
+    #[test]
+    fn clock_is_monotone_under_interleaving(
+        ops in prop::collection::vec((0u64..100, any::<bool>()), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut last_now = Time::ZERO;
+        for (delay, do_pop) in ops {
+            q.push_after(fusedpack_sim::Duration(delay), ());
+            if do_pop {
+                q.pop();
+                prop_assert!(q.now() >= last_now);
+                last_now = q.now();
+            }
+        }
+        while q.pop().is_some() {
+            prop_assert!(q.now() >= last_now);
+            last_now = q.now();
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The benchmark driver: one call per (platform, scheme, workload) cell.
+
+use crate::bulk::bulk_exchange_programs;
+use crate::Workload;
+use fusedpack_core::SchedStats;
+use fusedpack_gpu::DataMode;
+use fusedpack_mpi::{Breakdown, ClusterBuilder, SchemeKind};
+use fusedpack_net::Platform;
+use fusedpack_sim::Duration;
+
+/// Configuration of one exchange measurement.
+#[derive(Clone)]
+pub struct ExchangeConfig {
+    pub platform: Platform,
+    pub scheme: SchemeKind,
+    pub workload: Workload,
+    /// Buffers exchanged each way per iteration.
+    pub n_msgs: usize,
+    /// Iterations discarded for warm-up (layout caches, allocator).
+    pub warmup_laps: usize,
+    /// Iterations measured.
+    pub measured_laps: usize,
+    /// `ModelOnly` for timing sweeps, `Full` when bytes must be real.
+    pub mode: DataMode,
+}
+
+impl ExchangeConfig {
+    /// The defaults used by the figure harnesses: one warm-up iteration,
+    /// one measured iteration (the simulation is deterministic, so the
+    /// paper's 500-iteration averaging collapses to a single warm lap),
+    /// timing-only memory.
+    pub fn new(platform: Platform, scheme: SchemeKind, workload: Workload, n_msgs: usize) -> Self {
+        ExchangeConfig {
+            platform,
+            scheme,
+            workload,
+            n_msgs,
+            warmup_laps: 1,
+            measured_laps: 1,
+            mode: DataMode::ModelOnly,
+        }
+    }
+}
+
+/// Results of one measurement.
+#[derive(Debug, Clone)]
+pub struct ExchangeOutcome {
+    /// Mean makespan of the measured iterations — the paper's reported
+    /// latency.
+    pub latency: Duration,
+    /// Individual measured-iteration makespans.
+    pub lap_latencies: Vec<Duration>,
+    /// Per-iteration cost buckets, summed over both ranks and averaged
+    /// over measured iterations (Fig. 11).
+    pub breakdown: Breakdown,
+    /// Fusion scheduler statistics (rank 0), if the scheme fuses.
+    pub sched: Option<SchedStats>,
+    /// Total kernel launches across both GPUs over the whole run.
+    pub kernels: u64,
+}
+
+/// Run one bulk-exchange measurement.
+pub fn run_exchange(cfg: &ExchangeConfig) -> ExchangeOutcome {
+    let laps = cfg.warmup_laps + cfg.measured_laps;
+    let ((p0, _), (p1, _)) = bulk_exchange_programs(&cfg.workload, cfg.n_msgs, laps, 7);
+    let mut cluster = ClusterBuilder::new(cfg.platform.clone(), cfg.scheme.clone())
+        .data_mode(cfg.mode)
+        .add_rank(0, p0)
+        .add_rank(1, p1)
+        .build();
+    let report = cluster.run();
+
+    let measured: Vec<Duration> = (cfg.warmup_laps..laps)
+        .map(|i| report.lap_makespan(i))
+        .collect();
+    let mean = if measured.is_empty() {
+        Duration::ZERO
+    } else {
+        measured.iter().copied().sum::<Duration>() / measured.len() as u64
+    };
+
+    // Sum both ranks' per-lap breakdowns over the measured laps, averaged.
+    let mut breakdown = Breakdown::default();
+    for rank_laps in &report.lap_breakdowns {
+        for lap in rank_laps.iter().skip(cfg.warmup_laps) {
+            breakdown += *lap;
+        }
+    }
+    let breakdown = if cfg.measured_laps > 0 {
+        scale_breakdown(&breakdown, cfg.measured_laps as u64)
+    } else {
+        breakdown
+    };
+
+    ExchangeOutcome {
+        latency: mean,
+        lap_latencies: measured,
+        breakdown,
+        sched: report.sched_stats[0],
+        kernels: report.kernels_launched.iter().sum(),
+    }
+}
+
+fn scale_breakdown(b: &Breakdown, div: u64) -> Breakdown {
+    Breakdown {
+        pack: b.pack / div,
+        launch: b.launch / div,
+        scheduling: b.scheduling / div,
+        sync: b.sync / div,
+        comm: b.comm / div,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::milc::milc_su3_zdown;
+    use crate::nas::nas_mg_y;
+    use crate::specfem::{specfem3d_cm, specfem3d_oc};
+
+    fn run(scheme: SchemeKind, workload: Workload, n: usize) -> ExchangeOutcome {
+        run_exchange(&ExchangeConfig::new(
+            Platform::lassen(),
+            scheme,
+            workload,
+            n,
+        ))
+    }
+
+    #[test]
+    fn fusion_wins_bulk_sparse_exchange() {
+        // The Fig. 9 headline at 16 buffers.
+        let fusion = run(SchemeKind::fusion_default(), specfem3d_cm(1200), 16);
+        let sync = run(SchemeKind::GpuSync, specfem3d_cm(1200), 16);
+        let async_ = run(SchemeKind::GpuAsync, specfem3d_cm(1200), 16);
+        let hybrid = run(SchemeKind::CpuGpuHybrid, specfem3d_cm(1200), 16);
+        assert!(fusion.latency < sync.latency);
+        assert!(fusion.latency < async_.latency);
+        assert!(fusion.latency < hybrid.latency);
+        let speedup = sync.latency.as_nanos() as f64 / fusion.latency.as_nanos() as f64;
+        assert!(speedup > 2.0, "expected a solid speedup, got {speedup:.2}x");
+    }
+
+    #[test]
+    fn hybrid_wins_small_dense_on_lassen() {
+        // The Fig. 10 / Fig. 12(c) exception: small dense MILC messages on
+        // NVLink-attached POWER9.
+        let w = milc_su3_zdown(4);
+        let hybrid = run(SchemeKind::CpuGpuHybrid, w.clone(), 16);
+        let fusion = run(SchemeKind::fusion_default(), w, 16);
+        assert!(
+            hybrid.latency < fusion.latency,
+            "hybrid {:?} should beat fusion {:?} for small dense on Lassen",
+            hybrid.latency,
+            fusion.latency
+        );
+    }
+
+    #[test]
+    fn fusion_wins_large_dense() {
+        // Fig. 12(d): large NAS messages leave the hybrid sweet spot.
+        let w = nas_mg_y(384);
+        let fusion = run(SchemeKind::fusion_default(), w.clone(), 16);
+        let hybrid = run(SchemeKind::CpuGpuHybrid, w, 16);
+        assert!(fusion.latency < hybrid.latency);
+    }
+
+    #[test]
+    fn single_message_latencies_are_microseconds() {
+        // Sanity on absolute scale: a single sparse message should cost
+        // tens of microseconds, not milliseconds.
+        let out = run(SchemeKind::fusion_default(), specfem3d_oc(2000), 1);
+        assert!(out.latency.as_micros_f64() > 5.0, "{}", out.latency);
+        assert!(out.latency.as_micros_f64() < 200.0, "{}", out.latency);
+    }
+
+    #[test]
+    fn outcome_carries_diagnostics() {
+        let out = run(SchemeKind::fusion_default(), specfem3d_oc(500), 8);
+        let stats = out.sched.expect("fusion stats");
+        assert!(stats.enqueued >= 16, "8 packs + 8 unpacks per rank");
+        assert!(out.kernels > 0);
+        assert!(out.breakdown.total().as_nanos() > 0);
+    }
+}

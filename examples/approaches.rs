@@ -1,0 +1,70 @@
+//! The paper's §III analysis, live: the three ways to move non-contiguous
+//! GPU data (MPI explicit pack, application-level kernels, MPI implicit
+//! datatypes) measured against each other.
+//!
+//! ```text
+//! cargo run --release --example approaches
+//! ```
+
+use fusedpack::prelude::*;
+use fusedpack::workloads::approaches::{algorithm1_programs, algorithm2_programs};
+use fusedpack::workloads::bulk::bulk_exchange_programs;
+use fusedpack::workloads::specfem::specfem3d_cm;
+
+fn run(p0: Program, p1: Program, scheme: SchemeKind) -> Duration {
+    let mut cluster = ClusterBuilder::new(Platform::lassen(), scheme)
+        .data_mode(DataMode::ModelOnly)
+        .add_rank(0, p0)
+        .add_rank(1, p1)
+        .build();
+    cluster.run().lap_makespan(0)
+}
+
+fn main() {
+    let w = specfem3d_cm(2000);
+    let n = 16;
+    println!(
+        "specfem3D_cm halo exchange, {n} buffers each way, two Lassen nodes\n\
+         ({} blocks, {} KB packed per message)\n",
+        w.blocks(),
+        w.packed_bytes() / 1024
+    );
+
+    let (a1p0, a1p1, _) = algorithm1_programs(&w, n, 1);
+    let (a2p0, a2p1, _) = algorithm2_programs(&w, n, 1);
+    let ((i0, _), (i1, _)) = bulk_exchange_programs(&w, n, 1, 1);
+    let ((f0, _), (f1, _)) = bulk_exchange_programs(&w, n, 1, 1);
+
+    let rows = [
+        (
+            "Algorithm 1: MPI_Pack / MPI_Unpack (blocking)",
+            run(a1p0, a1p1, SchemeKind::GpuSync),
+        ),
+        (
+            "Algorithm 2: application kernels + one sync",
+            run(a2p0, a2p1, SchemeKind::GpuSync),
+        ),
+        (
+            "Algorithm 3: implicit DDTs, GPU-Sync runtime",
+            run(i0, i1, SchemeKind::GpuSync),
+        ),
+        (
+            "Algorithm 3: implicit DDTs, fusion runtime",
+            run(f0, f1, SchemeKind::fusion_default()),
+        ),
+    ];
+    let best = rows.iter().map(|&(_, l)| l).min().expect("rows");
+    for (name, lat) in rows {
+        println!(
+            "{name:<48} {:>12}  {:>5.1}x",
+            lat.to_string(),
+            lat.as_nanos() as f64 / best.as_nanos() as f64
+        );
+    }
+    println!(
+        "\nThe paper's observation in numbers: hand-written application kernels\n\
+         (Alg. 2) beat the blocking MPI interfaces, which is why applications\n\
+         stopped using them — and dynamic kernel fusion makes the 10-line\n\
+         implicit version (Alg. 3) the fastest of all."
+    );
+}

@@ -1,0 +1,50 @@
+//! Where does the time go? Fig. 11-style cost breakdown of each GPU-driven
+//! design on both platforms.
+//!
+//! ```text
+//! cargo run --release --example breakdown
+//! ```
+
+use fusedpack::mpi::Breakdown;
+use fusedpack::prelude::*;
+use fusedpack::workloads::milc::milc_su3_zdown;
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width.saturating_sub(filled)))
+}
+
+fn main() {
+    for platform in [Platform::lassen(), Platform::abci()] {
+        println!("== {} — MILC, 16 transfers each way ==\n", platform.name);
+        for scheme in [
+            SchemeKind::GpuSync,
+            SchemeKind::GpuAsync,
+            SchemeKind::fusion_default(),
+        ] {
+            let label = scheme.label();
+            let out = run_exchange(&ExchangeConfig::new(
+                platform.clone(),
+                scheme,
+                milc_su3_zdown(8),
+                16,
+            ));
+            let b = out.breakdown;
+            println!("{label}  (total component cost {})", b.total());
+            for (name, value, frac) in Breakdown::LABELS
+                .iter()
+                .zip(b.values())
+                .zip(b.fractions())
+                .map(|((n, v), f)| (n, v, f))
+            {
+                println!("  {name:<12} {} {:>10}", bar(frac, 30), value.to_string());
+            }
+            println!();
+        }
+    }
+    println!(
+        "GPU-Sync burns its time in Launching + Sync.; GPU-Async trades sync\n\
+         for event scheduling; the proposed design's bars collapse to the\n\
+         ~2us/message scheduler cost plus the (shared) fused kernels."
+    );
+}

@@ -1,0 +1,112 @@
+//! A 3-D domain-decomposition halo exchange on four GPUs across two nodes
+//! (2 GPUs per node), in the style of LLNL Comb \[33\]: each rank exchanges
+//! x-, y- and z-faces with its ring neighbors, mixing intra-node (NVLink)
+//! and inter-node (InfiniBand) paths — the paper's §II-B motivation.
+//!
+//! ```text
+//! cargo run --release --example halo3d [grid_extent]
+//! ```
+
+use fusedpack::prelude::*;
+use fusedpack::workloads::nas::{nas_mg_x, nas_mg_y, nas_mg_z};
+use fusedpack_mpi::program::BufInit;
+
+/// Build the per-rank program: exchange all three faces with both ring
+/// neighbors, twice (warm-up + measured lap).
+fn rank_program(rank: u32, world: u32, n: u64) -> Program {
+    let faces = [nas_mg_x(n), nas_mg_y(n), nas_mg_z(n)];
+    let left = RankId((rank + world - 1) % world);
+    let right = RankId((rank + 1) % world);
+
+    let mut p = Program::new();
+    let mut send_bufs = Vec::new();
+    let mut recv_bufs = Vec::new();
+    for (f, face) in faces.iter().enumerate() {
+        let len = face.footprint().max(1);
+        // One send + one recv buffer per face per neighbor.
+        for nb in 0..2u64 {
+            send_bufs.push(p.buffer(len, BufInit::Random(1000 + rank as u64 * 10 + f as u64 * 2 + nb)));
+            recv_bufs.push(p.buffer(len, BufInit::Zero));
+        }
+    }
+    for (f, face) in faces.iter().enumerate() {
+        p.push(AppOp::Commit {
+            slot: TypeSlot(f),
+            desc: face.desc.clone(),
+        });
+    }
+    for lap in 0..2 {
+        let _ = lap;
+        p.push(AppOp::ResetTimer);
+        for (f, face) in faces.iter().enumerate() {
+            for (nb, &peer) in [left, right].iter().enumerate() {
+                p.push(AppOp::Irecv {
+                    buf: recv_bufs[f * 2 + nb],
+                    ty: TypeSlot(f),
+                    count: face.count,
+                    src: peer,
+                    tag: (f * 2 + nb) as u32,
+                });
+            }
+        }
+        for (f, face) in faces.iter().enumerate() {
+            for (nb, &peer) in [right, left].iter().enumerate() {
+                p.push(AppOp::Isend {
+                    buf: send_bufs[f * 2 + nb],
+                    ty: TypeSlot(f),
+                    count: face.count,
+                    dst: peer,
+                    // Match the neighbor's receive tags: our send to the
+                    // right lands in their "from left" slot (nb 0).
+                    tag: (f * 2 + nb) as u32,
+                });
+            }
+        }
+        p.push(AppOp::Waitall);
+        p.push(AppOp::RecordLap);
+    }
+    p
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let world = 4u32;
+    println!("3-D halo exchange: {world} ranks on 2 nodes, {n}^3 grid per rank");
+    println!("faces: x (contiguous), y (vector), z (fine-grained vector)\n");
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "scheme", "cold lap", "warm lap", "kernels"
+    );
+    println!("{}", "-".repeat(53));
+    for scheme in [
+        SchemeKind::fusion_default(),
+        SchemeKind::GpuSync,
+        SchemeKind::GpuAsync,
+        SchemeKind::CpuGpuHybrid,
+    ] {
+        let label = scheme.label();
+        let mut builder = ClusterBuilder::new(Platform::lassen(), scheme)
+            .data_mode(DataMode::ModelOnly);
+        for rank in 0..world {
+            // Ranks 0,1 on node 0; ranks 2,3 on node 1.
+            builder = builder.add_rank(rank / 2, rank_program(rank, world, n));
+        }
+        let report = builder.build().run();
+        println!(
+            "{:<16} {:>12} {:>12} {:>9}",
+            label,
+            report.lap_makespan(0).to_string(),
+            report.lap_makespan(1).to_string(),
+            report.kernels_launched.iter().sum::<u64>()
+        );
+    }
+    println!(
+        "\nNeighbor pairs on the same node ride NVLink; cross-node pairs ride\n\
+         InfiniBand with GPUDirect. The fused design amortizes one launch over\n\
+         all six face transfers per rank."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: compare the proposed dynamic kernel fusion against every
+//! baseline on one bulk halo exchange.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fusedpack::prelude::*;
+use fusedpack::workloads::specfem::specfem3d_cm;
+use fusedpack_mpi::NaiveFlavor;
+
+fn main() {
+    // A sparse specfem3D-style boundary: ~2000 scattered grid points, the
+    // kind of layout that makes per-message kernel launches painful.
+    let workload = specfem3d_cm(2000);
+    println!(
+        "workload: {} — {} blocks, {} KB packed per message",
+        workload.name,
+        workload.blocks(),
+        workload.packed_bytes() / 1024
+    );
+    println!("pattern: 16 messages each way between two Lassen nodes\n");
+
+    let schemes = vec![
+        SchemeKind::fusion_default(),
+        SchemeKind::GpuSync,
+        SchemeKind::GpuAsync,
+        SchemeKind::CpuGpuHybrid,
+        SchemeKind::Adaptive,
+        SchemeKind::NaiveCopy(NaiveFlavor::SpectrumMpi),
+    ];
+
+    let mut results: Vec<(String, Duration, u64)> = Vec::new();
+    for scheme in schemes {
+        let label = scheme.label().to_string();
+        let out = run_exchange(&ExchangeConfig::new(
+            Platform::lassen(),
+            scheme,
+            workload.clone(),
+            16,
+        ));
+        results.push((label, out.latency, out.kernels));
+    }
+
+    let best = results
+        .iter()
+        .map(|&(_, l, _)| l)
+        .min()
+        .expect("non-empty");
+    println!("{:<16} {:>12} {:>10} {:>9}", "scheme", "latency", "kernels", "slowdown");
+    println!("{}", "-".repeat(50));
+    for (label, latency, kernels) in &results {
+        println!(
+            "{:<16} {:>12} {:>10} {:>8.1}x",
+            label,
+            latency.to_string(),
+            kernels,
+            latency.as_nanos() as f64 / best.as_nanos() as f64
+        );
+    }
+    println!(
+        "\nThe proposed design fuses all pack/unpack kernels per iteration into a\n\
+         handful of launches; the production-library path pays one staged copy\n\
+         per contiguous block and is orders of magnitude slower."
+    );
+}

@@ -1,0 +1,70 @@
+//! Fusion-threshold tuning: sweep the Fig. 8 grid, compare the heuristic
+//! optimum against the model-based prediction (the paper's future-work
+//! extension implemented in `fusedpack-core`).
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use fusedpack::core::{predict_threshold, ThresholdTuner};
+use fusedpack::prelude::*;
+use fusedpack::workloads::{milc::milc_su3_zdown, nas::nas_mg_y, specfem::specfem3d_cm};
+
+fn main() {
+    let platform = Platform::lassen();
+    let workloads = vec![
+        specfem3d_cm(4096),
+        milc_su3_zdown(12),
+        nas_mg_y(192),
+    ];
+
+    for w in workloads {
+        let avg_block = w.packed_bytes() as f64 / w.blocks() as f64;
+        println!(
+            "== {} ({} KB packed, {} blocks, avg block {:.0} B)",
+            w.name,
+            w.packed_bytes() / 1024,
+            w.blocks(),
+            avg_block
+        );
+
+        let mut tuner = ThresholdTuner::new();
+        println!("{:>10} {:>12}", "threshold", "latency");
+        for threshold in ThresholdTuner::default_grid() {
+            let out = run_exchange(&ExchangeConfig::new(
+                platform.clone(),
+                SchemeKind::fusion_with_threshold(threshold),
+                w.clone(),
+                32,
+            ));
+            tuner.record(threshold, out.latency);
+            println!("{:>9}K {:>12}", threshold / 1024, out.latency.to_string());
+        }
+
+        let best = tuner.best().expect("grid swept");
+        let predicted = predict_threshold(&platform.arch, avg_block);
+        let lat_at = |t: u64| {
+            run_exchange(&ExchangeConfig::new(
+                platform.clone(),
+                SchemeKind::fusion_with_threshold(t),
+                w.clone(),
+                32,
+            ))
+            .latency
+        };
+        let best_lat = lat_at(best);
+        let pred_lat = lat_at(predicted);
+        println!(
+            "-> tuned: {}KB ({}), model-predicted: {}KB ({}, {:+.1}% vs tuned)\n",
+            best / 1024,
+            best_lat,
+            predicted / 1024,
+            pred_lat,
+            (pred_lat.as_nanos() as f64 / best_lat.as_nanos() as f64 - 1.0) * 100.0
+        );
+    }
+    println!(
+        "The closed-form predictor inverts the kernel cost model: fuse enough\n\
+         bytes that the fused kernel outlives one launch overhead (§IV-C)."
+    );
+}
