@@ -60,9 +60,13 @@ fn bench_scheduler(c: &mut Criterion) {
             let mut sched = Scheduler::new(FusionConfig::default());
             for _ in 0..32 {
                 let (res, _) = sched.enqueue(
+                    Time(0),
                     FusionOp::Pack,
                     DevPtr { addr: 0, len: 4096 },
-                    DevPtr { addr: 8192, len: 2048 },
+                    DevPtr {
+                        addr: 8192,
+                        len: 2048,
+                    },
                     layout.clone(),
                     1,
                     None,
@@ -79,7 +83,7 @@ fn bench_scheduler(c: &mut Criterion) {
                 .expect("pending");
             for &uid in &batch.uids {
                 sched.signal_completion(uid);
-                sched.retire(uid);
+                sched.retire(Time(0), uid);
             }
         })
     });

@@ -1,11 +1,17 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [EXPERIMENT...] [--csv DIR]
+//! reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE]
 //!
-//! EXPERIMENT: table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation
-//!             (default: all)
-//! --csv DIR:  additionally write one CSV per table into DIR
+//! EXPERIMENT:       table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//!                   ablation ipc approaches (default: all)
+//! --csv DIR:        additionally write one CSV per table into DIR
+//! --trace-out FILE: run the Fig. 11 fusion cell with the typed-event
+//!                   recorder, write a Chrome Trace Event JSON (load in
+//!                   Perfetto / chrome://tracing), print the metrics
+//!                   summary, and reconcile the timeline against the
+//!                   mpi::breakdown ledger. With no EXPERIMENT given,
+//!                   only the trace runs.
 //! ```
 
 use fusedpack_bench::{run_experiment, EXPERIMENTS};
@@ -14,6 +20,7 @@ use std::io::Write;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -24,19 +31,35 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--trace-out" => {
+                trace_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a file path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                println!("usage: reproduce [EXPERIMENT...] [--csv DIR]");
+                println!("usage: reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE]");
                 println!("experiments: {}", EXPERIMENTS.join(" "));
                 return;
             }
             "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             name => {
                 if !EXPERIMENTS.contains(&name) {
-                    eprintln!("unknown experiment {name:?}; known: {}", EXPERIMENTS.join(" "));
+                    eprintln!(
+                        "unknown experiment {name:?}; known: {}",
+                        EXPERIMENTS.join(" ")
+                    );
                     std::process::exit(2);
                 }
                 selected.push(name.to_string());
             }
+        }
+    }
+
+    if let Some(path) = &trace_out {
+        write_trace(path);
+        if selected.is_empty() {
+            return;
         }
     }
     if selected.is_empty() {
@@ -65,5 +88,45 @@ fn main() {
             "   ({name} regenerated in {:.2}s)\n",
             start.elapsed().as_secs_f64()
         );
+    }
+}
+
+/// Run the Fig. 11 fusion cell traced, export the Chrome trace, and
+/// cross-check the timeline's bucket totals against `mpi::breakdown`.
+fn write_trace(path: &str) {
+    use fusedpack_bench::figs::fig11;
+    use fusedpack_sim::Duration;
+    use fusedpack_telemetry::{chrome, reconcile, MetricsSummary};
+
+    let start = std::time::Instant::now();
+    let (telemetry, breakdowns) = fig11::traced_run();
+    let snap = telemetry.snapshot();
+
+    if let Err(e) = std::fs::write(path, chrome::export(&snap)) {
+        eprintln!("cannot write trace to {path:?}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {path}: {} events ({} dropped) from the Fig. 11 fusion cell \
+         (MILC su3_zdown x{}, ABCI) in {:.2}s",
+        snap.events.len(),
+        snap.dropped,
+        fig11::N_MSGS,
+        start.elapsed().as_secs_f64()
+    );
+    println!("open in Perfetto (https://ui.perfetto.dev) or chrome://tracing\n");
+
+    println!("{}", MetricsSummary::from_snapshot(&snap).render());
+
+    let external: Vec<(u32, [Duration; 5])> = breakdowns
+        .iter()
+        .enumerate()
+        .map(|(r, b)| (r as u32, b.values()))
+        .collect();
+    let report = reconcile(&snap, &external, Duration::ZERO);
+    println!("{}", report.render());
+    if !report.is_ok() {
+        eprintln!("trace does not reconcile with mpi::breakdown");
+        std::process::exit(1);
     }
 }

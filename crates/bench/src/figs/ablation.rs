@@ -16,6 +16,7 @@ use fusedpack_mpi::SchemeKind;
 use fusedpack_net::Platform;
 use fusedpack_sim::Duration;
 use fusedpack_workloads::specfem::specfem3d_cm;
+use fusedpack_workloads::{run_exchange, ExchangeConfig};
 
 /// A Lassen variant with free kernel launches.
 pub fn lassen_zero_launch() -> Platform {
@@ -43,10 +44,17 @@ pub fn run() -> Vec<Table> {
         t1.push_row(vec![name.into(), us(f), us(s), ratio(s, f)]);
     }
 
-    // Ablation 2: flush-rule extremes.
+    // Ablation 2: flush-rule extremes, with the scheduler's fused-batch
+    // size statistics alongside the latency they produce.
     let mut t2 = Table::new(
         "Ablation: flush-rule extremes (specfem3D_cm x16, Lassen)",
-        &["threshold", "latency (us)"],
+        &[
+            "threshold",
+            "latency (us)",
+            "batch min",
+            "batch mean",
+            "batch max",
+        ],
     )
     .with_note("threshold 0 = launch per request; 'inf' = flush only at Waitall");
     let platform = Platform::lassen();
@@ -55,13 +63,20 @@ pub fn run() -> Vec<Table> {
         ("512KB (default)", 512 * 1024),
         ("inf (sync-point only)", u64::MAX),
     ] {
-        let lat = latency(
-            &platform,
+        let out = run_exchange(&ExchangeConfig::new(
+            platform.clone(),
             SchemeKind::fusion_with_threshold(threshold),
-            &w,
+            w.clone(),
             HALO_MSGS,
-        );
-        t2.push_row(vec![label.into(), us(lat)]);
+        ));
+        let stats = out.sched.expect("fusion scheme always has sched stats");
+        t2.push_row(vec![
+            label.into(),
+            us(out.latency),
+            format!("{}", stats.batch_min),
+            format!("{:.2}", stats.batch_mean()),
+            format!("{}", stats.batch_max),
+        ]);
     }
 
     // Ablation 3: datatype-processing cost models.
@@ -110,9 +125,19 @@ mod tests {
     fn default_threshold_beats_both_extremes() {
         let platform = Platform::lassen();
         let w = specfem3d_cm(2000);
-        let run = |t: u64| latency(&platform, SchemeKind::fusion_with_threshold(t), &w, HALO_MSGS);
+        let run = |t: u64| {
+            latency(
+                &platform,
+                SchemeKind::fusion_with_threshold(t),
+                &w,
+                HALO_MSGS,
+            )
+        };
         let per_request = run(1);
         let default = run(512 * 1024);
-        assert!(default <= per_request, "{default} vs per-request {per_request}");
+        assert!(
+            default <= per_request,
+            "{default} vs per-request {per_request}"
+        );
     }
 }

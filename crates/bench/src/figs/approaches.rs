@@ -59,7 +59,12 @@ pub fn run() -> Table {
     .with_note("Alg.1 syncs per MPI_Pack/Unpack; Alg.2 syncs once per direction; Alg.3 lets the runtime schedule");
 
     let w = specfem3d_cm(2000);
-    let syncs = ["32 (one per call)", "2", "32 (runtime)", "0 (fused polling)"];
+    let syncs = [
+        "32 (one per call)",
+        "2",
+        "32 (runtime)",
+        "0 (fused polling)",
+    ];
     for ((name, lat), s) in measure(&w).into_iter().zip(syncs) {
         t.push_row(vec![name.into(), us(lat), s.into()]);
     }

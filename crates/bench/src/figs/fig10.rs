@@ -29,7 +29,9 @@ pub fn run() -> Table {
         "Fig. 10: bulk dense exchange (MILC, Lassen; lower is better)",
         &headers_ref,
     )
-    .with_note("paper: CPU-GPU-Hybrid wins small dense on Lassen; Proposed still beats GPU-Sync/GPU-Async");
+    .with_note(
+        "paper: CPU-GPU-Hybrid wins small dense on Lassen; Proposed still beats GPU-Sync/GPU-Async",
+    );
 
     for &n in BUFFER_COUNTS {
         let mut row = vec![n.to_string()];
@@ -55,7 +57,10 @@ mod tests {
             let sync = latency(&platform, SchemeKind::GpuSync, &w, n);
             let asyn = latency(&platform, SchemeKind::GpuAsync, &w, n);
             let hybrid = latency(&platform, SchemeKind::CpuGpuHybrid, &w, n);
-            assert!(hybrid < fusion, "n={n}: hybrid {hybrid} < proposed {fusion}");
+            assert!(
+                hybrid < fusion,
+                "n={n}: hybrid {hybrid} < proposed {fusion}"
+            );
             assert!(fusion < sync, "n={n}: proposed {fusion} < sync {sync}");
             assert!(fusion < asyn, "n={n}: proposed {fusion} < async {asyn}");
         }

@@ -5,7 +5,10 @@ use crate::table::{us, Table};
 use fusedpack_gpu::DataMode;
 use fusedpack_mpi::{Breakdown, SchemeKind};
 use fusedpack_net::Platform;
-use fusedpack_workloads::{milc::milc_su3_zdown, run_exchange, ExchangeConfig};
+use fusedpack_telemetry::Telemetry;
+use fusedpack_workloads::{
+    milc::milc_su3_zdown, run_exchange, run_exchange_traced, ExchangeConfig,
+};
 
 /// Medium MILC lattice: enough work that every bucket is visible.
 pub const LATTICE: u64 = 8;
@@ -20,9 +23,9 @@ pub fn schemes() -> Vec<SchemeKind> {
     ]
 }
 
-/// Measure the per-iteration breakdown for one scheme.
-pub fn breakdown_for(scheme: SchemeKind) -> Breakdown {
-    let cfg = ExchangeConfig {
+/// The configuration of one Fig. 11 cell.
+pub fn config(scheme: SchemeKind) -> ExchangeConfig {
+    ExchangeConfig {
         platform: Platform::abci(),
         scheme,
         workload: milc_su3_zdown(LATTICE),
@@ -30,8 +33,23 @@ pub fn breakdown_for(scheme: SchemeKind) -> Breakdown {
         warmup_laps: 1,
         measured_laps: 1,
         mode: DataMode::ModelOnly,
-    };
-    run_exchange(&cfg).breakdown
+    }
+}
+
+/// Measure the per-iteration breakdown for one scheme.
+pub fn breakdown_for(scheme: SchemeKind) -> Breakdown {
+    run_exchange(&config(scheme)).breakdown
+}
+
+/// Run the fusion-scheme Fig. 11 cell with a live typed-event recorder.
+///
+/// Returns the recorder, whose timeline covers the whole run, together
+/// with each rank's whole-run [`Breakdown`] — the independent ledger the
+/// timeline can be reconciled against with [`fusedpack_telemetry::reconcile`].
+pub fn traced_run() -> (Telemetry, Vec<Breakdown>) {
+    let telemetry = Telemetry::enabled();
+    let (_, breakdowns) = run_exchange_traced(&config(SchemeKind::fusion_default()), &telemetry);
+    (telemetry, breakdowns)
 }
 
 pub fn run() -> Table {

@@ -85,7 +85,11 @@ mod tests {
             let sync = latency(&platform, SchemeKind::GpuSync, &w, HALO_MSGS);
             let asyn = latency(&platform, SchemeKind::GpuAsync, &w, HALO_MSGS);
             let hybrid = latency(&platform, SchemeKind::CpuGpuHybrid, &w, HALO_MSGS);
-            assert!(fusion < sync && fusion < asyn && fusion < hybrid, "{}", w.name);
+            assert!(
+                fusion < sync && fusion < asyn && fusion < hybrid,
+                "{}",
+                w.name
+            );
             // The paper reports multi-x improvements on sparse layouts.
             assert!(
                 sync.as_nanos() as f64 / fusion.as_nanos() as f64 > 3.0,

@@ -20,9 +20,7 @@ pub fn run() -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fusedpack_workloads::{
-        milc::milc_su3_zdown, nas::nas_mg_y, specfem::specfem3d_cm,
-    };
+    use fusedpack_workloads::{milc::milc_su3_zdown, nas::nas_mg_y, specfem::specfem3d_cm};
 
     #[test]
     fn proposed_wins_every_workload_on_abci() {

@@ -9,14 +9,12 @@
 
 use crate::table::{ratio, us, Table};
 use fusedpack_core::FusionConfig;
+use fusedpack_gpu::DataMode;
 use fusedpack_mpi::program::BufInit;
-use fusedpack_mpi::{
-    AppOp, ClusterBuilder, Program, RankId, SchemeKind, TypeSlot,
-};
+use fusedpack_mpi::{AppOp, ClusterBuilder, Program, RankId, SchemeKind, TypeSlot};
 use fusedpack_net::Platform;
 use fusedpack_sim::Duration;
 use fusedpack_workloads::{specfem::specfem3d_cm, Workload};
-use fusedpack_gpu::DataMode;
 
 /// Latency of an intra-node bulk exchange under `scheme`.
 pub fn intra_node_latency(scheme: SchemeKind, workload: &Workload, n_msgs: usize) -> Duration {

@@ -24,7 +24,12 @@ pub const HALO_MSGS: usize = 16;
 
 /// One latency measurement with the standard protocol (1 warm-up lap,
 /// 1 measured lap, timing-only memory).
-pub fn latency(platform: &Platform, scheme: SchemeKind, workload: &Workload, n_msgs: usize) -> Duration {
+pub fn latency(
+    platform: &Platform,
+    scheme: SchemeKind,
+    workload: &Workload,
+    n_msgs: usize,
+) -> Duration {
     run_exchange(&ExchangeConfig::new(
         platform.clone(),
         scheme,

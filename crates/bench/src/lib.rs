@@ -28,8 +28,18 @@ pub use table::Table;
 
 /// All experiment names accepted by the `reproduce` binary.
 pub const EXPERIMENTS: &[&str] = &[
-    "table2", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
-    "ipc", "approaches",
+    "table2",
+    "fig1",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablation",
+    "ipc",
+    "approaches",
 ];
 
 /// Run one experiment by name.

@@ -1,0 +1,88 @@
+//! End-to-end acceptance check for the telemetry subsystem: a traced
+//! Fig. 11 fusion run must (a) emit valid Chrome Trace Event JSON and
+//! (b) reconcile exactly — zero-nanosecond tolerance — with the
+//! independent `mpi::breakdown` ledger.
+
+use fusedpack_bench::figs::fig11;
+use fusedpack_sim::Duration;
+use fusedpack_telemetry::{chrome, json, reconcile, MetricsSummary};
+
+fn external(breakdowns: &[fusedpack_mpi::Breakdown]) -> Vec<(u32, [Duration; 5])> {
+    breakdowns
+        .iter()
+        .enumerate()
+        .map(|(r, b)| (r as u32, b.values()))
+        .collect()
+}
+
+#[test]
+fn traced_fig11_reconciles_exactly_with_breakdown() {
+    let (telemetry, breakdowns) = fig11::traced_run();
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.dropped, 0, "unbounded recorder must not drop");
+    assert_eq!(snap.unclosed_spans, 0, "every opened span must be closed");
+    assert_eq!(breakdowns.len(), 2);
+
+    let report = reconcile(&snap, &external(&breakdowns), Duration::ZERO);
+    assert!(
+        report.is_ok(),
+        "telemetry bucket totals must equal mpi::breakdown at 0 ns:\n{}",
+        report.render()
+    );
+    // Both ranks present, all five buckets checked.
+    assert_eq!(report.ranks.len(), 2);
+}
+
+#[test]
+fn traced_fig11_chrome_export_is_valid_and_complete() {
+    let (telemetry, _) = fig11::traced_run();
+    let snap = telemetry.snapshot();
+    let text = chrome::export(&snap);
+
+    let doc = json::parse(&text).expect("chrome export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+
+    // Metadata names each rank as a process.
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                && e.get("name").and_then(|v| v.as_str()) == Some("process_name")
+        })
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(process_names.contains(&"rank 0"), "{process_names:?}");
+    assert!(process_names.contains(&"rank 1"), "{process_names:?}");
+
+    // Every recorded event appears (plus metadata and counter samples).
+    let payload_events = events
+        .iter()
+        .filter(|e| matches!(e.get("ph").and_then(|v| v.as_str()), Some("X") | Some("i")))
+        .count();
+    assert_eq!(payload_events, snap.events.len());
+
+    // Complete spans carry non-negative durations in microseconds.
+    for e in events {
+        if e.get("ph").and_then(|v| v.as_str()) == Some("X") {
+            let dur = e.get("dur").and_then(|v| v.as_f64()).expect("dur");
+            assert!(dur >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn traced_fig11_metrics_match_the_workload_shape() {
+    let (telemetry, _) = fig11::traced_run();
+    let m = MetricsSummary::from_snapshot(&telemetry.snapshot());
+
+    // 16 packs + 16 unpacks per rank, two ranks, two laps = 128 requests,
+    // all through the fusion scheduler.
+    assert_eq!(m.enqueues, 128);
+    assert_eq!(m.requests_fused, 128);
+    assert!(m.fused_launches > 0 && m.fused_launches <= 128);
+    assert_eq!(m.kernels, 0, "fusion scheme launches no singleton kernels");
+    assert!(m.bytes_fused > 0);
+}

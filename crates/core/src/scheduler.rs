@@ -23,6 +23,7 @@ use crate::ring::{EnqueueError, RequestRing};
 use fusedpack_datatype::Layout;
 use fusedpack_gpu::{DevPtr, FusedLaunch, FusedWork, Gpu, StreamId};
 use fusedpack_sim::{Duration, Time};
+use fusedpack_telemetry::{FlushReasonTag, Lane, Payload, Telemetry};
 use std::sync::Arc;
 
 /// Why a fused kernel was launched.
@@ -35,6 +36,16 @@ pub enum FlushReason {
     ThresholdReached,
     /// The ring was full and had to be drained to accept new work.
     RingPressure,
+}
+
+impl FlushReason {
+    fn tag(self) -> FlushReasonTag {
+        match self {
+            FlushReason::SyncPoint => FlushReasonTag::SyncPoint,
+            FlushReason::ThresholdReached => FlushReasonTag::ThresholdReached,
+            FlushReason::RingPressure => FlushReasonTag::RingPressure,
+        }
+    }
 }
 
 /// A launched batch: the fused requests and the launch timing.
@@ -59,6 +70,10 @@ pub struct SchedStats {
     pub flushes_threshold: u64,
     pub flushes_pressure: u64,
     pub queries: u64,
+    /// Smallest fused-batch size so far (0 until the first flush).
+    pub batch_min: u64,
+    /// Largest fused-batch size so far.
+    pub batch_max: u64,
 }
 
 impl SchedStats {
@@ -70,6 +85,12 @@ impl SchedStats {
             self.requests_fused as f64 / self.kernels_launched as f64
         }
     }
+
+    /// Mean fused-batch size (alias of [`SchedStats::fusion_degree`], named
+    /// for the ablation tables).
+    pub fn batch_mean(&self) -> f64 {
+        self.fusion_degree()
+    }
 }
 
 /// The fusion scheduler. One instance runs per rank, on the same thread as
@@ -80,6 +101,7 @@ pub struct Scheduler {
     config: FusionConfig,
     ring: RequestRing,
     stats: SchedStats,
+    tele: Telemetry,
 }
 
 impl Scheduler {
@@ -89,7 +111,13 @@ impl Scheduler {
             config,
             ring,
             stats: SchedStats::default(),
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder (already tagged with the owning rank).
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
     }
 
     pub fn config(&self) -> &FusionConfig {
@@ -100,11 +128,13 @@ impl Scheduler {
         self.stats
     }
 
-    /// ① Enqueue a request. Returns the UID (or rejection) and the CPU cost
-    /// of the scheduling work, which the caller charges to its rank clock.
+    /// ① Enqueue a request at `now`. Returns the UID (or rejection) and the
+    /// CPU cost of the scheduling work, which the caller charges to its rank
+    /// clock.
     #[allow(clippy::too_many_arguments)]
     pub fn enqueue(
         &mut self,
+        now: Time,
         op: FusionOp,
         origin: DevPtr,
         target: DevPtr,
@@ -112,10 +142,25 @@ impl Scheduler {
         count: u64,
         bw_cap: Option<f64>,
     ) -> (Result<Uid, EnqueueError>, Duration) {
+        let bytes = layout.total_bytes(count);
         let res = self.ring.enqueue(op, origin, target, layout, count, bw_cap);
         match res {
-            Ok(_) => self.stats.enqueued += 1,
-            Err(_) => self.stats.rejected += 1,
+            Ok(uid) => {
+                self.stats.enqueued += 1;
+                let occupancy = self.ring.occupied() as u32;
+                self.tele.instant(Lane::Host, now, || Payload::Enqueue {
+                    uid: uid.0,
+                    bytes,
+                    ring_occupancy: occupancy,
+                });
+                self.tele
+                    .counter(now, "ring_occupancy", self.ring.occupied() as f64);
+            }
+            Err(_) => {
+                self.stats.rejected += 1;
+                self.tele
+                    .instant(Lane::Host, now, || Payload::EnqueueRejected { bytes });
+            }
         }
         (res, self.config.enqueue_cost)
     }
@@ -152,27 +197,65 @@ impl Scheduler {
         if pending.is_empty() {
             return None;
         }
-        let batch: Vec<Uid> = pending
-            .into_iter()
-            .take(self.config.max_fused)
-            .collect();
+        let batch: Vec<Uid> = pending.into_iter().take(self.config.max_fused).collect();
         let mut works: Vec<FusedWork> = Vec::with_capacity(batch.len());
+        let mut unpacks: Vec<bool> = Vec::with_capacity(batch.len());
         for &uid in &batch {
             let req = self.ring.get_mut(uid).expect("pending request is live");
             req.request_status = Status::Busy;
+            unpacks.push(req.op == FusionOp::Unpack);
             works.push(req.work());
         }
         let launch = gpu.launch_fused_capped(now, stream, &works);
-        for (&uid, w) in batch.iter().zip(&works) {
+        let mut batch_bytes = 0u64;
+        for w in &works {
             self.stats.bytes_fused += w.stats.total_bytes;
-            let _ = uid;
+            batch_bytes += w.stats.total_bytes;
         }
         self.stats.kernels_launched += 1;
         self.stats.requests_fused += batch.len() as u64;
+        let n = batch.len() as u64;
+        self.stats.batch_min = if self.stats.batch_min == 0 {
+            n
+        } else {
+            self.stats.batch_min.min(n)
+        };
+        self.stats.batch_max = self.stats.batch_max.max(n);
         match reason {
             FlushReason::SyncPoint => self.stats.flushes_sync += 1,
             FlushReason::ThresholdReached => self.stats.flushes_threshold += 1,
             FlushReason::RingPressure => self.stats.flushes_pressure += 1,
+        }
+        if self.tele.is_enabled() {
+            let requests = batch.len() as u32;
+            self.tele
+                .instant(Lane::Host, now, || Payload::FlushDecision {
+                    reason: reason.tag(),
+                    requests,
+                    bytes: batch_bytes,
+                });
+            self.tele
+                .span(Lane::Stream(stream.0), launch.start, launch.done, || {
+                    Payload::FusedExec {
+                        requests,
+                        bytes: batch_bytes,
+                        reason: reason.tag(),
+                    }
+                });
+            for ((&uid, w), (&done, &unpack)) in batch
+                .iter()
+                .zip(&works)
+                .zip(launch.request_done.iter().zip(&unpacks))
+            {
+                self.tele
+                    .span(Lane::Stream(stream.0), launch.start, done, || {
+                        Payload::PackSpan {
+                            uid: uid.0,
+                            bytes: w.stats.total_bytes,
+                            unpack,
+                        }
+                    });
+            }
         }
         Some(FlushedBatch {
             reason,
@@ -196,11 +279,15 @@ impl Scheduler {
         req.response_status = Status::Completed;
     }
 
-    /// ④ Progress-engine query: is `uid` complete? Returns the answer and
-    /// the CPU cost of the check.
-    pub fn query(&mut self, uid: Uid) -> (bool, Duration) {
+    /// ④ Progress-engine query at `now`: is `uid` complete? Returns the
+    /// answer and the CPU cost of the check.
+    pub fn query(&mut self, now: Time, uid: Uid) -> (bool, Duration) {
         self.stats.queries += 1;
         let complete = self.ring.get(uid).is_some_and(|r| r.is_complete());
+        self.tele.instant(Lane::Host, now, || Payload::Query {
+            uid: uid.0,
+            ready: complete,
+        });
         (complete, self.config.query_cost)
     }
 
@@ -211,10 +298,16 @@ impl Scheduler {
             .unwrap_or_else(|| panic!("unknown request {uid:?}"))
     }
 
-    /// Consume a completed request, freeing its ring slot. Returns the CPU
-    /// cost of the completion handling.
-    pub fn retire(&mut self, uid: Uid) -> Duration {
+    /// Consume a completed request at `now`, freeing its ring slot. Returns
+    /// the CPU cost of the completion handling.
+    pub fn retire(&mut self, now: Time, uid: Uid) -> Duration {
         self.ring.retire(uid);
+        let occupancy = self.ring.occupied() as u32;
+        self.tele.instant(Lane::Host, now, || Payload::Retire {
+            uid: uid.0,
+            ring_occupancy: occupancy,
+        });
+        self.tele.counter(now, "ring_occupancy", occupancy as f64);
         self.config.complete_cost
     }
 }
@@ -252,6 +345,7 @@ mod tests {
 
     fn enqueue(s: &mut Scheduler, bytes: u64) -> Uid {
         let (res, _cost) = s.enqueue(
+            Time(0),
             FusionOp::Pack,
             DevPtr { addr: 0, len: 4096 },
             DevPtr {
@@ -312,17 +406,17 @@ mod tests {
         let mut s = sched(u64::MAX);
         let mut g = gpu();
         let uid = enqueue(&mut s, 256);
-        let (done, _) = s.query(uid);
+        let (done, _) = s.query(Time(0), uid);
         assert!(!done, "not complete before launch");
         let batch = s
             .flush(Time(0), &mut g, StreamId(0), FlushReason::SyncPoint)
             .expect("pending");
-        let (done, _) = s.query(uid);
+        let (done, _) = s.query(Time(0), uid);
         assert!(!done, "busy, response not signalled yet");
         s.signal_completion(uid);
-        let (done, _) = s.query(uid);
+        let (done, _) = s.query(Time(0), uid);
         assert!(done, "response status flipped");
-        let _ = s.retire(uid);
+        let _ = s.retire(Time(0), uid);
         let _ = batch;
     }
 
@@ -346,6 +440,7 @@ mod tests {
         assert!(s.under_pressure(), "one free slot left");
         enqueue(&mut s, 128);
         let (res, _) = s.enqueue(
+            Time(0),
             FusionOp::Pack,
             DevPtr { addr: 0, len: 64 },
             DevPtr { addr: 64, len: 64 },
@@ -362,6 +457,7 @@ mod tests {
         let mut s = sched(u64::MAX);
         let mut g = gpu();
         let (pack, _) = s.enqueue(
+            Time(0),
             FusionOp::Pack,
             DevPtr { addr: 0, len: 512 },
             DevPtr {
@@ -373,6 +469,7 @@ mod tests {
             None,
         );
         let (ipc, _) = s.enqueue(
+            Time(0),
             FusionOp::DirectIpc,
             DevPtr {
                 addr: 1024,
@@ -414,7 +511,7 @@ mod tests {
         let mut cpu = Time(0);
         for _ in 0..16 {
             let uid = enqueue(&mut s, 16 * 1024);
-            let (_, cost) = s.query(uid); // a poll per enqueue, pessimistic
+            let (_, cost) = s.query(cpu, uid); // a poll per enqueue, pessimistic
             cpu = cpu + s.config().enqueue_cost + cost;
         }
         let batch = s

@@ -73,7 +73,9 @@ impl Layout {
 
     /// Is one element a single contiguous run starting at offset 0?
     pub fn is_contiguous(&self) -> bool {
-        self.segments.len() == 1 && self.segments[0].offset == 0 && self.segments[0].len == self.size
+        self.segments.len() == 1
+            && self.segments[0].offset == 0
+            && self.segments[0].len == self.size
     }
 
     /// Are `count` elements one single contiguous run? Requires each
@@ -202,7 +204,10 @@ mod tests {
     #[test]
     fn from_segments_roundtrip() {
         let l = Layout::from_segments(
-            vec![Segment { offset: 4, len: 8 }, Segment { offset: 20, len: 8 }],
+            vec![
+                Segment { offset: 4, len: 8 },
+                Segment { offset: 20, len: 8 },
+            ],
             32,
         );
         assert_eq!(l.size(), 16);

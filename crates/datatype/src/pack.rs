@@ -130,8 +130,12 @@ mod tests {
             }),
             (2u64..6, 2u64..6).prop_flat_map(|(rows, cols)| {
                 (1..=rows, 1..=cols).prop_map(move |(sr, sc)| {
-                    TypeBuilder::subarray(&[rows, cols], &[sr, sc], &[rows - sr, cols - sc],
-                        TypeBuilder::double())
+                    TypeBuilder::subarray(
+                        &[rows, cols],
+                        &[sr, sc],
+                        &[rows - sr, cols - sc],
+                        TypeBuilder::double(),
+                    )
                 })
             }),
         ]

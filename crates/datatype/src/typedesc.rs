@@ -295,10 +295,8 @@ mod tests {
 
     #[test]
     fn struct_extent_spans_fields() {
-        let t = TypeBuilder::structure(&[
-            (0, 3, TypeBuilder::float()),
-            (64, 2, TypeBuilder::double()),
-        ]);
+        let t =
+            TypeBuilder::structure(&[(0, 3, TypeBuilder::float()), (64, 2, TypeBuilder::double())]);
         assert_eq!(t.size(), 3 * 4 + 2 * 8);
         assert_eq!(t.extent(), 64 + 16);
     }

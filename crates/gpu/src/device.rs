@@ -18,6 +18,7 @@ use crate::kernel::{self, SegmentStats};
 use crate::mem::{DataMode, MemPool};
 use crate::stream::{Stream, StreamId};
 use fusedpack_sim::{Duration, FifoResource, Time};
+use fusedpack_telemetry::{Lane, Payload, Telemetry};
 
 /// Timing of one kernel launch or async copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,7 @@ pub struct Gpu {
     kernels_launched: u64,
     fused_launched: u64,
     requests_fused: u64,
+    telemetry: Telemetry,
 }
 
 impl Gpu {
@@ -68,7 +70,13 @@ impl Gpu {
             kernels_launched: 0,
             fused_launched: 0,
             requests_fused: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder (already tagged with the owning rank).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     #[inline]
@@ -104,12 +112,28 @@ impl Gpu {
     ///
     /// The CPU is busy `[at, cpu_release)` with the driver call; the kernel
     /// becomes eligible `launch_gpu_delay` later and runs FIFO on the stream.
-    pub fn launch_kernel(&mut self, at: Time, stream: StreamId, stats: SegmentStats) -> KernelTiming {
+    pub fn launch_kernel(
+        &mut self,
+        at: Time,
+        stream: StreamId,
+        stats: SegmentStats,
+    ) -> KernelTiming {
         let cpu_release = at + self.arch.launch_cpu;
         let ready = cpu_release + self.arch.launch_gpu_delay;
         let dur = kernel::single_kernel_time(&self.arch, stats);
         let (start, done) = self.stream_mut(stream).submit(ready, dur);
         self.kernels_launched += 1;
+        self.telemetry
+            .span(Lane::Host, at, cpu_release, || Payload::KernelLaunch {
+                fused: false,
+            });
+        self.telemetry
+            .span(Lane::Stream(stream.0), start, done, || {
+                Payload::KernelExec {
+                    bytes: stats.total_bytes,
+                    blocks: stats.num_blocks,
+                }
+            });
         KernelTiming {
             cpu_release,
             start,
@@ -122,7 +146,12 @@ impl Gpu {
     /// Costs a single CPU-side launch; per-request completion instants are
     /// returned individually (the cooperative groups signal their response
     /// status as they finish — no kernel-boundary synchronization).
-    pub fn launch_fused(&mut self, at: Time, stream: StreamId, works: &[SegmentStats]) -> FusedLaunch {
+    pub fn launch_fused(
+        &mut self,
+        at: Time,
+        stream: StreamId,
+        works: &[SegmentStats],
+    ) -> FusedLaunch {
         let works: Vec<fused::FusedWork> = works.iter().map(|&w| w.into()).collect();
         self.launch_fused_capped(at, stream, &works)
     }
@@ -142,6 +171,10 @@ impl Gpu {
         self.kernels_launched += 1;
         self.fused_launched += 1;
         self.requests_fused += works.len() as u64;
+        self.telemetry
+            .span(Lane::Host, at, cpu_release, || Payload::KernelLaunch {
+                fused: true,
+            });
         FusedLaunch {
             cpu_release,
             start,
@@ -153,7 +186,13 @@ impl Gpu {
     /// `cudaMemcpyAsync`: issue an async copy of `bytes` along `path` at
     /// `at` on `stream`. The copy occupies both the per-direction DMA engine
     /// and the stream (so later kernels on the stream wait for it).
-    pub fn memcpy_async(&mut self, at: Time, stream: StreamId, bytes: u64, path: CopyPath) -> KernelTiming {
+    pub fn memcpy_async(
+        &mut self,
+        at: Time,
+        stream: StreamId,
+        bytes: u64,
+        path: CopyPath,
+    ) -> KernelTiming {
         let cpu_release = at + self.arch.memcpy_async_call;
         let ready = cpu_release + self.arch.launch_gpu_delay;
         let wire = match path {
@@ -168,9 +207,16 @@ impl Gpu {
             CopyPath::D2H | CopyPath::D2D => &mut self.copy_engine_d2h,
         };
         let (eng_start, eng_done) = engine.acquire(ready, dur);
+        let lane = Lane::Stream(stream.0);
         let stream = self.stream_mut(stream);
         let (_, done) = stream.submit(eng_start, eng_done - eng_start);
-        self.kernels_launched += 0; // copies are not kernels
+        let kind = match path {
+            CopyPath::H2D => "h2d",
+            CopyPath::D2H => "d2h",
+            CopyPath::D2D => "d2d",
+        };
+        self.telemetry
+            .span(lane, eng_start, done, || Payload::Memcpy { bytes, kind });
         KernelTiming {
             cpu_release,
             start: eng_start,

@@ -161,10 +161,7 @@ mod tests {
     fn work_units_counts_blocks_and_tiles() {
         let arch = v100();
         // 4000 tiny blocks: block count dominates.
-        assert_eq!(
-            work_units(&arch, SegmentStats::new(4000 * 16, 4000)),
-            4000
-        );
+        assert_eq!(work_units(&arch, SegmentStats::new(4000 * 16, 4000)), 4000);
         // One 1 MiB block: tiling dominates (1MiB / 8KiB = 128 tiles).
         assert_eq!(work_units(&arch, SegmentStats::new(1 << 20, 1)), 128);
         assert_eq!(work_units(&arch, SegmentStats::new(0, 0)), 0);

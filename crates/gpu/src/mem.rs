@@ -313,7 +313,10 @@ mod tests {
         let dst = p.alloc(8, 1);
         p.write(src, &(0..16).collect::<Vec<u8>>());
         // Gather bytes at offsets 2..4, 8..10, 12..16.
-        let n = p.gather(&[(src.addr + 2, 2), (src.addr + 8, 2), (src.addr + 12, 4)], dst.addr);
+        let n = p.gather(
+            &[(src.addr + 2, 2), (src.addr + 8, 2), (src.addr + 12, 4)],
+            dst.addr,
+        );
         assert_eq!(n, 8);
         assert_eq!(p.read(dst), &[2, 3, 8, 9, 12, 13, 14, 15]);
     }

@@ -5,9 +5,8 @@ use fusedpack_gpu::{fused, kernel, FusedWork, GpuArch, SegmentStats};
 use proptest::prelude::*;
 
 fn arb_stats() -> impl Strategy<Value = SegmentStats> {
-    (1u64..1_000_000, 1u64..5_000).prop_map(|(bytes, blocks)| {
-        SegmentStats::new(bytes, blocks.min(bytes))
-    })
+    (1u64..1_000_000, 1u64..5_000)
+        .prop_map(|(bytes, blocks)| SegmentStats::new(bytes, blocks.min(bytes)))
 }
 
 fn arb_arch() -> impl Strategy<Value = GpuArch> {

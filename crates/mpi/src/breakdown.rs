@@ -51,7 +51,13 @@ impl Breakdown {
 
     /// Values in Fig. 11 order.
     pub fn values(&self) -> [Duration; 5] {
-        [self.pack, self.launch, self.scheduling, self.sync, self.comm]
+        [
+            self.pack,
+            self.launch,
+            self.scheduling,
+            self.sync,
+            self.comm,
+        ]
     }
 }
 

@@ -1,10 +1,12 @@
 //! Program execution: stepping ranks through their [`AppOp`] sequences.
 
+use super::schemes::Bucket;
 use super::{Cluster, Event, RankId};
 use crate::program::AppOp;
 use crate::sendrecv::{PackState, RecvId, RecvOp, RecvState, SendId, SendOp, StagingLoc};
 use fusedpack_core::FlushReason;
 use fusedpack_sim::Time;
+use fusedpack_telemetry::{Lane, Payload, WaitKindTag};
 
 impl Cluster {
     /// Execute ops for rank `r` starting no earlier than `t`, until it
@@ -89,6 +91,9 @@ impl Cluster {
                     let rank = &mut self.ranks[r];
                     rank.lap_start = rank.cpu;
                     rank.breakdown_at_reset = rank.breakdown;
+                    rank.tele.instant(Lane::Host, rank.cpu, || Payload::Marker {
+                        label: "reset-timer",
+                    });
                 }
                 AppOp::RecordLap => {
                     let rank = &mut self.ranks[r];
@@ -96,6 +101,9 @@ impl Cluster {
                     rank.laps.push(lap);
                     let delta = rank.breakdown.delta_since(&rank.breakdown_at_reset);
                     rank.lap_breakdowns.push(delta);
+                    rank.tele.instant(Lane::Host, rank.cpu, || Payload::Marker {
+                        label: "record-lap",
+                    });
                 }
             }
         }
@@ -208,11 +216,7 @@ impl Cluster {
         use fusedpack_gpu::SegmentStats;
         let (layout, src_ptr, dst_ptr) = {
             let rank = &self.ranks[r];
-            (
-                rank.types[ty.0].clone(),
-                rank.bufs[src.0],
-                rank.bufs[dst.0],
-            )
+            (rank.types[ty.0].clone(), rank.bufs[src.0], rank.bufs[dst.0])
         };
         let stats = SegmentStats::new(layout.total_bytes(count), layout.total_blocks(count));
         // Data movement within device memory.
@@ -227,8 +231,8 @@ impl Cluster {
             // MPI_Pack/MPI_Unpack: the library parses the datatype and
             // synchronizes at the kernel boundary before returning.
             let rank = &mut self.ranks[r];
-            rank.cpu += self.platform.mpi_call
-                + fusedpack_datatype::cache::parse_cost(stats.num_blocks);
+            rank.cpu +=
+                self.platform.mpi_call + fusedpack_datatype::cache::parse_cost(stats.num_blocks);
             self.sync_kernel_public(r, stats);
         } else {
             // Application kernel: launch on a round-robin stream, return.
@@ -241,11 +245,10 @@ impl Cluster {
             let at = self.ranks[r].cpu;
             let k = self.gpus[r].launch_kernel(at, stream, stats);
             let launch_cpu = self.gpus[r].arch.launch_cpu;
-            let rank = &mut self.ranks[r];
-            rank.breakdown.launch += launch_cpu;
-            rank.breakdown.pack += k.done.since(k.start);
-            rank.cpu = k.cpu_release;
-            rank.app_kernels_done = rank.app_kernels_done.max(k.done);
+            self.ranks[r].cpu = k.cpu_release;
+            self.ranks[r].app_kernels_done = self.ranks[r].app_kernels_done.max(k.done);
+            self.bucket_add_at(r, Bucket::Launch, at, launch_cpu);
+            self.bucket_add_at(r, Bucket::Pack, k.start, k.done.since(k.start));
         }
     }
 
@@ -253,16 +256,26 @@ impl Cluster {
     fn exec_device_sync(&mut self, r: usize) {
         let sync_call = self.gpus[r].arch.stream_sync_call;
         let rank = &mut self.ranks[r];
+        let start = rank.cpu;
         let wait = rank.app_kernels_done.since(rank.cpu);
-        rank.breakdown.sync += wait + sync_call;
         rank.cpu = rank.cpu.max(rank.app_kernels_done) + sync_call;
+        let end = rank.cpu;
+        rank.tele
+            .span(Lane::Host, start, end, || Payload::SyncWait {
+                kind: WaitKindTag::LocalKernel,
+            });
+        self.bucket_add_at(r, Bucket::Sync, start, wait + sync_call);
     }
 
     /// Enter Waitall. Returns `true` if the rank blocked.
     fn enter_waitall(&mut self, r: usize) -> bool {
         // §IV-C scenario 1: the progress engine reached a synchronization
         // point — flush any pending fusion requests immediately.
-        if self.ranks[r].sched.as_ref().is_some_and(|s| s.has_pending()) {
+        if self.ranks[r]
+            .sched
+            .as_ref()
+            .is_some_and(|s| s.has_pending())
+        {
             self.fusion_flush(r, FlushReason::SyncPoint);
         }
         if self.ranks[r].all_requests_complete() {
@@ -272,6 +285,9 @@ impl Cluster {
         let rank = &mut self.ranks[r];
         rank.blocked = true;
         rank.wait_anchor = rank.cpu;
+        rank.wait_span = rank.tele.open(Lane::Host, rank.cpu, || Payload::SyncWait {
+            kind: WaitKindTag::Network,
+        });
         true
     }
 
@@ -299,10 +315,13 @@ impl Cluster {
             let rank = &mut self.ranks[r];
             rank.blocked = false;
             rank.cpu = rank.cpu.max(now);
+            let span = rank.wait_span.take();
+            rank.tele.close(span, rank.cpu);
             rank.cpu
         };
         self.exit_waitall(r);
         let rid = self.ranks[r].id;
-        self.events.push_at(resume.max(self.events.now()), Event::Wake(rid));
+        self.events
+            .push_at(resume.max(self.events.now()), Event::Wake(rid));
     }
 }

@@ -18,10 +18,11 @@ use crate::scheme::{HybridPolicy, SchemeKind};
 use crate::sendrecv::{RecvId, SendId};
 use fusedpack_core::{SchedStats, Scheduler, Uid};
 use fusedpack_gpu::{DataMode, Gpu, MemPool};
-use fusedpack_net::{Link, Nic};
 use fusedpack_net::platform::Platform;
+use fusedpack_net::{Link, Nic};
 use fusedpack_sim::trace::Trace;
 use fusedpack_sim::{Duration, EventQueue, Pcg32, Time};
+use fusedpack_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -68,6 +69,7 @@ pub struct ClusterBuilder {
     data_mode: DataMode,
     gdrcopy: bool,
     trace_capacity: usize,
+    telemetry: Option<Telemetry>,
     rndv: RndvProtocol,
     ranks: Vec<(u32, Program)>,
 }
@@ -80,6 +82,7 @@ impl ClusterBuilder {
             data_mode: DataMode::Full,
             gdrcopy: true,
             trace_capacity: 0,
+            telemetry: None,
             rndv: RndvProtocol::default(),
             ranks: Vec::new(),
         }
@@ -92,10 +95,19 @@ impl ClusterBuilder {
         self
     }
 
-    /// Keep a structured trace of the most recent `capacity` protocol and
-    /// scheduling events (debugging aid; see [`Cluster::trace`]).
+    /// Keep a structured trace of up to `capacity` protocol and scheduling
+    /// events (debugging aid; see [`Cluster::trace`]). A convenience over
+    /// [`ClusterBuilder::telemetry`] with a capacity-capped recorder.
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Attach an external telemetry recorder: every layer of the stack
+    /// (scheduler, GPUs, NICs, protocol engine, accounting) records typed
+    /// events into it. Takes precedence over [`ClusterBuilder::with_trace`].
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -125,6 +137,11 @@ impl ClusterBuilder {
     pub fn build(self) -> Cluster {
         assert!(!self.ranks.is_empty(), "need at least one rank");
         let num_nodes = self.ranks.iter().map(|&(n, _)| n).max().expect("ranks") + 1;
+        let telemetry = match self.telemetry {
+            Some(t) => t,
+            None if self.trace_capacity > 0 => Telemetry::with_capacity(self.trace_capacity),
+            None => Telemetry::disabled(),
+        };
         let hybrid = HybridPolicy::for_link(
             &self.platform.host_link,
             matches!(self.scheme, SchemeKind::Adaptive),
@@ -163,16 +180,33 @@ impl ClusterBuilder {
                 }
                 rank.bufs.push(ptr);
             }
+            let tele_r = telemetry.for_rank(idx as u32);
+            gpu.set_telemetry(tele_r.clone());
             if let SchemeKind::Fusion(cfg) = &self.scheme {
-                rank.sched = Some(Scheduler::new(cfg.clone()));
+                let mut sched = Scheduler::new(cfg.clone());
+                sched.set_telemetry(tele_r.clone());
+                rank.sched = Some(sched);
             }
+            rank.tele = tele_r;
             ranks.push(rank);
             gpus.push(gpu);
             staging_mems.push(MemPool::new(staging_bytes, self.data_mode));
             host_mems.push(MemPool::new(staging_bytes, self.data_mode));
         }
 
-        let nics = (0..num_nodes).map(|_| self.platform.make_nic()).collect();
+        // NIC events are tagged with the lowest rank on the NIC's node so
+        // they appear under that rank's process in the Perfetto view.
+        let nics = (0..num_nodes)
+            .map(|node| {
+                let mut nic = self.platform.make_nic();
+                let owner = ranks
+                    .iter()
+                    .position(|r| r.node == node)
+                    .unwrap_or(node as usize) as u32;
+                nic.set_telemetry(telemetry.for_rank(owner));
+                nic
+            })
+            .collect();
         let mut events = EventQueue::new();
         for r in 0..ranks.len() {
             events.push_at(Time::ZERO, Event::Wake(RankId(r as u32)));
@@ -191,11 +225,7 @@ impl ClusterBuilder {
             nics,
             rndv: self.rndv,
             intra_links: HashMap::new(),
-            trace: if self.trace_capacity > 0 {
-                Trace::enabled(self.trace_capacity)
-            } else {
-                Trace::disabled()
-            },
+            telemetry,
         }
     }
 }
@@ -220,8 +250,8 @@ pub struct Cluster {
     pub(crate) rndv: RndvProtocol,
     /// Lazily created intra-node GPU↔GPU links, keyed by (node, node).
     pub(crate) intra_links: HashMap<(u32, u32), Link>,
-    /// Optional structured event trace.
-    pub(crate) trace: Trace,
+    /// Root telemetry handle (disabled unless the builder attached one).
+    pub(crate) telemetry: Telemetry,
 }
 
 /// Results of a completed run.
@@ -286,7 +316,11 @@ impl Cluster {
         RunReport {
             laps: self.ranks.iter().map(|r| r.laps.clone()).collect(),
             breakdowns: self.ranks.iter().map(|r| r.breakdown).collect(),
-            lap_breakdowns: self.ranks.iter().map(|r| r.lap_breakdowns.clone()).collect(),
+            lap_breakdowns: self
+                .ranks
+                .iter()
+                .map(|r| r.lap_breakdowns.clone())
+                .collect(),
             sched_stats: self
                 .ranks
                 .iter()
@@ -338,17 +372,35 @@ impl Cluster {
         self.data_mode
     }
 
-    /// The structured event trace (empty unless built
+    /// The telemetry handle this cluster records into (disabled unless the
+    /// builder attached one via [`ClusterBuilder::telemetry`] or
     /// [`ClusterBuilder::with_trace`]).
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
-    /// Record a trace event if tracing is enabled.
-    pub(crate) fn trace_event(&mut self, component: &'static str, f: impl FnOnce() -> String) {
-        if self.trace.is_enabled() {
-            let now = self.events.now();
-            self.trace.record(now, component, f());
+    /// A legacy flat trace view, synthesized from the typed telemetry
+    /// timeline (empty unless tracing was enabled at build time). Events
+    /// are ordered by time; components group the payload categories
+    /// (`fusion` for scheduler decisions, `wire` for protocol/network
+    /// traffic, `gpu`, `pack`, `sync`, `bucket`, `marker`).
+    pub fn trace(&self) -> Trace {
+        let snap = self.telemetry.snapshot();
+        let mut events = snap.events;
+        events.sort_by_key(|e| (e.start, e.rank));
+        let mut trace = Trace::enabled(events.len().max(1));
+        for e in &events {
+            let component = match e.payload.category() {
+                "sched" => "fusion",
+                "net" => "wire",
+                other => other,
+            };
+            let message = match e.dur {
+                Some(d) => format!("rank {}: {:?} (+{} ns)", e.rank, e.payload, d.as_nanos()),
+                None => format!("rank {}: {:?}", e.rank, e.payload),
+            };
+            trace.record(e.start, component, message);
         }
+        trace
     }
 }

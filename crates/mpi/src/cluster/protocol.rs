@@ -8,6 +8,7 @@ use crate::sendrecv::{CtsInfo, RecvId, RecvState, SendId, StagingLoc};
 use fusedpack_gpu::MemPool;
 use fusedpack_net::rdma::CTRL_BYTES;
 use fusedpack_sim::Time;
+use fusedpack_telemetry::{Lane, Payload, RndvPhaseTag};
 
 impl Cluster {
     /// Transport `bytes` from rank `src` to rank `dst`. Returns
@@ -24,7 +25,14 @@ impl Cluster {
         let (src_node, dst_node) = (self.ranks[src].node, self.ranks[dst].node);
         if src_node == dst_node {
             let link = self.intra_link(src_node, dst_node);
-            let (_, delivered) = link.transmit(at, bytes);
+            let (start, delivered) = link.transmit(at, bytes);
+            // Intra-node transfers bypass the NIC, so the wire span is
+            // emitted here (the NIC emits its own for inter-node sends).
+            self.ranks[src]
+                .tele
+                .span(Lane::Nic, start, delivered, || Payload::WireTransfer {
+                    bytes,
+                });
             (delivered, delivered)
         } else {
             let nic = &mut self.nics[src_node as usize];
@@ -41,6 +49,23 @@ impl Cluster {
     /// Send a control packet (RTS/CTS); fire-and-forget.
     pub(crate) fn send_ctrl(&mut self, src: usize, dst: RankId, tag: u32, kind: WireKind) {
         let at = self.ranks[src].cpu;
+        let phase = match &kind {
+            WireKind::Rts { .. } => Some(RndvPhaseTag::Rts),
+            WireKind::Cts { .. } => Some(RndvPhaseTag::Cts),
+            WireKind::RdmaReadReq { .. } => Some(RndvPhaseTag::ReadReq),
+            WireKind::Fin { .. } => Some(RndvPhaseTag::Fin),
+            WireKind::Eager { .. } | WireKind::RdmaData { .. } => None,
+        };
+        if let Some(phase) = phase {
+            self.ranks[src]
+                .tele
+                .instant(Lane::Host, at, || Payload::Rndv {
+                    peer: dst.0,
+                    tag,
+                    phase,
+                    bytes: CTRL_BYTES,
+                });
+        }
         let (delivered, _) = self.transport(src, dst.0 as usize, at, CTRL_BYTES, false);
         self.events.push_at(
             delivered.max(self.events.now()),
@@ -109,6 +134,13 @@ impl Cluster {
             return;
         }
         if eager {
+            self.ranks[r]
+                .tele
+                .instant(Lane::Host, at, || Payload::EagerSend {
+                    peer: dst.0,
+                    tag,
+                    bytes,
+                });
             let (delivered, _) = self.transport(r, dst.0 as usize, at, bytes + CTRL_BYTES, gdr_src);
             self.events.push_at(
                 delivered.max(self.events.now()),
@@ -130,6 +162,14 @@ impl Cluster {
         } else {
             let cts = cts.expect("rendezvous issue requires CTS");
             let gdr = gdr_src || !cts.host_staging;
+            self.ranks[r]
+                .tele
+                .instant(Lane::Host, at, || Payload::Rndv {
+                    peer: dst.0,
+                    tag,
+                    phase: RndvPhaseTag::Data,
+                    bytes,
+                });
             let (delivered, completion) = self.transport(r, dst.0 as usize, at, bytes, gdr);
             self.events.push_at(
                 delivered.max(self.events.now()),
@@ -144,20 +184,25 @@ impl Cluster {
                     payload,
                 })),
             );
-            self.events
-                .push_at(completion.max(self.events.now()), Event::SendComplete(src_id, sid));
+            self.events.push_at(
+                completion.max(self.events.now()),
+                Event::SendComplete(src_id, sid),
+            );
         }
     }
 
     /// A message arrived at its destination NIC.
     pub(crate) fn on_deliver(&mut self, msg: WireMsg, t: Time) {
         let r = msg.dst.0 as usize;
-        self.trace_event("wire", || {
-            format!("{:?} -> {:?}: {:?}", msg.src, msg.dst, std::mem::discriminant(&msg.kind))
-        });
         let eff = self.eff_now(r, t);
-        self.ranks[r].account_wait(eff);
+        self.account_wait(r, eff);
         self.ranks[r].cpu = eff + self.platform.progress_poll;
+        {
+            let (peer, tag, bytes) = (msg.src.0, msg.tag, msg.payload.len() as u64);
+            self.ranks[r]
+                .tele
+                .instant(Lane::Host, t, || Payload::Deliver { peer, tag, bytes });
+        }
 
         match msg.kind {
             WireKind::Rts { .. } | WireKind::Eager { .. } => {
@@ -214,10 +259,7 @@ impl Cluster {
                         src: src_id,
                         dst,
                         tag: 0,
-                        kind: WireKind::RdmaData {
-                            send_id,
-                            recv_id,
-                        },
+                        kind: WireKind::RdmaData { send_id, recv_id },
                         payload,
                     })),
                 );
@@ -258,7 +300,15 @@ impl Cluster {
                 let src = msg.src;
                 if rget {
                     // Pull the announced data with an RDMA READ.
-                    self.send_ctrl(r, src, 0, WireKind::RdmaReadReq { send_id, recv_id: rid });
+                    self.send_ctrl(
+                        r,
+                        src,
+                        0,
+                        WireKind::RdmaReadReq {
+                            send_id,
+                            recv_id: rid,
+                        },
+                    );
                 } else {
                     self.send_ctrl(
                         r,
@@ -335,7 +385,7 @@ impl Cluster {
     /// RDMA initiator completion: the send is done.
     pub(crate) fn on_send_complete(&mut self, r: usize, sid: SendId, t: Time) {
         let eff = self.eff_now(r, t);
-        self.ranks[r].account_wait(eff);
+        self.account_wait(r, eff);
         self.ranks[r].cpu = eff + self.platform.progress_poll;
         self.ranks[r].sends[sid.0].completed = true;
         let now = self.ranks[r].cpu;
@@ -363,7 +413,12 @@ impl Cluster {
         };
         match staging {
             StagingLoc::Gpu(p) => {
-                MemPool::gather_between(&self.gpus[r].mem, &segs, &mut self.staging_mems[r], p.addr);
+                MemPool::gather_between(
+                    &self.gpus[r].mem,
+                    &segs,
+                    &mut self.staging_mems[r],
+                    p.addr,
+                );
             }
             StagingLoc::Host(p) => {
                 MemPool::gather_between(&self.gpus[r].mem, &segs, &mut self.host_mems[r], p.addr);

@@ -9,6 +9,7 @@ use fusedpack_core::{Scheduler, Uid};
 use fusedpack_datatype::{Layout, LayoutCache};
 use fusedpack_gpu::DevPtr;
 use fusedpack_sim::{Duration, Time};
+use fusedpack_telemetry::{SpanId, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -70,6 +71,10 @@ pub(crate) struct RankState {
     pub lap_breakdowns: Vec<Breakdown>,
     /// Anchor for attributing blocked-wait intervals.
     pub wait_anchor: Time,
+    /// Telemetry handle tagged with this rank.
+    pub tele: Telemetry,
+    /// Open `SyncWait` span while blocked in Waitall.
+    pub wait_span: Option<SpanId>,
 }
 
 impl RankState {
@@ -98,6 +103,8 @@ impl RankState {
             breakdown_at_reset: Breakdown::default(),
             lap_breakdowns: Vec::new(),
             wait_anchor: Time::ZERO,
+            tele: Telemetry::disabled(),
+            wait_span: None,
         }
     }
 
@@ -123,18 +130,18 @@ impl RankState {
         }
     }
 
-    /// Attribute the blocked interval since the last anchor, then move the
-    /// anchor to `up_to`.
-    pub fn account_wait(&mut self, up_to: Time) {
-        if self.blocked && up_to > self.wait_anchor {
-            let delta = up_to.since(self.wait_anchor);
-            match self.classify_wait() {
-                // Kernel time is already counted in the pack bucket.
-                WaitKind::LocalKernel => {}
-                WaitKind::Network => self.breakdown.comm += delta,
-            }
-        }
+    /// Take the blocked interval since the last anchor (classified at the
+    /// current instant), then move the anchor to `up_to`. The caller
+    /// ([`super::Cluster::account_wait`]) charges the breakdown bucket so
+    /// the charge also lands in telemetry.
+    pub fn take_wait(&mut self, up_to: Time) -> Option<(WaitKind, Duration)> {
+        let taken = if self.blocked && up_to > self.wait_anchor {
+            Some((self.classify_wait(), up_to.since(self.wait_anchor)))
+        } else {
+            None
+        };
         self.wait_anchor = self.wait_anchor.max(up_to);
+        taken
     }
 
     /// Are any receives still waiting for their payload to arrive? (Used by

@@ -13,8 +13,9 @@ use fusedpack_core::{EnqueueError, FlushReason, FusionOp, Uid};
 use fusedpack_datatype::cache::{lookup_cost, parse_cost};
 use fusedpack_gpu::{SegmentStats, StreamId};
 use fusedpack_sim::{Duration, Time};
+use fusedpack_telemetry::{Lane, Payload, WaitKindTag};
 
-use super::rank::OpRef;
+use super::rank::{OpRef, WaitKind};
 
 /// Number of streams the GPU-Async scheme \[23\] multiplexes kernels over.
 const ASYNC_STREAMS: u32 = 4;
@@ -72,13 +73,13 @@ impl Cluster {
                 let stream = self.async_stream(r);
                 let at = self.ranks[r].cpu;
                 let k = self.gpus[r].launch_kernel(at, stream, stats);
-                let rank = &mut self.ranks[r];
-                rank.breakdown.launch += self.gpus[r].arch.launch_cpu;
-                rank.breakdown.pack += k.done.since(k.start);
-                rank.breakdown.scheduling += arch_event_record;
-                rank.cpu = k.cpu_release + arch_event_record;
-                rank.sends[sid.0].pack = PackState::InFlight;
-                let rank_id = rank.id;
+                let launch_cpu = self.gpus[r].arch.launch_cpu;
+                self.ranks[r].cpu = k.cpu_release + arch_event_record;
+                self.bucket_add_at(r, Bucket::Launch, at, launch_cpu);
+                self.bucket_add_at(r, Bucket::Pack, k.start, k.done.since(k.start));
+                self.bucket_add_at(r, Bucket::Scheduling, k.cpu_release, arch_event_record);
+                self.ranks[r].sends[sid.0].pack = PackState::InFlight;
+                let rank_id = self.ranks[r].id;
                 self.events
                     .push_at(k.done.max(self.events.now()), Event::PackDone(rank_id, sid));
                 // RTS overlaps with the packing kernel.
@@ -124,7 +125,12 @@ impl Cluster {
                         self.ranks[r].sends[sid.0].fusion_uid = Some(uid);
                         self.ranks[r].sends[sid.0].pack = PackState::InFlight;
                         self.ranks[r].uid_map.insert(uid, OpRef::Send(sid.0));
-                        if self.ranks[r].sched.as_ref().expect("fusion").threshold_reached() {
+                        if self.ranks[r]
+                            .sched
+                            .as_ref()
+                            .expect("fusion")
+                            .threshold_reached()
+                        {
                             self.fusion_flush(r, FlushReason::ThresholdReached);
                         }
                     }
@@ -139,8 +145,8 @@ impl Cluster {
             }
             SchemeKind::CpuGpuHybrid | SchemeKind::Adaptive => {
                 self.charge(r, lookup_cost(), Bucket::Sync);
-                let cpu_path = self.hybrid.use_cpu_path(bytes, blocks)
-                    && self.gpus[r].gdr.available;
+                let cpu_path =
+                    self.hybrid.use_cpu_path(bytes, blocks) && self.gpus[r].gdr.available;
                 if cpu_path {
                     let staging = self.alloc_send_staging(r, bytes, true);
                     self.ranks[r].sends[sid.0].staging = staging;
@@ -200,15 +206,17 @@ impl Cluster {
                 let stream = self.async_stream(r);
                 let at = self.ranks[r].cpu;
                 let k = self.gpus[r].launch_kernel(at, stream, stats);
-                let rank = &mut self.ranks[r];
-                rank.breakdown.launch += self.gpus[r].arch.launch_cpu;
-                rank.breakdown.pack += k.done.since(k.start);
-                rank.breakdown.scheduling += arch_event_record;
-                rank.cpu = k.cpu_release + arch_event_record;
-                rank.recvs[rid.0].unpack = PackState::InFlight;
-                let rank_id = rank.id;
-                self.events
-                    .push_at(k.done.max(self.events.now()), Event::UnpackDone(rank_id, rid));
+                let launch_cpu = self.gpus[r].arch.launch_cpu;
+                self.ranks[r].cpu = k.cpu_release + arch_event_record;
+                self.bucket_add_at(r, Bucket::Launch, at, launch_cpu);
+                self.bucket_add_at(r, Bucket::Pack, k.start, k.done.since(k.start));
+                self.bucket_add_at(r, Bucket::Scheduling, k.cpu_release, arch_event_record);
+                self.ranks[r].recvs[rid.0].unpack = PackState::InFlight;
+                let rank_id = self.ranks[r].id;
+                self.events.push_at(
+                    k.done.max(self.events.now()),
+                    Event::UnpackDone(rank_id, rid),
+                );
             }
             SchemeKind::Fusion(_) => {
                 self.charge(r, lookup_cost(), Bucket::Sync);
@@ -257,7 +265,7 @@ impl Cluster {
     /// An asynchronous pack finished (GPU-Async event / naive DMA).
     pub(crate) fn on_pack_done(&mut self, r: usize, sid: SendId, t: Time) {
         let eff = self.eff_now(r, t);
-        self.ranks[r].account_wait(eff);
+        self.account_wait(r, eff);
         let detect = self.completion_detect_cost(r);
         self.charge_at(r, eff, detect, Bucket::Sync);
         self.ranks[r].sends[sid.0].pack = PackState::Done;
@@ -268,7 +276,7 @@ impl Cluster {
     /// An asynchronous unpack finished.
     pub(crate) fn on_unpack_done(&mut self, r: usize, rid: RecvId, t: Time) {
         let eff = self.eff_now(r, t);
-        self.ranks[r].account_wait(eff);
+        self.account_wait(r, eff);
         let detect = self.completion_detect_cost(r);
         self.charge_at(r, eff, detect, Bucket::Sync);
         self.finish_unpack(r, rid);
@@ -277,13 +285,13 @@ impl Cluster {
     /// A fused-kernel cooperative group signalled a request's completion.
     pub(crate) fn on_fusion_done(&mut self, r: usize, uid: Uid, t: Time) {
         let eff = self.eff_now(r, t);
-        self.ranks[r].account_wait(eff);
+        self.account_wait(r, eff);
         let (query_cost, complete_cost) = {
             let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
             sched.signal_completion(uid);
-            let (done, qc) = sched.query(uid);
+            let (done, qc) = sched.query(eff, uid);
             debug_assert!(done);
-            (qc, sched.retire(uid))
+            (qc, sched.retire(eff, uid))
         };
         self.charge_at(r, eff, query_cost, Bucket::Sync);
         self.charge(r, complete_cost, Bucket::Scheduling);
@@ -309,19 +317,15 @@ impl Cluster {
             let Some(batch) = sched.flush(now, &mut self.gpus[r], StreamId(0), reason) else {
                 break;
             };
-            self.trace_event("fusion", || {
-                format!(
-                    "rank {r}: fused {} requests ({:?})",
-                    batch.uids.len(),
-                    batch.reason
-                )
-            });
-            {
-                let rank = &mut self.ranks[r];
-                rank.cpu = batch.launch.cpu_release;
-                rank.breakdown.launch += self.gpus[r].arch.launch_cpu;
-                rank.breakdown.pack += batch.launch.done.since(batch.launch.start);
-            }
+            let launch_cpu = self.gpus[r].arch.launch_cpu;
+            self.ranks[r].cpu = batch.launch.cpu_release;
+            self.bucket_add_at(r, Bucket::Launch, now, launch_cpu);
+            self.bucket_add_at(
+                r,
+                Bucket::Pack,
+                batch.launch.start,
+                batch.launch.done.since(batch.launch.start),
+            );
             let rank_id = self.ranks[r].id;
             for (&uid, &done) in batch.uids.iter().zip(&batch.launch.request_done) {
                 self.events
@@ -369,8 +373,10 @@ impl Cluster {
                 op.count,
             )
         };
+        let now = self.ranks[r].cpu;
         let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
         let (res, cost) = sched.enqueue(
+            now,
             FusionOp::DirectIpc,
             origin_ptr,
             target,
@@ -433,8 +439,9 @@ impl Cluster {
         if !is_send {
             self.apply_unpack_movement(r, RecvId(idx));
         }
+        let now = self.ranks[r].cpu;
         let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
-        let (res, cost) = sched.enqueue(op, origin, target, layout, count, None);
+        let (res, cost) = sched.enqueue(now, op, origin, target, layout, count, None);
         self.charge(r, cost, Bucket::Scheduling);
         res
     }
@@ -453,14 +460,24 @@ impl Cluster {
         let arch = &self.gpus[r].arch;
         let launch_cpu = arch.launch_cpu;
         let sync_call = arch.stream_sync_call;
-        let rank = &mut self.ranks[r];
-        rank.breakdown.launch += launch_cpu;
-        self.bucket_add(r, kernel_bucket, k.done.since(k.start));
-        let rank = &mut self.ranks[r];
+        self.ranks[r].cpu = k.done + sync_call;
+        self.bucket_add_at(r, Bucket::Launch, at, launch_cpu);
+        self.bucket_add_at(r, kernel_bucket, k.start, k.done.since(k.start));
         // Blocked wait from the launch call's return to kernel completion,
         // plus the synchronize call itself.
-        rank.breakdown.sync += k.done.since(k.cpu_release) + sync_call;
-        rank.cpu = k.done + sync_call;
+        self.bucket_add_at(
+            r,
+            Bucket::Sync,
+            k.cpu_release,
+            k.done.since(k.cpu_release) + sync_call,
+        );
+        self.ranks[r]
+            .tele
+            .span(Lane::Host, k.cpu_release, k.done + sync_call, || {
+                Payload::SyncWait {
+                    kind: WaitKindTag::LocalKernel,
+                }
+            });
     }
 
     /// Aggregate per-block staged copies (`cudaMemcpyAsync` each) — the
@@ -583,13 +600,50 @@ impl Cluster {
         self.bucket_add(r, bucket, cost);
     }
 
+    /// Charge `d` to a bucket with the charge interval ending at the rank's
+    /// current CPU clock (the common case: the work just finished).
     fn bucket_add(&mut self, r: usize, bucket: Bucket, d: Duration) {
-        let b = &mut self.ranks[r].breakdown;
-        match bucket {
-            Bucket::Pack => b.pack += d,
-            Bucket::Launch => b.launch += d,
-            Bucket::Scheduling => b.scheduling += d,
-            Bucket::Sync => b.sync += d,
+        let end = self.ranks[r].cpu;
+        let start = Time(end.0.saturating_sub(d.as_nanos()));
+        self.bucket_add_at(r, bucket, start, d);
+    }
+
+    /// Charge `d` to a bucket with an explicit start instant. EVERY
+    /// breakdown mutation goes through here, so the emitted
+    /// [`Payload::BucketCharge`] spans sum to exactly the breakdown — the
+    /// invariant the reconciliation check relies on.
+    pub(crate) fn bucket_add_at(&mut self, r: usize, bucket: Bucket, start: Time, d: Duration) {
+        {
+            let b = &mut self.ranks[r].breakdown;
+            match bucket {
+                Bucket::Pack => b.pack += d,
+                Bucket::Launch => b.launch += d,
+                Bucket::Scheduling => b.scheduling += d,
+                Bucket::Sync => b.sync += d,
+                Bucket::Comm => b.comm += d,
+            }
+        }
+        if d > Duration::ZERO {
+            self.ranks[r]
+                .tele
+                .span(Lane::Accounting, start, start + d, || {
+                    Payload::BucketCharge {
+                        bucket: bucket.tele(),
+                        label: bucket.tele().label(),
+                    }
+                });
+        }
+    }
+
+    /// Attribute a blocked rank's wait interval up to `up_to`: network
+    /// waits land in the `Comm.` bucket, local-kernel waits are already
+    /// counted in `pack`.
+    pub(crate) fn account_wait(&mut self, r: usize, up_to: Time) {
+        let anchor = self.ranks[r].wait_anchor;
+        if let Some((kind, delta)) = self.ranks[r].take_wait(up_to) {
+            if kind == WaitKind::Network {
+                self.bucket_add_at(r, Bucket::Comm, anchor, delta);
+            }
         }
     }
 }
@@ -601,4 +655,18 @@ pub(crate) enum Bucket {
     Launch,
     Scheduling,
     Sync,
+    Comm,
+}
+
+impl Bucket {
+    /// The telemetry-crate mirror of this bucket.
+    pub(crate) fn tele(self) -> fusedpack_telemetry::Bucket {
+        match self {
+            Bucket::Pack => fusedpack_telemetry::Bucket::Pack,
+            Bucket::Launch => fusedpack_telemetry::Bucket::Launch,
+            Bucket::Scheduling => fusedpack_telemetry::Bucket::Scheduling,
+            Bucket::Sync => fusedpack_telemetry::Bucket::Sync,
+            Bucket::Comm => fusedpack_telemetry::Bucket::Comm,
+        }
+    }
 }

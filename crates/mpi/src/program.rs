@@ -47,10 +47,7 @@ pub struct BufDecl {
 #[derive(Debug, Clone)]
 pub enum AppOp {
     /// `MPI_Type_commit` into a type slot.
-    Commit {
-        slot: TypeSlot,
-        desc: Arc<TypeDesc>,
-    },
+    Commit { slot: TypeSlot, desc: Arc<TypeDesc> },
     /// `MPI_Irecv(buf, count, type, src, tag)`.
     Irecv {
         buf: BufId,

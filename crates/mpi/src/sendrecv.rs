@@ -126,9 +126,7 @@ pub struct RecvOp {
 impl SendOp {
     /// Ready to put the payload on the wire?
     pub fn ready_to_issue(&self) -> bool {
-        !self.data_issued
-            && self.pack == PackState::Done
-            && (self.eager || self.cts.is_some())
+        !self.data_issued && self.pack == PackState::Done && (self.eager || self.cts.is_some())
     }
 }
 

@@ -2,8 +2,8 @@
 //! the relative performance of the schemes must match the paper's ordering.
 
 use fusedpack_datatype::{Layout, TypeBuilder, TypeDesc};
-use fusedpack_mpi::{AppOp, BufId, ClusterBuilder, Program, RankId, SchemeKind, TypeSlot};
 use fusedpack_mpi::program::BufInit;
+use fusedpack_mpi::{AppOp, BufId, ClusterBuilder, Program, RankId, SchemeKind, TypeSlot};
 use fusedpack_net::Platform;
 use fusedpack_sim::Pcg32;
 use std::sync::Arc;
@@ -26,7 +26,9 @@ fn exchange_programs(
         let sbufs: Vec<BufId> = (0..n_msgs)
             .map(|i| p.buffer(buf_len, BufInit::Random(seed_base + i as u64)))
             .collect();
-        let rbufs: Vec<BufId> = (0..n_msgs).map(|_| p.buffer(buf_len, BufInit::Zero)).collect();
+        let rbufs: Vec<BufId> = (0..n_msgs)
+            .map(|_| p.buffer(buf_len, BufInit::Zero))
+            .collect();
         p.push(AppOp::Commit {
             slot: TypeSlot(0),
             desc: desc.clone(),
@@ -73,7 +75,13 @@ fn expected_buffer(seed: u64, rank_idx: u64, len: u64) -> Vec<u8> {
 
 /// Run a two-rank exchange and assert rank1 received rank0's data in every
 /// segment the layout touches.
-fn run_and_verify(platform: Platform, scheme: SchemeKind, desc: Arc<TypeDesc>, count: u64, n_msgs: usize) -> fusedpack_mpi::cluster::RunReport {
+fn run_and_verify(
+    platform: Platform,
+    scheme: SchemeKind,
+    desc: Arc<TypeDesc>,
+    count: u64,
+    n_msgs: usize,
+) -> fusedpack_mpi::cluster::RunReport {
     let layout = Layout::of(&desc);
     let buf_len = layout.footprint(count).max(1);
     let (p0, p1, _s0, r1) = exchange_programs(&desc, count, n_msgs, 1);
@@ -159,13 +167,28 @@ fn unexpected_messages_are_matched_late() {
         .map(|i| p0.buffer(buf_len, BufInit::Random(500 + i as u64)))
         .collect();
     let r0: Vec<BufId> = (0..n).map(|_| p0.buffer(buf_len, BufInit::Zero)).collect();
-    p0.push(AppOp::Commit { slot: TypeSlot(0), desc: desc.clone() });
+    p0.push(AppOp::Commit {
+        slot: TypeSlot(0),
+        desc: desc.clone(),
+    });
     // Sends first!
     for (i, &b) in s0.iter().enumerate() {
-        p0.push(AppOp::Isend { buf: b, ty: TypeSlot(0), count, dst: RankId(1), tag: i as u32 });
+        p0.push(AppOp::Isend {
+            buf: b,
+            ty: TypeSlot(0),
+            count,
+            dst: RankId(1),
+            tag: i as u32,
+        });
     }
     for (i, &b) in r0.iter().enumerate() {
-        p0.push(AppOp::Irecv { buf: b, ty: TypeSlot(0), count, src: RankId(1), tag: i as u32 });
+        p0.push(AppOp::Irecv {
+            buf: b,
+            ty: TypeSlot(0),
+            count,
+            src: RankId(1),
+            tag: i as u32,
+        });
     }
     p0.push(AppOp::Waitall);
 
@@ -174,12 +197,27 @@ fn unexpected_messages_are_matched_late() {
         .map(|i| p1.buffer(buf_len, BufInit::Random(600 + i as u64)))
         .collect();
     let r1: Vec<BufId> = (0..n).map(|_| p1.buffer(buf_len, BufInit::Zero)).collect();
-    p1.push(AppOp::Commit { slot: TypeSlot(0), desc: desc.clone() });
+    p1.push(AppOp::Commit {
+        slot: TypeSlot(0),
+        desc: desc.clone(),
+    });
     for (i, &b) in s1.iter().enumerate() {
-        p1.push(AppOp::Isend { buf: b, ty: TypeSlot(0), count, dst: RankId(0), tag: i as u32 });
+        p1.push(AppOp::Isend {
+            buf: b,
+            ty: TypeSlot(0),
+            count,
+            dst: RankId(0),
+            tag: i as u32,
+        });
     }
     for (i, &b) in r1.iter().enumerate() {
-        p1.push(AppOp::Irecv { buf: b, ty: TypeSlot(0), count, src: RankId(0), tag: i as u32 });
+        p1.push(AppOp::Irecv {
+            buf: b,
+            ty: TypeSlot(0),
+            count,
+            src: RankId(0),
+            tag: i as u32,
+        });
     }
     p1.push(AppOp::Waitall);
 
@@ -240,7 +278,13 @@ fn fusion_beats_gpu_sync_on_bulk_sparse() {
         4,
         16,
     );
-    let sync = run_and_verify(Platform::lassen(), SchemeKind::GpuSync, sparse_type(), 4, 16);
+    let sync = run_and_verify(
+        Platform::lassen(),
+        SchemeKind::GpuSync,
+        sparse_type(),
+        4,
+        16,
+    );
     let naive = run_and_verify(
         Platform::lassen(),
         SchemeKind::NaiveCopy(fusedpack_mpi::scheme::NaiveFlavor::SpectrumMpi),
@@ -293,7 +337,10 @@ fn breakdown_buckets_are_populated() {
         8,
     );
     let f = report.breakdowns[0];
-    assert!(f.scheduling.as_nanos() > 0, "fusion scheduling bucket empty");
+    assert!(
+        f.scheduling.as_nanos() > 0,
+        "fusion scheduling bucket empty"
+    );
     assert!(
         f.launch < b.launch,
         "fusion launch {:?} must undercut gpu-sync {:?}",
@@ -359,12 +406,42 @@ fn mixed_datatypes_in_one_epoch() {
         let s1 = p.buffer(len_dense, BufInit::Random(seed + 1));
         let r0 = p.buffer(len_sparse, BufInit::Zero);
         let r1 = p.buffer(len_dense, BufInit::Zero);
-        p.push(AppOp::Commit { slot: TypeSlot(0), desc: sparse.clone() });
-        p.push(AppOp::Commit { slot: TypeSlot(1), desc: dense.clone() });
-        p.push(AppOp::Irecv { buf: r0, ty: TypeSlot(0), count, src: peer, tag: 0 });
-        p.push(AppOp::Irecv { buf: r1, ty: TypeSlot(1), count, src: peer, tag: 1 });
-        p.push(AppOp::Isend { buf: s0, ty: TypeSlot(0), count, dst: peer, tag: 0 });
-        p.push(AppOp::Isend { buf: s1, ty: TypeSlot(1), count, dst: peer, tag: 1 });
+        p.push(AppOp::Commit {
+            slot: TypeSlot(0),
+            desc: sparse.clone(),
+        });
+        p.push(AppOp::Commit {
+            slot: TypeSlot(1),
+            desc: dense.clone(),
+        });
+        p.push(AppOp::Irecv {
+            buf: r0,
+            ty: TypeSlot(0),
+            count,
+            src: peer,
+            tag: 0,
+        });
+        p.push(AppOp::Irecv {
+            buf: r1,
+            ty: TypeSlot(1),
+            count,
+            src: peer,
+            tag: 1,
+        });
+        p.push(AppOp::Isend {
+            buf: s0,
+            ty: TypeSlot(0),
+            count,
+            dst: peer,
+            tag: 0,
+        });
+        p.push(AppOp::Isend {
+            buf: s1,
+            ty: TypeSlot(1),
+            count,
+            dst: peer,
+            tag: 1,
+        });
         p.push(AppOp::Waitall);
         (p, [r0, r1])
     };

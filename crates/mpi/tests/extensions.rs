@@ -96,8 +96,7 @@ fn verify_received(desc: &Arc<TypeDesc>, received: &[Vec<u8>], len: u64) {
 #[test]
 fn direct_ipc_moves_correct_bytes_intra_node() {
     let desc = sparse_type(300);
-    let (report, received, len) =
-        run_pair(SchemeKind::fusion_default(), &desc, 6, true, true);
+    let (report, received, len) = run_pair(SchemeKind::fusion_default(), &desc, 6, true, true);
     verify_received(&desc, &received, len);
     // DirectIPC requests were actually fused (the scheduler saw them).
     let stats = report.sched_stats[1].expect("fusion stats");
@@ -112,8 +111,7 @@ fn direct_ipc_beats_staged_path_intra_node() {
         enable_direct_ipc: false,
         ..FusionConfig::default()
     };
-    let (without_ipc, received, len) =
-        run_pair(SchemeKind::Fusion(cfg), &desc, 8, true, true);
+    let (without_ipc, received, len) = run_pair(SchemeKind::Fusion(cfg), &desc, 8, true, true);
     verify_received(&desc, &received, len); // staged intra-node path is also correct
     assert!(
         with_ipc.lap_makespan(0) < without_ipc.lap_makespan(0),
@@ -215,7 +213,10 @@ fn trace_records_fusion_and_wire_events() {
     cluster.run();
     let trace = cluster.trace();
     assert!(!trace.is_empty());
-    assert!(!trace.for_component("fusion").is_empty(), "fused launches traced");
+    assert!(
+        !trace.for_component("fusion").is_empty(),
+        "fused launches traced"
+    );
     assert!(!trace.for_component("wire").is_empty(), "deliveries traced");
     // Timestamps are monotone.
     let times: Vec<_> = trace.events().map(|e| e.time).collect();
@@ -316,13 +317,28 @@ fn run_pair_rndv(
             .map(|i| p.buffer(len, BufInit::Random(seed + i as u64)))
             .collect();
         let rbufs: Vec<BufId> = (0..n).map(|_| p.buffer(len, BufInit::Zero)).collect();
-        p.push(AppOp::Commit { slot: TypeSlot(0), desc: desc.clone() });
+        p.push(AppOp::Commit {
+            slot: TypeSlot(0),
+            desc: desc.clone(),
+        });
         p.push(AppOp::ResetTimer);
         for (i, &b) in rbufs.iter().enumerate() {
-            p.push(AppOp::Irecv { buf: b, ty: TypeSlot(0), count, src: peer, tag: i as u32 });
+            p.push(AppOp::Irecv {
+                buf: b,
+                ty: TypeSlot(0),
+                count,
+                src: peer,
+                tag: i as u32,
+            });
         }
         for (i, &b) in sbufs.iter().enumerate() {
-            p.push(AppOp::Isend { buf: b, ty: TypeSlot(0), count, dst: peer, tag: i as u32 });
+            p.push(AppOp::Isend {
+                buf: b,
+                ty: TypeSlot(0),
+                count,
+                dst: peer,
+                tag: i as u32,
+            });
         }
         p.push(AppOp::Waitall);
         p.push(AppOp::RecordLap);

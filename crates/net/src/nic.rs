@@ -7,6 +7,7 @@
 
 use crate::link::{Link, LinkSpec};
 use fusedpack_sim::{Duration, Time};
+use fusedpack_telemetry::{Lane, Payload, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Identifies a node in the cluster.
@@ -23,6 +24,7 @@ pub struct Nic {
     /// Effective bandwidth cap for GPUDirect transfers (NIC↔GPU path).
     gdr_bw_cap: f64,
     posted: u64,
+    telemetry: Telemetry,
 }
 
 impl Nic {
@@ -32,22 +34,44 @@ impl Nic {
             injection,
             gdr_bw_cap,
             posted: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder (tagged with the node's representative
+    /// rank).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Post a send of host-resident data at `now`.
     /// Returns `(wire_start, delivered_at_peer)`.
     pub fn post_send(&mut self, now: Time, bytes: u64) -> (Time, Time) {
         self.posted += 1;
-        self.tx.transmit(now + self.injection, bytes)
+        let (start, delivered) = self.tx.transmit(now + self.injection, bytes);
+        self.telemetry
+            .instant(Lane::Nic, now, || Payload::RdmaPost { bytes, gdr: false });
+        self.telemetry
+            .span(Lane::Nic, start, delivered, || Payload::WireTransfer {
+                bytes,
+            });
+        (start, delivered)
     }
 
     /// Post a send that sources GPU memory via GPUDirect RDMA: same wire,
     /// but bandwidth capped by the NIC↔GPU path (PCIe peer-to-peer on ABCI).
     pub fn post_send_gdr(&mut self, now: Time, bytes: u64) -> (Time, Time) {
         self.posted += 1;
-        self.tx
-            .transmit_capped(now + self.injection, bytes, self.gdr_bw_cap)
+        let (start, delivered) =
+            self.tx
+                .transmit_capped(now + self.injection, bytes, self.gdr_bw_cap);
+        self.telemetry
+            .instant(Lane::Nic, now, || Payload::RdmaPost { bytes, gdr: true });
+        self.telemetry
+            .span(Lane::Nic, start, delivered, || Payload::WireTransfer {
+                bytes,
+            });
+        (start, delivered)
     }
 
     /// Injection overhead per work request.
@@ -83,11 +107,7 @@ mod tests {
     use super::*;
 
     fn nic() -> Nic {
-        Nic::new(
-            LinkSpec::ib_edr_dual(),
-            Duration::from_nanos(400),
-            21.0e9,
-        )
+        Nic::new(LinkSpec::ib_edr_dual(), Duration::from_nanos(400), 21.0e9)
     }
 
     #[test]
@@ -111,7 +131,10 @@ mod tests {
         let mut n = nic();
         let (_, d1) = n.post_send(Time(0), 25_000_000); // 1ms serialization
         let (s2, _) = n.post_send(Time(0), 1024);
-        assert!(s2 >= d1 - n.wire().latency, "second send queues behind first");
+        assert!(
+            s2 >= d1 - n.wire().latency,
+            "second send queues behind first"
+        );
         assert_eq!(n.posted(), 2);
         assert_eq!(n.bytes_sent(), 25_001_024);
     }

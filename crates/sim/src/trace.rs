@@ -1,9 +1,16 @@
 //! A lightweight structured trace for debugging simulations.
 //!
-//! Components may record `(time, component, message)` entries; tests can
-//! assert on ordering, and the `reproduce` binary can dump traces with
-//! `--trace`. Disabled traces record nothing and cost one branch per call,
-//! following the perf-book guidance that logging must be free when off.
+//! Components may record `(time, component, message)` entries and tests
+//! can assert on ordering. Disabled traces record nothing and cost one
+//! branch per call, following the perf-book guidance that logging must be
+//! free when off.
+//!
+//! This is the *legacy, string-typed* view. The stack's primary recorder
+//! is the typed `fusedpack-telemetry` crate: the cluster records typed
+//! events there, and `mpi`'s `Cluster::trace()` synthesizes a `Trace`
+//! from that timeline for backward-compatible assertions. The `reproduce`
+//! binary exports the typed timeline as Chrome Trace Event JSON via
+//! `--trace-out FILE` (load it in Perfetto or chrome://tracing).
 
 use crate::clock::Time;
 use std::fmt;
@@ -18,7 +25,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<10} {}", self.time, self.component, self.message)
+        write!(
+            f,
+            "[{:>12}] {:<10} {}",
+            self.time, self.component, self.message
+        )
     }
 }
 

@@ -1,0 +1,167 @@
+//! Chrome Trace Event JSON export, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`.
+//!
+//! Mapping: each simulated rank becomes a *process* (`pid = rank`), and
+//! each [`Lane`] within it a *thread* (`tid` from [`Lane::tid`]): host CPU,
+//! NIC, and one thread per GPU stream. Spans are `"X"` (complete) events,
+//! instants `"i"`, counter samples `"C"`, and process/thread names are
+//! emitted as `"M"` metadata. Timestamps are microseconds (the format's
+//! unit) with nanosecond precision preserved in the fraction.
+
+use crate::event::Lane;
+use crate::json::{write_number, write_string};
+use crate::recorder::TimelineSnapshot;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+fn us(t: fusedpack_sim::Time) -> f64 {
+    t.0 as f64 / 1000.0
+}
+
+fn us_dur(d: fusedpack_sim::Duration) -> f64 {
+    d.as_nanos() as f64 / 1000.0
+}
+
+/// Render a snapshot as a complete Chrome Trace Event JSON document.
+pub fn export(snapshot: &TimelineSnapshot) -> String {
+    let mut out = String::with_capacity(256 + snapshot.events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |entry: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&entry);
+    };
+
+    // Metadata: name every (rank, lane) pair that appears.
+    let mut ranks: BTreeSet<u32> = BTreeSet::new();
+    let mut lanes: BTreeSet<(u32, Lane)> = BTreeSet::new();
+    for e in &snapshot.events {
+        ranks.insert(e.rank);
+        lanes.insert((e.rank, e.lane));
+    }
+    for c in &snapshot.counters {
+        ranks.insert(c.rank);
+    }
+    for &rank in &ranks {
+        let mut m = String::new();
+        let _ = write!(
+            m,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{rank},\"tid\":0,\"args\":{{\"name\":\"rank {rank}\"}}}}"
+        );
+        emit(m, &mut out);
+    }
+    for &(rank, lane) in &lanes {
+        let mut m = String::new();
+        let _ = write!(
+            m,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{rank},\"tid\":{},\"args\":{{\"name\":",
+            lane.tid()
+        );
+        write_string(&mut m, &lane.label());
+        m.push_str("}}");
+        emit(m, &mut out);
+    }
+
+    for e in &snapshot.events {
+        let mut s = String::new();
+        s.push_str("{\"name\":");
+        write_string(&mut s, e.payload.name());
+        s.push_str(",\"cat\":");
+        write_string(&mut s, e.payload.category());
+        match e.dur {
+            Some(d) => {
+                s.push_str(",\"ph\":\"X\",\"ts\":");
+                write_number(&mut s, us(e.start));
+                s.push_str(",\"dur\":");
+                write_number(&mut s, us_dur(d));
+            }
+            None => {
+                s.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+                write_number(&mut s, us(e.start));
+            }
+        }
+        let _ = write!(s, ",\"pid\":{},\"tid\":{}", e.rank, e.lane.tid());
+        let args = e.payload.args();
+        if !args.is_empty() {
+            s.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                write_string(&mut s, k);
+                s.push(':');
+                match v {
+                    crate::event::ArgValue::U64(n) => {
+                        let _ = write!(s, "{n}");
+                    }
+                    crate::event::ArgValue::F64(n) => write_number(&mut s, *n),
+                    crate::event::ArgValue::Bool(b) => {
+                        s.push_str(if *b { "true" } else { "false" })
+                    }
+                    crate::event::ArgValue::Str(v) => write_string(&mut s, v),
+                }
+            }
+            s.push('}');
+        }
+        s.push('}');
+        emit(s, &mut out);
+    }
+
+    for c in &snapshot.counters {
+        let mut s = String::new();
+        s.push_str("{\"ph\":\"C\",\"name\":");
+        write_string(&mut s, c.name);
+        let _ = write!(s, ",\"pid\":{},\"tid\":0,\"ts\":", c.rank);
+        write_number(&mut s, us(c.at));
+        s.push_str(",\"args\":{");
+        write_string(&mut s, c.name);
+        s.push(':');
+        write_number(&mut s, c.value);
+        s.push_str("}}");
+        emit(s, &mut out);
+    }
+
+    out.push_str("\n]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Bucket, Lane, Payload};
+    use crate::recorder::Telemetry;
+    use fusedpack_sim::Time;
+
+    #[test]
+    fn export_is_valid_json_with_expected_shapes() {
+        let root = Telemetry::enabled();
+        root.for_rank(0)
+            .span(Lane::Stream(0), Time(0), Time(1500), || {
+                Payload::KernelExec {
+                    bytes: 4096,
+                    blocks: 8,
+                }
+            });
+        root.for_rank(1)
+            .instant(Lane::Host, Time(2000), || Payload::BucketCharge {
+                bucket: Bucket::Sync,
+                label: "wait",
+            });
+        root.for_rank(1).counter(Time(2500), "ring", 3.0);
+        let text = export(&root.snapshot());
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process names + 2 thread names + 2 events + 1 counter.
+        assert_eq!(events.len(), 7);
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("one complete span");
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("pid").unwrap().as_u64(), Some(0));
+    }
+}

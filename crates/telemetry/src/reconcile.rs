@@ -1,0 +1,179 @@
+//! Cross-check between the telemetry timeline and an independent
+//! per-bucket accounting (the mpi crate's Fig. 11 `Breakdown`).
+//!
+//! Instrumented code emits a [`Payload::BucketCharge`] span for every
+//! charge it adds to a breakdown bucket; summing those spans per rank must
+//! reproduce the breakdown exactly (both systems use integer nanoseconds),
+//! so any drift indicates a missed or double-counted charge.
+
+use crate::event::{Bucket, Payload};
+use crate::recorder::TimelineSnapshot;
+use fusedpack_sim::Duration;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-rank, per-bucket durations summed from `BucketCharge` spans.
+pub fn bucket_totals(snap: &TimelineSnapshot) -> BTreeMap<u32, [Duration; 5]> {
+    let mut totals: BTreeMap<u32, [Duration; 5]> = BTreeMap::new();
+    for e in &snap.events {
+        if let Payload::BucketCharge { bucket, .. } = e.payload {
+            let row = totals.entry(e.rank).or_insert([Duration::ZERO; 5]);
+            row[bucket.index()] += e.dur.unwrap_or(Duration::ZERO);
+        }
+    }
+    totals
+}
+
+/// One rank's comparison between telemetry and external accounting.
+#[derive(Debug, Clone)]
+pub struct RankDelta {
+    pub rank: u32,
+    pub telemetry: [Duration; 5],
+    pub external: [Duration; 5],
+}
+
+impl RankDelta {
+    pub fn worst_delta(&self) -> Duration {
+        let mut worst = Duration::ZERO;
+        for i in 0..5 {
+            let (a, b) = (self.telemetry[i], self.external[i]);
+            let d = if a >= b { a - b } else { b - a };
+            worst = worst.max(d);
+        }
+        worst
+    }
+}
+
+/// Outcome of [`reconcile`].
+#[derive(Debug, Clone)]
+pub struct ReconcileReport {
+    pub ranks: Vec<RankDelta>,
+    pub tolerance: Duration,
+}
+
+impl ReconcileReport {
+    pub fn is_ok(&self) -> bool {
+        self.ranks.iter().all(|r| r.worst_delta() <= self.tolerance)
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## breakdown reconciliation (telemetry vs mpi::breakdown, tolerance {} ns)",
+            self.tolerance.as_nanos()
+        );
+        for r in &self.ranks {
+            let status = if r.worst_delta() <= self.tolerance {
+                "ok"
+            } else {
+                "MISMATCH"
+            };
+            let _ = writeln!(out, "  rank {}: {status}", r.rank);
+            for (i, b) in Bucket::ALL.iter().enumerate() {
+                let (t, x) = (r.telemetry[i], r.external[i]);
+                let marker = if t == x { "" } else { "  <-- differs" };
+                let _ = writeln!(
+                    out,
+                    "    {:<10} telemetry {:>12} ns   breakdown {:>12} ns{marker}",
+                    b.label(),
+                    t.as_nanos(),
+                    x.as_nanos()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Compare telemetry-derived bucket totals against external per-rank
+/// totals (ordered `[pack, launch, scheduling, sync, comm]`, matching
+/// [`Bucket::index`]). Every rank present in either side is compared.
+pub fn reconcile(
+    snap: &TimelineSnapshot,
+    external: &[(u32, [Duration; 5])],
+    tolerance: Duration,
+) -> ReconcileReport {
+    let telemetry = bucket_totals(snap);
+    let mut ranks: Vec<u32> = telemetry.keys().copied().collect();
+    for (r, _) in external {
+        if !ranks.contains(r) {
+            ranks.push(*r);
+        }
+    }
+    ranks.sort_unstable();
+    let deltas = ranks
+        .into_iter()
+        .map(|rank| RankDelta {
+            rank,
+            telemetry: telemetry.get(&rank).copied().unwrap_or([Duration::ZERO; 5]),
+            external: external
+                .iter()
+                .find(|(r, _)| *r == rank)
+                .map(|(_, v)| *v)
+                .unwrap_or([Duration::ZERO; 5]),
+        })
+        .collect();
+    ReconcileReport {
+        ranks: deltas,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Lane;
+    use crate::recorder::Telemetry;
+    use fusedpack_sim::Time;
+
+    #[test]
+    fn matching_totals_reconcile() {
+        let root = Telemetry::enabled();
+        let r0 = root.for_rank(0);
+        r0.span(Lane::Host, Time(0), Time(100), || Payload::BucketCharge {
+            bucket: Bucket::Launch,
+            label: "launch",
+        });
+        r0.span(Lane::Host, Time(100), Time(150), || Payload::BucketCharge {
+            bucket: Bucket::Sync,
+            label: "wait",
+        });
+        let external = [(
+            0u32,
+            [
+                Duration::ZERO,
+                Duration(100),
+                Duration::ZERO,
+                Duration(50),
+                Duration::ZERO,
+            ],
+        )];
+        let report = reconcile(&root.snapshot(), &external, Duration::ZERO);
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn drift_is_detected_and_rendered() {
+        let root = Telemetry::enabled();
+        root.for_rank(0)
+            .span(Lane::Host, Time(0), Time(80), || Payload::BucketCharge {
+                bucket: Bucket::Pack,
+                label: "pack",
+            });
+        let external = [(
+            0u32,
+            [
+                Duration(100),
+                Duration::ZERO,
+                Duration::ZERO,
+                Duration::ZERO,
+                Duration::ZERO,
+            ],
+        )];
+        let report = reconcile(&root.snapshot(), &external, Duration(5));
+        assert!(!report.is_ok());
+        assert_eq!(report.ranks[0].worst_delta(), Duration(20));
+        assert!(report.render().contains("MISMATCH"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Property-based tests of the recorder invariants, plus the golden
+//! Chrome-trace round-trip through the in-tree JSON parser.
+
+use fusedpack_sim::Time;
+use fusedpack_telemetry::{chrome, json, Lane, Payload, Telemetry, WaitKindTag};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One randomly-generated record call.
+#[derive(Debug, Clone)]
+enum Op {
+    Instant {
+        rank: u32,
+        lane_tid: u32,
+        at: u64,
+    },
+    Span {
+        rank: u32,
+        lane_tid: u32,
+        start: u64,
+        len: u64,
+    },
+    OpenClose {
+        rank: u32,
+        at: u64,
+        len: u64,
+        close: bool,
+    },
+}
+
+fn lane_from(tid: u32) -> Lane {
+    match tid % 4 {
+        0 => Lane::Host,
+        1 => Lane::Nic,
+        2 => Lane::Stream(tid % 3),
+        _ => Lane::Accounting,
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4, 0u32..6, 0u64..1_000_000).prop_map(|(rank, lane_tid, at)| Op::Instant {
+            rank,
+            lane_tid,
+            at
+        }),
+        (0u32..4, 0u32..6, 0u64..1_000_000, 0u64..10_000).prop_map(
+            |(rank, lane_tid, start, len)| Op::Span {
+                rank,
+                lane_tid,
+                start,
+                len
+            }
+        ),
+        (0u32..4, 0u64..1_000_000, 0u64..10_000, any::<bool>()).prop_map(
+            |(rank, at, len, close)| Op::OpenClose {
+                rank,
+                at,
+                len,
+                close
+            }
+        ),
+    ]
+}
+
+fn apply(root: &Telemetry, ops: &[Op]) -> (usize, usize) {
+    // Returns (events recorded, opens left unclosed).
+    let mut events = 0;
+    let mut unclosed = 0;
+    for op in ops {
+        match *op {
+            Op::Instant { rank, lane_tid, at } => {
+                root.for_rank(rank)
+                    .instant(lane_from(lane_tid), Time(at), || Payload::Marker {
+                        label: "i",
+                    });
+                events += 1;
+            }
+            Op::Span {
+                rank,
+                lane_tid,
+                start,
+                len,
+            } => {
+                root.for_rank(rank).span(
+                    lane_from(lane_tid),
+                    Time(start),
+                    Time(start + len),
+                    || Payload::Marker { label: "s" },
+                );
+                events += 1;
+            }
+            Op::OpenClose {
+                rank,
+                at,
+                len,
+                close,
+            } => {
+                let t = root.for_rank(rank);
+                let id = t.open(Lane::Host, Time(at), || Payload::SyncWait {
+                    kind: WaitKindTag::Network,
+                });
+                events += 1;
+                if close {
+                    t.close(id, Time(at + len));
+                } else {
+                    unclosed += 1;
+                }
+            }
+        }
+    }
+    (events, unclosed)
+}
+
+proptest! {
+    /// Every record call lands exactly once, in call order, tagged with
+    /// the rank of the handle that made it; spans never have negative
+    /// durations and instants never grow one.
+    #[test]
+    fn recorder_preserves_order_ranks_and_span_shape(ops in prop::collection::vec(arb_op(), 0..64)) {
+        let root = Telemetry::enabled();
+        let (expect_events, expect_unclosed) = apply(&root, &ops);
+        let snap = root.snapshot();
+
+        prop_assert_eq!(snap.events.len(), expect_events);
+        prop_assert_eq!(snap.dropped, 0);
+        prop_assert_eq!(snap.unclosed_spans, expect_unclosed);
+
+        for (op, ev) in ops.iter().zip(&snap.events) {
+            match *op {
+                Op::Instant { rank, at, .. } => {
+                    prop_assert_eq!(ev.rank, rank);
+                    prop_assert_eq!(ev.start, Time(at));
+                    prop_assert!(ev.dur.is_none());
+                }
+                Op::Span { rank, start, len, .. } => {
+                    prop_assert_eq!(ev.rank, rank);
+                    prop_assert_eq!(ev.start, Time(start));
+                    prop_assert_eq!(ev.dur.map(|d| d.as_nanos()), Some(len));
+                    prop_assert!(ev.end() >= ev.start);
+                }
+                Op::OpenClose { rank, at, len, close } => {
+                    prop_assert_eq!(ev.rank, rank);
+                    prop_assert_eq!(ev.start, Time(at));
+                    if close {
+                        prop_assert_eq!(ev.dur.map(|d| d.as_nanos()), Some(len));
+                    } else {
+                        prop_assert!(ev.dur.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Open/close bookkeeping: the number of unclosed spans is exactly the
+    /// number of opens without a matching close, closing twice is a no-op,
+    /// and closing never touches another span's duration.
+    #[test]
+    fn open_close_matching_is_exact(
+        spans in prop::collection::vec((0u64..1_000, 0u64..1_000, any::<bool>()), 1..32),
+    ) {
+        let t = Telemetry::enabled();
+        let mut ids = Vec::new();
+        for &(at, _, _) in &spans {
+            ids.push(t.open(Lane::Host, Time(at), || Payload::SyncWait {
+                kind: WaitKindTag::LocalKernel,
+            }));
+        }
+        let mut open_count = spans.len();
+        for (&(at, len, close), id) in spans.iter().zip(&ids) {
+            if close {
+                t.close(*id, Time(at + len));
+                t.close(*id, Time(at + len + 7)); // double close: no-op
+                open_count -= 1;
+            }
+        }
+        let snap = t.snapshot();
+        prop_assert_eq!(snap.unclosed_spans, open_count);
+        for ((&(at, len, close), _), ev) in spans.iter().zip(&ids).zip(&snap.events) {
+            prop_assert_eq!(ev.start, Time(at));
+            if close {
+                // First close wins; the second must not re-patch.
+                prop_assert_eq!(ev.dur.map(|d| d.as_nanos()), Some(len));
+            } else {
+                prop_assert!(ev.dur.is_none());
+            }
+        }
+    }
+
+    /// The Chrome exporter emits parseable JSON for ANY recorded timeline,
+    /// with exactly one process per distinct rank.
+    #[test]
+    fn chrome_export_parses_with_one_process_per_rank(ops in prop::collection::vec(arb_op(), 0..48)) {
+        let root = Telemetry::enabled();
+        apply(&root, &ops);
+        let snap = root.snapshot();
+        let doc = json::parse(&chrome::export(&snap)).expect("valid JSON");
+
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents");
+        let ranks: BTreeSet<u64> = snap.events.iter().map(|e| e.rank as u64).collect();
+        let named: BTreeSet<u64> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                    && e.get("name").and_then(|v| v.as_str()) == Some("process_name")
+            })
+            .filter_map(|e| e.get("pid")?.as_u64())
+            .collect();
+        prop_assert_eq!(named, ranks);
+    }
+}
+
+/// Golden round-trip: a small fixed timeline must export to JSON that the
+/// in-tree parser reads back, re-renders, and re-parses to the same value,
+/// with each rank a separate process and lanes named as threads.
+#[test]
+fn golden_chrome_round_trip() {
+    let root = Telemetry::enabled();
+    for rank in 0..3u32 {
+        let t = root.for_rank(rank);
+        t.span(Lane::Host, Time(10), Time(30), || Payload::KernelLaunch {
+            fused: true,
+        });
+        t.span(Lane::Stream(0), Time(30), Time(90), || Payload::FusedExec {
+            requests: 4,
+            bytes: 4096,
+            reason: fusedpack_telemetry::FlushReasonTag::ThresholdReached,
+        });
+        t.instant(Lane::Nic, Time(95), || Payload::RdmaPost {
+            bytes: 4096,
+            gdr: rank == 0,
+        });
+        t.counter(Time(95), "ring occupancy", rank as f64);
+    }
+    let snap = root.snapshot();
+    let text = chrome::export(&snap);
+
+    let doc = json::parse(&text).expect("golden export must parse");
+    let rendered = doc.render();
+    let reparsed = json::parse(&rendered).expect("re-render must parse");
+    assert_eq!(doc, reparsed, "render/parse must be a fixed point");
+
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+    // 3 process_name metas, one per rank.
+    let procs: Vec<(u64, &str)> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                && e.get("name").and_then(|v| v.as_str()) == Some("process_name")
+        })
+        .filter_map(|e| {
+            Some((
+                e.get("pid")?.as_u64()?,
+                e.get("args")?.get("name")?.as_str()?,
+            ))
+        })
+        .collect();
+    assert_eq!(
+        procs,
+        vec![(0, "rank 0"), (1, "rank 1"), (2, "rank 2")],
+        "one process per rank, in order"
+    );
+
+    // Thread metadata names the lanes we used on every rank.
+    let thread_names: BTreeSet<&str> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                && e.get("name").and_then(|v| v.as_str()) == Some("thread_name")
+        })
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    for lane in ["host", "nic", "stream 0"] {
+        assert!(thread_names.contains(lane), "missing thread {lane:?}");
+    }
+
+    // 9 payload events (3 per rank) + 3 counter samples.
+    let payloads = events
+        .iter()
+        .filter(|e| matches!(e.get("ph").and_then(|v| v.as_str()), Some("X") | Some("i")))
+        .count();
+    let counters = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("C"))
+        .count();
+    assert_eq!(payloads, 9);
+    assert_eq!(counters, 3);
+
+    // Spot-check one complete span: rank 1's fused kernel on stream 0.
+    let fused = events
+        .iter()
+        .find(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                && e.get("pid").and_then(|v| v.as_u64()) == Some(1)
+                && e.get("name").and_then(|v| v.as_str()) == Some("fused-kernel")
+        })
+        .expect("rank 1 fused-kernel span");
+    assert_eq!(fused.get("tid").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(fused.get("cat").and_then(|v| v.as_str()), Some("gpu"));
+    let args = fused.get("args").expect("args");
+    assert_eq!(args.get("requests").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(args.get("bytes").and_then(|v| v.as_u64()), Some(4096));
+    assert_eq!(
+        args.get("reason").and_then(|v| v.as_str()),
+        Some("threshold")
+    );
+}

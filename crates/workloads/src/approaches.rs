@@ -14,9 +14,9 @@
 //! exchange of `n_msgs` buffers each way.
 
 use crate::Workload;
+use fusedpack_datatype::TypeBuilder;
 use fusedpack_mpi::program::BufInit;
 use fusedpack_mpi::{AppOp, BufId, Program, RankId, TypeSlot};
-use fusedpack_datatype::TypeBuilder;
 
 /// Buffer handles for verification.
 pub struct ApproachBuffers {
@@ -38,8 +38,12 @@ fn declare_bufs(
     let recv_user: Vec<BufId> = (0..n_msgs).map(|_| p.buffer(len, BufInit::Zero)).collect();
     let (send_packed, recv_packed) = if explicit {
         (
-            (0..n_msgs).map(|_| p.buffer(packed, BufInit::Zero)).collect(),
-            (0..n_msgs).map(|_| p.buffer(packed, BufInit::Zero)).collect(),
+            (0..n_msgs)
+                .map(|_| p.buffer(packed, BufInit::Zero))
+                .collect(),
+            (0..n_msgs)
+                .map(|_| p.buffer(packed, BufInit::Zero))
+                .collect(),
         )
     } else {
         (Vec::new(), Vec::new())
@@ -48,7 +52,11 @@ fn declare_bufs(
 }
 
 /// Algorithm 1: MPI-level explicit pack/unpack.
-pub fn algorithm1_programs(workload: &Workload, n_msgs: usize, seed: u64) -> (Program, Program, ApproachBuffers) {
+pub fn algorithm1_programs(
+    workload: &Workload,
+    n_msgs: usize,
+    seed: u64,
+) -> (Program, Program, ApproachBuffers) {
     let build = |seed: u64, peer: RankId| {
         let mut p = Program::new();
         let (send_user, recv_user, send_packed, recv_packed) =
@@ -105,7 +113,11 @@ pub fn algorithm1_programs(workload: &Workload, n_msgs: usize, seed: u64) -> (Pr
 }
 
 /// Algorithm 2: application-level explicit pack/unpack, one sync each way.
-pub fn algorithm2_programs(workload: &Workload, n_msgs: usize, seed: u64) -> (Program, Program, ApproachBuffers) {
+pub fn algorithm2_programs(
+    workload: &Workload,
+    n_msgs: usize,
+    seed: u64,
+) -> (Program, Program, ApproachBuffers) {
     let build = |seed: u64, peer: RankId| {
         let mut p = Program::new();
         let (send_user, recv_user, send_packed, recv_packed) =
@@ -209,18 +221,8 @@ mod tests {
     fn all_three_approaches_move_correct_bytes() {
         let w = specfem3d_cm(600);
         let n = 8;
-        let a1 = run(
-            algorithm1_programs(&w, n, 40),
-            SchemeKind::GpuSync,
-            &w,
-            40,
-        );
-        let a2 = run(
-            algorithm2_programs(&w, n, 40),
-            SchemeKind::GpuSync,
-            &w,
-            40,
-        );
+        let a1 = run(algorithm1_programs(&w, n, 40), SchemeKind::GpuSync, &w, 40);
+        let a2 = run(algorithm2_programs(&w, n, 40), SchemeKind::GpuSync, &w, 40);
         // Algorithm 2's single sync beats Algorithm 1's per-call syncs.
         assert!(a2 < a1, "app-level {a2} should beat MPI-explicit {a1}");
     }
@@ -243,6 +245,9 @@ mod tests {
             report.lap_makespan(0)
         };
         assert!(a3 < a2, "implicit+fusion {a3} should beat app-level {a2}");
-        assert!(a3 < a1, "implicit+fusion {a3} should beat MPI-explicit {a1}");
+        assert!(
+            a3 < a1,
+            "implicit+fusion {a3} should beat MPI-explicit {a1}"
+        );
     }
 }

@@ -71,7 +71,10 @@ pub fn bulk_exchange_programs(
         (p, ExchangeBuffers { send, recv })
     };
 
-    (build(seed_base, RankId(1)), build(seed_base + 1000, RankId(0)))
+    (
+        build(seed_base, RankId(1)),
+        build(seed_base + 1000, RankId(0)),
+    )
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use fusedpack_gpu::DataMode;
 use fusedpack_mpi::{Breakdown, ClusterBuilder, SchemeKind};
 use fusedpack_net::Platform;
 use fusedpack_sim::Duration;
+use fusedpack_telemetry::Telemetry;
 
 /// Configuration of one exchange measurement.
 #[derive(Clone)]
@@ -61,13 +62,36 @@ pub struct ExchangeOutcome {
 
 /// Run one bulk-exchange measurement.
 pub fn run_exchange(cfg: &ExchangeConfig) -> ExchangeOutcome {
+    run_exchange_with(cfg, None).0
+}
+
+/// Run one bulk-exchange measurement with a live telemetry recorder.
+///
+/// The recorder is shared: the cluster's events land in the caller's
+/// `Telemetry` handle (tagged per rank internally). Also returns the
+/// per-rank whole-run [`Breakdown`]s — the external ledger a caller can
+/// [`fusedpack_telemetry::reconcile`] the recorded timeline against.
+pub fn run_exchange_traced(
+    cfg: &ExchangeConfig,
+    telemetry: &Telemetry,
+) -> (ExchangeOutcome, Vec<Breakdown>) {
+    run_exchange_with(cfg, Some(telemetry))
+}
+
+fn run_exchange_with(
+    cfg: &ExchangeConfig,
+    telemetry: Option<&Telemetry>,
+) -> (ExchangeOutcome, Vec<Breakdown>) {
     let laps = cfg.warmup_laps + cfg.measured_laps;
     let ((p0, _), (p1, _)) = bulk_exchange_programs(&cfg.workload, cfg.n_msgs, laps, 7);
-    let mut cluster = ClusterBuilder::new(cfg.platform.clone(), cfg.scheme.clone())
+    let mut builder = ClusterBuilder::new(cfg.platform.clone(), cfg.scheme.clone())
         .data_mode(cfg.mode)
         .add_rank(0, p0)
-        .add_rank(1, p1)
-        .build();
+        .add_rank(1, p1);
+    if let Some(t) = telemetry {
+        builder = builder.telemetry(t.clone());
+    }
+    let mut cluster = builder.build();
     let report = cluster.run();
 
     let measured: Vec<Duration> = (cfg.warmup_laps..laps)
@@ -92,13 +116,14 @@ pub fn run_exchange(cfg: &ExchangeConfig) -> ExchangeOutcome {
         breakdown
     };
 
-    ExchangeOutcome {
+    let outcome = ExchangeOutcome {
         latency: mean,
         lap_latencies: measured,
         breakdown,
         sched: report.sched_stats[0],
         kernels: report.kernels_launched.iter().sum(),
-    }
+    };
+    (outcome, report.breakdowns)
 }
 
 fn scale_breakdown(b: &Breakdown, div: u64) -> Breakdown {

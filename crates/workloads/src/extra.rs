@@ -18,12 +18,7 @@ pub fn wrf_x_slab(n: u64, halo: u64) -> Workload {
     Workload {
         name: "WRF_x",
         class: LayoutClass::Dense,
-        desc: TypeBuilder::subarray(
-            &[n, n, n],
-            &[halo, n, n],
-            &[0, 0, 0],
-            TypeBuilder::double(),
-        ),
+        desc: TypeBuilder::subarray(&[n, n, n], &[halo, n, n], &[0, 0, 0], TypeBuilder::double()),
         count: 1,
     }
 }
@@ -35,12 +30,7 @@ pub fn wrf_y_slab(n: u64, halo: u64) -> Workload {
     Workload {
         name: "WRF_y",
         class: LayoutClass::Dense,
-        desc: TypeBuilder::subarray(
-            &[n, n, n],
-            &[n, halo, n],
-            &[0, 0, 0],
-            TypeBuilder::double(),
-        ),
+        desc: TypeBuilder::subarray(&[n, n, n], &[n, halo, n], &[0, 0, 0], TypeBuilder::double()),
         count: 1,
     }
 }

@@ -25,7 +25,7 @@ pub mod nas;
 pub mod specfem;
 
 pub use bulk::bulk_exchange_programs;
-pub use driver::{run_exchange, ExchangeConfig, ExchangeOutcome};
+pub use driver::{run_exchange, run_exchange_traced, ExchangeConfig, ExchangeOutcome};
 
 use fusedpack_datatype::TypeDesc;
 use std::sync::Arc;

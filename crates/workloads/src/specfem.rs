@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_patterns() {
-        assert_ne!(boundary_displacements(100, 1), boundary_displacements(100, 2));
+        assert_ne!(
+            boundary_displacements(100, 1),
+            boundary_displacements(100, 2)
+        );
     }
 
     #[test]
@@ -108,6 +111,9 @@ mod tests {
         let small = specfem3d_oc(100);
         let large = specfem3d_oc(10_000);
         assert!(large.packed_bytes() > 50 * small.packed_bytes());
-        assert!(large.footprint() > large.packed_bytes(), "gaps make footprint larger");
+        assert!(
+            large.footprint() > large.packed_bytes(),
+            "gaps make footprint larger"
+        );
     }
 }

@@ -11,7 +11,11 @@ use fusedpack::workloads::milc::milc_su3_zdown;
 
 fn bar(frac: f64, width: usize) -> String {
     let filled = (frac * width as f64).round() as usize;
-    format!("{}{}", "#".repeat(filled), ".".repeat(width.saturating_sub(filled)))
+    format!(
+        "{}{}",
+        "#".repeat(filled),
+        ".".repeat(width.saturating_sub(filled))
+    )
 }
 
 fn main() {

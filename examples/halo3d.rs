@@ -25,7 +25,10 @@ fn rank_program(rank: u32, world: u32, n: u64) -> Program {
         let len = face.footprint().max(1);
         // One send + one recv buffer per face per neighbor.
         for nb in 0..2u64 {
-            send_bufs.push(p.buffer(len, BufInit::Random(1000 + rank as u64 * 10 + f as u64 * 2 + nb)));
+            send_bufs.push(p.buffer(
+                len,
+                BufInit::Random(1000 + rank as u64 * 10 + f as u64 * 2 + nb),
+            ));
             recv_bufs.push(p.buffer(len, BufInit::Zero));
         }
     }
@@ -89,8 +92,8 @@ fn main() {
         SchemeKind::CpuGpuHybrid,
     ] {
         let label = scheme.label();
-        let mut builder = ClusterBuilder::new(Platform::lassen(), scheme)
-            .data_mode(DataMode::ModelOnly);
+        let mut builder =
+            ClusterBuilder::new(Platform::lassen(), scheme).data_mode(DataMode::ModelOnly);
         for rank in 0..world {
             // Ranks 0,1 on node 0; ranks 2,3 on node 1.
             builder = builder.add_rank(rank / 2, rank_program(rank, world, n));

@@ -42,12 +42,11 @@ fn main() {
         results.push((label, out.latency, out.kernels));
     }
 
-    let best = results
-        .iter()
-        .map(|&(_, l, _)| l)
-        .min()
-        .expect("non-empty");
-    println!("{:<16} {:>12} {:>10} {:>9}", "scheme", "latency", "kernels", "slowdown");
+    let best = results.iter().map(|&(_, l, _)| l).min().expect("non-empty");
+    println!(
+        "{:<16} {:>12} {:>10} {:>9}",
+        "scheme", "latency", "kernels", "slowdown"
+    );
     println!("{}", "-".repeat(50));
     for (label, latency, kernels) in &results {
         println!(

@@ -12,11 +12,7 @@ use fusedpack::workloads::{milc::milc_su3_zdown, nas::nas_mg_y, specfem::specfem
 
 fn main() {
     let platform = Platform::lassen();
-    let workloads = vec![
-        specfem3d_cm(4096),
-        milc_su3_zdown(12),
-        nas_mg_y(192),
-    ];
+    let workloads = vec![specfem3d_cm(4096), milc_su3_zdown(12), nas_mg_y(192)];
 
     for w in workloads {
         let avg_block = w.packed_bytes() as f64 / w.blocks() as f64;

@@ -23,7 +23,9 @@
 //!   (`fusedpack-net`);
 //! * [`workloads`] — specfem3D / MILC / NAS_MG generators and the exchange
 //!   driver (`fusedpack-workloads`);
-//! * [`sim`] — the deterministic discrete-event engine (`fusedpack-sim`).
+//! * [`sim`] — the deterministic discrete-event engine (`fusedpack-sim`);
+//! * [`telemetry`] — the typed event timeline, metrics aggregation, and
+//!   Chrome-trace / Perfetto export (`fusedpack-telemetry`).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub use fusedpack_gpu as gpu;
 pub use fusedpack_mpi as mpi;
 pub use fusedpack_net as net;
 pub use fusedpack_sim as sim;
+pub use fusedpack_telemetry as telemetry;
 pub use fusedpack_workloads as workloads;
 
 /// The names most programs need.
@@ -60,5 +63,8 @@ pub mod prelude {
     };
     pub use fusedpack_net::Platform;
     pub use fusedpack_sim::{Duration, Time};
-    pub use fusedpack_workloads::{run_exchange, ExchangeConfig, ExchangeOutcome, Workload};
+    pub use fusedpack_telemetry::Telemetry;
+    pub use fusedpack_workloads::{
+        run_exchange, run_exchange_traced, ExchangeConfig, ExchangeOutcome, Workload,
+    };
 }

@@ -103,7 +103,11 @@ fn four_rank_ring_dense_every_scheme_abci() {
 #[test]
 fn fine_grained_z_face_roundtrips() {
     // The pathological NAS z-face: n^2 single-double blocks.
-    verify_ring(Platform::lassen(), SchemeKind::fusion_default(), &nas_mg_z(24));
+    verify_ring(
+        Platform::lassen(),
+        SchemeKind::fusion_default(),
+        &nas_mg_z(24),
+    );
     verify_ring(Platform::lassen(), SchemeKind::GpuSync, &nas_mg_z(24));
 }
 

@@ -24,7 +24,11 @@ fn sparse_speedup_on_lassen_is_multi_x() {
     for pts in [512, 1024, 2048, 4096] {
         let w = specfem3d_cm(pts);
         let f = lat(&platform, SchemeKind::fusion_default(), &w, 16);
-        for s in [SchemeKind::GpuSync, SchemeKind::GpuAsync, SchemeKind::CpuGpuHybrid] {
+        for s in [
+            SchemeKind::GpuSync,
+            SchemeKind::GpuAsync,
+            SchemeKind::CpuGpuHybrid,
+        ] {
             let b = lat(&platform, s, &w, 16);
             best = best.max(b.as_nanos() as f64 / f.as_nanos() as f64);
         }
@@ -82,10 +86,7 @@ fn production_libraries_lose_by_orders_of_magnitude() {
 #[test]
 fn beats_mvapich_gdr_on_both_layout_classes() {
     let platform = Platform::lassen();
-    for (w, min_speedup) in [
-        (specfem3d_cm(2048), 1.5),
-        (nas_mg_y(128), 1.2),
-    ] {
+    for (w, min_speedup) in [(specfem3d_cm(2048), 1.5), (nas_mg_y(128), 1.2)] {
         let f = lat(&platform, SchemeKind::fusion_default(), &w, 16);
         let m = lat(&platform, SchemeKind::Adaptive, &w, 16);
         let speedup = m.as_nanos() as f64 / f.as_nanos() as f64;
@@ -158,7 +159,13 @@ fn kernel_launch_counts_match_design() {
     let platform = Platform::lassen();
     let w = specfem3d_cm(1000);
     let kernels = |scheme| {
-        run_exchange(&ExchangeConfig::new(platform.clone(), scheme, w.clone(), 16)).kernels
+        run_exchange(&ExchangeConfig::new(
+            platform.clone(),
+            scheme,
+            w.clone(),
+            16,
+        ))
+        .kernels
     };
     // 2 laps x 2 ranks x 32 ops.
     assert_eq!(kernels(SchemeKind::GpuSync), 128);

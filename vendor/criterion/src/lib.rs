@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This provides the subset of the criterion API the bench targets
+//! use (`bench_function`, `benchmark_group` with `sample_size` /
+//! `throughput` / `finish`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros) backed by a plain `std::time::Instant` harness.
+//!
+//! Mode detection mirrors criterion: `cargo bench` invokes the binary with
+//! `--bench`, which runs timed samples and prints a median per benchmark;
+//! `cargo test` runs the same binary without it, which executes every
+//! benchmark body exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Timed run under `cargo bench`.
+    Measure,
+    /// One-iteration smoke run under `cargo test`.
+    Smoke,
+}
+
+fn detect_mode() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// How much data one iteration processes; used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free-standing CLI arg (as passed by `cargo bench -- <f>`)
+        // filters benchmarks by substring, like the real crate.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            mode: detect_mode(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, &self.filter, &id.into(), 10, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &full,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    mode: Mode,
+    /// Total time spent inside `iter` bodies for this sample.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(body());
+                self.iters += 1;
+            }
+            Mode::Measure => {
+                // Calibrate an iteration count aiming at ~2ms per sample,
+                // then time a batch.
+                let t0 = Instant::now();
+                std::hint::black_box(body());
+                let once = t0.elapsed().max(Duration::from_nanos(50));
+                let reps =
+                    (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+                let t1 = Instant::now();
+                for _ in 0..reps {
+                    std::hint::black_box(body());
+                }
+                self.elapsed += t1.elapsed();
+                self.iters += reps;
+            }
+        }
+    }
+}
+
+fn run_one<F>(
+    mode: Mode,
+    filter: &Option<String>,
+    id: &str,
+    samples: usize,
+    tput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    match mode {
+        Mode::Smoke => {
+            let mut b = Bencher {
+                mode,
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+        }
+        Mode::Measure => {
+            let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let mut b = Bencher {
+                    mode,
+                    elapsed: Duration::ZERO,
+                    iters: 0,
+                };
+                f(&mut b);
+                if b.iters > 0 {
+                    per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+                }
+            }
+            per_iter.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+            let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+            let extra = match tput {
+                Some(Throughput::Bytes(n)) if median > 0.0 => {
+                    format!("  {:>8.2} GiB/s", n as f64 / median / 1.073_741_824)
+                }
+                Some(Throughput::Elements(n)) if median > 0.0 => {
+                    format!("  {:>8.2} Melem/s", n as f64 / median / 1e3)
+                }
+                _ => String::new(),
+            };
+            println!("{id:<48} {:>12.1} ns/iter{extra}", median);
+        }
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two names the workspace imports (`Serialize`,
+//! `Deserialize`) in both the macro namespace (no-op derives from the
+//! sibling `serde_derive` stub) and the trait namespace, so
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! unchanged. Nothing in the workspace calls serialization at runtime;
+//! JSON emission is hand-rolled where needed (see `fusedpack-telemetry`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented by the
+/// no-op derive; present so fully-qualified bounds would still name-check).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
