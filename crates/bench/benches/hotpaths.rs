@@ -1,0 +1,118 @@
+//! Microbenches of the data-plane fast paths introduced for the parallel
+//! sweep executor: host pack/unpack across layout shapes (sparse indexed,
+//! strided dense, fully contiguous — the last hitting the single-memcpy
+//! fast path, benchmarked against the generic gather loop), raw event-queue
+//! churn, and the staging [`BufferPool`] against fresh allocation.
+//!
+//! Baseline numbers live in `BENCH_hotpaths.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fusedpack_datatype::{pack, Layout, TypeBuilder};
+use fusedpack_gpu::BufferPool;
+use fusedpack_sim::{EventQueue, Time};
+use std::hint::black_box;
+
+/// (label, layout, element count) for the three pack/unpack shapes.
+fn shapes() -> Vec<(&'static str, Layout, u64)> {
+    // Sparse: 512 single-float blocks scattered with gaps.
+    let sparse_blocks: Vec<(u64, u64)> = (0..512u64).map(|i| (i * 5, 1)).collect();
+    let sparse = Layout::of(&TypeBuilder::indexed(&sparse_blocks, TypeBuilder::float()));
+    // Dense: strided vector, 64-double blocks at a 96-double stride.
+    let dense = Layout::of(&TypeBuilder::vector(64, 64, 96, TypeBuilder::double()));
+    // Contiguous: small unbroken elements, many of them — the shape where
+    // the whole-buffer memcpy fast path replaces 1024 tiny copies.
+    let contig = Layout::of(&TypeBuilder::contiguous(16, TypeBuilder::double()));
+    vec![
+        ("sparse", sparse, 4),
+        ("dense", dense, 4),
+        ("contiguous", contig, 1024),
+    ]
+}
+
+fn bench_pack_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/pack");
+    for (label, layout, count) in shapes() {
+        let src = vec![7u8; layout.footprint(count) as usize];
+        let mut dst = vec![0u8; layout.total_bytes(count) as usize];
+        g.throughput(Throughput::Bytes(layout.total_bytes(count)));
+        g.bench_function(label, |b| {
+            b.iter(|| pack::pack_into(black_box(&src), &layout, count, &mut dst))
+        });
+    }
+    // The same contiguous shape forced through the generic per-segment
+    // loop — the delta against hotpaths/pack/contiguous is the fast path.
+    let (_, layout, count) = shapes().pop().expect("contiguous shape");
+    let src = vec![7u8; layout.footprint(count) as usize];
+    let mut dst = vec![0u8; layout.total_bytes(count) as usize];
+    g.throughput(Throughput::Bytes(layout.total_bytes(count)));
+    g.bench_function("contiguous_generic_loop", |b| {
+        b.iter(|| pack::pack_into_generic(black_box(&src), &layout, count, &mut dst))
+    });
+    g.finish();
+}
+
+fn bench_unpack_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/unpack");
+    for (label, layout, count) in shapes() {
+        let src = vec![9u8; layout.total_bytes(count) as usize];
+        let mut dst = vec![0u8; layout.footprint(count) as usize];
+        g.throughput(Throughput::Bytes(layout.total_bytes(count)));
+        g.bench_function(label, |b| {
+            b.iter(|| pack::unpack(black_box(&src), &layout, count, &mut dst))
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("hotpaths/event_queue_push_pop_4k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..4096u64 {
+                q.push_at(Time(i * 6151 % 65_536), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        })
+    });
+}
+
+fn bench_staging_pool(c: &mut Criterion) {
+    // Rendezvous-sized staging buffer, fully written each acquisition —
+    // past the allocator's mmap threshold, so a fresh allocation pays the
+    // page faults the pool's warm buffers avoid.
+    const LEN: usize = 2 * 1024 * 1024;
+    let payload = vec![0x5Au8; LEN];
+    let mut g = c.benchmark_group("hotpaths/staging");
+    g.throughput(Throughput::Bytes(LEN as u64));
+    g.bench_function("pool_acquire_release", |b| {
+        let pool = BufferPool::new();
+        // Warm the freelist so the steady state is all hits.
+        pool.put(Vec::with_capacity(LEN));
+        b.iter(|| {
+            let mut buf = pool.take(LEN);
+            buf.extend_from_slice(black_box(&payload));
+            pool.put(buf);
+        })
+    });
+    g.bench_function("fresh_alloc_baseline", |b| {
+        b.iter(|| {
+            let mut buf: Vec<u8> = Vec::with_capacity(LEN);
+            buf.extend_from_slice(black_box(&payload));
+            black_box(&buf);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    bench_hotpaths,
+    bench_pack_shapes,
+    bench_unpack_shapes,
+    bench_event_queue,
+    bench_staging_pool
+);
+criterion_main!(bench_hotpaths);

@@ -1,11 +1,16 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE]
+//! reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] [--jobs N] [--timings]
 //!
 //! EXPERIMENT:       table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //!                   ablation ipc approaches (default: all)
 //! --csv DIR:        additionally write one CSV per table into DIR
+//! --jobs N:         run sweep cells on N worker threads (default: the
+//!                   FUSEDPACK_JOBS env var, then all available cores).
+//!                   Tables and CSVs are byte-identical for every N.
+//! --timings:        after each experiment, print the per-cell wall-clock
+//!                   timing report from the sweep executor
 //! --trace-out FILE: run the Fig. 11 fusion cell with the typed-event
 //!                   recorder, write a Chrome Trace Event JSON (load in
 //!                   Perfetto / chrome://tracing), print the metrics
@@ -14,13 +19,14 @@
 //!                   only the trace runs.
 //! ```
 
-use fusedpack_bench::{run_experiment, EXPERIMENTS};
+use fusedpack_bench::{exec, run_experiment, EXPERIMENTS};
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut timings = false;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -37,8 +43,23 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--jobs" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+                exec::set_jobs(n);
+            }
+            "--timings" => timings = true,
             "--help" | "-h" => {
-                println!("usage: reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE]");
+                println!(
+                    "usage: reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] \
+                     [--jobs N] [--timings]"
+                );
                 println!("experiments: {}", EXPERIMENTS.join(" "));
                 return;
             }
@@ -88,7 +109,39 @@ fn main() {
             "   ({name} regenerated in {:.2}s)\n",
             start.elapsed().as_secs_f64()
         );
+        if timings {
+            print_timings(&mut out, name, &exec::take_timings());
+        } else {
+            let _ = exec::take_timings(); // keep the registry bounded
+        }
     }
+}
+
+/// Render the executor's per-cell wall-clock report for one experiment.
+fn print_timings(out: &mut impl Write, name: &str, timings: &[exec::CellTiming]) {
+    if timings.is_empty() {
+        let _ = writeln!(out, "   [timings: {name} ran no sweep cells]\n");
+        return;
+    }
+    let total: std::time::Duration = timings.iter().map(|t| t.wall).sum();
+    let _ = writeln!(
+        out,
+        "   [timings: {name}, {} cells on {} worker(s), cell-time total {:.2}s]",
+        timings.len(),
+        exec::jobs(),
+        total.as_secs_f64()
+    );
+    for t in timings {
+        let _ = writeln!(
+            out,
+            "     #{:<3} {:<40} worker {}  {:>9.2}ms",
+            t.index,
+            t.label,
+            t.worker,
+            t.wall.as_secs_f64() * 1e3
+        );
+    }
+    let _ = writeln!(out);
 }
 
 /// Run the Fig. 11 fusion cell traced, export the Chrome trace, and

@@ -10,6 +10,7 @@
 //!    stated as an A/B.
 //! 3. **Layout cache** — compare the per-operation datatype cost models.
 
+use crate::exec::{self, Cell};
 use crate::figs::{latency, HALO_MSGS};
 use crate::table::{ratio, us, Table};
 use fusedpack_mpi::SchemeKind;
@@ -35,13 +36,25 @@ pub fn run() -> Vec<Table> {
         &["platform", "Proposed (us)", "GPU-Sync (us)", "speedup"],
     )
     .with_note("with free launches, fusing kernels buys almost nothing");
-    for (name, platform) in [
+    // One cell per (platform, scheme): 4 independent simulations.
+    let mut t1_cells = Vec::new();
+    let t1_platforms = [
         ("Lassen", Platform::lassen()),
         ("Lassen (zero launch cost)", lassen_zero_launch()),
-    ] {
-        let f = latency(&platform, SchemeKind::fusion_default(), &w, HALO_MSGS);
-        let s = latency(&platform, SchemeKind::GpuSync, &w, HALO_MSGS);
-        t1.push_row(vec![name.into(), us(f), us(s), ratio(s, f)]);
+    ];
+    for (name, platform) in &t1_platforms {
+        for scheme in [SchemeKind::fusion_default(), SchemeKind::GpuSync] {
+            let platform = platform.clone();
+            let w = w.clone();
+            t1_cells.push(Cell::new(format!("{name}/{}", scheme.label()), move || {
+                latency(&platform, scheme, &w, HALO_MSGS)
+            }));
+        }
+    }
+    let t1_lats = exec::sweep("ablation", t1_cells);
+    for (pair, (name, _)) in t1_lats.chunks(2).zip(&t1_platforms) {
+        let (f, s) = (pair[0], pair[1]);
+        t1.push_row(vec![(*name).into(), us(f), us(s), ratio(s, f)]);
     }
 
     // Ablation 2: flush-rule extremes, with the scheduler's fused-batch
@@ -57,21 +70,33 @@ pub fn run() -> Vec<Table> {
         ],
     )
     .with_note("threshold 0 = launch per request; 'inf' = flush only at Waitall");
-    let platform = Platform::lassen();
-    for (label, threshold) in [
+    // One cell per flush-rule extreme.
+    let t2_points = [
         ("0 (per-request)", 1u64),
         ("512KB (default)", 512 * 1024),
         ("inf (sync-point only)", u64::MAX),
-    ] {
-        let out = run_exchange(&ExchangeConfig::new(
-            platform.clone(),
-            SchemeKind::fusion_with_threshold(threshold),
-            w.clone(),
-            HALO_MSGS,
-        ));
-        let stats = out.sched.expect("fusion scheme always has sched stats");
+    ];
+    let t2_cells: Vec<_> = t2_points
+        .iter()
+        .map(|&(label, threshold)| {
+            let w = w.clone();
+            Cell::new(format!("flush/{label}"), move || {
+                run_exchange(&ExchangeConfig::new(
+                    Platform::lassen(),
+                    SchemeKind::fusion_with_threshold(threshold),
+                    w,
+                    HALO_MSGS,
+                ))
+            })
+        })
+        .collect();
+    for (out, (label, _)) in exec::sweep("ablation", t2_cells).iter().zip(&t2_points) {
+        let stats = out
+            .sched
+            .as_ref()
+            .expect("fusion scheme always has sched stats");
         t2.push_row(vec![
-            label.into(),
+            (*label).into(),
             us(out.latency),
             format!("{}", stats.batch_min),
             format!("{:.2}", stats.batch_mean()),

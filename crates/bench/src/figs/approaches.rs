@@ -6,6 +6,7 @@
 //! direction), and MPI-level implicit datatypes (Algorithm 3) under both a
 //! GPU-Sync runtime and the proposed fusion runtime.
 
+use crate::exec::{self, Cell};
 use crate::table::{us, Table};
 use fusedpack_gpu::DataMode;
 use fusedpack_mpi::{ClusterBuilder, Program, SchemeKind};
@@ -25,30 +26,32 @@ fn run_pair(p0: Program, p1: Program, scheme: SchemeKind) -> Duration {
     cluster.run().lap_makespan(0)
 }
 
-/// Measure all four rows for one workload.
+/// Measure all four rows for one workload, one sweep cell per algorithm.
 pub fn measure(workload: &Workload) -> Vec<(&'static str, Duration)> {
     let (a1p0, a1p1, _) = algorithm1_programs(workload, N_MSGS, 3);
     let (a2p0, a2p1, _) = algorithm2_programs(workload, N_MSGS, 3);
     let ((i0, _), (i1, _)) = bulk_exchange_programs(workload, N_MSGS, 1, 3);
     let ((f0, _), (f1, _)) = bulk_exchange_programs(workload, N_MSGS, 1, 3);
-    vec![
-        (
-            "Alg.1 MPI explicit pack",
-            run_pair(a1p0, a1p1, SchemeKind::GpuSync),
-        ),
-        (
-            "Alg.2 application kernels",
-            run_pair(a2p0, a2p1, SchemeKind::GpuSync),
-        ),
-        (
-            "Alg.3 implicit (GPU-Sync)",
-            run_pair(i0, i1, SchemeKind::GpuSync),
-        ),
+    let rows: Vec<(&'static str, Program, Program, SchemeKind)> = vec![
+        ("Alg.1 MPI explicit pack", a1p0, a1p1, SchemeKind::GpuSync),
+        ("Alg.2 application kernels", a2p0, a2p1, SchemeKind::GpuSync),
+        ("Alg.3 implicit (GPU-Sync)", i0, i1, SchemeKind::GpuSync),
         (
             "Alg.3 implicit (Proposed)",
-            run_pair(f0, f1, SchemeKind::fusion_default()),
+            f0,
+            f1,
+            SchemeKind::fusion_default(),
         ),
-    ]
+    ];
+    let labels: Vec<&'static str> = rows.iter().map(|(l, ..)| *l).collect();
+    let cells: Vec<_> = rows
+        .into_iter()
+        .map(|(label, p0, p1, scheme)| Cell::new(label, move || run_pair(p0, p1, scheme)))
+        .collect();
+    labels
+        .into_iter()
+        .zip(exec::sweep("approaches", cells))
+        .collect()
 }
 
 pub fn run() -> Table {

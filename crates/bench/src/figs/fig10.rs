@@ -5,6 +5,7 @@
 //! path wins outright (no kernel launch at all), while the proposed design
 //! still beats both kernel-driven baselines.
 
+use crate::exec::{self, Cell};
 use crate::figs::{gpu_driven_schemes, latency};
 use crate::table::{us, Table};
 use fusedpack_net::Platform;
@@ -17,8 +18,6 @@ pub const BUFFER_COUNTS: &[usize] = &[1, 2, 4, 8, 16];
 pub const LATTICE: u64 = 4;
 
 pub fn run() -> Table {
-    let platform = Platform::lassen();
-    let w = milc_su3_zdown(LATTICE);
     let schemes = gpu_driven_schemes();
 
     let mut headers: Vec<String> = vec!["#buffers".into()];
@@ -33,11 +32,23 @@ pub fn run() -> Table {
         "paper: CPU-GPU-Hybrid wins small dense on Lassen; Proposed still beats GPU-Sync/GPU-Async",
     );
 
+    // One cell per (buffer count, scheme), row-major by buffer count.
+    let mut cells = Vec::new();
     for &n in BUFFER_COUNTS {
-        let mut row = vec![n.to_string()];
         for s in &schemes {
-            row.push(us(latency(&platform, s.clone(), &w, n)));
+            let scheme = s.clone();
+            cells.push(Cell::new(format!("n{}/{}", n, s.label()), move || {
+                let platform = Platform::lassen();
+                let w = milc_su3_zdown(LATTICE);
+                latency(&platform, scheme, &w, n)
+            }));
         }
+    }
+    let all = exec::sweep("fig10", cells);
+
+    for (lats, &n) in all.chunks(schemes.len()).zip(BUFFER_COUNTS) {
+        let mut row = vec![n.to_string()];
+        row.extend(lats.iter().map(|&l| us(l)));
         t.push_row(row);
     }
     t

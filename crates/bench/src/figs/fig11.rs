@@ -1,6 +1,7 @@
 //! Fig. 11: cost breakdown of the GPU-driven designs (MILC, 16 transfers,
 //! two nodes, ABCI): (Un)Pack / Launching / Scheduling / Sync. / Comm.
 
+use crate::exec::{self, Cell};
 use crate::table::{us, Table};
 use fusedpack_gpu::DataMode;
 use fusedpack_mpi::{Breakdown, SchemeKind};
@@ -67,11 +68,19 @@ pub fn run() -> Table {
     )
     .with_note("paper: Proposed has the lowest launch+sync; GPU-Sync the highest sync; scheduling ~2us/msg");
 
-    for scheme in schemes() {
-        let label = scheme.label();
-        let b = breakdown_for(scheme);
+    // One cell per scheme: each runs its own two-rank simulation.
+    let cells: Vec<Cell<Breakdown>> = schemes()
+        .into_iter()
+        .map(|scheme| {
+            let label = scheme.label();
+            Cell::new(label, move || breakdown_for(scheme))
+        })
+        .collect();
+    let breakdowns = exec::sweep("fig11", cells);
+
+    for (scheme, b) in schemes().into_iter().zip(breakdowns) {
         t.push_row(vec![
-            label.into(),
+            scheme.label().into(),
             us(b.pack),
             us(b.launch),
             us(b.scheduling),

@@ -1,6 +1,7 @@
 //! Fig. 12: 3-D halo exchange (32 non-blocking ops per rank) across the
 //! four application workloads on Lassen, sweeping the input size.
 
+use crate::exec::{self, Cell};
 use crate::figs::{gpu_driven_schemes, latency, tuned_fusion, HALO_MSGS};
 use crate::table::{us, Table};
 #[cfg(test)]
@@ -43,10 +44,41 @@ pub fn panels() -> Vec<(&'static str, Vec<(String, Workload)>)> {
 }
 
 /// Run the full figure on `platform`, labelled `fig_name`.
+///
+/// Every (panel, size) row is one sweep cell; the tuned-threshold grid
+/// search stays sequential *inside* its row's cell, so the executor sees a
+/// flat list of 24 equally-shaped jobs.
 pub fn run_on(platform: &Platform, fig_name: &str) -> Vec<Table> {
     let schemes = gpu_driven_schemes();
+    let experiment = if fig_name.contains("13") {
+        "fig13"
+    } else {
+        "fig12"
+    };
+
+    let all_panels = panels();
+    let mut cells: Vec<Cell<Vec<String>>> = Vec::new();
+    for (panel, workloads) in &all_panels {
+        for (label, w) in workloads {
+            let platform = platform.clone();
+            let schemes = schemes.clone();
+            let label = label.clone();
+            let w = w.clone();
+            cells.push(Cell::new(format!("{panel}/{label}"), move || {
+                let mut row = vec![label, format!("{}KB", w.packed_bytes() / 1024)];
+                let (tuned, _threshold) = tuned_fusion(&platform, &w, HALO_MSGS);
+                row.push(us(latency(&platform, tuned, &w, HALO_MSGS)));
+                for s in &schemes {
+                    row.push(us(latency(&platform, s.clone(), &w, HALO_MSGS)));
+                }
+                row
+            }));
+        }
+    }
+    let mut rows = exec::sweep(experiment, cells).into_iter();
+
     let mut tables = Vec::new();
-    for (panel, workloads) in panels() {
+    for (panel, workloads) in &all_panels {
         let mut headers: Vec<String> = vec!["size".into(), "packed".into()];
         headers.push("Proposed-Tuned (us)".into());
         headers.extend(schemes.iter().map(|s| format!("{} (us)", s.label())));
@@ -55,14 +87,8 @@ pub fn run_on(platform: &Platform, fig_name: &str) -> Vec<Table> {
             format!("{fig_name} {panel} on {} (lower is better)", platform.name),
             &headers_ref,
         );
-        for (label, w) in workloads {
-            let mut row = vec![label, format!("{}KB", w.packed_bytes() / 1024)];
-            let (tuned, _threshold) = tuned_fusion(platform, &w, HALO_MSGS);
-            row.push(us(latency(platform, tuned, &w, HALO_MSGS)));
-            for s in &schemes {
-                row.push(us(latency(platform, s.clone(), &w, HALO_MSGS)));
-            }
-            t.push_row(row);
+        for _ in workloads {
+            t.push_row(rows.next().expect("one row per workload cell"));
         }
         tables.push(t);
     }

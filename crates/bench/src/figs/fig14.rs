@@ -1,6 +1,7 @@
 //! Fig. 14: comparison with production communication libraries on Lassen,
 //! normalized to SpectrumMPI (higher is better).
 
+use crate::exec::{self, Cell};
 use crate::figs::{latency, HALO_MSGS};
 use crate::table::Table;
 use fusedpack_mpi::{NaiveFlavor, SchemeKind};
@@ -23,7 +24,6 @@ pub fn workloads() -> Vec<Workload> {
 }
 
 pub fn run() -> Table {
-    let platform = Platform::lassen();
     let libs = libraries();
 
     let mut headers: Vec<String> = vec!["workload".into(), "size".into()];
@@ -35,14 +35,26 @@ pub fn run() -> Table {
     )
     .with_note("paper: Proposed is orders of magnitude faster than SpectrumMPI/OpenMPI and several-x faster than MVAPICH2-GDR");
 
+    // One cell per (workload, library), row-major by workload. The
+    // SpectrumMPI baseline is each row's first cell, so normalization
+    // happens after reassembly with no cross-cell coupling.
+    let mut cells = Vec::new();
     for w in workloads() {
-        let lats: Vec<_> = libs
-            .iter()
-            .map(|s| latency(&platform, s.clone(), &w, HALO_MSGS))
-            .collect();
+        for s in &libs {
+            let scheme = s.clone();
+            let w = w.clone();
+            cells.push(Cell::new(format!("{}/{}", w.name, s.label()), move || {
+                let platform = Platform::lassen();
+                latency(&platform, scheme, &w, HALO_MSGS)
+            }));
+        }
+    }
+    let all = exec::sweep("fig14", cells);
+
+    for (lats, w) in all.chunks(libs.len()).zip(workloads()) {
         let base = lats[0];
         let mut row = vec![w.name.to_string(), format!("{}KB", w.packed_bytes() / 1024)];
-        for &l in &lats {
+        for &l in lats {
             row.push(format!(
                 "{:.1}",
                 base.as_nanos() as f64 / l.as_nanos() as f64

@@ -2,6 +2,7 @@
 //! (specfem3D_cm, 32 back-to-back Isend/Irecv pairs) — the under-fused /
 //! over-fused U-shape of §IV-C.
 
+use crate::exec::{self, Cell};
 use crate::figs::latency;
 use crate::table::{us, Table};
 use fusedpack_core::ThresholdTuner;
@@ -16,7 +17,6 @@ pub const INPUT_SIZES: &[u64] = &[1024, 4096, 16384];
 pub const N_MSGS: usize = 32;
 
 pub fn run() -> Table {
-    let platform = Platform::lassen();
     let thresholds = ThresholdTuner::default_grid();
 
     let mut headers: Vec<String> = vec!["threshold".into()];
@@ -30,18 +30,31 @@ pub fn run() -> Table {
     )
     .with_note("too-low thresholds under-fuse (frequent launches); too-high over-fuse (delayed communication)");
 
+    // One cell per (threshold, input size); row-major so chunking the flat
+    // result list by INPUT_SIZES.len() reassembles the rows.
+    let mut cells = Vec::new();
     for &threshold in &thresholds {
-        let mut row = vec![format!("{}KB", threshold / 1024)];
         for &pts in INPUT_SIZES {
-            let w = specfem3d_cm(pts);
-            let lat = latency(
-                &platform,
-                SchemeKind::fusion_with_threshold(threshold),
-                &w,
-                N_MSGS,
-            );
-            row.push(us(lat));
+            cells.push(Cell::new(
+                format!("{}KB/{}pt", threshold / 1024, pts),
+                move || {
+                    let platform = Platform::lassen();
+                    let w = specfem3d_cm(pts);
+                    latency(
+                        &platform,
+                        SchemeKind::fusion_with_threshold(threshold),
+                        &w,
+                        N_MSGS,
+                    )
+                },
+            ));
         }
+    }
+    let lats = exec::sweep("fig8", cells);
+
+    for (row_lats, &threshold) in lats.chunks(INPUT_SIZES.len()).zip(&thresholds) {
+        let mut row = vec![format!("{}KB", threshold / 1024)];
+        row.extend(row_lats.iter().map(|&l| us(l)));
         t.push_row(row);
     }
     t

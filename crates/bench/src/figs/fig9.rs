@@ -1,6 +1,7 @@
 //! Fig. 9: bulk non-contiguous inter-node transfer, sparse layout
 //! (specfem3D_cm) on Lassen, sweeping the number of exchanged buffers.
 
+use crate::exec::{self, Cell};
 use crate::figs::{gpu_driven_schemes, latency};
 use crate::table::{ratio, us, Table};
 use fusedpack_net::Platform;
@@ -13,8 +14,6 @@ pub const BUFFER_COUNTS: &[usize] = &[1, 2, 4, 8, 16];
 pub const POINTS: u64 = 2000;
 
 pub fn run() -> Table {
-    let platform = Platform::lassen();
-    let w = specfem3d_cm(POINTS);
     let schemes = gpu_driven_schemes();
 
     let mut headers: Vec<String> = vec!["#buffers".into()];
@@ -28,11 +27,21 @@ pub fn run() -> Table {
     )
     .with_note("paper: Proposed beats every baseline at every buffer count, up to ~5.9x");
 
+    // One cell per (buffer count, scheme), row-major by buffer count.
+    let mut cells = Vec::new();
     for &n in BUFFER_COUNTS {
-        let lats: Vec<_> = schemes
-            .iter()
-            .map(|s| latency(&platform, s.clone(), &w, n))
-            .collect();
+        for s in &schemes {
+            let scheme = s.clone();
+            cells.push(Cell::new(format!("n{}/{}", n, s.label()), move || {
+                let platform = Platform::lassen();
+                let w = specfem3d_cm(POINTS);
+                latency(&platform, scheme, &w, n)
+            }));
+        }
+    }
+    let all = exec::sweep("fig9", cells);
+
+    for (lats, &n) in all.chunks(schemes.len()).zip(BUFFER_COUNTS) {
         let mut row = vec![n.to_string()];
         row.extend(lats.iter().map(|&l| us(l)));
         let best_baseline = lats[1..].iter().copied().min().expect("baselines");

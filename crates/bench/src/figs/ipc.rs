@@ -7,6 +7,7 @@
 //! exchanging bulk non-contiguous buffers over NVLink, with DirectIPC
 //! fusion on vs. off (staged pack→NVLink→unpack) vs. the baselines.
 
+use crate::exec::{self, Cell};
 use crate::table::{ratio, us, Table};
 use fusedpack_core::FusionConfig;
 use fusedpack_gpu::DataMode;
@@ -82,10 +83,20 @@ pub fn run() -> Table {
         ("GPU-Sync", SchemeKind::GpuSync),
         ("CPU-GPU-Hybrid", SchemeKind::CpuGpuHybrid),
     ];
-    let base = intra_node_latency(SchemeKind::fusion_default(), &w, 16);
-    for (label, scheme) in schemes {
-        let lat = intra_node_latency(scheme, &w, 16);
-        t.push_row(vec![label.into(), us(lat), ratio(lat, base)]);
+    // One cell per scheme; the first row *is* the DirectIPC baseline, so
+    // normalization uses the reassembled list's first entry.
+    let cells: Vec<_> = schemes
+        .iter()
+        .map(|(label, scheme)| {
+            let scheme = scheme.clone();
+            let w = w.clone();
+            Cell::new(*label, move || intra_node_latency(scheme, &w, 16))
+        })
+        .collect();
+    let lats = exec::sweep("ipc", cells);
+    let base = lats[0];
+    for ((label, _), &lat) in schemes.iter().zip(&lats) {
+        t.push_row(vec![(*label).into(), us(lat), ratio(lat, base)]);
     }
     t
 }

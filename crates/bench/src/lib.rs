@@ -21,6 +21,7 @@
 //! | DirectIPC | [`figs::ipc`] | extension: fused zero-copy intra-node transfers |
 //! | §III / Fig. 4 | [`figs::approaches`] | the three transfer approaches (Algorithms 1-3) |
 
+pub mod exec;
 pub mod figs;
 pub mod table;
 

@@ -22,10 +22,27 @@ pub struct Segment {
 pub struct Layout {
     /// Segments of one element, in pack (traversal) order.
     segments: Vec<Segment>,
+    /// Prefix sums of segment lengths: `packed_off[j]` is the byte offset
+    /// of segment `j` within the *packed* image of one element. Computed
+    /// once at commit time so pack/unpack loops don't re-derive running
+    /// cursors (and can jump straight to any segment).
+    packed_off: Vec<u64>,
     /// Payload bytes per element.
     size: u64,
     /// Extent (tiling stride) per element.
     extent: u64,
+}
+
+fn prefix_sums(segments: &[Segment]) -> Vec<u64> {
+    let mut off = 0u64;
+    segments
+        .iter()
+        .map(|s| {
+            let here = off;
+            off += s.len;
+            here
+        })
+        .collect()
 }
 
 impl Layout {
@@ -35,6 +52,7 @@ impl Layout {
         let size = segments.iter().map(|s| s.len).sum();
         debug_assert_eq!(size, desc.size(), "flattening lost bytes");
         Layout {
+            packed_off: prefix_sums(&segments),
             segments,
             size,
             extent: desc.extent(),
@@ -45,6 +63,7 @@ impl Layout {
     pub fn from_segments(segments: Vec<Segment>, extent: u64) -> Layout {
         let size = segments.iter().map(|s| s.len).sum();
         Layout {
+            packed_off: prefix_sums(&segments),
             segments,
             size,
             extent,
@@ -54,6 +73,12 @@ impl Layout {
     /// Segments of one element.
     pub fn segments(&self) -> &[Segment] {
         &self.segments
+    }
+
+    /// Packed-image byte offset of each segment within one element
+    /// (prefix sums of segment lengths), parallel to [`Self::segments`].
+    pub fn packed_offsets(&self) -> &[u64] {
+        &self.packed_off
     }
 
     /// Contiguous blocks per element.
@@ -107,14 +132,20 @@ impl Layout {
     /// `base`, in pack order. This is the gather/scatter plan handed to the
     /// memory pools.
     pub fn absolute_segments(&self, base: u64, count: u64) -> Vec<(u64, u64)> {
-        let mut out = Vec::with_capacity(self.segments.len() * count as usize);
-        for i in 0..count {
-            let elem_base = base + i * self.extent;
-            for s in &self.segments {
-                out.push((elem_base + s.offset, s.len));
-            }
+        self.abs_segments(base, count).collect()
+    }
+
+    /// Iterator form of [`Self::absolute_segments`]: yields the same
+    /// `(address, len)` plan in the same order without materialising a
+    /// `Vec` — the allocation-free path for per-message gather/scatter.
+    pub fn abs_segments(&self, base: u64, count: u64) -> AbsSegments<'_> {
+        AbsSegments {
+            layout: self,
+            base,
+            count,
+            elem: 0,
+            seg: 0,
         }
-        out
     }
 
     /// The footprint in bytes that `count` elements occupy in memory
@@ -132,6 +163,46 @@ impl Layout {
         (count - 1) * self.extent + reach.max(self.extent)
     }
 }
+
+/// Borrowing iterator over the absolute `(address, len)` gather/scatter
+/// plan of `count` extent-tiled elements. See [`Layout::abs_segments`].
+#[derive(Debug, Clone)]
+pub struct AbsSegments<'a> {
+    layout: &'a Layout,
+    base: u64,
+    count: u64,
+    elem: u64,
+    seg: usize,
+}
+
+impl Iterator for AbsSegments<'_> {
+    type Item = (u64, u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u64, u64)> {
+        if self.elem >= self.count || self.layout.segments.is_empty() {
+            return None;
+        }
+        let s = self.layout.segments[self.seg];
+        let addr = self.base + self.elem * self.layout.extent + s.offset;
+        self.seg += 1;
+        if self.seg == self.layout.segments.len() {
+            self.seg = 0;
+            self.elem += 1;
+        }
+        Some((addr, s.len))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let per_elem = self.layout.segments.len();
+        let done = self.elem as usize * per_elem + self.seg;
+        let total = self.count as usize * per_elem;
+        let left = total - done;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for AbsSegments<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -199,6 +270,31 @@ mod tests {
 
         let packed = Layout::of(&TypeBuilder::contiguous(4, TypeBuilder::int()));
         assert!(packed.is_contiguous_for(10));
+    }
+
+    #[test]
+    fn abs_segments_iterator_matches_vec_form() {
+        let t = TypeBuilder::vector(2, 1, 3, TypeBuilder::int());
+        let l = Layout::of(&t);
+        for count in [0u64, 1, 2, 7] {
+            let it = l.abs_segments(1000, count);
+            assert_eq!(it.len() as u64, l.total_blocks(count));
+            assert_eq!(
+                it.collect::<Vec<_>>(),
+                l.absolute_segments(1000, count),
+                "count={count}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_offsets_are_prefix_sums() {
+        let t = TypeBuilder::indexed(&[(0, 1), (4, 2), (9, 1)], TypeBuilder::float());
+        let l = Layout::of(&t);
+        assert_eq!(l.packed_offsets(), &[0, 4, 12]);
+        assert_eq!(l.packed_offsets().len(), l.segments().len());
+        let contig = Layout::of(&TypeBuilder::contiguous(16, TypeBuilder::double()));
+        assert_eq!(contig.packed_offsets(), &[0]);
     }
 
     #[test]

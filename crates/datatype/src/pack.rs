@@ -16,44 +16,84 @@ pub fn pack(src: &[u8], layout: &Layout, count: u64) -> Vec<u8> {
 
 /// Pack into a caller-provided buffer of exactly `layout.total_bytes(count)`
 /// bytes.
+///
+/// Fully contiguous layouts (single gapless segment, gapless tiling) take a
+/// single-`memcpy` fast path; everything else runs the generic segment loop
+/// driven by the layout's precomputed prefix sums.
 pub fn pack_into(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
     assert_eq!(
         dst.len() as u64,
         layout.total_bytes(count),
         "destination size mismatch"
     );
-    let mut out = 0usize;
+    if layout.is_contiguous_for(count) {
+        let n = dst.len();
+        dst.copy_from_slice(&src[..n]);
+        return;
+    }
+    pack_into_generic(src, layout, count, dst);
+}
+
+/// The generic segment loop behind [`pack_into`], without the contiguous
+/// fast path. Public so tests and benches can compare the two directly.
+pub fn pack_into_generic(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
+    assert_eq!(
+        dst.len() as u64,
+        layout.total_bytes(count),
+        "destination size mismatch"
+    );
+    let segs = layout.segments();
+    let offs = layout.packed_offsets();
     for i in 0..count {
         let base = (i * layout.extent()) as usize;
-        for seg in layout.segments() {
+        let out = (i * layout.size()) as usize;
+        for (seg, &packed) in segs.iter().zip(offs) {
             let lo = base + seg.offset as usize;
             let hi = lo + seg.len as usize;
-            dst[out..out + seg.len as usize].copy_from_slice(&src[lo..hi]);
-            out += seg.len as usize;
+            let po = out + packed as usize;
+            dst[po..po + seg.len as usize].copy_from_slice(&src[lo..hi]);
         }
     }
-    debug_assert_eq!(out as u64, layout.total_bytes(count));
 }
 
 /// Unpack a contiguous buffer into `count` elements laid out per `layout`
 /// starting at `dst\[0\]`. Bytes outside the layout's segments are untouched.
+///
+/// Like [`pack_into`], fully contiguous layouts reduce to one `memcpy`.
 pub fn unpack(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
     assert_eq!(
         src.len() as u64,
         layout.total_bytes(count),
         "source size mismatch"
     );
-    let mut inp = 0usize;
+    if layout.is_contiguous_for(count) {
+        let n = src.len();
+        dst[..n].copy_from_slice(src);
+        return;
+    }
+    unpack_generic(src, layout, count, dst);
+}
+
+/// The generic segment loop behind [`unpack`], without the contiguous fast
+/// path. Public so tests and benches can compare the two directly.
+pub fn unpack_generic(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
+    assert_eq!(
+        src.len() as u64,
+        layout.total_bytes(count),
+        "source size mismatch"
+    );
+    let segs = layout.segments();
+    let offs = layout.packed_offsets();
     for i in 0..count {
         let base = (i * layout.extent()) as usize;
-        for seg in layout.segments() {
+        let inp = (i * layout.size()) as usize;
+        for (seg, &packed) in segs.iter().zip(offs) {
             let lo = base + seg.offset as usize;
             let hi = lo + seg.len as usize;
-            dst[lo..hi].copy_from_slice(&src[inp..inp + seg.len as usize]);
-            inp += seg.len as usize;
+            let po = inp + packed as usize;
+            dst[lo..hi].copy_from_slice(&src[po..po + seg.len as usize]);
         }
     }
-    debug_assert_eq!(inp as u64, layout.total_bytes(count));
 }
 
 #[cfg(test)]
@@ -109,9 +149,47 @@ mod tests {
         pack_into(&[0u8; 4], &l, 1, &mut small);
     }
 
+    #[test]
+    fn contiguous_pack_is_single_memcpy_of_prefix() {
+        let t = TypeBuilder::contiguous(4, TypeBuilder::byte());
+        let l = Layout::of(&t);
+        assert!(l.is_contiguous_for(3));
+        let src: Vec<u8> = (0..16).collect();
+        // 3 elements: exactly the first 12 bytes, in order.
+        assert_eq!(pack(&src, &l, 3), (0..12).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn contiguous_unpack_copies_prefix_and_leaves_tail() {
+        let t = TypeBuilder::contiguous(4, TypeBuilder::byte());
+        let l = Layout::of(&t);
+        let mut dst = vec![0xEE; 10];
+        unpack(&[1, 2, 3, 4, 5, 6, 7, 8], &l, 2, &mut dst);
+        assert_eq!(dst, vec![1, 2, 3, 4, 5, 6, 7, 8, 0xEE, 0xEE]);
+    }
+
+    #[test]
+    fn contiguous_single_element_with_padded_extent_uses_fast_path() {
+        // Contiguous element, extent > size: fast path legal only for count 1.
+        let t = TypeBuilder::subarray(&[3, 3], &[1, 3], &[0, 0], TypeBuilder::int());
+        let l = Layout::of(&t);
+        assert!(l.is_contiguous_for(1));
+        assert!(!l.is_contiguous_for(2));
+        let src: Vec<u8> = (0..72).collect();
+        assert_eq!(pack(&src, &l, 1), (0..12).collect::<Vec<u8>>());
+        // count 2 must tile by extent (element 1 starts at byte 36), not
+        // run the memcpy path.
+        let mut expect: Vec<u8> = (0..12).collect();
+        expect.extend(36..48);
+        assert_eq!(pack(&src, &l, 2), expect);
+    }
+
     /// Strategy: a random (but valid) datatype with modest sizes.
     fn arb_type() -> impl Strategy<Value = std::sync::Arc<crate::typedesc::TypeDesc>> {
         prop_oneof![
+            // Fully contiguous (pad = 0 hits the memcpy fast path when the
+            // vector degenerates to one segment) and truly strided shapes.
+            (1u64..16).prop_map(|n| TypeBuilder::contiguous(n, TypeBuilder::double())),
             (1u64..8, 1u64..4, 0u64..8).prop_map(|(count, blocklen, pad)| {
                 TypeBuilder::vector(count, blocklen, blocklen + pad, TypeBuilder::int())
             }),
@@ -184,6 +262,37 @@ mod tests {
             let l = Layout::of(&t);
             let src = vec![0u8; l.footprint(count) as usize];
             prop_assert_eq!(pack(&src, &l, count).len() as u64, t.size() * count);
+        }
+
+        /// The dispatching pack (fast path when eligible) and the generic
+        /// segment loop produce identical bytes for arbitrary layouts.
+        #[test]
+        fn pack_fast_path_matches_generic(t in arb_type(), count in 1u64..4, seed in 0u64..1000) {
+            let l = Layout::of(&t);
+            let mut rng = fusedpack_sim::Pcg32::seeded(seed);
+            let mut src = vec![0u8; l.footprint(count) as usize];
+            rng.fill_bytes(&mut src);
+
+            let mut fast = vec![0u8; l.total_bytes(count) as usize];
+            let mut generic = fast.clone();
+            pack_into(&src, &l, count, &mut fast);
+            pack_into_generic(&src, &l, count, &mut generic);
+            prop_assert_eq!(fast, generic);
+        }
+
+        /// Same guarantee on the unpack side, including untouched gap bytes.
+        #[test]
+        fn unpack_fast_path_matches_generic(t in arb_type(), count in 1u64..4, seed in 0u64..1000) {
+            let l = Layout::of(&t);
+            let mut rng = fusedpack_sim::Pcg32::seeded(seed);
+            let mut packed = vec![0u8; l.total_bytes(count) as usize];
+            rng.fill_bytes(&mut packed);
+
+            let mut fast = vec![0xEE; l.footprint(count) as usize];
+            let mut generic = fast.clone();
+            unpack(&packed, &l, count, &mut fast);
+            unpack_generic(&packed, &l, count, &mut generic);
+            prop_assert_eq!(fast, generic);
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod fused;
 pub mod gdr;
 pub mod kernel;
 pub mod mem;
+pub mod staging;
 pub mod stream;
 
 pub use arch::GpuArch;
@@ -37,4 +38,5 @@ pub use fused::{FusedLaunch, FusedTiming, FusedWork};
 pub use gdr::GdrWindow;
 pub use kernel::SegmentStats;
 pub use mem::{DataMode, DevPtr, MemPool};
+pub use staging::{BufferPool, PoolStats};
 pub use stream::{EventRecord, Stream, StreamId};

@@ -171,17 +171,29 @@ impl MemPool {
         dst: &mut MemPool,
         dst_off: u64,
     ) -> u64 {
-        let total: u64 = segments.iter().map(|&(_, len)| len).sum();
+        Self::gather_between_iter(src, segments.iter().copied(), dst, dst_off)
+    }
+
+    /// [`Self::gather_between`] over any segment iterator — the
+    /// allocation-free form used with gather/scatter plans generated on
+    /// the fly (e.g. a layout's `abs_segments` iterator) instead of
+    /// materialised into a `Vec`.
+    pub fn gather_between_iter(
+        src: &MemPool,
+        segments: impl IntoIterator<Item = (u64, u64)>,
+        dst: &mut MemPool,
+        dst_off: u64,
+    ) -> u64 {
         if src.mode == DataMode::ModelOnly || dst.mode == DataMode::ModelOnly {
-            return total;
+            return segments.into_iter().map(|(_, len)| len).sum();
         }
         let mut out = dst_off as usize;
-        for &(addr, len) in segments {
+        for (addr, len) in segments {
             dst.bytes[out..out + len as usize]
                 .copy_from_slice(&src.bytes[addr as usize..(addr + len) as usize]);
             out += len as usize;
         }
-        total
+        out as u64 - dst_off
     }
 
     /// Scatter a contiguous region of `src` out to segments of `dst`
@@ -192,40 +204,72 @@ impl MemPool {
         dst: &mut MemPool,
         segments: &[(u64, u64)],
     ) -> u64 {
-        let total: u64 = segments.iter().map(|&(_, len)| len).sum();
+        Self::scatter_between_iter(src, src_off, dst, segments.iter().copied())
+    }
+
+    /// [`Self::scatter_between`] over any segment iterator.
+    pub fn scatter_between_iter(
+        src: &MemPool,
+        src_off: u64,
+        dst: &mut MemPool,
+        segments: impl IntoIterator<Item = (u64, u64)>,
+    ) -> u64 {
         if src.mode == DataMode::ModelOnly || dst.mode == DataMode::ModelOnly {
-            return total;
+            return segments.into_iter().map(|(_, len)| len).sum();
         }
         let mut inp = src_off as usize;
-        for &(addr, len) in segments {
+        for (addr, len) in segments {
             dst.bytes[addr as usize..(addr + len) as usize]
                 .copy_from_slice(&src.bytes[inp..inp + len as usize]);
             inp += len as usize;
         }
-        total
+        inp as u64 - src_off
     }
 
     /// Gather scattered segments into a fresh byte vector (used for
     /// cross-device transfers where both pools are borrowed).
     pub fn gather_to_vec(&self, segments: &[(u64, u64)]) -> Vec<u8> {
-        if self.mode == DataMode::ModelOnly {
-            return Vec::new();
-        }
-        let total: usize = segments.iter().map(|&(_, len)| len as usize).sum();
-        let mut out = Vec::with_capacity(total);
-        for &(addr, len) in segments {
-            out.extend_from_slice(&self.bytes[addr as usize..(addr + len) as usize]);
-        }
+        let mut out = Vec::new();
+        self.gather_into(segments.iter().copied(), &mut out);
         out
+    }
+
+    /// Gather scattered segments by *appending* to `out` — the pooled-buffer
+    /// form of [`Self::gather_to_vec`]: the caller owns (and can recycle)
+    /// the destination vector. Returns the payload byte count, which in
+    /// `ModelOnly` mode is tallied without touching `out`.
+    pub fn gather_into(
+        &self,
+        segments: impl IntoIterator<Item = (u64, u64)>,
+        out: &mut Vec<u8>,
+    ) -> u64 {
+        if self.mode == DataMode::ModelOnly {
+            return segments.into_iter().map(|(_, len)| len).sum();
+        }
+        let mut total = 0u64;
+        for (addr, len) in segments {
+            out.extend_from_slice(&self.bytes[addr as usize..(addr + len) as usize]);
+            total += len;
+        }
+        total
     }
 
     /// Scatter a contiguous byte slice out to segments of this pool.
     pub fn scatter_from_slice(&mut self, data: &[u8], segments: &[(u64, u64)]) {
+        self.scatter_from_slice_iter(data, segments.iter().copied());
+    }
+
+    /// [`Self::scatter_from_slice`] over any segment iterator.
+    pub fn scatter_from_slice_iter(
+        &mut self,
+        data: &[u8],
+        segments: impl IntoIterator<Item = (u64, u64)>,
+    ) {
         if self.mode == DataMode::ModelOnly || data.is_empty() {
             return;
         }
         let mut inp = 0usize;
-        for &(addr, len) in segments {
+        for (addr, len) in segments {
             self.bytes[addr as usize..(addr + len) as usize]
                 .copy_from_slice(&data[inp..inp + len as usize]);
             inp += len as usize;
@@ -237,11 +281,16 @@ impl MemPool {
     /// starting at `dst` — the data movement a packing kernel performs.
     /// Returns the number of bytes packed.
     pub fn gather(&mut self, segments: &[(u64, u64)], dst: u64) -> u64 {
-        let mut out = dst;
+        self.gather_iter(segments.iter().copied(), dst)
+    }
+
+    /// [`Self::gather`] over any segment iterator.
+    pub fn gather_iter(&mut self, segments: impl IntoIterator<Item = (u64, u64)>, dst: u64) -> u64 {
         if self.mode == DataMode::ModelOnly {
-            return segments.iter().map(|&(_, len)| len).sum();
+            return segments.into_iter().map(|(_, len)| len).sum();
         }
-        for &(src, len) in segments {
+        let mut out = dst;
+        for (src, len) in segments {
             self.bytes
                 .copy_within(src as usize..(src + len) as usize, out as usize);
             out += len;
@@ -252,11 +301,20 @@ impl MemPool {
     /// Scatter a contiguous region starting at `src` out to `(dst_offset,
     /// len)` segments — the data movement an unpacking kernel performs.
     pub fn scatter(&mut self, src: u64, segments: &[(u64, u64)]) -> u64 {
-        let mut inp = src;
+        self.scatter_iter(src, segments.iter().copied())
+    }
+
+    /// [`Self::scatter`] over any segment iterator.
+    pub fn scatter_iter(
+        &mut self,
+        src: u64,
+        segments: impl IntoIterator<Item = (u64, u64)>,
+    ) -> u64 {
         if self.mode == DataMode::ModelOnly {
-            return segments.iter().map(|&(_, len)| len).sum();
+            return segments.into_iter().map(|(_, len)| len).sum();
         }
-        for &(dst, len) in segments {
+        let mut inp = src;
+        for (dst, len) in segments {
             self.bytes
                 .copy_within(inp as usize..(inp + len) as usize, dst as usize);
             inp += len;
@@ -364,6 +422,34 @@ mod tests {
         let v = dev2.read(DevPtr { addr: 0, len: 16 }).to_vec();
         assert_eq!(&v[3..5], &[1, 2]);
         assert_eq!(&v[10..13], &[8, 9, 10]);
+    }
+
+    #[test]
+    fn iterator_variants_match_slice_forms() {
+        let mut p = MemPool::new(64, DataMode::Full);
+        let src = p.alloc(16, 1);
+        let dst = p.alloc(8, 1);
+        p.write(src, &(0..16).collect::<Vec<u8>>());
+        let segs = [(src.addr + 2, 2u64), (src.addr + 8, 2), (src.addr + 12, 4)];
+        // Iterator gather without materialising the plan.
+        let n = p.gather_iter(segs.iter().copied(), dst.addr);
+        assert_eq!(n, 8);
+        assert_eq!(p.read(dst), &[2, 3, 8, 9, 12, 13, 14, 15]);
+        // gather_into appends and reports bytes.
+        let mut out = vec![0xAA];
+        assert_eq!(
+            p.gather_into([(src.addr, 2), (src.addr + 4, 1)], &mut out),
+            3
+        );
+        assert_eq!(out, vec![0xAA, 0, 1, 4]);
+    }
+
+    #[test]
+    fn gather_into_model_only_counts_without_writing() {
+        let p = MemPool::new(1 << 30, DataMode::ModelOnly);
+        let mut out = Vec::new();
+        assert_eq!(p.gather_into([(0, 100), (500, 50)], &mut out), 150);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -219,13 +219,16 @@ impl Cluster {
             (rank.types[ty.0].clone(), rank.bufs[src.0], rank.bufs[dst.0])
         };
         let stats = SegmentStats::new(layout.total_bytes(count), layout.total_blocks(count));
-        // Data movement within device memory.
+        // Data movement within device memory, streaming the plan straight
+        // off the layout.
         if pack {
-            let segs = layout.absolute_segments(src_ptr.addr, count);
-            self.gpus[r].mem.gather(&segs, dst_ptr.addr);
+            self.gpus[r]
+                .mem
+                .gather_iter(layout.abs_segments(src_ptr.addr, count), dst_ptr.addr);
         } else {
-            let segs = layout.absolute_segments(dst_ptr.addr, count);
-            self.gpus[r].mem.scatter(src_ptr.addr, &segs);
+            self.gpus[r]
+                .mem
+                .scatter_iter(src_ptr.addr, layout.abs_segments(dst_ptr.addr, count));
         }
         if blocking {
             // MPI_Pack/MPI_Unpack: the library parses the datatype and

@@ -17,12 +17,12 @@ use crate::program::{BufInit, Program};
 use crate::scheme::{HybridPolicy, SchemeKind};
 use crate::sendrecv::{RecvId, SendId};
 use fusedpack_core::{SchedStats, Scheduler, Uid};
-use fusedpack_gpu::{DataMode, Gpu, MemPool};
+use fusedpack_gpu::{BufferPool, DataMode, Gpu, MemPool};
 use fusedpack_net::platform::Platform;
 use fusedpack_net::{Link, Nic};
 use fusedpack_sim::trace::Trace;
-use fusedpack_sim::{Duration, EventQueue, Pcg32, Time};
-use fusedpack_telemetry::Telemetry;
+use fusedpack_sim::{ClampStats, Duration, EventQueue, Pcg32, Time};
+use fusedpack_telemetry::{Lane, Payload, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -151,6 +151,8 @@ impl ClusterBuilder {
         let mut gpus = Vec::new();
         let mut staging_mems = Vec::new();
         let mut host_mems = Vec::new();
+        // One scratch buffer reused across every random-init declaration.
+        let mut init_scratch = Vec::new();
 
         for (idx, (node, program)) in self.ranks.into_iter().enumerate() {
             let user_bytes: u64 = program.buffers.iter().map(|b| b.len + 256).sum::<u64>() + 4096;
@@ -172,9 +174,10 @@ impl ClusterBuilder {
                     BufInit::Random(seed) => {
                         if self.data_mode == DataMode::Full {
                             let mut rng = Pcg32::new(seed, idx as u64);
-                            let mut bytes = vec![0u8; decl.len as usize];
-                            rng.fill_bytes(&mut bytes);
-                            gpu.mem.write(ptr, &bytes);
+                            init_scratch.clear();
+                            init_scratch.resize(decl.len as usize, 0);
+                            rng.fill_bytes(&mut init_scratch);
+                            gpu.mem.write(ptr, &init_scratch);
                         }
                     }
                 }
@@ -225,6 +228,7 @@ impl ClusterBuilder {
             nics,
             rndv: self.rndv,
             intra_links: HashMap::new(),
+            buf_pool: BufferPool::new(),
             telemetry,
         }
     }
@@ -250,6 +254,10 @@ pub struct Cluster {
     pub(crate) rndv: RndvProtocol,
     /// Lazily created intra-node GPU↔GPU links, keyed by (node, node).
     pub(crate) intra_links: HashMap<(u32, u32), Link>,
+    /// Freelist of staged payload buffers: eager/rendezvous copies and IPC
+    /// gathers recycle their `Vec<u8>`s here instead of allocating per
+    /// message.
+    pub(crate) buf_pool: BufferPool,
     /// Root telemetry handle (disabled unless the builder attached one).
     pub(crate) telemetry: Telemetry,
 }
@@ -271,6 +279,9 @@ pub struct RunReport {
     pub end_time: Time,
     /// Events processed (diagnostics).
     pub events_processed: u64,
+    /// Release-mode past-event clamps in the event queue (a determinism
+    /// hazard; always zero in debug builds, which panic instead).
+    pub event_clamps: ClampStats,
 }
 
 impl RunReport {
@@ -303,8 +314,21 @@ impl RunReport {
 impl Cluster {
     /// Run every rank's program to completion.
     pub fn run(&mut self) -> RunReport {
+        let mut clamps_seen = self.events.clamp_stats();
         while let Some((t, ev)) = self.events.pop() {
             self.dispatch(t, ev);
+            // Surface any past-event clamp the dispatch just caused: it
+            // rewrote a computed timestamp, which deserves a visible mark
+            // on the timeline, not a silent repair.
+            let clamps_now = self.events.clamp_stats();
+            if clamps_now.count > clamps_seen.count {
+                let skew = clamps_now.total_skew - clamps_seen.total_skew;
+                self.telemetry
+                    .instant(Lane::Host, self.events.now(), || Payload::ClampedEvent {
+                        skew_ns: skew.as_nanos(),
+                    });
+                clamps_seen = clamps_now;
+            }
         }
         for rank in &self.ranks {
             assert!(
@@ -329,6 +353,7 @@ impl Cluster {
             kernels_launched: self.gpus.iter().map(|g| g.kernels_launched()).collect(),
             end_time: self.events.now(),
             events_processed: self.events.processed(),
+            event_clamps: self.events.clamp_stats(),
         }
     }
 
@@ -370,6 +395,12 @@ impl Cluster {
     /// The data mode this cluster was built with.
     pub fn mode(&self) -> DataMode {
         self.data_mode
+    }
+
+    /// Acquire/release counters of the staged-payload buffer pool
+    /// (diagnostics: steady-state traffic should be all hits).
+    pub fn staging_pool_stats(&self) -> fusedpack_gpu::PoolStats {
+        self.buf_pool.stats()
     }
 
     /// The telemetry handle this cluster records into (disabled unless the

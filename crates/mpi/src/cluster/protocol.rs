@@ -79,14 +79,22 @@ impl Cluster {
         );
     }
 
-    /// Read the packed payload bytes behind a staging location.
+    /// Read the packed payload bytes behind a staging location into a
+    /// pooled buffer (recycled back into `buf_pool` once the payload is
+    /// deposited at the receiver).
     pub(crate) fn read_staging(&self, r: usize, loc: StagingLoc) -> Vec<u8> {
-        match loc {
-            StagingLoc::Gpu(p) => self.staging_mems[r].read(p).to_vec(),
-            StagingLoc::Host(p) => self.host_mems[r].read(p).to_vec(),
-            StagingLoc::UserGpu(p) => self.gpus[r].mem.read(p).to_vec(),
-            StagingLoc::None => Vec::new(),
+        let src: &[u8] = match loc {
+            StagingLoc::Gpu(p) => self.staging_mems[r].read(p),
+            StagingLoc::Host(p) => self.host_mems[r].read(p),
+            StagingLoc::UserGpu(p) => self.gpus[r].mem.read(p),
+            StagingLoc::None => &[],
+        };
+        if src.is_empty() {
+            return Vec::new(); // model-only mode / ctrl messages
         }
+        let mut buf = self.buf_pool.take(src.len());
+        buf.extend_from_slice(src);
+        buf
     }
 
     /// Put a send's payload on the wire as soon as both its pack and its
@@ -233,6 +241,7 @@ impl Cluster {
             }
             WireKind::RdmaData { send_id, recv_id } => {
                 self.deposit_payload(r, recv_id, &msg.payload);
+                self.buf_pool.put(msg.payload);
                 self.ranks[r].recvs[recv_id.0].state = RecvState::Unpacking;
                 if self.rndv == RndvProtocol::Rget {
                     // The sender's buffer has been drained by our read.
@@ -331,6 +340,7 @@ impl Cluster {
                 let staging = self.recv_staging_for(r, rid, bytes, blocks);
                 self.ranks[r].recvs[rid.0].staging = staging;
                 self.deposit_payload(r, rid, &msg.payload);
+                self.buf_pool.put(msg.payload);
                 self.ranks[r].recvs[rid.0].state = RecvState::Unpacking;
                 self.begin_unpack(r, rid);
             }
@@ -402,26 +412,30 @@ impl Cluster {
     }
 
     /// Apply a pack's data movement: gather the user buffer's segments into
-    /// the staging buffer.
+    /// the staging buffer. The gather plan streams straight off the layout
+    /// (`abs_segments`), never materialising a segment `Vec`.
     pub(crate) fn apply_pack_movement(&mut self, r: usize, sid: SendId) {
-        let (segs, staging) = {
+        let (layout, base, count, staging) = {
             let s = &self.ranks[r].sends[sid.0];
-            (
-                s.layout.absolute_segments(s.user_buf.addr, s.count),
-                s.staging,
-            )
+            (s.layout.clone(), s.user_buf.addr, s.count, s.staging)
         };
+        let segs = layout.abs_segments(base, count);
         match staging {
             StagingLoc::Gpu(p) => {
-                MemPool::gather_between(
+                MemPool::gather_between_iter(
                     &self.gpus[r].mem,
-                    &segs,
+                    segs,
                     &mut self.staging_mems[r],
                     p.addr,
                 );
             }
             StagingLoc::Host(p) => {
-                MemPool::gather_between(&self.gpus[r].mem, &segs, &mut self.host_mems[r], p.addr);
+                MemPool::gather_between_iter(
+                    &self.gpus[r].mem,
+                    segs,
+                    &mut self.host_mems[r],
+                    p.addr,
+                );
             }
             StagingLoc::UserGpu(_) => {} // contiguous: nothing to move
             StagingLoc::None => panic!("pack movement without staging"),
@@ -431,24 +445,27 @@ impl Cluster {
     /// Apply an unpack's data movement: scatter staging into the user
     /// buffer.
     pub(crate) fn apply_unpack_movement(&mut self, r: usize, rid: RecvId) {
-        let (segs, staging) = {
+        let (layout, base, count, staging) = {
             let op = &self.ranks[r].recvs[rid.0];
-            (
-                op.layout.absolute_segments(op.user_buf.addr, op.count),
-                op.staging,
-            )
+            (op.layout.clone(), op.user_buf.addr, op.count, op.staging)
         };
+        let segs = layout.abs_segments(base, count);
         match staging {
             StagingLoc::Gpu(p) => {
-                MemPool::scatter_between(
+                MemPool::scatter_between_iter(
                     &self.staging_mems[r],
                     p.addr,
                     &mut self.gpus[r].mem,
-                    &segs,
+                    segs,
                 );
             }
             StagingLoc::Host(p) => {
-                MemPool::scatter_between(&self.host_mems[r], p.addr, &mut self.gpus[r].mem, &segs);
+                MemPool::scatter_between_iter(
+                    &self.host_mems[r],
+                    p.addr,
+                    &mut self.gpus[r].mem,
+                    segs,
+                );
             }
             StagingLoc::UserGpu(_) => {} // contiguous: payload landed in place
             StagingLoc::None => panic!("unpack movement without staging"),

@@ -355,10 +355,14 @@ impl Cluster {
                 let op = &self.ranks[r].recvs[rid.0];
                 (op.layout.clone(), op.count, op.user_buf)
             };
-            let src_segs = layout.absolute_segments(origin, count);
-            let packed = self.gpus[src].mem.gather_to_vec(&src_segs);
-            let dst_segs = layout.absolute_segments(user_buf.addr, count);
-            self.gpus[r].mem.scatter_from_slice(&packed, &dst_segs);
+            let mut packed = self.buf_pool.take(layout.total_bytes(count) as usize);
+            self.gpus[src]
+                .mem
+                .gather_into(layout.abs_segments(origin, count), &mut packed);
+            self.gpus[r]
+                .mem
+                .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
+            self.buf_pool.put(packed);
         }
         let link_bw = self.platform.gpu_gpu.bw;
         let (origin_ptr, target, layout, count) = {

@@ -374,6 +374,27 @@ fn deterministic_replay() {
 }
 
 #[test]
+fn staging_pool_recycles_payload_buffers() {
+    let desc = sparse_type();
+    // Multi-lap so retired payload buffers get a chance to be reused.
+    let (p0, p1, _, _) = exchange_programs(&desc, 2, 4, 3);
+    let mut cluster = ClusterBuilder::new(Platform::lassen(), SchemeKind::fusion_default())
+        .add_rank(0, p0)
+        .add_rank(1, p1)
+        .build();
+    let report = cluster.run();
+    let pool = cluster.staging_pool_stats();
+    assert!(pool.released > 0, "payload buffers should be recycled");
+    assert!(
+        pool.hits > 0,
+        "steady-state laps should reuse pooled buffers, got {pool:?}"
+    );
+    // No past-event clamps in a healthy run.
+    assert_eq!(report.event_clamps.count, 0);
+    assert_eq!(report.event_clamps, fusedpack_sim::ClampStats::default());
+}
+
+#[test]
 fn empty_waitall_returns_immediately() {
     let mut p = Program::new();
     let _ = p.buffer(64, BufInit::Zero);

@@ -50,6 +50,24 @@ pub struct EventQueue<E> {
     now: Time,
     seq: u64,
     popped: u64,
+    clamps: ClampStats,
+}
+
+/// Tally of release-mode past-event clamps.
+///
+/// A clamp means some component computed a timestamp earlier than the
+/// current virtual time — a determinism hazard that debug builds turn into
+/// a panic. Release builds clamp to `now` so long simulations degrade
+/// gracefully, but the occurrence is counted here rather than vanishing
+/// without trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClampStats {
+    /// How many pushes were clamped to `now`.
+    pub count: u64,
+    /// Sum of all clamped-away skews (`now - requested`).
+    pub total_skew: Duration,
+    /// Largest single clamped-away skew.
+    pub max_skew: Duration,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -65,6 +83,7 @@ impl<E> EventQueue<E> {
             now: Time::ZERO,
             seq: 0,
             popped: 0,
+            clamps: ClampStats::default(),
         }
     }
 
@@ -98,6 +117,15 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {at:?} < now {:?}",
             self.now
         );
+        if at < self.now {
+            // Release builds clamp rather than panic, but record the hazard:
+            // a clamp rewrites a computed timestamp and can mask an ordering
+            // bug upstream.
+            let skew = self.now.since(at);
+            self.clamps.count += 1;
+            self.clamps.total_skew += skew;
+            self.clamps.max_skew = self.clamps.max_skew.max(skew);
+        }
         let at = at.max(self.now);
         self.heap.push(Scheduled {
             time: at,
@@ -125,6 +153,19 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|ev| ev.time)
+    }
+
+    /// Past-event clamp statistics (always zero in debug builds, where a
+    /// past push panics instead).
+    #[inline]
+    pub fn clamp_stats(&self) -> ClampStats {
+        self.clamps
+    }
+
+    /// Shorthand for `clamp_stats().count`.
+    #[inline]
+    pub fn clamps(&self) -> u64 {
+        self.clamps.count
     }
 }
 
@@ -195,6 +236,34 @@ mod tests {
         q.push_at(Time(100), ());
         q.pop();
         q.push_at(Time(10), ());
+    }
+
+    #[test]
+    fn clamp_stats_start_at_zero() {
+        let mut q = EventQueue::new();
+        q.push_at(Time(10), ());
+        q.pop();
+        q.push_at(Time(20), ());
+        assert_eq!(q.clamps(), 0);
+        assert_eq!(q.clamp_stats(), ClampStats::default());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_clamps_are_counted_with_skew() {
+        let mut q = EventQueue::new();
+        q.push_at(Time(100), 0u8);
+        q.pop();
+        // Two past pushes: skews of 90 and 40 ns.
+        q.push_at(Time(10), 1u8);
+        q.push_at(Time(60), 2u8);
+        let s = q.clamp_stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_skew, Duration(130));
+        assert_eq!(s.max_skew, Duration(90));
+        // Both events were rewritten to fire at `now`.
+        assert_eq!(q.pop(), Some((Time(100), 1u8)));
+        assert_eq!(q.pop(), Some((Time(100), 2u8)));
     }
 
     #[test]

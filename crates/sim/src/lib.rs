@@ -24,7 +24,7 @@ pub mod stats;
 pub mod trace;
 
 pub use clock::{Duration, Time};
-pub use event::EventQueue;
+pub use event::{ClampStats, EventQueue};
 pub use resource::FifoResource;
 pub use rng::Pcg32;
 pub use stats::{Accumulator, Summary};

@@ -200,6 +200,14 @@ pub enum Payload {
     BucketCharge { bucket: Bucket, label: &'static str },
     /// Free-form marker for experiment phases (warmup, lap boundaries).
     Marker { label: &'static str },
+    /// The simulator clamped a past-scheduled event to `now` (release
+    /// builds only — debug builds panic). `skew_ns` is how far in the past
+    /// the rewritten timestamp was.
+    ClampedEvent { skew_ns: u64 },
+    /// One cell of a parallel experiment sweep executed by the bench
+    /// driver; `index` is the cell's position in the deterministic cell
+    /// list, `worker` the pool thread that ran it.
+    SweepCell { index: u64, worker: u32 },
 }
 
 impl Payload {
@@ -226,6 +234,8 @@ impl Payload {
             Payload::SyncWait { kind } => kind.label(),
             Payload::BucketCharge { label, .. } => label,
             Payload::Marker { label } => label,
+            Payload::ClampedEvent { .. } => "past-event-clamp",
+            Payload::SweepCell { .. } => "sweep-cell",
         }
     }
 
@@ -250,6 +260,8 @@ impl Payload {
             Payload::SyncWait { .. } => "sync",
             Payload::BucketCharge { .. } => "bucket",
             Payload::Marker { .. } => "marker",
+            Payload::ClampedEvent { .. } => "sim",
+            Payload::SweepCell { .. } => "sweep",
         }
     }
 
@@ -333,6 +345,11 @@ impl Payload {
                 vec![("bucket", ArgValue::Str(bucket.label()))]
             }
             Payload::Marker { .. } => vec![],
+            Payload::ClampedEvent { skew_ns } => vec![("skew_ns", ArgValue::U64(skew_ns))],
+            Payload::SweepCell { index, worker } => vec![
+                ("index", ArgValue::U64(index)),
+                ("worker", ArgValue::U64(worker as u64)),
+            ],
         }
     }
 }

@@ -1,0 +1,106 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the subset of the API this workspace uses — `thread::scope`
+//! with `Scope::spawn` / `ScopedJoinHandle::join` — implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). The build environment
+//! has no network access, so the real crate cannot be fetched; this
+//! stand-in keeps call sites source-compatible with crossbeam's scoped
+//! threads so the dependency can be swapped for the real crate without
+//! touching users.
+//!
+//! Deviations from the real crate, by design of the subset:
+//!
+//! * `Scope::spawn` takes a plain `FnOnce() -> T` (like `std::thread`)
+//!   rather than crossbeam's `FnOnce(&Scope) -> T`; the workspace never
+//!   spawns from inside a spawned closure.
+//! * A panic in an unjoined spawned thread propagates out of `scope`
+//!   (std semantics) instead of being captured in the returned `Result`.
+//!   Joined handles still surface panics through `Result::Err`.
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope for spawning threads that may borrow from the enclosing
+    /// stack frame. Mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` holds the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow non-`'static` data from the
+        /// scope's environment. All threads are joined before [`scope`]
+        /// returns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Every spawned
+    /// thread is joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads_and_borrows_stack() {
+        let counter = AtomicUsize::new(0);
+        let counter_ref = &counter;
+        let r = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move || {
+                        counter_ref.fetch_add(1, Ordering::Relaxed);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<usize>()
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(r, 12); // 0 + 2 + 4 + 6
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let r = thread::scope(|s| {
+            let h = s.spawn(|| panic!("boom"));
+            h.join()
+        })
+        .expect("scope itself succeeds");
+        assert!(r.is_err(), "panic is captured by join");
+    }
+}
