@@ -7,10 +7,12 @@
 //! Baseline numbers live in `BENCH_hotpaths.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fusedpack_core::{FlushReason, FusionConfig, FusionOp, Scheduler, Uid};
 use fusedpack_datatype::{pack, Layout, TypeBuilder};
-use fusedpack_gpu::BufferPool;
+use fusedpack_gpu::{BufferPool, DataMode, DevPtr, Gpu, GpuArch, HostLink, StreamId};
 use fusedpack_sim::{EventQueue, Time};
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// (label, layout, element count) for the three pack/unpack shapes.
 fn shapes() -> Vec<(&'static str, Layout, u64)> {
@@ -108,11 +110,96 @@ fn bench_staging_pool(c: &mut Criterion) {
     g.finish();
 }
 
+/// One scheduler service cycle: 64 enqueues with a threshold check after
+/// each (flushing whenever it fires), a final sync-point flush, then
+/// completion signalling and retirement for every request — the per-epoch
+/// hot path the fusion scheme adds on top of the progress engine.
+fn scheduler_cycle(sched: &mut Scheduler, gpu: &mut Gpu, layout: &Arc<Layout>) -> u64 {
+    let mut launches = 0u64;
+    let mut t = Time(0);
+    let mut uids: Vec<Uid> = Vec::with_capacity(64);
+    for _ in 0..64 {
+        let (res, cost) = sched.enqueue(
+            t,
+            FusionOp::Pack,
+            DevPtr {
+                addr: 0,
+                len: 65536,
+            },
+            DevPtr {
+                addr: 65536,
+                len: 65536,
+            },
+            layout.clone(),
+            1,
+            None,
+        );
+        uids.push(res.expect("ring has room"));
+        t += cost;
+        if sched.threshold_reached() {
+            if let Some(batch) = sched.flush(t, gpu, StreamId(0), FlushReason::ThresholdReached) {
+                launches += 1;
+                for &u in &batch.uids {
+                    sched.signal_completion(u);
+                }
+            }
+        }
+    }
+    if let Some(batch) = sched.flush(t, gpu, StreamId(0), FlushReason::SyncPoint) {
+        launches += 1;
+        for &u in &batch.uids {
+            sched.signal_completion(u);
+        }
+    }
+    for u in uids {
+        let cost = sched.retire(t, u);
+        t += cost;
+    }
+    launches
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // 16 KB packed per request across 2 blocks: 64 requests cross the
+    // 512 KB default threshold twice per cycle.
+    let layout = Arc::new(Layout::of(&TypeBuilder::vector(
+        2,
+        8 * 1024,
+        8 * 1024 + 64,
+        TypeBuilder::byte(),
+    )));
+    let mk_gpu = || {
+        Gpu::new(
+            GpuArch::v100(),
+            1 << 22,
+            DataMode::ModelOnly,
+            HostLink::nvlink2_cpu(),
+            2,
+        )
+    };
+    let mut g = c.benchmark_group("hotpaths/scheduler");
+    g.bench_function("enqueue_flush_cycle_static", |b| {
+        let mut sched = Scheduler::new(FusionConfig::default());
+        let mut gpu = mk_gpu();
+        b.iter(|| scheduler_cycle(&mut sched, &mut gpu, black_box(&layout)))
+    });
+    g.bench_function("enqueue_flush_cycle_adaptive", |b| {
+        // Same cycle with the online controller observing every flush
+        // (it converges to a fixed point, so the steady state measures
+        // pure controller overhead, not behavioural drift).
+        let mut sched = Scheduler::new(FusionConfig::default());
+        sched.enable_adaptive(&GpuArch::v100());
+        let mut gpu = mk_gpu();
+        b.iter(|| scheduler_cycle(&mut sched, &mut gpu, black_box(&layout)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     bench_hotpaths,
     bench_pack_shapes,
     bench_unpack_shapes,
     bench_event_queue,
-    bench_staging_pool
+    bench_staging_pool,
+    bench_scheduler
 );
 criterion_main!(bench_hotpaths);

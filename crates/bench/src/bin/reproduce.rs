@@ -1,11 +1,18 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] [--jobs N] [--timings]
+//! reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] [--jobs N]
+//!           [--threshold auto|BYTES] [--timings]
 //!
 //! EXPERIMENT:       table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!                   ablation ipc approaches (default: all)
+//!                   ablation adapt ipc approaches (default: all)
 //! --csv DIR:        additionally write one CSV per table into DIR
+//! --threshold X:    fusion threshold for the Proposed columns of the
+//!                   scheme-comparison figures (9/10/12/13): a byte count,
+//!                   or "auto" to resolve the model-predicted threshold
+//!                   from each workload's average contiguous-block size
+//!                   (fusedpack_core::predict_threshold). The explicit
+//!                   fig8 sweep and the adapt experiment are unaffected.
 //! --jobs N:         run sweep cells on N worker threads (default: the
 //!                   FUSEDPACK_JOBS env var, then all available cores).
 //!                   Tables and CSVs are byte-identical for every N.
@@ -19,7 +26,7 @@
 //!                   only the trace runs.
 //! ```
 
-use fusedpack_bench::{exec, run_experiment, EXPERIMENTS};
+use fusedpack_bench::{exec, figs, run_experiment, EXPERIMENTS};
 use std::io::Write;
 
 fn main() {
@@ -54,11 +61,29 @@ fn main() {
                     });
                 exec::set_jobs(n);
             }
+            "--threshold" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--threshold requires \"auto\" or a byte count");
+                    std::process::exit(2);
+                });
+                let mode = if v == "auto" {
+                    figs::ThresholdMode::Auto
+                } else {
+                    match v.parse::<u64>() {
+                        Ok(b) if b > 0 => figs::ThresholdMode::Fixed(b),
+                        _ => {
+                            eprintln!("--threshold requires \"auto\" or a positive byte count");
+                            std::process::exit(2);
+                        }
+                    }
+                };
+                figs::set_threshold_mode(mode);
+            }
             "--timings" => timings = true,
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] \
-                     [--jobs N] [--timings]"
+                     [--jobs N] [--threshold auto|BYTES] [--timings]"
                 );
                 println!("experiments: {}", EXPERIMENTS.join(" "));
                 return;

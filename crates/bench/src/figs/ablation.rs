@@ -9,10 +9,14 @@
 //!    sync point): both ends lose to the tuned middle, the Fig. 8 U-shape
 //!    stated as an A/B.
 //! 3. **Layout cache** — compare the per-operation datatype cost models.
+//! 4. **Fused-kernel block partitioning** — uniform vs. work-proportional
+//!    vs. cost-guided splits of the thread-block budget across a batch,
+//!    on shapes from balanced to pathologically skewed.
 
 use crate::exec::{self, Cell};
 use crate::figs::{latency, HALO_MSGS};
 use crate::table::{ratio, us, Table};
+use fusedpack_gpu::{FusedWork, PartitionPolicy, SegmentStats};
 use fusedpack_mpi::SchemeKind;
 use fusedpack_net::Platform;
 use fusedpack_sim::Duration;
@@ -123,7 +127,71 @@ pub fn run() -> Vec<Table> {
         format!("{}", parse_cost(4000)),
     ]);
 
-    vec![t1, t2, t3]
+    // Ablation 4: fused-kernel block-partitioning policies (pure cost
+    // model, no cluster in the loop).
+    let mut t4 = Table::new(
+        "Ablation: fused-kernel block partitioning (V100 cost model)",
+        &[
+            "batch shape",
+            "uniform (us)",
+            "weighted (us)",
+            "cost-guided (us)",
+            "guided/uniform",
+        ],
+    )
+    .with_note(
+        "uniform starves skewed batches; work-proportional over-serves sparse requests; \
+         cost-guided evaluates both plus a time-demand split and keeps the fastest",
+    );
+    let arch = fusedpack_gpu::GpuArch::v100();
+    for (label, works) in partition_shapes() {
+        let time = |policy| fusedpack_gpu::fused::fused_timing_policy(&arch, &works, policy).total;
+        let uniform = time(PartitionPolicy::Uniform);
+        let weighted = time(PartitionPolicy::WeightedByWork);
+        let guided = time(PartitionPolicy::CostGuided);
+        t4.push_row(vec![
+            label.into(),
+            us(uniform),
+            us(weighted),
+            us(guided),
+            ratio(uniform, guided),
+        ]);
+    }
+
+    vec![t1, t2, t3, t4]
+}
+
+/// Batch shapes for the partitioning ablation, from balanced to skewed.
+pub fn partition_shapes() -> Vec<(&'static str, Vec<FusedWork>)> {
+    let work = |bytes: u64, blocks: u64| FusedWork {
+        stats: SegmentStats::new(bytes, blocks),
+        bw_cap: None,
+    };
+    vec![
+        (
+            "8x balanced small (64KB/128blk)",
+            (0..8).map(|_| work(64 * 1024, 128)).collect(),
+        ),
+        (
+            "1MB dense + 3x sparse (4KB/170blk)",
+            std::iter::once(work(1024 * 1024, 4))
+                .chain((0..3).map(|_| work(4096, 170)))
+                .collect(),
+        ),
+        (
+            "2x 8MB dense + 6x 32KB",
+            (0..2)
+                .map(|_| work(8 * 1024 * 1024, 1024))
+                .chain((0..6).map(|_| work(32 * 1024, 64)))
+                .collect(),
+        ),
+        (
+            "64MB hog + 24x tiny (1KB/8blk)",
+            std::iter::once(work(64 * 1024 * 1024, 16384))
+                .chain((0..24).map(|_| work(1024, 8)))
+                .collect(),
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -144,6 +212,29 @@ mod tests {
             without < with_launch * 0.75,
             "zero-launch speedup {without:.2}x should be well below {with_launch:.2}x"
         );
+    }
+
+    #[test]
+    fn cost_guided_never_slower_on_ablation_shapes() {
+        // The tentpole guarantee: on every ablation shape the cost-guided
+        // partition is at least as fast as BOTH the uniform split and the
+        // legacy work-proportional split.
+        let arch = fusedpack_gpu::GpuArch::v100();
+        for (label, works) in partition_shapes() {
+            let time =
+                |policy| fusedpack_gpu::fused::fused_timing_policy(&arch, &works, policy).total;
+            let uniform = time(PartitionPolicy::Uniform);
+            let weighted = time(PartitionPolicy::WeightedByWork);
+            let guided = time(PartitionPolicy::CostGuided);
+            assert!(
+                guided <= uniform,
+                "{label}: guided {guided} vs uniform {uniform}"
+            );
+            assert!(
+                guided <= weighted,
+                "{label}: guided {guided} vs weighted {weighted}"
+            );
+        }
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub fn run_on(platform: &Platform, fig_name: &str) -> Vec<Table> {
                 let mut row = vec![label, format!("{}KB", w.packed_bytes() / 1024)];
                 let (tuned, _threshold) = tuned_fusion(&platform, &w, HALO_MSGS);
                 row.push(us(latency(&platform, tuned, &w, HALO_MSGS)));
+                // Honour `reproduce --threshold` for the Proposed column.
+                let mut schemes = schemes;
+                schemes[0] = crate::figs::proposed(&platform, &w);
                 for s in &schemes {
                     row.push(us(latency(&platform, s.clone(), &w, HALO_MSGS)));
                 }

@@ -50,6 +50,15 @@ pub fn run() -> Table {
             ));
         }
     }
+    // One extra row: the online adaptive controller, which should land at
+    // or near the best static threshold without being told it.
+    for &pts in INPUT_SIZES {
+        cells.push(Cell::new(format!("adaptive/{}pt", pts), move || {
+            let platform = Platform::lassen();
+            let w = specfem3d_cm(pts);
+            latency(&platform, SchemeKind::fusion_adaptive(), &w, N_MSGS)
+        }));
+    }
     let lats = exec::sweep("fig8", cells);
 
     for (row_lats, &threshold) in lats.chunks(INPUT_SIZES.len()).zip(&thresholds) {
@@ -57,6 +66,10 @@ pub fn run() -> Table {
         row.extend(row_lats.iter().map(|&l| us(l)));
         t.push_row(row);
     }
+    let adaptive_lats = &lats[thresholds.len() * INPUT_SIZES.len()..];
+    let mut row = vec!["adaptive".to_string()];
+    row.extend(adaptive_lats.iter().map(|&l| us(l)));
+    t.push_row(row);
     t
 }
 
@@ -87,9 +100,10 @@ mod tests {
     }
 
     #[test]
-    fn table_has_full_grid() {
+    fn table_has_full_grid_plus_adaptive() {
         let t = run();
-        assert_eq!(t.rows.len(), ThresholdTuner::default_grid().len());
+        assert_eq!(t.rows.len(), ThresholdTuner::default_grid().len() + 1);
         assert_eq!(t.headers.len(), 1 + INPUT_SIZES.len());
+        assert_eq!(t.rows.last().expect("rows")[0], "adaptive");
     }
 }

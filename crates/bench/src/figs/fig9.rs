@@ -2,7 +2,7 @@
 //! (specfem3D_cm) on Lassen, sweeping the number of exchanged buffers.
 
 use crate::exec::{self, Cell};
-use crate::figs::{gpu_driven_schemes, latency};
+use crate::figs::{gpu_driven_schemes, latency, proposed};
 use crate::table::{ratio, us, Table};
 use fusedpack_net::Platform;
 use fusedpack_workloads::specfem::specfem3d_cm;
@@ -14,7 +14,9 @@ pub const BUFFER_COUNTS: &[usize] = &[1, 2, 4, 8, 16];
 pub const POINTS: u64 = 2000;
 
 pub fn run() -> Table {
-    let schemes = gpu_driven_schemes();
+    let mut schemes = gpu_driven_schemes();
+    // Honour `reproduce --threshold` for the Proposed column.
+    schemes[0] = proposed(&Platform::lassen(), &specfem3d_cm(POINTS));
 
     let mut headers: Vec<String> = vec!["#buffers".into()];
     headers.extend(schemes.iter().map(|s| format!("{} (us)", s.label())));

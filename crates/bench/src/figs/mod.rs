@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ablation;
+pub mod adapt;
 pub mod approaches;
 pub mod fig1;
 pub mod fig10;
@@ -17,10 +18,65 @@ use fusedpack_mpi::SchemeKind;
 use fusedpack_net::Platform;
 use fusedpack_sim::Duration;
 use fusedpack_workloads::{run_exchange, ExchangeConfig, Workload};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The paper's §V-C stress level: 16 buffers each way = 32 non-blocking
 /// operations per rank.
 pub const HALO_MSGS: usize = 16;
+
+/// How the *Proposed* scheme's fusion threshold is chosen for the figure
+/// harnesses (the `reproduce --threshold` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdMode {
+    /// The paper's 512 KB default.
+    Default,
+    /// Resolve per workload with [`fusedpack_core::predict_threshold`]
+    /// from the workload's average contiguous-block size.
+    Auto,
+    /// A fixed byte count for every workload.
+    Fixed(u64),
+}
+
+// Encoded in one atomic so sweep worker threads see a consistent value:
+// 0 = default, u64::MAX = auto, anything else = fixed bytes.
+static THRESHOLD_MODE: AtomicU64 = AtomicU64::new(0);
+
+/// Set the process-wide threshold mode (called once by the `reproduce`
+/// binary before any experiment runs).
+pub fn set_threshold_mode(mode: ThresholdMode) {
+    let enc = match mode {
+        ThresholdMode::Default => 0,
+        ThresholdMode::Auto => u64::MAX,
+        ThresholdMode::Fixed(b) => {
+            assert!(b != 0 && b != u64::MAX, "unrepresentable threshold {b}");
+            b
+        }
+    };
+    THRESHOLD_MODE.store(enc, Ordering::SeqCst);
+}
+
+/// The currently selected threshold mode.
+pub fn threshold_mode() -> ThresholdMode {
+    match THRESHOLD_MODE.load(Ordering::SeqCst) {
+        0 => ThresholdMode::Default,
+        u64::MAX => ThresholdMode::Auto,
+        b => ThresholdMode::Fixed(b),
+    }
+}
+
+/// The *Proposed* scheme for one (platform, workload) cell, honouring the
+/// CLI threshold mode: the 512 KB default, a fixed `--threshold BYTES`, or
+/// `--threshold auto` (model-predicted from the workload's average block
+/// size on this platform's GPU).
+pub fn proposed(platform: &Platform, workload: &Workload) -> SchemeKind {
+    match threshold_mode() {
+        ThresholdMode::Default => SchemeKind::fusion_default(),
+        ThresholdMode::Fixed(b) => SchemeKind::fusion_with_threshold(b),
+        ThresholdMode::Auto => SchemeKind::fusion_with_threshold(
+            fusedpack_core::predict_threshold(&platform.arch, workload.avg_block_bytes()),
+        ),
+    }
+}
 
 /// One latency measurement with the standard protocol (1 warm-up lap,
 /// 1 measured lap, timing-only memory).

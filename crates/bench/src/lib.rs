@@ -18,6 +18,7 @@
 //! | Fig. 14 | [`figs::fig14`] | production libraries, normalized |
 //! | Table II | [`figs::table2`] | platform configurations |
 //! | Ablations | [`figs::ablation`] | design-choice ablations (DESIGN.md §5) |
+//! | Adaptive | [`figs::adapt`] | extension: online threshold control on a phase-changing workload |
 //! | DirectIPC | [`figs::ipc`] | extension: fused zero-copy intra-node transfers |
 //! | §III / Fig. 4 | [`figs::approaches`] | the three transfer approaches (Algorithms 1-3) |
 
@@ -39,6 +40,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig13",
     "fig14",
     "ablation",
+    "adapt",
     "ipc",
     "approaches",
 ];
@@ -56,6 +58,7 @@ pub fn run_experiment(name: &str) -> Vec<Table> {
         "fig13" => figs::fig13::run(),
         "fig14" => vec![figs::fig14::run()],
         "ablation" => figs::ablation::run(),
+        "adapt" => vec![figs::adapt::run()],
         "ipc" => vec![figs::ipc::run()],
         "approaches" => vec![figs::approaches::run()],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),

@@ -1,0 +1,358 @@
+//! Online adaptive control of the fusion threshold.
+//!
+//! §IV-C of the paper tunes `threshold_bytes` *offline* (the Fig. 8 sweep,
+//! our [`crate::tuner::ThresholdTuner`]) and sketches model-based online
+//! adaptation as future work. This module closes that loop:
+//! [`AdaptiveThreshold`] observes every flush the scheduler performs and
+//! nudges the threshold between flushes so that the paper's design rule —
+//! *the fused kernel's running time should exceed one kernel-launch
+//! overhead* — holds for the batches the workload actually produces.
+//!
+//! Feedback signals, per flush ([`FlushFeedback`]):
+//!
+//! * batch shape (bytes, contiguous blocks) — maintains a running average
+//!   block size, the input of [`crate::tuner::predict_threshold`];
+//! * fused-kernel **body time vs. launch overhead** — the measured
+//!   amortization ratio, folded into an EWMA of effective pack bandwidth
+//!   (the model's `mem_bw · eff_stride` term, corrected by observation);
+//! * the **flush reason** — ring-pressure flushes force the vote downward
+//!   (pending work is outgrowing the ring before the threshold fires).
+//!
+//! The controller is deliberately conservative about *when* it moves and
+//! decisive about *where*: the target is clamped to the tuner grid
+//! (16 KB … 4 MB) and rounded to a power of two, and an adjustment only
+//! commits after `hysteresis` consecutive same-direction votes — but a
+//! committed adjustment jumps straight to the target, so a phase change
+//! re-converges within a couple of flushes. A steady workload reaches a
+//! fixed point (the smallest grid threshold whose batches amortize the
+//! launch) and stays there.
+
+use crate::scheduler::FlushReason;
+use crate::tuner::ThresholdTuner;
+use fusedpack_gpu::{kernel, GpuArch};
+use fusedpack_sim::Duration;
+use std::cmp::Ordering;
+
+/// What one flush looked like, as reported by the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct FlushFeedback {
+    /// Why the scheduler flushed (§IV-C scenario mix).
+    pub reason: FlushReason,
+    /// Requests fused into the launched kernel.
+    pub requests: u64,
+    /// Payload bytes the batch moved.
+    pub bytes: u64,
+    /// Contiguous blocks across the batch.
+    pub blocks: u64,
+    /// Device time of the fused kernel (start → retire).
+    pub body: Duration,
+    /// CPU launch overhead the batch paid (one `cuLaunchKernel`).
+    pub launch: Duration,
+}
+
+/// EWMA weight given to the newest observation.
+const GAMMA: f64 = 0.35;
+
+/// Feedback-driven threshold controller. One per [`crate::Scheduler`] when
+/// the *Proposed-Adaptive* scheme is active.
+#[derive(Debug, Clone)]
+pub struct AdaptiveThreshold {
+    arch: GpuArch,
+    /// Inclusive clamp range for the threshold (the tuner grid by default).
+    min_bytes: u64,
+    max_bytes: u64,
+    /// Consecutive same-direction votes required before a step commits.
+    hysteresis: u32,
+    /// Running average contiguous block size of flushed batches.
+    avg_block: Option<f64>,
+    /// Running effective pack bandwidth (bytes/s). Seeded from the cost
+    /// model on the first flush, corrected by measured body times after.
+    bw_eff: Option<f64>,
+    /// Signed streak of same-direction votes (+up / −down).
+    streak: i64,
+    adjustments: u64,
+}
+
+impl AdaptiveThreshold {
+    /// Controller bounded by the Fig. 8 tuner grid, hysteresis of 2.
+    pub fn new(arch: GpuArch) -> Self {
+        let grid = ThresholdTuner::default_grid();
+        let min = *grid.first().expect("grid is non-empty");
+        let max = *grid.last().expect("grid is non-empty");
+        Self::with_bounds(arch, min, max, 2)
+    }
+
+    /// Controller with explicit power-of-two bounds.
+    pub fn with_bounds(arch: GpuArch, min_bytes: u64, max_bytes: u64, hysteresis: u32) -> Self {
+        assert!(min_bytes.is_power_of_two() && max_bytes.is_power_of_two());
+        assert!(min_bytes <= max_bytes && hysteresis >= 1);
+        AdaptiveThreshold {
+            arch,
+            min_bytes,
+            max_bytes,
+            hysteresis,
+            avg_block: None,
+            bw_eff: None,
+            streak: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// Committed threshold adjustments so far (each one is also emitted as
+    /// a telemetry instant by the scheduler).
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Running average block size the controller has converged on.
+    pub fn avg_block(&self) -> Option<f64> {
+        self.avg_block
+    }
+
+    /// The threshold the controller is currently steering toward.
+    pub fn target(&self) -> Option<u64> {
+        self.bw_eff
+            .map(|bw| self.clamp_pow2(self.arch.launch_cpu.as_secs_f64() * bw))
+    }
+
+    /// Fold one flush observation in. Returns `Some(new_threshold)` when the
+    /// controller commits a step (at most one per flush), `None` otherwise.
+    pub fn observe(&mut self, current: u64, fb: &FlushFeedback) -> Option<u64> {
+        if fb.bytes == 0 || fb.requests == 0 {
+            return None;
+        }
+        let batch_avg = fb.bytes as f64 / fb.blocks.max(1) as f64;
+        let avg_block = match self.avg_block {
+            Some(a) => a * (1.0 - GAMMA) + batch_avg * GAMMA,
+            None => batch_avg,
+        };
+        self.avg_block = Some(avg_block);
+
+        // Effective bandwidth: seeded from the model (this first target is
+        // exactly `predict_threshold(arch, avg_block)` up to clamping),
+        // then corrected by the measured body time of every later flush.
+        let bw_inst = match self.bw_eff {
+            None => self.arch.mem_bw * kernel::stride_efficiency(&self.arch, avg_block),
+            Some(_) => fb.bytes as f64 / fb.body.as_secs_f64().max(1e-12),
+        };
+        self.bw_eff = Some(match self.bw_eff {
+            Some(prev) => prev * (1.0 - GAMMA) + bw_inst * GAMMA,
+            None => bw_inst,
+        });
+
+        // The smallest pending-byte level whose fused kernel outlives one
+        // launch overhead at the observed bandwidth. The vote below uses
+        // the instantaneous value — smoothing comes from the hysteresis
+        // streak — while the EWMA feeds [`AdaptiveThreshold::target`].
+        let target = self.clamp_pow2(self.arch.launch_cpu.as_secs_f64() * bw_inst);
+
+        let direction = if fb.reason == FlushReason::RingPressure {
+            // The ring filled before the threshold fired: whatever the
+            // model says, the threshold is too high for this ring.
+            Ordering::Less
+        } else {
+            target.cmp(&current)
+        };
+        match direction {
+            Ordering::Greater => self.streak = self.streak.max(0) + 1,
+            Ordering::Less => self.streak = self.streak.min(0) - 1,
+            Ordering::Equal => self.streak = 0,
+        }
+        if self.streak.unsigned_abs() < u64::from(self.hysteresis) {
+            return None;
+        }
+        self.streak = 0;
+        // Commit: jump to the (grid-clamped, power-of-two) target — the
+        // hysteresis streak has already established the direction is real,
+        // and landing in one move keeps the phase-change transient to a
+        // couple of flushes. A ring-pressure override whose model target
+        // still sits at/above the current threshold instead backs off one
+        // power-of-two step.
+        let stepped = if target < current || direction == Ordering::Greater {
+            target
+        } else {
+            (current.next_power_of_two() / 2).max(1)
+        };
+        let next = stepped.clamp(self.min_bytes, self.max_bytes);
+        if next == current {
+            return None;
+        }
+        self.adjustments += 1;
+        Some(next)
+    }
+
+    fn clamp_pow2(&self, bytes: f64) -> u64 {
+        let clamped = bytes.clamp(self.min_bytes as f64, self.max_bytes as f64) as u64;
+        clamped.next_power_of_two().min(self.max_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> GpuArch {
+        GpuArch::v100()
+    }
+
+    fn feedback(bytes: u64, blocks: u64, body_ns: u64, reason: FlushReason) -> FlushFeedback {
+        FlushFeedback {
+            reason,
+            requests: 8,
+            bytes,
+            blocks,
+            body: Duration::from_nanos(body_ns),
+            launch: arch().launch_cpu,
+        }
+    }
+
+    #[test]
+    fn sparse_batches_pull_the_threshold_down() {
+        // Sparse 24-byte blocks: effective bandwidth is a few percent of
+        // peak, so small batches already amortize the launch.
+        let mut a = AdaptiveThreshold::new(arch());
+        let mut current = 512 * 1024;
+        for _ in 0..32 {
+            // 64 KB batches of 24 B blocks whose kernel runs ~9 us.
+            if let Some(next) = a.observe(
+                current,
+                &feedback(64 * 1024, 2730, 9_000, FlushReason::ThresholdReached),
+            ) {
+                assert!(next < current, "expected downward step");
+                current = next;
+            }
+        }
+        assert!(
+            current < 512 * 1024,
+            "sparse feedback should shrink the threshold, got {current}"
+        );
+        assert!(current >= 16 * 1024, "clamped to the grid");
+        assert!(a.adjustments() >= 1);
+    }
+
+    #[test]
+    fn dense_batches_push_the_threshold_up() {
+        // Dense 8 KB blocks near peak bandwidth: a 64 KB batch's body is
+        // far below the launch overhead, so the threshold must grow.
+        let mut a = AdaptiveThreshold::new(arch());
+        let mut current = 64 * 1024;
+        for _ in 0..32 {
+            if let Some(next) = a.observe(
+                current,
+                &feedback(64 * 1024, 8, 2_400, FlushReason::ThresholdReached),
+            ) {
+                assert!(next > current, "expected upward step");
+                current = next;
+            }
+        }
+        assert!(
+            current > 64 * 1024,
+            "dense feedback should grow the threshold, got {current}"
+        );
+        assert!(current <= 4 * 1024 * 1024, "clamped to the grid");
+    }
+
+    #[test]
+    fn steady_workload_reaches_a_fixed_point() {
+        let mut a = AdaptiveThreshold::new(arch());
+        let mut current = 512 * 1024u64;
+        let mut last_change = 0usize;
+        for i in 0..64 {
+            // Batches sized at the current threshold whose measured
+            // bandwidth is self-consistent: body = bytes / (bw model).
+            let blocks = (current / 512).max(1);
+            let body = 6_000 + current / 300; // ~launch-scale, grows with S
+            if let Some(next) = a.observe(
+                current,
+                &feedback(current, blocks, body, FlushReason::SyncPoint),
+            ) {
+                current = next;
+                last_change = i;
+            }
+        }
+        assert!(
+            last_change < 50,
+            "controller kept oscillating through the whole run"
+        );
+        assert!(current.is_power_of_two());
+    }
+
+    #[test]
+    fn hysteresis_blocks_single_vote_noise() {
+        let mut a = AdaptiveThreshold::with_bounds(arch(), 16 * 1024, 4 * 1024 * 1024, 3);
+        let current = 512 * 1024;
+        // Alternating up/down votes never accumulate a streak of 3.
+        for i in 0..12 {
+            let fb = if i % 2 == 0 {
+                feedback(512 * 1024, 64, 1_000, FlushReason::ThresholdReached) // dense: up
+            } else {
+                feedback(64 * 1024, 2730, 60_000, FlushReason::ThresholdReached)
+                // sparse: down
+            };
+            assert_eq!(a.observe(current, &fb), None, "vote {i} must not commit");
+        }
+        assert_eq!(a.adjustments(), 0);
+    }
+
+    #[test]
+    fn ring_pressure_votes_down_regardless_of_model() {
+        let mut a = AdaptiveThreshold::with_bounds(arch(), 16 * 1024, 4 * 1024 * 1024, 1);
+        // Dense feedback would vote up, but ring pressure overrides.
+        let next = a.observe(
+            4 * 1024 * 1024,
+            &feedback(256 * 1024, 16, 1_000, FlushReason::RingPressure),
+        );
+        assert_eq!(next, Some(2 * 1024 * 1024));
+    }
+
+    #[test]
+    fn empty_feedback_is_ignored() {
+        let mut a = AdaptiveThreshold::new(arch());
+        let fb = feedback(0, 0, 0, FlushReason::SyncPoint);
+        assert_eq!(a.observe(512 * 1024, &fb), None);
+        assert_eq!(a.adjustments(), 0);
+        assert!(a.target().is_none());
+    }
+
+    #[test]
+    fn bounds_are_never_escaped() {
+        let mut a = AdaptiveThreshold::with_bounds(arch(), 64 * 1024, 1024 * 1024, 1);
+        let mut current = 64 * 1024u64;
+        for _ in 0..20 {
+            if let Some(next) = a.observe(
+                current,
+                &feedback(current, 4, 500, FlushReason::ThresholdReached),
+            ) {
+                current = next;
+            }
+        }
+        assert!(current <= 1024 * 1024, "upper bound respected: {current}");
+        let mut current = 1024 * 1024u64;
+        for _ in 0..20 {
+            if let Some(next) = a.observe(
+                current,
+                &feedback(16 * 1024, 4096, 500_000, FlushReason::ThresholdReached),
+            ) {
+                current = next;
+            }
+        }
+        assert!(current >= 64 * 1024, "lower bound respected: {current}");
+    }
+
+    #[test]
+    fn first_target_matches_the_model_prediction() {
+        // The first observation seeds the bandwidth EWMA from the cost
+        // model, so the initial target equals predict_threshold for the
+        // batch's average block size (up to the tighter grid clamp).
+        let mut a = AdaptiveThreshold::new(arch());
+        let fb = feedback(256 * 1024, 1024, 10_000, FlushReason::SyncPoint);
+        let _ = a.observe(512 * 1024, &fb);
+        let predicted = crate::tuner::predict_threshold(&arch(), 256.0);
+        let target = a.target().expect("seeded");
+        assert_eq!(
+            target,
+            predicted.clamp(16 * 1024, 4 * 1024 * 1024),
+            "seed target {target} vs predict_threshold {predicted}"
+        );
+    }
+}

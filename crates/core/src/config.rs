@@ -1,5 +1,6 @@
 //! Fusion framework configuration.
 
+use fusedpack_gpu::PartitionPolicy;
 use fusedpack_sim::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +28,12 @@ pub struct FusionConfig {
     /// the scheme of \[24\]) for intra-node peers instead of
     /// pack-transfer-unpack.
     pub enable_direct_ipc: bool,
+    /// How the fused kernel partitions its thread-block budget across the
+    /// batched requests (see [`fusedpack_gpu::PartitionPolicy`]). The
+    /// default reproduces the paper's work-proportional split; the
+    /// adaptive scheme uses the cost-guided variant.
+    #[serde(default)]
+    pub partition: PartitionPolicy,
 }
 
 impl Default for FusionConfig {
@@ -39,6 +46,7 @@ impl Default for FusionConfig {
             complete_cost: Duration::from_nanos(700),
             query_cost: Duration::from_nanos(120),
             enable_direct_ipc: true,
+            partition: PartitionPolicy::default(),
         }
     }
 }

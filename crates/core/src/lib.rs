@@ -22,15 +22,20 @@
 //!    cooperative groups signal, and answers status queries.
 //!
 //! [`tuner`] adds the threshold machinery: the paper's heuristic sweep
-//! (Fig. 8) and the closed-form model-based predictor sketched as future
-//! work in §IV-C and §VII.
+//! (Fig. 8) and the closed-form model-based predictor of §IV-C/§VII.
+//! [`adapt`] takes the predictor online: an [`adapt::AdaptiveThreshold`]
+//! controller observes per-flush feedback and retunes
+//! [`config::FusionConfig::threshold_bytes`] between flushes, so phase-
+//! changing workloads track the best static threshold without a sweep.
 
+pub mod adapt;
 pub mod config;
 pub mod request;
 pub mod ring;
 pub mod scheduler;
 pub mod tuner;
 
+pub use adapt::{AdaptiveThreshold, FlushFeedback};
 pub use config::FusionConfig;
 pub use request::{FusionOp, FusionRequest, Status, Uid};
 pub use ring::{EnqueueError, RequestRing};

@@ -17,11 +17,12 @@
 //!   status to response status; no kernel-boundary synchronization ever
 //!   happens.
 
+use crate::adapt::{AdaptiveThreshold, FlushFeedback};
 use crate::config::FusionConfig;
 use crate::request::{FusionOp, FusionRequest, Status, Uid};
 use crate::ring::{EnqueueError, RequestRing};
 use fusedpack_datatype::Layout;
-use fusedpack_gpu::{DevPtr, FusedLaunch, FusedWork, Gpu, StreamId};
+use fusedpack_gpu::{DevPtr, FusedLaunch, FusedWork, Gpu, GpuArch, StreamId};
 use fusedpack_sim::{Duration, Time};
 use fusedpack_telemetry::{FlushReasonTag, Lane, Payload, Telemetry};
 use std::sync::Arc;
@@ -74,6 +75,10 @@ pub struct SchedStats {
     pub batch_min: u64,
     /// Largest fused-batch size so far.
     pub batch_max: u64,
+    /// Threshold adjustments committed by the adaptive controller (0 when
+    /// the controller is disabled). Always ≤ `kernels_launched`, since the
+    /// controller commits at most one step per flush.
+    pub threshold_adjusts: u64,
 }
 
 impl SchedStats {
@@ -102,6 +107,7 @@ pub struct Scheduler {
     ring: RequestRing,
     stats: SchedStats,
     tele: Telemetry,
+    adapt: Option<AdaptiveThreshold>,
 }
 
 impl Scheduler {
@@ -112,12 +118,25 @@ impl Scheduler {
             ring,
             stats: SchedStats::default(),
             tele: Telemetry::disabled(),
+            adapt: None,
         }
     }
 
     /// Attach a telemetry recorder (already tagged with the owning rank).
     pub fn set_telemetry(&mut self, tele: Telemetry) {
         self.tele = tele;
+    }
+
+    /// Turn on online threshold adaptation (the *Proposed-Adaptive*
+    /// scheme): every flush feeds an [`AdaptiveThreshold`] controller that
+    /// may retune `threshold_bytes` before the next enqueue.
+    pub fn enable_adaptive(&mut self, arch: &GpuArch) {
+        self.adapt = Some(AdaptiveThreshold::new(arch.clone()));
+    }
+
+    /// The adaptive controller, when enabled.
+    pub fn adaptive(&self) -> Option<&AdaptiveThreshold> {
+        self.adapt.as_ref()
     }
 
     pub fn config(&self) -> &FusionConfig {
@@ -206,11 +225,13 @@ impl Scheduler {
             unpacks.push(req.op == FusionOp::Unpack);
             works.push(req.work());
         }
-        let launch = gpu.launch_fused_capped(now, stream, &works);
+        let launch = gpu.launch_fused_policy(now, stream, &works, self.config.partition);
         let mut batch_bytes = 0u64;
+        let mut batch_blocks = 0u64;
         for w in &works {
             self.stats.bytes_fused += w.stats.total_bytes;
             batch_bytes += w.stats.total_bytes;
+            batch_blocks += w.stats.num_blocks;
         }
         self.stats.kernels_launched += 1;
         self.stats.requests_fused += batch.len() as u64;
@@ -255,6 +276,28 @@ impl Scheduler {
                             unpack,
                         }
                     });
+            }
+        }
+        if let Some(adapt) = self.adapt.as_mut() {
+            let feedback = FlushFeedback {
+                reason,
+                requests: batch.len() as u64,
+                bytes: batch_bytes,
+                blocks: batch_blocks,
+                body: launch.done - launch.start,
+                launch: gpu.arch.launch_cpu,
+            };
+            if let Some(next) = adapt.observe(self.config.threshold_bytes, &feedback) {
+                let old = self.config.threshold_bytes;
+                self.config.threshold_bytes = next;
+                self.stats.threshold_adjusts += 1;
+                self.tele
+                    .instant(Lane::Host, now, || Payload::ThresholdAdjust {
+                        old_bytes: old,
+                        new_bytes: next,
+                    });
+                self.tele
+                    .counter(now, "fusion_threshold_bytes", next as f64);
             }
         }
         Some(FlushedBatch {

@@ -11,6 +11,11 @@
 //!   overhead, so launches are always amortized. Closed-form from the cost
 //!   model: `S ≥ launch_cpu · mem_bw · eff_stride(avg_block)` (clamped to a
 //!   sane range).
+//!
+//! The predictor also seeds the *online* controller,
+//! [`crate::adapt::AdaptiveThreshold`], which replays the same closed form
+//! against measured per-flush bandwidth and retunes the threshold while the
+//! application runs; its bounds are this tuner's grid endpoints.
 
 use fusedpack_gpu::{kernel, GpuArch};
 use fusedpack_sim::Duration;
@@ -92,9 +97,17 @@ mod tests {
 
     #[test]
     fn ties_prefer_smaller_threshold() {
+        // Whichever order the tie arrives in, the smaller threshold wins
+        // (it delays communication less for the same latency).
         let mut t = ThresholdTuner::new();
         t.record(1024 * 1024, Duration::from_micros(100));
         t.record(64 * 1024, Duration::from_micros(100));
+        assert_eq!(t.best(), Some(64 * 1024));
+
+        let mut t = ThresholdTuner::new();
+        t.record(64 * 1024, Duration::from_micros(100));
+        t.record(1024 * 1024, Duration::from_micros(100));
+        t.record(256 * 1024, Duration::from_micros(100));
         assert_eq!(t.best(), Some(64 * 1024));
     }
 
@@ -110,6 +123,28 @@ mod tests {
         assert_eq!(grid.first(), Some(&(16 * 1024)));
         assert_eq!(grid.last(), Some(&(4 * 1024 * 1024)));
         assert!(grid.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn default_grid_is_pinned() {
+        // The adaptive controller's clamp range (`AdaptiveThreshold::new`)
+        // and the Fig. 8 sweep both derive from this grid's endpoints, so
+        // its exact contents are a contract: changing it is a deliberate
+        // decision, not a drive-by.
+        assert_eq!(
+            ThresholdTuner::default_grid(),
+            vec![
+                16 * 1024,
+                32 * 1024,
+                64 * 1024,
+                128 * 1024,
+                256 * 1024,
+                512 * 1024,
+                1024 * 1024,
+                2 * 1024 * 1024,
+                4 * 1024 * 1024,
+            ]
+        );
     }
 
     #[test]

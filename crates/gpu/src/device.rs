@@ -164,9 +164,21 @@ impl Gpu {
         stream: StreamId,
         works: &[fused::FusedWork],
     ) -> FusedLaunch {
+        self.launch_fused_policy(at, stream, works, fused::PartitionPolicy::WeightedByWork)
+    }
+
+    /// [`Gpu::launch_fused_capped`] with an explicit cooperative-group
+    /// block-partitioning policy.
+    pub fn launch_fused_policy(
+        &mut self,
+        at: Time,
+        stream: StreamId,
+        works: &[fused::FusedWork],
+        policy: fused::PartitionPolicy,
+    ) -> FusedLaunch {
         let cpu_release = at + self.arch.launch_cpu;
         let ready = cpu_release + self.arch.launch_gpu_delay;
-        let timing = fused::fused_timing_capped(&self.arch, works);
+        let timing = fused::fused_timing_policy(&self.arch, works, policy);
         let (start, done) = self.stream_mut(stream).submit(ready, timing.total);
         self.kernels_launched += 1;
         self.fused_launched += 1;

@@ -24,6 +24,39 @@
 use crate::arch::GpuArch;
 use crate::kernel::{self, SegmentStats};
 use fusedpack_sim::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// How a fused kernel's thread blocks are divided among its requests.
+///
+/// The CUDA implementation's cooperative-group partitioning step is free to
+/// pick any split; the choice decides which request gates the kernel when
+/// the batch oversubscribes the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PartitionPolicy {
+    /// Equal split regardless of per-request work: `C / n` blocks each
+    /// (at least one). The naive baseline — skewed batches starve their
+    /// large request.
+    Uniform,
+    /// Proportional to each request's [`kernel::work_units`] — the split
+    /// the static fusion scheme uses (default).
+    #[default]
+    WeightedByWork,
+    /// Evaluate candidate splits (uniform, unit-weighted, and weighted by
+    /// each request's modelled *time* demand `bytes / eff_stride`) with the
+    /// kernel cost model and keep the one with the smallest makespan. By
+    /// construction never slower than the other two policies.
+    CostGuided,
+}
+
+impl PartitionPolicy {
+    pub fn label(self) -> &'static str {
+        match self {
+            PartitionPolicy::Uniform => "uniform",
+            PartitionPolicy::WeightedByWork => "weighted",
+            PartitionPolicy::CostGuided => "cost-guided",
+        }
+    }
+}
 
 /// Per-request and whole-kernel durations of one fused launch (relative to
 /// kernel start on the device).
@@ -77,6 +110,15 @@ pub fn fused_timing(arch: &GpuArch, works: &[SegmentStats]) -> FusedTiming {
 
 /// [`fused_timing`] with per-request bandwidth caps.
 pub fn fused_timing_capped(arch: &GpuArch, works: &[FusedWork]) -> FusedTiming {
+    fused_timing_policy(arch, works, PartitionPolicy::WeightedByWork)
+}
+
+/// [`fused_timing_capped`] under an explicit block-partitioning policy.
+pub fn fused_timing_policy(
+    arch: &GpuArch,
+    works: &[FusedWork],
+    policy: PartitionPolicy,
+) -> FusedTiming {
     let fixed = arch.kernel_fixed + arch.fused_partition;
     if works.is_empty() {
         return FusedTiming {
@@ -90,31 +132,93 @@ pub fn fused_timing_capped(arch: &GpuArch, works: &[FusedWork]) -> FusedTiming {
         .iter()
         .map(|w| kernel::work_units(arch, w.stats))
         .collect();
-    let total_units: u64 = units.iter().sum();
 
-    let blocks_assigned: Vec<u64> = if total_units <= capacity {
-        units.clone()
-    } else {
-        units
-            .iter()
-            .map(|&u| {
-                if u == 0 {
-                    0
-                } else {
-                    ((u as u128 * capacity as u128) / total_units as u128).max(1) as u64
-                }
-            })
-            .collect()
+    let blocks_assigned = match policy {
+        PartitionPolicy::Uniform => assign_uniform(&units, capacity),
+        PartitionPolicy::WeightedByWork => assign_weighted(&units, &units, capacity),
+        PartitionPolicy::CostGuided => {
+            // Time demand of each request if run alone at full efficiency:
+            // bytes scaled by the inverse stride efficiency. Weighting by
+            // this equalizes *completion times*, not unit counts — the two
+            // differ by up to ~100x between sparse and dense requests.
+            let demand: Vec<u64> = works
+                .iter()
+                .map(|w| {
+                    if w.stats.is_empty() {
+                        0
+                    } else {
+                        let eff = kernel::stride_efficiency(arch, w.stats.avg_block());
+                        (w.stats.total_bytes as f64 / eff).ceil() as u64
+                    }
+                })
+                .collect();
+            let candidates = [
+                assign_weighted(&units, &units, capacity),
+                assign_uniform(&units, capacity),
+                assign_weighted(&demand, &units, capacity),
+            ];
+            candidates
+                .into_iter()
+                .min_by_key(|blocks| timing_for(arch, works, &units, blocks, fixed).total)
+                .expect("candidate list is non-empty")
+        }
     };
 
+    timing_for(arch, works, &units, &blocks_assigned, fixed)
+}
+
+/// Equal split: every non-empty request gets `capacity / n` blocks (at
+/// least one).
+fn assign_uniform(units: &[u64], capacity: u64) -> Vec<u64> {
+    let nonempty = units.iter().filter(|&&u| u > 0).count().max(1) as u64;
+    let share = (capacity / nonempty).max(1);
+    units
+        .iter()
+        .map(|&u| if u == 0 { 0 } else { share })
+        .collect()
+}
+
+/// Split proportionally to `weights`. When the batch fits (`Σunits ≤ C`)
+/// every request simply gets all the blocks it can use; otherwise the
+/// capacity is divided by weight (at least one block per live request).
+fn assign_weighted(weights: &[u64], units: &[u64], capacity: u64) -> Vec<u64> {
+    let total_units: u64 = units.iter().sum();
+    if total_units <= capacity {
+        return units.to_vec();
+    }
+    let total_weight: u64 = weights.iter().sum::<u64>().max(1);
+    weights
+        .iter()
+        .zip(units)
+        .map(|(&w, &u)| {
+            if u == 0 {
+                0
+            } else {
+                ((w as u128 * capacity as u128) / total_weight as u128).max(1) as u64
+            }
+        })
+        .collect()
+}
+
+/// Evaluate the cost model for one concrete block assignment. A request
+/// cannot run faster than its own parallelism allows, so its effective
+/// occupancy is capped at `units` blocks even when the split hands it more.
+fn timing_for(
+    arch: &GpuArch,
+    works: &[FusedWork],
+    units: &[u64],
+    blocks_assigned: &[u64],
+    fixed: Duration,
+) -> FusedTiming {
+    let capacity = arch.capacity_blocks();
     let mut per_request = Vec::with_capacity(works.len());
     let mut slowest = Duration::ZERO;
-    for (w, &blocks) in works.iter().zip(&blocks_assigned) {
+    for ((w, &blocks), &u) in works.iter().zip(blocks_assigned).zip(units) {
         let t = if w.stats.is_empty() || blocks == 0 {
             Duration::ZERO
         } else {
             let eff = kernel::stride_efficiency(arch, w.stats.avg_block());
-            let occ = (blocks as f64 / capacity as f64).min(1.0);
+            let occ = (blocks.min(u) as f64 / capacity as f64).min(1.0);
             let mut bw = arch.mem_bw * eff * occ;
             if let Some(cap) = w.bw_cap {
                 // External-link ceiling still suffers (attenuated) stride
@@ -131,7 +235,7 @@ pub fn fused_timing_capped(arch: &GpuArch, works: &[FusedWork]) -> FusedTiming {
     FusedTiming {
         per_request,
         total: slowest,
-        blocks_assigned,
+        blocks_assigned: blocks_assigned.to_vec(),
     }
 }
 
@@ -245,6 +349,87 @@ mod tests {
         );
         assert!(capped.per_request[0] > free.per_request[0]);
         assert_eq!(capped.per_request[1], free.per_request[1]);
+    }
+
+    /// Batch shapes the partition-policy ablation sweeps: balanced small,
+    /// skewed sparse+dense, oversubscribed dense, and a long sparse tail
+    /// behind one hog.
+    fn ablation_batches() -> Vec<Vec<FusedWork>> {
+        let mk = |bytes, blocks| FusedWork::from(SegmentStats::new(bytes, blocks));
+        vec![
+            vec![mk(4096, 16); 8],
+            vec![mk(1 << 20, 4), mk(4096, 256), mk(4096, 256), mk(4096, 256)],
+            vec![mk(8 << 20, 2048), mk(8 << 20, 2048), mk(64 << 10, 8)],
+            {
+                let mut v = vec![mk(64 << 20, 16384)];
+                v.extend(std::iter::repeat_n(mk(96, 3), 24));
+                v
+            },
+        ]
+    }
+
+    #[test]
+    fn default_policy_matches_legacy_timing() {
+        // fused_timing_capped must stay bit-identical to the pre-policy
+        // behaviour (WeightedByWork): every figure baseline depends on it.
+        let arch = v100();
+        for works in ablation_batches() {
+            let legacy = fused_timing_capped(&arch, &works);
+            let weighted = fused_timing_policy(&arch, &works, PartitionPolicy::WeightedByWork);
+            assert_eq!(legacy.per_request, weighted.per_request);
+            assert_eq!(legacy.blocks_assigned, weighted.blocks_assigned);
+        }
+    }
+
+    #[test]
+    fn cost_guided_never_slower_than_uniform_or_weighted() {
+        let arch = v100();
+        for works in ablation_batches() {
+            let uniform = fused_timing_policy(&arch, &works, PartitionPolicy::Uniform);
+            let weighted = fused_timing_policy(&arch, &works, PartitionPolicy::WeightedByWork);
+            let guided = fused_timing_policy(&arch, &works, PartitionPolicy::CostGuided);
+            assert!(
+                guided.total <= uniform.total,
+                "cost-guided {:?} beat by uniform {:?}",
+                guided.total,
+                uniform.total
+            );
+            assert!(
+                guided.total <= weighted.total,
+                "cost-guided {:?} beat by weighted {:?}",
+                guided.total,
+                weighted.total
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_split_starves_the_skewed_request() {
+        // One dense 1 MB request co-fused with many sparse requests: the
+        // equal split gates the kernel on the starved dense request, which
+        // the work-aware policies fix.
+        let arch = v100();
+        let mut works = vec![FusedWork::from(SegmentStats::new(1 << 20, 4))];
+        works.extend(std::iter::repeat_n(
+            FusedWork::from(SegmentStats::new(4096, 170)),
+            3,
+        ));
+        let uniform = fused_timing_policy(&arch, &works, PartitionPolicy::Uniform);
+        let guided = fused_timing_policy(&arch, &works, PartitionPolicy::CostGuided);
+        assert!(
+            guided.total < uniform.total,
+            "cost-guided {:?} should beat uniform {:?} on the skewed batch",
+            guided.total,
+            uniform.total
+        );
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(PartitionPolicy::Uniform.label(), "uniform");
+        assert_eq!(PartitionPolicy::WeightedByWork.label(), "weighted");
+        assert_eq!(PartitionPolicy::CostGuided.label(), "cost-guided");
+        assert_eq!(PartitionPolicy::default(), PartitionPolicy::WeightedByWork);
     }
 
     #[test]

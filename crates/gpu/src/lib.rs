@@ -34,7 +34,7 @@ pub mod stream;
 pub use arch::GpuArch;
 pub use copy::{CopyPath, HostLink};
 pub use device::{Gpu, KernelTiming};
-pub use fused::{FusedLaunch, FusedTiming, FusedWork};
+pub use fused::{FusedLaunch, FusedTiming, FusedWork, PartitionPolicy};
 pub use gdr::GdrWindow;
 pub use kernel::SegmentStats;
 pub use mem::{DataMode, DevPtr, MemPool};

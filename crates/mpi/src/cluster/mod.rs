@@ -185,9 +185,12 @@ impl ClusterBuilder {
             }
             let tele_r = telemetry.for_rank(idx as u32);
             gpu.set_telemetry(tele_r.clone());
-            if let SchemeKind::Fusion(cfg) = &self.scheme {
+            if let SchemeKind::Fusion(cfg) | SchemeKind::FusionAdaptive(cfg) = &self.scheme {
                 let mut sched = Scheduler::new(cfg.clone());
                 sched.set_telemetry(tele_r.clone());
+                if matches!(self.scheme, SchemeKind::FusionAdaptive(_)) {
+                    sched.enable_adaptive(&gpu.arch);
+                }
                 rank.sched = Some(sched);
             }
             rank.tele = tele_r;

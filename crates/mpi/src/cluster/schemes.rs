@@ -85,7 +85,7 @@ impl Cluster {
                 // RTS overlaps with the packing kernel.
                 self.send_rts_or_issue(r, sid, eager);
             }
-            SchemeKind::Fusion(cfg) => {
+            SchemeKind::Fusion(cfg) | SchemeKind::FusionAdaptive(cfg) => {
                 self.charge(r, lookup_cost(), Bucket::Sync);
                 let dst = self.ranks[r].sends[sid.0].dst;
                 let same_node = self.ranks[r].node == self.ranks[dst.0 as usize].node;
@@ -218,7 +218,7 @@ impl Cluster {
                     Event::UnpackDone(rank_id, rid),
                 );
             }
-            SchemeKind::Fusion(_) => {
+            SchemeKind::Fusion(_) | SchemeKind::FusionAdaptive(_) => {
                 self.charge(r, lookup_cost(), Bucket::Sync);
                 match self.fusion_enqueue(r, FusionOp::Unpack, rid.0, false) {
                     Ok(uid) => {

@@ -12,6 +12,7 @@
 //! | [`SchemeKind::GpuAsync`] | GPU-Async \[23\] | pack kernel + event record/query per message, multi-stream |
 //! | [`SchemeKind::CpuGpuHybrid`] | CPU-GPU-Hybrid \[24\] | GDRCopy CPU path for dense/small, cached-layout kernels otherwise |
 //! | [`SchemeKind::Fusion`] | Proposed | dynamic kernel fusion via `fusedpack-core` |
+//! | [`SchemeKind::FusionAdaptive`] | Proposed-Adaptive | fusion + online threshold control + cost-guided partitioning |
 //! | [`SchemeKind::NaiveCopy`] | SpectrumMPI / OpenMPI | one `cudaMemcpyAsync` per contiguous block |
 //! | [`SchemeKind::Adaptive`] | MVAPICH2-GDR | per-message choice between Hybrid and GpuSync |
 //!

@@ -40,6 +40,11 @@ pub enum SchemeKind {
     CpuGpuHybrid,
     /// The paper's proposed dynamic kernel fusion.
     Fusion(FusionConfig),
+    /// Dynamic kernel fusion with the online adaptive threshold controller
+    /// and cost-guided fused-kernel block partitioning enabled
+    /// (*Proposed-Adaptive*). The config's `threshold_bytes` is only the
+    /// starting point — the scheduler retunes it between flushes.
+    FusionAdaptive(FusionConfig),
     /// Production-library naive path: one staged copy per contiguous block.
     NaiveCopy(NaiveFlavor),
     /// MVAPICH2-GDR's adaptive selection between the hybrid CPU path and
@@ -59,6 +64,16 @@ impl SchemeKind {
         SchemeKind::Fusion(FusionConfig::with_threshold(threshold_bytes))
     }
 
+    /// The proposed design with online threshold adaptation and cost-guided
+    /// block partitioning (*Proposed-Adaptive*). Starts from the paper's
+    /// default threshold and adapts from there.
+    pub fn fusion_adaptive() -> Self {
+        SchemeKind::FusionAdaptive(FusionConfig {
+            partition: fusedpack_gpu::PartitionPolicy::CostGuided,
+            ..FusionConfig::default()
+        })
+    }
+
     /// Short display label matching the paper's legends.
     pub fn label(&self) -> &'static str {
         match self {
@@ -66,6 +81,7 @@ impl SchemeKind {
             SchemeKind::GpuAsync => "GPU-Async",
             SchemeKind::CpuGpuHybrid => "CPU-GPU-Hybrid",
             SchemeKind::Fusion(_) => "Proposed",
+            SchemeKind::FusionAdaptive(_) => "Proposed-Adaptive",
             SchemeKind::NaiveCopy(NaiveFlavor::SpectrumMpi) => "SpectrumMPI",
             SchemeKind::NaiveCopy(NaiveFlavor::OpenMpi) => "OpenMPI",
             SchemeKind::Adaptive => "MVAPICH2-GDR",
@@ -76,7 +92,10 @@ impl SchemeKind {
     pub fn has_layout_cache(&self) -> bool {
         matches!(
             self,
-            SchemeKind::CpuGpuHybrid | SchemeKind::Fusion(_) | SchemeKind::Adaptive
+            SchemeKind::CpuGpuHybrid
+                | SchemeKind::Fusion(_)
+                | SchemeKind::FusionAdaptive(_)
+                | SchemeKind::Adaptive
         )
     }
 }
@@ -155,6 +174,27 @@ mod tests {
         let hybrid = HybridPolicy::for_link(&HostLink::nvlink2_cpu(), false);
         let adaptive = HybridPolicy::for_link(&HostLink::nvlink2_cpu(), true);
         assert!(adaptive.gdr_max_bytes < hybrid.gdr_max_bytes);
+    }
+
+    #[test]
+    fn adaptive_fusion_scheme_shape() {
+        let s = SchemeKind::fusion_adaptive();
+        assert_eq!(s.label(), "Proposed-Adaptive");
+        assert!(s.has_layout_cache(), "Table I: fusion caches layouts");
+        if let SchemeKind::FusionAdaptive(cfg) = s {
+            assert_eq!(
+                cfg.partition,
+                fusedpack_gpu::PartitionPolicy::CostGuided,
+                "adaptive scheme pairs with cost-guided partitioning"
+            );
+            assert_eq!(
+                cfg.threshold_bytes,
+                FusionConfig::default().threshold_bytes,
+                "starts from the paper's default and adapts online"
+            );
+        } else {
+            panic!("expected adaptive fusion variant");
+        }
     }
 
     #[test]

@@ -170,6 +170,13 @@ pub enum Payload {
         requests: u32,
         bytes: u64,
     },
+    /// The adaptive controller moved the fusion threshold between flushes.
+    ThresholdAdjust {
+        /// Threshold in effect for the flush that produced the feedback.
+        old_bytes: u64,
+        /// Threshold that governs subsequent flush decisions.
+        new_bytes: u64,
+    },
     /// Host-side completion query against a request.
     Query { uid: u64, ready: bool },
     /// A request left the ring.
@@ -222,6 +229,7 @@ impl Payload {
             Payload::Enqueue { .. } => "enqueue",
             Payload::EnqueueRejected { .. } => "enqueue-rejected",
             Payload::FlushDecision { .. } => "flush",
+            Payload::ThresholdAdjust { .. } => "threshold-adjust",
             Payload::Query { .. } => "query",
             Payload::Retire { .. } => "retire",
             Payload::PackSpan { unpack: false, .. } => "pack",
@@ -249,6 +257,7 @@ impl Payload {
             Payload::Enqueue { .. }
             | Payload::EnqueueRejected { .. }
             | Payload::FlushDecision { .. }
+            | Payload::ThresholdAdjust { .. }
             | Payload::Query { .. }
             | Payload::Retire { .. } => "sched",
             Payload::PackSpan { .. } => "pack",
@@ -301,6 +310,13 @@ impl Payload {
                 ("reason", ArgValue::Str(reason.label())),
                 ("requests", ArgValue::U64(requests as u64)),
                 ("bytes", ArgValue::U64(bytes)),
+            ],
+            Payload::ThresholdAdjust {
+                old_bytes,
+                new_bytes,
+            } => vec![
+                ("old_bytes", ArgValue::U64(old_bytes)),
+                ("new_bytes", ArgValue::U64(new_bytes)),
             ],
             Payload::Query { uid, ready } => vec![
                 ("uid", ArgValue::U64(uid)),

@@ -77,6 +77,71 @@ pub fn bulk_exchange_programs(
     )
 }
 
+/// Build two-rank programs whose datatype *changes mid-run*: the first
+/// `laps_per_phase` iterations exchange workload `a`, the rest exchange
+/// workload `b` (e.g. a sparse seismic halo followed by a dense stencil
+/// face). This is the stress case for the online adaptive threshold
+/// controller — a single static threshold cannot be right for both phases.
+pub fn phase_shift_programs(
+    a: &Workload,
+    b: &Workload,
+    n_msgs: usize,
+    laps_per_phase: usize,
+    seed_base: u64,
+) -> (Program, Program) {
+    assert!(n_msgs >= 1 && laps_per_phase >= 1);
+    let buf_len = a.footprint().max(b.footprint()).max(1);
+
+    let build = |seed: u64, peer: RankId| {
+        let mut p = Program::new();
+        let send: Vec<BufId> = (0..n_msgs)
+            .map(|i| p.buffer(buf_len, BufInit::Random(seed + i as u64)))
+            .collect();
+        let recv: Vec<BufId> = (0..n_msgs)
+            .map(|_| p.buffer(buf_len, BufInit::Zero))
+            .collect();
+        p.push(AppOp::Commit {
+            slot: TypeSlot(0),
+            desc: a.desc.clone(),
+        });
+        p.push(AppOp::Commit {
+            slot: TypeSlot(1),
+            desc: b.desc.clone(),
+        });
+        for (slot, w) in [(TypeSlot(0), a), (TypeSlot(1), b)] {
+            for _ in 0..laps_per_phase {
+                p.push(AppOp::ResetTimer);
+                for (i, &rbuf) in recv.iter().enumerate() {
+                    p.push(AppOp::Irecv {
+                        buf: rbuf,
+                        ty: slot,
+                        count: w.count,
+                        src: peer,
+                        tag: i as u32,
+                    });
+                }
+                for (i, &sbuf) in send.iter().enumerate() {
+                    p.push(AppOp::Isend {
+                        buf: sbuf,
+                        ty: slot,
+                        count: w.count,
+                        dst: peer,
+                        tag: i as u32,
+                    });
+                }
+                p.push(AppOp::Waitall);
+                p.push(AppOp::RecordLap);
+            }
+        }
+        p
+    };
+
+    (
+        build(seed_base, RankId(1)),
+        build(seed_base + 1000, RankId(0)),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +165,22 @@ mod tests {
         let w = specfem3d_oc(100);
         let ((p0, _), _) = bulk_exchange_programs(&w, 16, 1, 0);
         assert_eq!(p0.comm_op_count(), 32, "16 isend + 16 irecv");
+    }
+
+    #[test]
+    fn phase_shift_runs_both_types() {
+        let a = specfem3d_oc(100);
+        let b = crate::nas::nas_mg_y(32);
+        let (p0, p1) = phase_shift_programs(&a, &b, 8, 3, 11);
+        // 8 sends + 8 recvs per lap, 3 laps per phase, 2 phases.
+        assert_eq!(p0.comm_op_count(), 96);
+        assert_eq!(p1.comm_op_count(), 96);
+        // Both datatypes are committed once, up front.
+        let commits = p0
+            .ops
+            .iter()
+            .filter(|op| matches!(op, AppOp::Commit { .. }))
+            .count();
+        assert_eq!(commits, 2);
     }
 }

@@ -1,6 +1,6 @@
 //! The benchmark driver: one call per (platform, scheme, workload) cell.
 
-use crate::bulk::bulk_exchange_programs;
+use crate::bulk::{bulk_exchange_programs, phase_shift_programs};
 use crate::Workload;
 use fusedpack_core::SchedStats;
 use fusedpack_gpu::DataMode;
@@ -126,6 +126,64 @@ fn run_exchange_with(
     (outcome, report.breakdowns)
 }
 
+/// Results of one phase-changing measurement ([`run_phase_shift`]).
+#[derive(Debug, Clone)]
+pub struct PhaseShiftOutcome {
+    /// Sum of every lap's makespan — the end-to-end cost of the whole
+    /// phase-changing run (no warm-up discard: adapting through the cold
+    /// start and the phase change is exactly what is being measured).
+    pub total: Duration,
+    /// Per-lap makespans, phase 1 laps first.
+    pub lap_latencies: Vec<Duration>,
+    /// Fusion scheduler statistics (rank 0), if the scheme fuses.
+    pub sched: Option<SchedStats>,
+}
+
+/// Run a bulk exchange whose datatype shifts from workload `a` to workload
+/// `b` after `laps_per_phase` iterations (see
+/// [`crate::bulk::phase_shift_programs`]).
+pub fn run_phase_shift(
+    platform: Platform,
+    scheme: SchemeKind,
+    a: &Workload,
+    b: &Workload,
+    n_msgs: usize,
+    laps_per_phase: usize,
+) -> PhaseShiftOutcome {
+    run_phase_shift_traced(platform, scheme, a, b, n_msgs, laps_per_phase, None)
+}
+
+/// [`run_phase_shift`] with an optional live telemetry recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase_shift_traced(
+    platform: Platform,
+    scheme: SchemeKind,
+    a: &Workload,
+    b: &Workload,
+    n_msgs: usize,
+    laps_per_phase: usize,
+    telemetry: Option<&Telemetry>,
+) -> PhaseShiftOutcome {
+    let (p0, p1) = phase_shift_programs(a, b, n_msgs, laps_per_phase, 7);
+    let mut builder = ClusterBuilder::new(platform, scheme)
+        .data_mode(DataMode::ModelOnly)
+        .add_rank(0, p0)
+        .add_rank(1, p1);
+    if let Some(t) = telemetry {
+        builder = builder.telemetry(t.clone());
+    }
+    let mut cluster = builder.build();
+    let report = cluster.run();
+
+    let laps = 2 * laps_per_phase;
+    let lap_latencies: Vec<Duration> = (0..laps).map(|i| report.lap_makespan(i)).collect();
+    PhaseShiftOutcome {
+        total: lap_latencies.iter().copied().sum(),
+        lap_latencies,
+        sched: report.sched_stats[0],
+    }
+}
+
 fn scale_breakdown(b: &Breakdown, div: u64) -> Breakdown {
     Breakdown {
         pack: b.pack / div,
@@ -197,6 +255,42 @@ mod tests {
         let out = run(SchemeKind::fusion_default(), specfem3d_oc(2000), 1);
         assert!(out.latency.as_micros_f64() > 5.0, "{}", out.latency);
         assert!(out.latency.as_micros_f64() < 200.0, "{}", out.latency);
+    }
+
+    #[test]
+    fn adaptive_scheme_runs_and_adjusts_on_phase_shift() {
+        let out = run_phase_shift(
+            Platform::lassen(),
+            SchemeKind::fusion_adaptive(),
+            &specfem3d_cm(1200),
+            &nas_mg_y(384),
+            16,
+            6,
+        );
+        let stats = out.sched.expect("adaptive fusion keeps sched stats");
+        assert!(stats.kernels_launched > 0);
+        assert!(
+            stats.threshold_adjusts > 0,
+            "the controller should move at least once across a sparse→dense shift"
+        );
+        assert!(
+            stats.threshold_adjusts <= stats.kernels_launched,
+            "at most one adjustment per flush"
+        );
+        assert_eq!(out.lap_latencies.len(), 12);
+    }
+
+    #[test]
+    fn static_fusion_never_adjusts() {
+        let out = run_phase_shift(
+            Platform::lassen(),
+            SchemeKind::fusion_default(),
+            &specfem3d_cm(1200),
+            &nas_mg_y(384),
+            8,
+            2,
+        );
+        assert_eq!(out.sched.expect("fusion stats").threshold_adjusts, 0);
     }
 
     #[test]

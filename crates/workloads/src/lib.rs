@@ -24,8 +24,11 @@ pub mod milc;
 pub mod nas;
 pub mod specfem;
 
-pub use bulk::bulk_exchange_programs;
-pub use driver::{run_exchange, run_exchange_traced, ExchangeConfig, ExchangeOutcome};
+pub use bulk::{bulk_exchange_programs, phase_shift_programs};
+pub use driver::{
+    run_exchange, run_exchange_traced, run_phase_shift, run_phase_shift_traced, ExchangeConfig,
+    ExchangeOutcome, PhaseShiftOutcome,
+};
 
 use fusedpack_datatype::TypeDesc;
 use std::sync::Arc;
@@ -62,6 +65,12 @@ impl Workload {
     /// Memory footprint of one message's user buffer.
     pub fn footprint(&self) -> u64 {
         fusedpack_datatype::Layout::of(&self.desc).footprint(self.count)
+    }
+
+    /// Average contiguous-block size in bytes — the input of
+    /// [`fusedpack_core::predict_threshold`] (`reproduce --threshold auto`).
+    pub fn avg_block_bytes(&self) -> f64 {
+        self.packed_bytes() as f64 / self.blocks().max(1) as f64
     }
 }
 
