@@ -10,7 +10,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fusedpack_core::{FlushReason, FusionConfig, FusionOp, Scheduler, Uid};
 use fusedpack_datatype::{pack, Layout, TypeBuilder};
 use fusedpack_gpu::{BufferPool, DataMode, DevPtr, Gpu, GpuArch, HostLink, StreamId};
-use fusedpack_sim::{EventQueue, Time};
+use fusedpack_sim::{EventQueue, FaultPlan, FaultSite, Time};
+use fusedpack_workloads::{run_exchange_chaos, specfem::specfem3d_oc, ExchangeConfig};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -194,12 +195,71 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
+/// Overhead of the fault-injection hooks on the simulation's per-request
+/// hot path. `no_plan` is the production configuration (one untaken
+/// `Option` branch per decision site); `zero_probability_plan` is an armed
+/// plan whose every spec is `probability: 0` (an early-out before any RNG
+/// draw); `armed_plan` actually draws. The first two must be
+/// indistinguishable — that is the zero-cost contract the bit-identity
+/// tests enforce semantically and this group quantifies.
+fn bench_fault_hooks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpaths/fault_hooks");
+
+    // The raw decision loop: 4096 should-inject checks round-robining the
+    // fault sites, the shape the cluster's hooks execute per event.
+    let decisions = |plan: &mut Option<FaultPlan>| {
+        let mut fired = 0u64;
+        for i in 0..4096u64 {
+            let site = FaultSite::ALL[(i % FaultSite::ALL.len() as u64) as usize];
+            if let Some(p) = plan.as_mut() {
+                if p.should_inject(site) {
+                    fired += 1;
+                }
+            }
+        }
+        fired
+    };
+    g.bench_function("decisions_4k_no_plan", |b| {
+        let mut plan: Option<FaultPlan> = None;
+        b.iter(|| decisions(black_box(&mut plan)))
+    });
+    g.bench_function("decisions_4k_zero_probability_plan", |b| {
+        // `FaultPlan::new` arms the plan with every site at probability 0.
+        let mut plan = Some(FaultPlan::new(0));
+        b.iter(|| decisions(black_box(&mut plan)))
+    });
+    g.bench_function("decisions_4k_armed_plan", |b| {
+        let mut plan = Some(FaultPlan::uniform(0, 0.1));
+        b.iter(|| decisions(black_box(&mut plan)))
+    });
+
+    // End to end: a small fused exchange simulated with no plan vs an
+    // armed all-zero plan — the whole-pipeline cost of threading the
+    // hooks through the pack/transfer/unpack fast paths.
+    let cfg = || {
+        ExchangeConfig::new(
+            fusedpack_net::Platform::lassen(),
+            fusedpack_mpi::SchemeKind::fusion_default(),
+            specfem3d_oc(500),
+            4,
+        )
+    };
+    g.bench_function("exchange_no_plan", |b| {
+        b.iter(|| run_exchange_chaos(black_box(&cfg()), None))
+    });
+    g.bench_function("exchange_zero_probability_plan", |b| {
+        b.iter(|| run_exchange_chaos(black_box(&cfg()), Some(FaultPlan::new(0))))
+    });
+    g.finish();
+}
+
 criterion_group!(
     bench_hotpaths,
     bench_pack_shapes,
     bench_unpack_shapes,
     bench_event_queue,
     bench_staging_pool,
-    bench_scheduler
+    bench_scheduler,
+    bench_fault_hooks
 );
 criterion_main!(bench_hotpaths);

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] [--jobs N]
-//!           [--threshold auto|BYTES] [--timings]
+//!           [--threshold auto|BYTES] [--seed N] [--timings]
 //!
 //! EXPERIMENT:       table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!                   ablation adapt ipc approaches (default: all)
+//!                   ablation adapt ipc approaches chaos (default: all)
 //! --csv DIR:        additionally write one CSV per table into DIR
 //! --threshold X:    fusion threshold for the Proposed columns of the
 //!                   scheme-comparison figures (9/10/12/13): a byte count,
@@ -13,6 +13,10 @@
 //!                   from each workload's average contiguous-block size
 //!                   (fusedpack_core::predict_threshold). The explicit
 //!                   fig8 sweep and the adapt experiment are unaffected.
+//! --seed N:         master seed for the chaos experiment's fault plans
+//!                   (default 42). Per-cell plans derive from this and the
+//!                   cell's grid coordinates, so the chaos report is
+//!                   byte-identical across runs and --jobs counts.
 //! --jobs N:         run sweep cells on N worker threads (default: the
 //!                   FUSEDPACK_JOBS env var, then all available cores).
 //!                   Tables and CSVs are byte-identical for every N.
@@ -79,11 +83,21 @@ fn main() {
                 };
                 figs::set_threshold_mode(mode);
             }
+            "--seed" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed requires a non-negative integer");
+                        std::process::exit(2);
+                    });
+                figs::set_chaos_seed(n);
+            }
             "--timings" => timings = true,
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] \
-                     [--jobs N] [--threshold auto|BYTES] [--timings]"
+                     [--jobs N] [--threshold auto|BYTES] [--seed N] [--timings]"
                 );
                 println!("experiments: {}", EXPERIMENTS.join(" "));
                 return;

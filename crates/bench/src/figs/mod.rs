@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod adapt;
 pub mod approaches;
+pub mod chaos;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -62,6 +63,22 @@ pub fn threshold_mode() -> ThresholdMode {
         u64::MAX => ThresholdMode::Auto,
         b => ThresholdMode::Fixed(b),
     }
+}
+
+/// Master seed for the chaos experiment's fault plans (the `reproduce
+/// --seed` flag). Per-cell plans are derived deterministically from this
+/// and the cell's grid coordinates, so the report is byte-identical across
+/// runs and `--jobs` counts for a given seed.
+static CHAOS_SEED: AtomicU64 = AtomicU64::new(42);
+
+/// Set the chaos master seed (called once by the `reproduce` binary).
+pub fn set_chaos_seed(seed: u64) {
+    CHAOS_SEED.store(seed, Ordering::SeqCst);
+}
+
+/// The current chaos master seed.
+pub fn chaos_seed() -> u64 {
+    CHAOS_SEED.load(Ordering::SeqCst)
 }
 
 /// The *Proposed* scheme for one (platform, workload) cell, honouring the

@@ -20,6 +20,7 @@
 //! | Ablations | [`figs::ablation`] | design-choice ablations (DESIGN.md §5) |
 //! | Adaptive | [`figs::adapt`] | extension: online threshold control on a phase-changing workload |
 //! | DirectIPC | [`figs::ipc`] | extension: fused zero-copy intra-node transfers |
+//! | Chaos | [`figs::chaos`] | robustness: seeded fault-injection grid, checksum + latency inflation |
 //! | §III / Fig. 4 | [`figs::approaches`] | the three transfer approaches (Algorithms 1-3) |
 
 pub mod exec;
@@ -43,6 +44,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "adapt",
     "ipc",
     "approaches",
+    "chaos",
 ];
 
 /// Run one experiment by name.
@@ -61,6 +63,7 @@ pub fn run_experiment(name: &str) -> Vec<Table> {
         "adapt" => vec![figs::adapt::run()],
         "ipc" => vec![figs::ipc::run()],
         "approaches" => vec![figs::approaches::run()],
+        "chaos" => vec![figs::chaos::run()],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

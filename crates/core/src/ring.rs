@@ -129,14 +129,18 @@ impl RequestRing {
     }
 
     /// Free a slot once the progress engine has consumed the completion.
-    pub fn retire(&mut self, uid: Uid) {
-        let idx = self
-            .by_uid
-            .remove(&uid)
-            .unwrap_or_else(|| panic!("retiring unknown request {uid:?}"));
+    ///
+    /// Returns `false` if `uid` is not in the ring — a stale or duplicate
+    /// retirement (possible under fault injection) is ignored rather than
+    /// tearing the ring down.
+    pub fn retire(&mut self, uid: Uid) -> bool {
+        let Some(idx) = self.by_uid.remove(&uid) else {
+            return false;
+        };
         let slot = self.slots[idx].take().expect("slot occupied");
         debug_assert_eq!(slot.response_status, Status::Completed);
         self.occupied -= 1;
+        true
     }
 
     /// Iterate over every live request (diagnostics).
@@ -241,8 +245,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "retiring unknown request")]
-    fn retiring_unknown_uid_panics() {
-        RequestRing::new(2).retire(Uid(99));
+    fn retiring_unknown_uid_is_rejected() {
+        let mut ring = RequestRing::new(2);
+        assert!(!ring.retire(Uid(99)), "unknown uid is refused, not fatal");
+        let a = enqueue_one(&mut ring);
+        let r = ring.get_mut(a).expect("live");
+        r.request_status = Status::Busy;
+        r.response_status = Status::Completed;
+        assert!(ring.retire(a));
+        assert!(!ring.retire(a), "double retire is refused");
+        assert_eq!(ring.occupied(), 0);
     }
 }

@@ -79,6 +79,9 @@ pub struct SchedStats {
     /// the controller is disabled). Always ≤ `kernels_launched`, since the
     /// controller commits at most one step per flush.
     pub threshold_adjusts: u64,
+    /// Flushes that degraded to per-request (non-fused) kernels because the
+    /// cooperative launch failed. Zero on fault-free runs.
+    pub degraded_flushes: u64,
 }
 
 impl SchedStats {
@@ -199,6 +202,15 @@ impl Scheduler {
         self.ring.occupied() + 1 >= self.ring.capacity()
     }
 
+    /// Occupied ring slots (pending, busy, or completed-but-unretired).
+    ///
+    /// The backpressure ladder uses this as its liveness guard: a requeue
+    /// after `RingFull` is only safe when at least one occupant will retire
+    /// later and drain the queue.
+    pub fn ring_occupied(&self) -> usize {
+        self.ring.occupied()
+    }
+
     /// ② Launch one fused kernel over the oldest pending requests (up to
     /// `max_fused`). Returns `None` when nothing is pending.
     ///
@@ -307,19 +319,115 @@ impl Scheduler {
         })
     }
 
+    /// ② (degraded) Drain the oldest pending requests with one *non-fused*
+    /// kernel launch per request — the recovery ladder taken when the
+    /// cooperative launch fails under fault injection. Serial launches on
+    /// one stream: the CPU pays a driver call per request and the kernels
+    /// run FIFO, exactly the pre-fusion baseline the paper improves on.
+    ///
+    /// The returned batch is shaped like a fused one (`uids` aligned with
+    /// `launch.request_done`), so completion signalling, retirement, and
+    /// data-movement handling are unchanged downstream.
+    pub fn flush_degraded(
+        &mut self,
+        now: Time,
+        gpu: &mut Gpu,
+        stream: StreamId,
+        reason: FlushReason,
+    ) -> Option<FlushedBatch> {
+        let pending = self.ring.pending();
+        if pending.is_empty() {
+            return None;
+        }
+        let batch: Vec<Uid> = pending.into_iter().take(self.config.max_fused).collect();
+        let mut batch_bytes = 0u64;
+        let mut batch_blocks = 0u64;
+        let mut cpu = now;
+        let mut first_start = None;
+        let mut request_done = Vec::with_capacity(batch.len());
+        let mut done = now;
+        for &uid in &batch {
+            let req = self.ring.get_mut(uid).expect("pending request is live");
+            req.request_status = Status::Busy;
+            let work = req.work();
+            batch_bytes += work.stats.total_bytes;
+            batch_blocks += work.stats.num_blocks;
+            let k = gpu.launch_kernel(cpu, stream, work.stats);
+            cpu = k.cpu_release;
+            first_start.get_or_insert(k.start);
+            request_done.push(k.done);
+            done = done.max(k.done);
+        }
+        let launch = FusedLaunch {
+            cpu_release: cpu,
+            start: first_start.unwrap_or(now),
+            request_done,
+            done,
+        };
+        self.stats.kernels_launched += batch.len() as u64;
+        self.stats.degraded_flushes += 1;
+        match reason {
+            FlushReason::SyncPoint => self.stats.flushes_sync += 1,
+            FlushReason::ThresholdReached => self.stats.flushes_threshold += 1,
+            FlushReason::RingPressure => self.stats.flushes_pressure += 1,
+        }
+        if self.tele.is_enabled() {
+            let requests = batch.len() as u32;
+            self.tele
+                .instant(Lane::Host, now, || Payload::FlushDecision {
+                    reason: reason.tag(),
+                    requests,
+                    bytes: batch_bytes,
+                });
+        }
+        // The controller still observes the flush: serial per-request
+        // kernels collapse the measured pack bandwidth, which is exactly
+        // the signal that should push the threshold around under faults.
+        if let Some(adapt) = self.adapt.as_mut() {
+            let feedback = FlushFeedback {
+                reason,
+                requests: batch.len() as u64,
+                bytes: batch_bytes,
+                blocks: batch_blocks,
+                body: launch.done - launch.start,
+                launch: gpu.arch.launch_cpu * batch.len() as u64,
+            };
+            if let Some(next) = adapt.observe(self.config.threshold_bytes, &feedback) {
+                let old = self.config.threshold_bytes;
+                self.config.threshold_bytes = next;
+                self.stats.threshold_adjusts += 1;
+                self.tele
+                    .instant(Lane::Host, now, || Payload::ThresholdAdjust {
+                        old_bytes: old,
+                        new_bytes: next,
+                    });
+                self.tele
+                    .counter(now, "fusion_threshold_bytes", next as f64);
+            }
+        }
+        Some(FlushedBatch {
+            reason,
+            uids: batch,
+            launch,
+        })
+    }
+
     /// ③ The device signals completion of `uid` (called by the event loop
     /// at the instant the request's cooperative group finishes).
-    pub fn signal_completion(&mut self, uid: Uid) {
-        let req = self
-            .ring
-            .get_mut(uid)
-            .unwrap_or_else(|| panic!("completion for unknown request {uid:?}"));
+    ///
+    /// Returns `false` for an unknown UID — a duplicate or stale completion
+    /// (possible under fault injection) is dropped rather than fatal.
+    pub fn signal_completion(&mut self, uid: Uid) -> bool {
+        let Some(req) = self.ring.get_mut(uid) else {
+            return false;
+        };
         debug_assert_eq!(
             req.request_status,
             Status::Busy,
             "completion for a request that was never launched"
         );
         req.response_status = Status::Completed;
+        true
     }
 
     /// ④ Progress-engine query at `now`: is `uid` complete? Returns the
@@ -342,9 +450,12 @@ impl Scheduler {
     }
 
     /// Consume a completed request at `now`, freeing its ring slot. Returns
-    /// the CPU cost of the completion handling.
+    /// the CPU cost of the completion handling, or zero for an unknown UID
+    /// (a stale retirement is ignored, not fatal).
     pub fn retire(&mut self, now: Time, uid: Uid) -> Duration {
-        self.ring.retire(uid);
+        if !self.ring.retire(uid) {
+            return Duration::ZERO;
+        }
         let occupancy = self.ring.occupied() as u32;
         self.tele.instant(Lane::Host, now, || Payload::Retire {
             uid: uid.0,
@@ -533,6 +644,69 @@ mod tests {
             .expect("pending");
         assert_eq!(batch.uids.len(), 2);
         assert_eq!(s.stats().bytes_fused, 512);
+    }
+
+    #[test]
+    fn degraded_flush_preserves_batch_shape_and_protocol() {
+        let mut s = sched(u64::MAX);
+        let mut g = gpu();
+        let uids: Vec<Uid> = (0..4).map(|_| enqueue(&mut s, 4096)).collect();
+        let batch = s
+            .flush_degraded(Time(0), &mut g, StreamId(0), FlushReason::SyncPoint)
+            .expect("pending work");
+        assert_eq!(batch.uids, uids);
+        assert_eq!(batch.launch.request_done.len(), 4);
+        assert!(batch
+            .launch
+            .request_done
+            .iter()
+            .all(|&t| t <= batch.launch.done));
+        assert_eq!(g.kernels_launched(), 4, "one plain kernel per request");
+        assert_eq!(g.fusion_counters().0, 0, "nothing fused");
+        assert_eq!(s.stats().degraded_flushes, 1);
+        assert!(!s.has_pending());
+        // Completion/retire protocol unchanged downstream.
+        for &uid in &batch.uids {
+            assert!(s.signal_completion(uid));
+            let (ready, _) = s.query(Time(0), uid);
+            assert!(ready);
+            let _ = s.retire(Time(0), uid);
+        }
+    }
+
+    #[test]
+    fn degraded_flush_slower_than_fused() {
+        let mut fused = sched(u64::MAX);
+        let mut degraded = sched(u64::MAX);
+        let mut g1 = gpu();
+        let mut g2 = gpu();
+        for _ in 0..8 {
+            enqueue(&mut fused, 16 * 1024);
+            enqueue(&mut degraded, 16 * 1024);
+        }
+        let a = fused
+            .flush(Time(0), &mut g1, StreamId(0), FlushReason::SyncPoint)
+            .expect("pending");
+        let b = degraded
+            .flush_degraded(Time(0), &mut g2, StreamId(0), FlushReason::SyncPoint)
+            .expect("pending");
+        assert!(
+            a.launch.done < b.launch.done,
+            "fused {:?} must beat serial degraded {:?}",
+            a.launch.done,
+            b.launch.done
+        );
+    }
+
+    #[test]
+    fn unknown_completion_and_retire_are_tolerated() {
+        let mut s = sched(1024);
+        assert!(!s.signal_completion(Uid(404)), "unknown uid dropped");
+        assert_eq!(
+            s.retire(Time(0), Uid(404)),
+            Duration::ZERO,
+            "stale retire costs nothing"
+        );
     }
 
     #[test]

@@ -299,6 +299,10 @@ impl Cluster {
         let rank = &mut self.ranks[r];
         rank.cpu += self.platform.mpi_call;
         debug_assert!(rank.uid_map.is_empty(), "fusion uids leaked");
+        debug_assert!(
+            rank.fusion_requeue.is_empty(),
+            "backpressure requeue leaked past Waitall"
+        );
         rank.sends.clear();
         rank.recvs.clear();
         self.staging_mems[r].reset();

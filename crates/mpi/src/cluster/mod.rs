@@ -21,7 +21,9 @@ use fusedpack_gpu::{BufferPool, DataMode, Gpu, MemPool};
 use fusedpack_net::platform::Platform;
 use fusedpack_net::{Link, Nic};
 use fusedpack_sim::trace::Trace;
-use fusedpack_sim::{ClampStats, Duration, EventQueue, Pcg32, Time};
+use fusedpack_sim::{
+    ClampStats, Duration, EventQueue, FaultPlan, FaultSite, FaultSummary, Pcg32, RetryPolicy, Time,
+};
 use fusedpack_telemetry::{Lane, Payload, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -71,6 +73,8 @@ pub struct ClusterBuilder {
     trace_capacity: usize,
     telemetry: Option<Telemetry>,
     rndv: RndvProtocol,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
     ranks: Vec<(u32, Program)>,
 }
 
@@ -84,6 +88,8 @@ impl ClusterBuilder {
             trace_capacity: 0,
             telemetry: None,
             rndv: RndvProtocol::default(),
+            faults: None,
+            retry: RetryPolicy::default_transfer(),
             ranks: Vec::new(),
         }
     }
@@ -92,6 +98,23 @@ impl ClusterBuilder {
     /// handshake overlap with packing).
     pub fn rendezvous(mut self, rndv: RndvProtocol) -> Self {
         self.rndv = rndv;
+        self
+    }
+
+    /// Arm deterministic fault injection: every decision the plan makes is
+    /// drawn from its own seeded streams, so the same plan over the same
+    /// programs reproduces the same faults. A plan whose every site has
+    /// probability zero leaves the run bit-identical to a fault-free one.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the retry/backoff/deadline policy used to recover from
+    /// injected wire and NIC faults (default:
+    /// [`RetryPolicy::default_transfer`]).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -218,6 +241,13 @@ impl ClusterBuilder {
             events.push_at(Time::ZERO, Event::Wake(RankId(r as u32)));
         }
 
+        // The retry protocol's jitter stream: seeded from the fault plan so
+        // chaos runs are self-contained, never touched on fault-free runs.
+        let retry_rng = Pcg32::new(
+            self.faults.as_ref().map_or(0, |p| p.seed()),
+            RETRY_RNG_STREAM,
+        );
+
         Cluster {
             platform: self.platform,
             scheme: self.scheme,
@@ -233,9 +263,17 @@ impl ClusterBuilder {
             intra_links: HashMap::new(),
             buf_pool: BufferPool::new(),
             telemetry,
+            faults: self.faults,
+            fault_stats: FaultSummary::default(),
+            retry: self.retry,
+            retry_rng,
         }
     }
 }
+
+/// Stream tag for the retry protocol's deterministic backoff jitter,
+/// disjoint from the per-site fault streams and the buffer-init streams.
+const RETRY_RNG_STREAM: u64 = 0x4e7c;
 
 /// The running cluster.
 pub struct Cluster {
@@ -263,6 +301,15 @@ pub struct Cluster {
     pub(crate) buf_pool: BufferPool,
     /// Root telemetry handle (disabled unless the builder attached one).
     pub(crate) telemetry: Telemetry,
+    /// Deterministic fault plan (None: the hot paths take a single
+    /// untaken-branch hit and behave bit-identically to the pre-fault code).
+    pub(crate) faults: Option<FaultPlan>,
+    /// Injection/recovery accounting for the final [`RunReport`].
+    pub(crate) fault_stats: FaultSummary,
+    /// Retry/backoff/deadline policy for recovering injected wire faults.
+    pub(crate) retry: RetryPolicy,
+    /// Jitter stream for [`RetryPolicy::backoff`].
+    pub(crate) retry_rng: Pcg32,
 }
 
 /// Results of a completed run.
@@ -285,6 +332,9 @@ pub struct RunReport {
     /// Release-mode past-event clamps in the event queue (a determinism
     /// hazard; always zero in debug builds, which panic instead).
     pub event_clamps: ClampStats,
+    /// Fault-injection and recovery accounting. All-zero (`is_clean`) on
+    /// fault-free runs with no ring backpressure.
+    pub fault_summary: FaultSummary,
 }
 
 impl RunReport {
@@ -357,6 +407,7 @@ impl Cluster {
             end_time: self.events.now(),
             events_processed: self.events.processed(),
             event_clamps: self.events.clamp_stats(),
+            fault_summary: self.fault_stats,
         }
     }
 
@@ -392,12 +443,88 @@ impl Cluster {
             .entry(key)
             .or_insert_with(|| Link::new(spec))
     }
+
+    // ---- fault-injection hooks ------------------------------------------
+    //
+    // Every hook early-outs on `faults == None` (one untaken branch) and,
+    // with a plan, on `probability <= 0` *before* drawing from the site's
+    // RNG — which is what keeps no-plan and all-zero-plan runs bit-identical
+    // to the pre-fault code (enforced by tests).
+
+    /// Should a fault fire at `site` right now? Counts the injection and
+    /// marks the rank's timeline when it does.
+    pub(crate) fn fault_fires(&mut self, r: usize, site: FaultSite, at: Time) -> bool {
+        let Some(plan) = self.faults.as_mut() else {
+            return false;
+        };
+        if !plan.should_inject(site) {
+            return false;
+        }
+        self.fault_stats.injected += 1;
+        self.ranks[r]
+            .tele
+            .instant(Lane::Host, at, || Payload::FaultInjected { site });
+        true
+    }
+
+    /// Draw the latency spike for a site that just fired.
+    pub(crate) fn fault_spike(&mut self, site: FaultSite) -> Duration {
+        self.faults
+            .as_mut()
+            .map_or(Duration::ZERO, |plan| plan.spike(site))
+    }
+
+    /// Record a retry decision (telemetry + counters).
+    pub(crate) fn fault_retry(
+        &mut self,
+        r: usize,
+        site: FaultSite,
+        attempt: u32,
+        backoff: Duration,
+        at: Time,
+    ) {
+        self.fault_stats.retried += 1;
+        let backoff_ns = backoff.as_nanos();
+        self.ranks[r]
+            .tele
+            .instant(Lane::Host, at, || Payload::Retry {
+                site,
+                attempt,
+                backoff_ns,
+            });
+    }
+
+    /// Record a degradation-ladder step (telemetry + counters).
+    pub(crate) fn fault_degraded(
+        &mut self,
+        r: usize,
+        site: FaultSite,
+        action: &'static str,
+        at: Time,
+    ) {
+        self.fault_stats.degraded += 1;
+        self.ranks[r]
+            .tele
+            .instant(Lane::Host, at, || Payload::Degraded { site, action });
+    }
+
+    /// Record a transparently absorbed fault (latency added, data intact).
+    pub(crate) fn fault_recovered(&mut self, added: Duration) {
+        self.fault_stats.recovered += 1;
+        self.fault_stats.added_latency += added;
+    }
 }
 
 impl Cluster {
     /// The data mode this cluster was built with.
     pub fn mode(&self) -> DataMode {
         self.data_mode
+    }
+
+    /// Fault-injection accounting so far (also returned in the
+    /// [`RunReport`]).
+    pub fn fault_summary(&self) -> FaultSummary {
+        self.fault_stats
     }
 
     /// Acquire/release counters of the staged-payload buffer pool

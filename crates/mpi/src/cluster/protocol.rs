@@ -7,7 +7,7 @@ use crate::scheme::SchemeKind;
 use crate::sendrecv::{CtsInfo, RecvId, RecvState, SendId, StagingLoc};
 use fusedpack_gpu::MemPool;
 use fusedpack_net::rdma::CTRL_BYTES;
-use fusedpack_sim::Time;
+use fusedpack_sim::{FaultSite, Time};
 use fusedpack_telemetry::{Lane, Payload, RndvPhaseTag};
 
 impl Cluster {
@@ -46,6 +46,97 @@ impl Cluster {
         }
     }
 
+    /// [`Cluster::transport`] behind the retry protocol.
+    ///
+    /// Under an armed fault plan the wire may drop, corrupt, or delay the
+    /// payload, and the NIC may stall its completion. Every lost attempt
+    /// occupies the wire for its full serialization time
+    /// ([`fusedpack_net::Link::transmit_wasted`]); the sender detects the
+    /// loss — retransmission timeout for a drop, receiver NACK one RTT
+    /// after delivery for a corruption — backs off with deterministic
+    /// jitter, and retransmits. The policy's attempt and deadline budgets
+    /// bound the loop; once exhausted the transfer is forced through the
+    /// reliable slow path (counted as `deadline_exceeded`), so a Waitall
+    /// can never wedge on an unlucky seed.
+    pub(crate) fn transport_reliable(
+        &mut self,
+        src: usize,
+        dst: usize,
+        at: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> (Time, Time) {
+        if self.faults.is_none() {
+            return self.transport(src, dst, at, bytes, gdr);
+        }
+        let policy = self.retry;
+        let deadline = at + policy.deadline;
+        let mut now = at;
+        let mut attempt: u32 = 1;
+        loop {
+            let site = if self.fault_fires(src, FaultSite::LinkDrop, now) {
+                Some(FaultSite::LinkDrop)
+            } else if self.fault_fires(src, FaultSite::LinkCorrupt, now) {
+                Some(FaultSite::LinkCorrupt)
+            } else {
+                None
+            };
+            if let Some(site) = site {
+                if attempt >= policy.max_attempts || now >= deadline {
+                    // Budget exhausted: escalate to the reliable slow path —
+                    // the payload still goes through below, but the failure
+                    // is reported instead of retried.
+                    self.fault_stats.deadline_exceeded += 1;
+                } else {
+                    let (src_node, dst_node) = (self.ranks[src].node, self.ranks[dst].node);
+                    let (wire_clear, rtt) = if src_node == dst_node {
+                        let link = self.intra_link(src_node, dst_node);
+                        let (start, clear) = link.transmit_wasted(now, bytes, None);
+                        let rtt = link.spec().rtt();
+                        self.ranks[src]
+                            .tele
+                            .span(Lane::Nic, start, clear, || Payload::WireTransfer { bytes });
+                        (clear, rtt)
+                    } else {
+                        let nic = &mut self.nics[src_node as usize];
+                        let (_, clear) = nic.post_send_wasted(now, bytes, gdr);
+                        (clear, nic.wire().rtt())
+                    };
+                    let detected = if site == FaultSite::LinkCorrupt {
+                        // Fully delivered, checksum-rejected, NACKed.
+                        wire_clear + rtt
+                    } else {
+                        wire_clear + policy.detect_timeout
+                    };
+                    let backoff = policy.backoff(attempt, &mut self.retry_rng);
+                    self.fault_retry(src, site, attempt, backoff, detected);
+                    now = detected + backoff;
+                    attempt += 1;
+                    continue;
+                }
+            }
+            let (mut delivered, mut completion) = self.transport(src, dst, now, bytes, gdr);
+            if self.fault_fires(src, FaultSite::LinkDelay, now) {
+                let spike = self.fault_spike(FaultSite::LinkDelay);
+                self.fault_recovered(spike);
+                delivered += spike;
+                completion += spike;
+            }
+            let inter = self.ranks[src].node != self.ranks[dst].node;
+            if inter && self.fault_fires(src, FaultSite::NicTimeout, now) {
+                // CQE stalls: delivery is unaffected, the initiator's
+                // completion arrives late.
+                let spike = self.fault_spike(FaultSite::NicTimeout);
+                self.fault_recovered(spike);
+                completion += spike;
+            }
+            if attempt > 1 {
+                self.fault_stats.added_latency += now.since(at);
+            }
+            return (delivered, completion);
+        }
+    }
+
     /// Send a control packet (RTS/CTS); fire-and-forget.
     pub(crate) fn send_ctrl(&mut self, src: usize, dst: RankId, tag: u32, kind: WireKind) {
         let at = self.ranks[src].cpu;
@@ -66,7 +157,7 @@ impl Cluster {
                     bytes: CTRL_BYTES,
                 });
         }
-        let (delivered, _) = self.transport(src, dst.0 as usize, at, CTRL_BYTES, false);
+        let (delivered, _) = self.transport_reliable(src, dst.0 as usize, at, CTRL_BYTES, false);
         self.events.push_at(
             delivered.max(self.events.now()),
             Event::Deliver(Box::new(WireMsg {
@@ -149,7 +240,8 @@ impl Cluster {
                     tag,
                     bytes,
                 });
-            let (delivered, _) = self.transport(r, dst.0 as usize, at, bytes + CTRL_BYTES, gdr_src);
+            let (delivered, _) =
+                self.transport_reliable(r, dst.0 as usize, at, bytes + CTRL_BYTES, gdr_src);
             self.events.push_at(
                 delivered.max(self.events.now()),
                 Event::Deliver(Box::new(WireMsg {
@@ -168,7 +260,16 @@ impl Cluster {
             let now = self.ranks[r].cpu;
             self.check_unblock(r, now);
         } else {
-            let cts = cts.expect("rendezvous issue requires CTS");
+            // `ready_to_issue` implies a CTS arrived; a fault-replayed
+            // control message could get us here without one, in which case
+            // the issue simply waits for the real CTS.
+            let Some(cts) = cts else {
+                debug_assert!(false, "rendezvous issue without CTS");
+                self.fault_stats.spurious += 1;
+                self.ranks[r].sends[sid.0].data_issued = false;
+                self.buf_pool.put(payload);
+                return;
+            };
             let gdr = gdr_src || !cts.host_staging;
             self.ranks[r]
                 .tele
@@ -178,7 +279,8 @@ impl Cluster {
                     phase: RndvPhaseTag::Data,
                     bytes,
                 });
-            let (delivered, completion) = self.transport(r, dst.0 as usize, at, bytes, gdr);
+            let (delivered, completion) =
+                self.transport_reliable(r, dst.0 as usize, at, bytes, gdr);
             self.events.push_at(
                 delivered.max(self.events.now()),
                 Event::Deliver(Box::new(WireMsg {
@@ -196,6 +298,15 @@ impl Cluster {
                 completion.max(self.events.now()),
                 Event::SendComplete(src_id, sid),
             );
+            if self.fault_fires(r, FaultSite::NicDupCompletion, completion) {
+                // The NIC replays the CQE; the progress engine's guard in
+                // `on_send_complete` must absorb the duplicate.
+                let dup_at = completion + self.platform.progress_poll;
+                self.events.push_at(
+                    dup_at.max(self.events.now()),
+                    Event::SendComplete(src_id, sid),
+                );
+            }
         }
     }
 
@@ -232,7 +343,17 @@ impl Cluster {
                 staging_addr,
                 host_staging,
             } => {
-                self.ranks[r].sends[send_id.0].cts = Some(CtsInfo {
+                // Guard: a replayed CTS for a send that is already issuing
+                // (or for an epoch that ended) is dropped, not re-armed.
+                let Some(send) = self.ranks[r].sends.get_mut(send_id.0) else {
+                    self.fault_stats.spurious += 1;
+                    return;
+                };
+                if send.cts.is_some() || send.completed {
+                    self.fault_stats.spurious += 1;
+                    return;
+                }
+                send.cts = Some(CtsInfo {
                     recv_id,
                     staging_addr,
                     host_staging,
@@ -240,6 +361,18 @@ impl Cluster {
                 self.try_issue(r, send_id);
             }
             WireKind::RdmaData { send_id, recv_id } => {
+                // Guard: only a receive still awaiting its payload may
+                // consume one; duplicates and stale deliveries recycle the
+                // buffer and are counted.
+                let live = self.ranks[r]
+                    .recvs
+                    .get(recv_id.0)
+                    .is_some_and(|op| op.state == RecvState::AwaitingData);
+                if !live {
+                    self.fault_stats.spurious += 1;
+                    self.buf_pool.put(msg.payload);
+                    return;
+                }
                 self.deposit_payload(r, recv_id, &msg.payload);
                 self.buf_pool.put(msg.payload);
                 self.ranks[r].recvs[recv_id.0].state = RecvState::Unpacking;
@@ -253,14 +386,15 @@ impl Cluster {
                 // Served by the sender's NIC hardware: no CPU time charged
                 // beyond the poll above; the payload flows back over this
                 // node's wire.
-                let (staging, bytes, dst) = {
-                    let s = &self.ranks[r].sends[send_id.0];
-                    (s.staging, s.packed_bytes, msg.src)
+                let Some(send) = self.ranks[r].sends.get(send_id.0) else {
+                    self.fault_stats.spurious += 1;
+                    return;
                 };
+                let (staging, bytes, dst) = (send.staging, send.packed_bytes, msg.src);
                 let payload = self.read_staging(r, staging);
                 let gdr = matches!(staging, StagingLoc::Gpu(_) | StagingLoc::UserGpu(_));
                 let at = self.events.now();
-                let (delivered, _) = self.transport(r, dst.0 as usize, at, bytes, gdr);
+                let (delivered, _) = self.transport_reliable(r, dst.0 as usize, at, bytes, gdr);
                 let src_id = self.ranks[r].id;
                 self.events.push_at(
                     delivered.max(self.events.now()),
@@ -274,9 +408,16 @@ impl Cluster {
                 );
             }
             WireKind::Fin { send_id } => {
-                self.ranks[r].sends[send_id.0].completed = true;
-                let now = self.ranks[r].cpu;
-                self.check_unblock(r, now);
+                // Guard: a duplicated Fin (or one outliving its epoch) is
+                // absorbed.
+                match self.ranks[r].sends.get_mut(send_id.0) {
+                    Some(s) if !s.completed => {
+                        s.completed = true;
+                        let now = self.ranks[r].cpu;
+                        self.check_unblock(r, now);
+                    }
+                    _ => self.fault_stats.spurious += 1,
+                }
             }
         }
     }
@@ -295,7 +436,15 @@ impl Cluster {
                 let src = msg.src.0 as usize;
                 self.ranks[r].recvs[rid.0].state = RecvState::Unpacking;
                 self.ranks[r].recvs[rid.0].ipc_send_id = Some(send_id);
-                self.begin_direct_ipc(r, rid, src, origin);
+                let at = self.ranks[r].cpu;
+                if self.fault_fires(r, FaultSite::IpcMapFail, at) {
+                    // Degradation ladder: the IPC handle would not map —
+                    // stage the copy through a pooled bounce buffer instead.
+                    self.fault_degraded(r, FaultSite::IpcMapFail, "staged-copy", at);
+                    self.ipc_staged_fallback(r, rid, src, origin);
+                } else {
+                    self.begin_direct_ipc(r, rid, src, origin);
+                }
             }
             WireKind::Rts { send_id, rget, .. } => {
                 let (bytes, blocks) = {
@@ -378,7 +527,9 @@ impl Cluster {
         }
     }
 
-    /// Write an arrived payload into the receive staging buffer.
+    /// Write an arrived payload into the receive staging buffer. A payload
+    /// with no staging to land in (a spurious delivery replayed by a fault)
+    /// is dropped and counted, not fatal.
     fn deposit_payload(&mut self, r: usize, rid: RecvId, payload: &[u8]) {
         if payload.is_empty() {
             return; // model-only mode
@@ -388,7 +539,7 @@ impl Cluster {
             StagingLoc::Gpu(p) => self.staging_mems[r].write(p, payload),
             StagingLoc::Host(p) => self.host_mems[r].write(p, payload),
             StagingLoc::UserGpu(p) => self.gpus[r].mem.write(p, payload),
-            StagingLoc::None => panic!("payload arrived before staging was allocated"),
+            StagingLoc::None => self.fault_stats.spurious += 1,
         }
     }
 
@@ -397,7 +548,15 @@ impl Cluster {
         let eff = self.eff_now(r, t);
         self.account_wait(r, eff);
         self.ranks[r].cpu = eff + self.platform.progress_poll;
-        self.ranks[r].sends[sid.0].completed = true;
+        // Guard: a duplicated CQE — possibly landing after Waitall already
+        // freed the epoch's requests — is absorbed, not double-applied.
+        match self.ranks[r].sends.get_mut(sid.0) {
+            Some(s) if !s.completed => s.completed = true,
+            _ => {
+                self.fault_stats.spurious += 1;
+                return;
+            }
+        }
         let now = self.ranks[r].cpu;
         self.check_unblock(r, now);
     }
@@ -438,7 +597,13 @@ impl Cluster {
                 );
             }
             StagingLoc::UserGpu(_) => {} // contiguous: nothing to move
-            StagingLoc::None => panic!("pack movement without staging"),
+            StagingLoc::None => {
+                // Unreachable by construction (begin_pack assigns staging
+                // before any movement); under fault injection a stale
+                // event is absorbed rather than aborting the exchange.
+                debug_assert!(false, "pack movement without staging");
+                self.fault_stats.spurious += 1;
+            }
         }
     }
 
@@ -468,7 +633,10 @@ impl Cluster {
                 );
             }
             StagingLoc::UserGpu(_) => {} // contiguous: payload landed in place
-            StagingLoc::None => panic!("unpack movement without staging"),
+            StagingLoc::None => {
+                debug_assert!(false, "unpack movement without staging");
+                self.fault_stats.spurious += 1;
+            }
         }
     }
 }

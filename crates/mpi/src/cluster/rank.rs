@@ -10,7 +10,7 @@ use fusedpack_datatype::{Layout, LayoutCache};
 use fusedpack_gpu::DevPtr;
 use fusedpack_sim::{Duration, Time};
 use fusedpack_telemetry::{SpanId, Telemetry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Which operation a fusion UID belongs to.
@@ -18,6 +18,19 @@ use std::sync::Arc;
 pub(crate) enum OpRef {
     Send(usize),
     Recv(usize),
+}
+
+/// An operation parked by the ring-exhaustion backpressure ladder, waiting
+/// for a retirement to free a slot before it re-enqueues (FIFO per rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RequeuedOp {
+    /// Send index awaiting a pack slot.
+    Pack(usize),
+    /// Recv index awaiting an unpack slot.
+    Unpack(usize),
+    /// Recv index awaiting a DirectIPC slot (origin: sender's device
+    /// address advertised in the RTS).
+    DirectIpc { rid: usize, origin: u64 },
 }
 
 /// What a blocked rank is waiting on (for the Fig. 11 `Comm.` bucket).
@@ -55,6 +68,9 @@ pub(crate) struct RankState {
     pub unexpected: Vec<WireMsg>,
     /// Fusion UID → owning operation.
     pub uid_map: HashMap<Uid, OpRef>,
+    /// Operations refused by a full request ring, re-enqueued in FIFO order
+    /// as retirements free slots (the backpressure ladder).
+    pub fusion_requeue: VecDeque<RequeuedOp>,
     /// Fusion scheduler (only for `SchemeKind::Fusion`).
     pub sched: Option<Scheduler>,
     /// Round-robin stream cursor for the GPU-Async scheme.
@@ -94,6 +110,7 @@ impl RankState {
             recvs: Vec::new(),
             unexpected: Vec::new(),
             uid_map: HashMap::new(),
+            fusion_requeue: VecDeque::new(),
             sched: None,
             next_stream: 0,
             app_kernels_done: Time::ZERO,

@@ -12,10 +12,10 @@ use crate::sendrecv::{PackState, RecvId, RecvState, SendId, StagingLoc};
 use fusedpack_core::{EnqueueError, FlushReason, FusionOp, Uid};
 use fusedpack_datatype::cache::{lookup_cost, parse_cost};
 use fusedpack_gpu::{SegmentStats, StreamId};
-use fusedpack_sim::{Duration, Time};
+use fusedpack_sim::{Duration, FaultSite, Time};
 use fusedpack_telemetry::{Lane, Payload, WaitKindTag};
 
-use super::rank::{OpRef, WaitKind};
+use super::rank::{OpRef, RequeuedOp, WaitKind};
 
 /// Number of streams the GPU-Async scheme \[23\] multiplexes kernels over.
 const ASYNC_STREAMS: u32 = 4;
@@ -135,11 +135,18 @@ impl Cluster {
                         }
                     }
                     Err(EnqueueError::RingFull) => {
-                        // Paper's fallback path (negative UID): process this
-                        // message with the synchronous kernel scheme.
-                        self.sync_kernel(r, stats, Bucket::Pack);
-                        self.ranks[r].sends[sid.0].pack = PackState::Done;
-                        self.try_issue(r, sid);
+                        // Backpressure ladder: force a pressure flush and
+                        // park the pack until a retirement frees a slot.
+                        if self.fusion_backpressure(r, RequeuedOp::Pack(sid.0)) {
+                            self.ranks[r].sends[sid.0].pack = PackState::InFlight;
+                        } else {
+                            // Last rung — the paper's fallback path
+                            // (negative UID): process this message with the
+                            // synchronous kernel scheme.
+                            self.sync_kernel(r, stats, Bucket::Pack);
+                            self.ranks[r].sends[sid.0].pack = PackState::Done;
+                            self.try_issue(r, sid);
+                        }
                     }
                 }
             }
@@ -236,8 +243,12 @@ impl Cluster {
                         }
                     }
                     Err(EnqueueError::RingFull) => {
-                        self.sync_kernel(r, stats, Bucket::Pack);
-                        self.finish_unpack(r, rid);
+                        if self.fusion_backpressure(r, RequeuedOp::Unpack(rid.0)) {
+                            self.ranks[r].recvs[rid.0].unpack = PackState::InFlight;
+                        } else {
+                            self.sync_kernel(r, stats, Bucket::Pack);
+                            self.finish_unpack(r, rid);
+                        }
                     }
                 }
             }
@@ -286,9 +297,18 @@ impl Cluster {
     pub(crate) fn on_fusion_done(&mut self, r: usize, uid: Uid, t: Time) {
         let eff = self.eff_now(r, t);
         self.account_wait(r, eff);
+        let signalled = {
+            let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
+            sched.signal_completion(uid)
+        };
+        if !signalled {
+            // A duplicate signal for an already-retired request (possible
+            // under fault injection) is absorbed, not fatal.
+            self.fault_stats.spurious += 1;
+            return;
+        }
         let (query_cost, complete_cost) = {
             let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
-            sched.signal_completion(uid);
             let (done, qc) = sched.query(eff, uid);
             debug_assert!(done);
             (qc, sched.retire(eff, uid))
@@ -296,10 +316,10 @@ impl Cluster {
         self.charge_at(r, eff, query_cost, Bucket::Sync);
         self.charge(r, complete_cost, Bucket::Scheduling);
 
-        let opref = self.ranks[r]
-            .uid_map
-            .remove(&uid)
-            .expect("fusion uid maps to an operation");
+        let Some(opref) = self.ranks[r].uid_map.remove(&uid) else {
+            self.fault_stats.spurious += 1;
+            return;
+        };
         match opref {
             OpRef::Send(i) => {
                 self.ranks[r].sends[i].pack = PackState::Done;
@@ -307,17 +327,42 @@ impl Cluster {
             }
             OpRef::Recv(i) => self.finish_unpack(r, RecvId(i)),
         }
+        // The retirement freed a ring slot: operations parked by the
+        // backpressure ladder can now re-enqueue.
+        if !self.ranks[r].fusion_requeue.is_empty() {
+            self.drain_fusion_requeue(r);
+        }
     }
 
     /// Launch one fused kernel over the pending requests (§IV-A2 ②).
     pub(crate) fn fusion_flush(&mut self, r: usize, reason: FlushReason) {
         let mut sched = self.ranks[r].sched.take().expect("fusion scheme");
         loop {
+            if !sched.has_pending() {
+                break;
+            }
             let now = self.ranks[r].cpu;
-            let Some(batch) = sched.flush(now, &mut self.gpus[r], StreamId(0), reason) else {
+            // Degradation ladder: a failed cooperative launch costs one
+            // wasted driver call, then the batch runs as serial per-request
+            // kernels instead of one fused grid.
+            let degraded = self.fault_fires(r, FaultSite::FusedLaunchFail, now);
+            let batch = if degraded {
+                let wasted = self.gpus[r].arch.launch_cpu;
+                self.ranks[r].cpu += wasted;
+                self.bucket_add_at(r, Bucket::Launch, now, wasted);
+                self.fault_degraded(r, FaultSite::FusedLaunchFail, "serial-kernels", now);
+                let at = self.ranks[r].cpu;
+                sched.flush_degraded(at, &mut self.gpus[r], StreamId(0), reason)
+            } else {
+                sched.flush(now, &mut self.gpus[r], StreamId(0), reason)
+            };
+            let Some(batch) = batch else {
                 break;
             };
-            let launch_cpu = self.gpus[r].arch.launch_cpu;
+            // A degraded flush pays one launch per request, a fused one a
+            // single cooperative launch.
+            let launches = if degraded { batch.uids.len() as u64 } else { 1 };
+            let launch_cpu = self.gpus[r].arch.launch_cpu * launches;
             self.ranks[r].cpu = batch.launch.cpu_release;
             self.bucket_add_at(r, Bucket::Launch, now, launch_cpu);
             self.bucket_add_at(
@@ -328,6 +373,16 @@ impl Cluster {
             );
             let rank_id = self.ranks[r].id;
             for (&uid, &done) in batch.uids.iter().zip(&batch.launch.request_done) {
+                let mut done = done;
+                if self.fault_fires(r, FaultSite::FusedFlagLost, done) {
+                    // The per-request completion flag never lands; the
+                    // progress engine's watchdog re-polls the ring and
+                    // rescues the request one spike later. Data movement is
+                    // unaffected (it was applied at enqueue).
+                    let spike = self.fault_spike(FaultSite::FusedFlagLost);
+                    self.fault_recovered(spike);
+                    done += spike;
+                }
                 self.events
                     .push_at(done.max(self.events.now()), Event::FusionDone(rank_id, uid));
             }
@@ -364,32 +419,7 @@ impl Cluster {
                 .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
             self.buf_pool.put(packed);
         }
-        let link_bw = self.platform.gpu_gpu.bw;
-        let (origin_ptr, target, layout, count) = {
-            let op = &self.ranks[r].recvs[rid.0];
-            (
-                fusedpack_gpu::DevPtr {
-                    addr: origin,
-                    len: op.user_buf.len,
-                },
-                op.user_buf,
-                op.layout.clone(),
-                op.count,
-            )
-        };
-        let now = self.ranks[r].cpu;
-        let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
-        let (res, cost) = sched.enqueue(
-            now,
-            FusionOp::DirectIpc,
-            origin_ptr,
-            target,
-            layout,
-            count,
-            Some(link_bw),
-        );
-        self.charge(r, cost, Bucket::Scheduling);
-        match res {
+        match self.fusion_enqueue_ipc(r, rid.0, origin) {
             Ok(uid) => {
                 self.ranks[r].recvs[rid.0].fusion_uid = Some(uid);
                 self.ranks[r].recvs[rid.0].unpack = PackState::InFlight;
@@ -402,14 +432,109 @@ impl Cluster {
                 }
             }
             Err(EnqueueError::RingFull) => {
-                // Fallback: a standalone link-capped kernel, synchronous.
-                let (bytes, blocks) = {
-                    let op = &self.ranks[r].recvs[rid.0];
-                    (op.packed_bytes, op.blocks)
-                };
-                let stats = SegmentStats::new(bytes, blocks);
-                self.sync_kernel(r, stats, Bucket::Pack);
-                self.finish_unpack(r, rid);
+                let parked =
+                    self.fusion_backpressure(r, RequeuedOp::DirectIpc { rid: rid.0, origin });
+                if parked {
+                    self.ranks[r].recvs[rid.0].unpack = PackState::InFlight;
+                } else {
+                    // Fallback: a standalone link-capped kernel, synchronous.
+                    let (bytes, blocks) = {
+                        let op = &self.ranks[r].recvs[rid.0];
+                        (op.packed_bytes, op.blocks)
+                    };
+                    let stats = SegmentStats::new(bytes, blocks);
+                    self.sync_kernel(r, stats, Bucket::Pack);
+                    self.finish_unpack(r, rid);
+                }
+            }
+        }
+    }
+
+    /// Enqueue the DirectIPC fusion request for receive `rid` (shared by
+    /// [`Cluster::begin_direct_ipc`] and the backpressure requeue drain).
+    fn fusion_enqueue_ipc(
+        &mut self,
+        r: usize,
+        rid: usize,
+        origin: u64,
+    ) -> Result<Uid, EnqueueError> {
+        let now = self.ranks[r].cpu;
+        if self.fault_fires(r, FaultSite::RingExhausted, now) {
+            return Err(EnqueueError::RingFull);
+        }
+        let link_bw = self.platform.gpu_gpu.bw;
+        let (origin_ptr, target, layout, count) = {
+            let op = &self.ranks[r].recvs[rid];
+            (
+                fusedpack_gpu::DevPtr {
+                    addr: origin,
+                    len: op.user_buf.len,
+                },
+                op.user_buf,
+                op.layout.clone(),
+                op.count,
+            )
+        };
+        let sched = self.ranks[r].sched.as_mut().expect("fusion scheme");
+        let (res, cost) = sched.enqueue(
+            now,
+            FusionOp::DirectIpc,
+            origin_ptr,
+            target,
+            layout,
+            count,
+            Some(link_bw),
+        );
+        self.charge(r, cost, Bucket::Scheduling);
+        res
+    }
+
+    /// DirectIPC degraded path: the peer's buffer could not be mapped, so
+    /// the payload is staged — gathered on the sender's GPU into a pooled
+    /// bounce buffer, bounced over the GPU↔GPU link, and scattered by a
+    /// synchronous kernel — before the receive completes through the normal
+    /// IPC path (Fin to the sender).
+    pub(crate) fn ipc_staged_fallback(&mut self, r: usize, rid: RecvId, src: usize, origin: u64) {
+        self.charge(r, lookup_cost(), Bucket::Sync);
+        let (layout, count, user_buf, bytes, blocks) = {
+            let op = &self.ranks[r].recvs[rid.0];
+            (
+                op.layout.clone(),
+                op.count,
+                op.user_buf,
+                op.packed_bytes,
+                op.blocks,
+            )
+        };
+        // Data movement, visible at completion: same gather/scatter as the
+        // zero-copy path, via the staged bounce buffer.
+        {
+            let mut packed = self.buf_pool.take(layout.total_bytes(count) as usize);
+            self.gpus[src]
+                .mem
+                .gather_into(layout.abs_segments(origin, count), &mut packed);
+            self.gpus[r]
+                .mem
+                .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
+            self.buf_pool.put(packed);
+        }
+        // Timing: the bounce rides the intra-node link, then a synchronous
+        // scatter kernel lands it in the user buffer.
+        let at = self.ranks[r].cpu;
+        let (delivered, _) = self.transport(src, r, at, bytes, false);
+        self.bucket_add_at(r, Bucket::Comm, at, delivered.since(at));
+        self.ranks[r].cpu = self.ranks[r].cpu.max(delivered);
+        self.sync_kernel(r, SegmentStats::new(bytes, blocks), Bucket::Pack);
+        self.finish_unpack(r, rid);
+        // This receive may have been the one the zero-copy path counts on
+        // to trigger the last-arrival flush — without it, earlier fused
+        // DirectIPC requests would linger in the scheduler forever.
+        let sched = self.ranks[r].sched.as_ref().expect("fusion scheme");
+        if sched.has_pending() {
+            if sched.threshold_reached() {
+                self.fusion_flush(r, FlushReason::ThresholdReached);
+            } else if !self.ranks[r].recvs_awaiting_data() {
+                self.fusion_flush(r, FlushReason::SyncPoint);
             }
         }
     }
@@ -424,6 +549,13 @@ impl Cluster {
         idx: usize,
         is_send: bool,
     ) -> Result<Uid, EnqueueError> {
+        // Injected exhaustion reports `RingFull` without touching the ring;
+        // the caller's backpressure ladder recovers exactly as it would
+        // from a genuinely full ring.
+        let at = self.ranks[r].cpu;
+        if self.fault_fires(r, FaultSite::RingExhausted, at) {
+            return Err(EnqueueError::RingFull);
+        }
         let (origin, target, layout, count) = if is_send {
             let s = &self.ranks[r].sends[idx];
             let StagingLoc::Gpu(staging) = s.staging else {
@@ -448,6 +580,119 @@ impl Cluster {
         let (res, cost) = sched.enqueue(now, op, origin, target, layout, count, None);
         self.charge(r, cost, Bucket::Scheduling);
         res
+    }
+
+    /// The ring refused an enqueue: run the backpressure ladder.
+    ///
+    /// Step one, force a `RingPressure` flush so pending occupants become
+    /// busy and start draining. Step two, park the operation in the rank's
+    /// FIFO requeue, to re-enqueue from [`Cluster::drain_fusion_requeue`]
+    /// once a retirement frees a slot. Returns `false` — caller falls back
+    /// to the paper's synchronous path — only when the ring is *empty*, so
+    /// no retirement will ever drain the queue (an injected exhaustion);
+    /// a genuinely full ring always has occupants on their way to
+    /// retirement, keeping the requeue live.
+    fn fusion_backpressure(&mut self, r: usize, op: RequeuedOp) -> bool {
+        self.fusion_flush(r, FlushReason::RingPressure);
+        let occupied = self.ranks[r]
+            .sched
+            .as_ref()
+            .expect("fusion scheme")
+            .ring_occupied();
+        if occupied == 0 {
+            return false;
+        }
+        let now = self.ranks[r].cpu;
+        self.fault_degraded(r, FaultSite::RingExhausted, "requeue", now);
+        self.ranks[r].fusion_requeue.push_back(op);
+        true
+    }
+
+    /// Re-enqueue operations parked by the backpressure ladder, in FIFO
+    /// order, until the ring refuses again (then wait for the next
+    /// retirement) or the queue drains.
+    pub(crate) fn drain_fusion_requeue(&mut self, r: usize) {
+        let mut enqueued = false;
+        while let Some(op) = self.ranks[r].fusion_requeue.pop_front() {
+            let res = match op {
+                RequeuedOp::Pack(i) => self.fusion_enqueue(r, FusionOp::Pack, i, true),
+                RequeuedOp::Unpack(i) => self.fusion_enqueue(r, FusionOp::Unpack, i, false),
+                RequeuedOp::DirectIpc { rid, origin } => self.fusion_enqueue_ipc(r, rid, origin),
+            };
+            match res {
+                Ok(uid) => {
+                    self.register_fusion_uid(r, op, uid);
+                    enqueued = true;
+                }
+                Err(EnqueueError::RingFull) => {
+                    let occupied = self.ranks[r]
+                        .sched
+                        .as_ref()
+                        .expect("fusion scheme")
+                        .ring_occupied();
+                    if occupied == 0 {
+                        // Nothing will ever retire: last-rung sync fallback
+                        // keeps the rank live.
+                        self.fusion_fallback_sync(r, op);
+                    } else {
+                        self.ranks[r].fusion_requeue.push_front(op);
+                        break;
+                    }
+                }
+            }
+        }
+        // A rank blocked in Waitall gets no further flush trigger; launch
+        // what was just re-enqueued so its completions can unblock it.
+        if enqueued
+            && self.ranks[r].blocked
+            && self.ranks[r]
+                .sched
+                .as_ref()
+                .is_some_and(|s| s.has_pending())
+        {
+            self.fusion_flush(r, FlushReason::RingPressure);
+        }
+    }
+
+    /// Register a successfully re-enqueued operation exactly as its
+    /// original `begin_*` path would have.
+    fn register_fusion_uid(&mut self, r: usize, op: RequeuedOp, uid: Uid) {
+        match op {
+            RequeuedOp::Pack(i) => {
+                self.ranks[r].sends[i].fusion_uid = Some(uid);
+                self.ranks[r].sends[i].pack = PackState::InFlight;
+                self.ranks[r].uid_map.insert(uid, OpRef::Send(i));
+            }
+            RequeuedOp::Unpack(i) | RequeuedOp::DirectIpc { rid: i, .. } => {
+                self.ranks[r].recvs[i].fusion_uid = Some(uid);
+                self.ranks[r].recvs[i].unpack = PackState::InFlight;
+                self.ranks[r].uid_map.insert(uid, OpRef::Recv(i));
+            }
+        }
+    }
+
+    /// Last rung of the backpressure ladder: process a parked operation
+    /// with the synchronous kernel scheme (the paper's negative-UID path).
+    fn fusion_fallback_sync(&mut self, r: usize, op: RequeuedOp) {
+        match op {
+            RequeuedOp::Pack(i) => {
+                let (bytes, blocks) = {
+                    let s = &self.ranks[r].sends[i];
+                    (s.packed_bytes, s.blocks)
+                };
+                self.sync_kernel(r, SegmentStats::new(bytes, blocks), Bucket::Pack);
+                self.ranks[r].sends[i].pack = PackState::Done;
+                self.try_issue(r, SendId(i));
+            }
+            RequeuedOp::Unpack(i) | RequeuedOp::DirectIpc { rid: i, .. } => {
+                let (bytes, blocks) = {
+                    let op = &self.ranks[r].recvs[i];
+                    (op.packed_bytes, op.blocks)
+                };
+                self.sync_kernel(r, SegmentStats::new(bytes, blocks), Bucket::Pack);
+                self.finish_unpack(r, RecvId(i));
+            }
+        }
     }
 
     /// [`Cluster::sync_kernel`] for callers outside this module (explicit

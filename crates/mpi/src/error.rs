@@ -1,0 +1,70 @@
+//! Typed transfer errors.
+//!
+//! The protocol engine historically panicked on any state it did not
+//! expect. Under fault injection (duplicate completions, lost flags,
+//! exhausted rings) several of those states are *reachable*, so the
+//! guarded paths now classify what went wrong instead of tearing the
+//! simulation down. Genuine invariant violations — states no fault can
+//! produce — remain `debug_assert!`s.
+
+use fusedpack_sim::FaultSite;
+use std::fmt;
+
+/// Why a transfer step could not proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferError {
+    /// A payload arrived for a receive whose staging buffer was never
+    /// allocated (spurious or duplicated delivery).
+    StagingMissing,
+    /// A completion referenced a send slot that no longer exists (stale
+    /// CQE after the epoch's requests were freed).
+    UnknownSend,
+    /// A completion referenced a fusion UID with no owning operation
+    /// (duplicate cooperative-group signal).
+    UnknownRequest,
+    /// The fusion request ring had no free slot.
+    RingFull,
+    /// The retry protocol gave up: the per-operation deadline or attempt
+    /// budget was exhausted at `site`.
+    Deadline {
+        /// The fault site that kept failing.
+        site: FaultSite,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::StagingMissing => write!(f, "payload arrived without staging"),
+            TransferError::UnknownSend => write!(f, "completion for unknown send"),
+            TransferError::UnknownRequest => write!(f, "completion for unknown fusion request"),
+            TransferError::RingFull => write!(f, "fusion request ring exhausted"),
+            TransferError::Deadline { site, attempts } => {
+                write!(
+                    f,
+                    "retry budget exhausted at {site} after {attempts} attempts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_site() {
+        let e = TransferError::Deadline {
+            site: FaultSite::LinkDrop,
+            attempts: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("link_drop"), "{s}");
+        assert!(s.contains('5'), "{s}");
+    }
+}

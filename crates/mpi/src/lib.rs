@@ -24,6 +24,7 @@
 
 pub mod breakdown;
 pub mod cluster;
+pub mod error;
 pub mod message;
 pub mod program;
 pub mod scheme;
@@ -31,5 +32,6 @@ pub mod sendrecv;
 
 pub use breakdown::Breakdown;
 pub use cluster::{Cluster, ClusterBuilder, RankId, RndvProtocol, RunReport};
+pub use error::TransferError;
 pub use program::{AppOp, BufId, BufInit, Program, TypeSlot};
 pub use scheme::{NaiveFlavor, SchemeKind};

@@ -135,10 +135,12 @@ fn direct_ipc_skips_pack_kernels_entirely() {
 }
 
 #[test]
-fn ring_exhaustion_falls_back_to_sync_kernels() {
+fn ring_exhaustion_backpressure_preserves_correctness() {
     // A ring with 2 slots cannot hold 8 outstanding packs: the scheduler
-    // rejects (the paper's negative-UID case) and the runtime falls back to
-    // the synchronous kernel path — correctness must be unaffected.
+    // rejects (the paper's negative-UID case) and the runtime runs its
+    // backpressure ladder — forced RingPressure flush, FIFO requeue as
+    // retirements free slots — instead of panicking or losing messages.
+    // Correctness must be unaffected.
     let cfg = FusionConfig {
         ring_capacity: 2,
         max_fused: 2,
@@ -149,6 +151,12 @@ fn ring_exhaustion_falls_back_to_sync_kernels() {
     verify_received(&desc, &received, len);
     let stats = report.sched_stats[0].expect("fusion stats");
     assert!(stats.rejected > 0, "the tiny ring must reject: {stats:?}");
+    // The ladder parked at least one operation and re-enqueued it later.
+    assert!(
+        report.fault_summary.degraded > 0,
+        "backpressure requeues are counted as degradations: {:?}",
+        report.fault_summary
+    );
 }
 
 #[test]

@@ -50,6 +50,12 @@ impl LinkSpec {
     pub fn wire_time(&self, bytes: u64) -> Duration {
         self.latency + Duration::from_secs_f64(bytes as f64 / self.bw)
     }
+
+    /// Round-trip control latency: the cost of a NACK (or ACK) turnaround
+    /// in the retransmission protocol.
+    pub fn rtt(&self) -> Duration {
+        self.latency * 2
+    }
 }
 
 /// A live link instance: spec + FIFO occupancy state.
@@ -58,6 +64,7 @@ pub struct Link {
     spec: LinkSpec,
     fifo: FifoResource,
     bytes_carried: u64,
+    bytes_wasted: u64,
 }
 
 impl Link {
@@ -66,6 +73,7 @@ impl Link {
             spec,
             fifo: FifoResource::new(),
             bytes_carried: 0,
+            bytes_wasted: 0,
         }
     }
 
@@ -95,8 +103,27 @@ impl Link {
         (start, wire_done + self.spec.latency)
     }
 
+    /// Occupy the wire with a transmission that never delivers — a payload
+    /// dropped (or corrupted) mid-flight in a fault-injection run. Later
+    /// traffic still queues behind it; the sender only learns of the loss
+    /// via its retransmission timeout (or the receiver's NACK).
+    /// Returns `(first_byte_sent, wire_clear)` — there is no delivery.
+    pub fn transmit_wasted(&mut self, now: Time, bytes: u64, bw_cap: Option<f64>) -> (Time, Time) {
+        let bw = bw_cap.map_or(self.spec.bw, |cap| self.spec.bw.min(cap));
+        let ser = Duration::from_secs_f64(bytes as f64 / bw);
+        let (start, wire_done) = self.fifo.acquire(now, ser);
+        self.bytes_carried += bytes;
+        self.bytes_wasted += bytes;
+        (start, wire_done)
+    }
+
     pub fn bytes_carried(&self) -> u64 {
         self.bytes_carried
+    }
+
+    /// Bytes that occupied the wire but were dropped before delivery.
+    pub fn bytes_wasted(&self) -> u64 {
+        self.bytes_wasted
     }
 
     pub fn busy_time(&self) -> Duration {
@@ -106,6 +133,7 @@ impl Link {
     pub fn reset(&mut self) {
         self.fifo.reset();
         self.bytes_carried = 0;
+        self.bytes_wasted = 0;
     }
 }
 
@@ -151,6 +179,31 @@ mod tests {
         assert_eq!(link.bytes_carried(), 300);
         link.reset();
         assert_eq!(link.bytes_carried(), 0);
+    }
+
+    #[test]
+    fn wasted_transmit_occupies_wire_without_delivering() {
+        let mut link = Link::new(LinkSpec {
+            name: "test",
+            bw: 1e9,
+            latency: Duration(500),
+        });
+        let (s1, clear) = link.transmit_wasted(Time(0), 1000, None);
+        // Full serialization, no latency tail: the payload never arrives.
+        assert_eq!((s1, clear), (Time(0), Time(1000)));
+        // A follow-up real transmission queues behind the doomed one.
+        let (s2, d2) = link.transmit(Time(0), 1000);
+        assert_eq!((s2, d2), (Time(1000), Time(2500)));
+        assert_eq!(link.bytes_wasted(), 1000);
+        assert_eq!(link.bytes_carried(), 2000);
+        link.reset();
+        assert_eq!(link.bytes_wasted(), 0);
+    }
+
+    #[test]
+    fn rtt_is_twice_latency() {
+        let spec = LinkSpec::ib_edr_dual();
+        assert_eq!(spec.rtt(), spec.latency * 2);
     }
 
     #[test]

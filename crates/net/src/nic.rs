@@ -74,6 +74,23 @@ impl Nic {
         (start, delivered)
     }
 
+    /// Post a send whose payload is dropped (or corrupted) on the wire:
+    /// charges the injection overhead and full wire occupancy but delivers
+    /// nothing. Returns `(wire_start, wire_clear)` — the retry protocol
+    /// schedules the retransmission after its loss-detection timeout.
+    pub fn post_send_wasted(&mut self, now: Time, bytes: u64, gdr: bool) -> (Time, Time) {
+        self.posted += 1;
+        let cap = gdr.then_some(self.gdr_bw_cap);
+        let (start, wire_clear) = self.tx.transmit_wasted(now + self.injection, bytes, cap);
+        self.telemetry
+            .instant(Lane::Nic, now, || Payload::RdmaPost { bytes, gdr });
+        self.telemetry
+            .span(Lane::Nic, start, wire_clear, || Payload::WireTransfer {
+                bytes,
+            });
+        (start, wire_clear)
+    }
+
     /// Injection overhead per work request.
     pub fn injection(&self) -> Duration {
         self.injection
@@ -94,6 +111,11 @@ impl Nic {
 
     pub fn bytes_sent(&self) -> u64 {
         self.tx.bytes_carried()
+    }
+
+    /// Bytes that occupied the wire but were dropped before delivery.
+    pub fn bytes_wasted(&self) -> u64 {
+        self.tx.bytes_wasted()
     }
 
     pub fn reset(&mut self) {
@@ -137,6 +159,19 @@ mod tests {
         );
         assert_eq!(n.posted(), 2);
         assert_eq!(n.bytes_sent(), 25_001_024);
+    }
+
+    #[test]
+    fn wasted_post_charges_wire_but_counts_separately() {
+        let mut n = nic();
+        let (start, clear) = n.post_send_wasted(Time(0), 25_000_000, false);
+        assert_eq!(start, Time(400));
+        assert!(clear > start);
+        // A real send afterwards queues behind the doomed occupancy.
+        let (s2, _) = n.post_send(clear, 1024);
+        assert!(s2 >= clear);
+        assert_eq!(n.posted(), 2);
+        assert_eq!(n.bytes_wasted(), 25_000_000);
     }
 
     #[test]

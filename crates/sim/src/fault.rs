@@ -1,0 +1,578 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a set of per-site [`FaultSpec`]s (probability, burst
+//! length, latency-spike magnitude) driven entirely by [`Pcg32`] streams
+//! derived from one seed, so a chaos run is reproducible bit-for-bit: the
+//! same seed yields the same injection decisions in the same order, no
+//! matter how many times (or on how many worker threads, as long as each
+//! cluster owns its own plan) it is replayed.
+//!
+//! Sites are named after the injection points they arm in the higher
+//! layers: NIC completion behaviour, wire transmission, fused-kernel
+//! launches, DirectIPC mapping, and request-ring capacity. The plan itself
+//! is policy-free — it only answers "does this site fire now?" and "how
+//! large is the spike?"; the recovery ladders live next to the call sites.
+//!
+//! Two properties the rest of the workspace relies on:
+//!
+//! * **Zero probability draws nothing.** `should_inject` on a site with
+//!   `probability <= 0` returns `false` *without advancing the RNG*, so a
+//!   run with an all-zero plan is bit-identical to a run with no plan at
+//!   all (enforced by test here and end-to-end in `fusedpack-mpi`).
+//! * **Per-site streams.** Each site consumes an independent PCG stream,
+//!   so arming one site never perturbs the decision sequence of another.
+
+use crate::clock::Duration;
+use crate::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named injection point in the simulated stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// `Nic::post_send(_gdr)`: the completion (CQE) for a posted send is
+    /// delayed past the normal wire latency.
+    NicTimeout,
+    /// `Nic::post_send(_gdr)`: a second, spurious completion is generated
+    /// for an already-completed send.
+    NicDupCompletion,
+    /// `Link::transmit`: the payload is lost on the wire; the sender only
+    /// finds out via its retransmission timeout.
+    LinkDrop,
+    /// `Link::transmit`: the payload arrives but fails its checksum; the
+    /// receiver NACKs and the sender retransmits.
+    LinkCorrupt,
+    /// `Link::transmit`: the payload is delayed by a latency spike but
+    /// arrives intact.
+    LinkDelay,
+    /// `gpu::fused` launch: the cooperative launch fails (e.g. not enough
+    /// co-resident blocks); the batch degrades to per-request kernels.
+    FusedLaunchFail,
+    /// `gpu::fused` launch: one request's completion flag is never set;
+    /// a host-side watchdog rescues it after a penalty.
+    FusedFlagLost,
+    /// DirectIPC handle mapping fails; the transfer degrades to a staged
+    /// copy through the staging buffer pool.
+    IpcMapFail,
+    /// `RequestRing` reports exhaustion even though capacity remains,
+    /// exercising the backpressure (flush + requeue) ladder.
+    RingExhausted,
+}
+
+impl FaultSite {
+    /// Every site, in stable declaration order (indexes into a plan).
+    pub const ALL: [FaultSite; 9] = [
+        FaultSite::NicTimeout,
+        FaultSite::NicDupCompletion,
+        FaultSite::LinkDrop,
+        FaultSite::LinkCorrupt,
+        FaultSite::LinkDelay,
+        FaultSite::FusedLaunchFail,
+        FaultSite::FusedFlagLost,
+        FaultSite::IpcMapFail,
+        FaultSite::RingExhausted,
+    ];
+
+    /// Stable human-readable label (used in telemetry args and tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::NicTimeout => "nic_timeout",
+            FaultSite::NicDupCompletion => "nic_dup_completion",
+            FaultSite::LinkDrop => "link_drop",
+            FaultSite::LinkCorrupt => "link_corrupt",
+            FaultSite::LinkDelay => "link_delay",
+            FaultSite::FusedLaunchFail => "fused_launch_fail",
+            FaultSite::FusedFlagLost => "fused_flag_lost",
+            FaultSite::IpcMapFail => "ipc_map_fail",
+            FaultSite::RingExhausted => "ring_exhausted",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            FaultSite::NicTimeout => 0,
+            FaultSite::NicDupCompletion => 1,
+            FaultSite::LinkDrop => 2,
+            FaultSite::LinkCorrupt => 3,
+            FaultSite::LinkDelay => 4,
+            FaultSite::FusedLaunchFail => 5,
+            FaultSite::FusedFlagLost => 6,
+            FaultSite::IpcMapFail => 7,
+            FaultSite::RingExhausted => 8,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-site injection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability that a decision at this site fires, in `[0, 1]`.
+    pub probability: f64,
+    /// After a probabilistic trigger, the next `burst` decisions at this
+    /// site fire unconditionally (models correlated failures: a flapping
+    /// link, a NIC stalled for several completions in a row).
+    pub burst: u32,
+    /// Mean magnitude of the latency spike / timeout this site charges,
+    /// in nanoseconds. Sampled uniformly from `[d/2, 3d/2)` by
+    /// [`FaultPlan::spike`].
+    pub delay_ns: u64,
+}
+
+impl FaultSpec {
+    /// A disarmed site: never fires, draws nothing.
+    pub const OFF: FaultSpec = FaultSpec {
+        probability: 0.0,
+        burst: 0,
+        delay_ns: 0,
+    };
+
+    /// A spec firing with probability `p`, no burst, default 20 µs spike.
+    pub fn with_probability(p: f64) -> FaultSpec {
+        FaultSpec {
+            probability: p,
+            burst: 0,
+            delay_ns: 20_000,
+        }
+    }
+
+    /// Builder: set the burst length.
+    pub fn burst(mut self, burst: u32) -> FaultSpec {
+        self.burst = burst;
+        self
+    }
+
+    /// Builder: set the mean spike magnitude in nanoseconds.
+    pub fn delay_ns(mut self, ns: u64) -> FaultSpec {
+        self.delay_ns = ns;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SiteState {
+    spec: FaultSpec,
+    rng: Pcg32,
+    burst_left: u32,
+    decisions: u64,
+    fired: u64,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// One plan belongs to one simulated cluster; decisions are consumed in
+/// event order inside the single-threaded simulation loop, which is what
+/// makes chaos runs reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: Vec<SiteState>,
+}
+
+/// Stream-id tag mixed with the site index so fault streams never collide
+/// with the workload-content streams (`Pcg32::new(seed, rank_idx)`).
+const FAULT_STREAM_TAG: u64 = 0xFA417;
+
+impl FaultPlan {
+    /// A plan with every site disarmed ([`FaultSpec::OFF`]).
+    pub fn new(seed: u64) -> FaultPlan {
+        let sites = FaultSite::ALL
+            .iter()
+            .map(|s| SiteState {
+                spec: FaultSpec::OFF,
+                rng: Pcg32::new(seed, FAULT_STREAM_TAG + s.index() as u64),
+                burst_left: 0,
+                decisions: 0,
+                fired: 0,
+            })
+            .collect();
+        FaultPlan { seed, sites }
+    }
+
+    /// Builder: arm `site` with `spec`.
+    pub fn with(mut self, site: FaultSite, spec: FaultSpec) -> FaultPlan {
+        self.sites[site.index()].spec = spec;
+        self
+    }
+
+    /// A plan arming *every* site at probability `p` (spike defaults from
+    /// [`FaultSpec::with_probability`]).
+    pub fn uniform(seed: u64, p: f64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        for s in FaultSite::ALL {
+            plan = plan.with(s, FaultSpec::with_probability(p));
+        }
+        plan
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether any site can ever fire. An unarmed plan behaves exactly
+    /// like no plan at all.
+    pub fn is_armed(&self) -> bool {
+        self.sites
+            .iter()
+            .any(|s| s.spec.probability > 0.0 || s.burst_left > 0)
+    }
+
+    /// The spec currently armed at `site`.
+    pub fn spec(&self, site: FaultSite) -> FaultSpec {
+        self.sites[site.index()].spec
+    }
+
+    /// Decide whether `site` fires now. Zero-probability sites return
+    /// `false` without advancing the site's RNG.
+    pub fn should_inject(&mut self, site: FaultSite) -> bool {
+        let s = &mut self.sites[site.index()];
+        s.decisions += 1;
+        if s.burst_left > 0 {
+            s.burst_left -= 1;
+            s.fired += 1;
+            return true;
+        }
+        if s.spec.probability <= 0.0 {
+            return false;
+        }
+        if s.rng.next_f64() < s.spec.probability {
+            s.burst_left = s.spec.burst;
+            s.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sample a latency spike for `site`: uniform in `[d/2, 3d/2)` around
+    /// the spec's mean `delay_ns` (or exactly zero if the mean is zero).
+    pub fn spike(&mut self, site: FaultSite) -> Duration {
+        let s = &mut self.sites[site.index()];
+        let mean = s.spec.delay_ns;
+        if mean == 0 {
+            return Duration::ZERO;
+        }
+        let lo = mean / 2;
+        let span = mean.max(1);
+        Duration::from_nanos(lo + s.rng.next_u64() % span)
+    }
+
+    /// Deterministically pick a victim index in `[0, n)` for `site`.
+    pub fn pick(&mut self, site: FaultSite, n: usize) -> usize {
+        debug_assert!(n > 0, "pick from empty set");
+        self.sites[site.index()].rng.range_usize(0, n)
+    }
+
+    /// How many times `site` has fired so far.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.sites[site.index()].fired
+    }
+
+    /// Total decisions consulted at `site` (fired or not).
+    pub fn decisions(&self, site: FaultSite) -> u64 {
+        self.sites[site.index()].decisions
+    }
+
+    /// Total fires across all sites.
+    pub fn fired_total(&self) -> u64 {
+        self.sites.iter().map(|s| s.fired).sum()
+    }
+}
+
+/// Aggregate outcome of a faulted run, reported in `RunReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Faults the plan injected.
+    pub injected: u64,
+    /// Retransmission attempts made by the retry protocol.
+    pub retried: u64,
+    /// Times a degradation ladder was taken (per-request kernels, staged
+    /// copy, backpressure requeue).
+    pub degraded: u64,
+    /// Faults fully absorbed (retry succeeded, degradation completed,
+    /// spurious event ignored, spike waited out).
+    pub recovered: u64,
+    /// Transfers whose retry budget (attempts or per-op deadline) ran out
+    /// before a clean delivery; the final forced attempt still completes
+    /// the exchange, but the overrun is reported here.
+    pub deadline_exceeded: u64,
+    /// Spurious protocol events dropped by idempotence guards (duplicate
+    /// completions, stale ids after a waitall epoch).
+    pub spurious: u64,
+    /// Extra virtual time charged by faults: wasted wire occupancy,
+    /// timeouts, backoffs, spikes, watchdog rescues.
+    pub added_latency: Duration,
+}
+
+impl FaultSummary {
+    /// True when nothing at all was injected or degraded.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+
+    /// Fold another summary into this one.
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.injected += other.injected;
+        self.retried += other.retried;
+        self.degraded += other.degraded;
+        self.recovered += other.recovered;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.spurious += other.spurious;
+        self.added_latency += other.added_latency;
+    }
+}
+
+impl fmt::Display for FaultSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected={} retried={} degraded={} recovered={} deadline_exceeded={} \
+             spurious={} added_latency={}",
+            self.injected,
+            self.retried,
+            self.degraded,
+            self.recovered,
+            self.deadline_exceeded,
+            self.spurious,
+            self.added_latency
+        )
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter and a per-op
+/// deadline, driving retransmission in the transfer protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts before the sender stops waiting for clean delivery
+    /// (includes the first transmission).
+    pub max_attempts: u32,
+    /// How long the sender waits for an ACK before declaring a loss.
+    pub detect_timeout: Duration,
+    /// Backoff before retry `k` is `base * factor^(k-1)`, capped at
+    /// `backoff_max`, then jittered to `[1/2, 3/2)` of itself.
+    pub backoff_base: Duration,
+    pub backoff_factor: u32,
+    pub backoff_max: Duration,
+    /// Total extra time (timeouts + backoffs) one operation may accrue
+    /// before the overrun is counted as `deadline_exceeded`.
+    pub deadline: Duration,
+}
+
+impl RetryPolicy {
+    /// Defaults tuned to the simulated interconnects: 10 µs loss
+    /// detection, 5 µs initial backoff doubling to a 160 µs cap, five
+    /// attempts, 1 ms per-op deadline.
+    pub fn default_transfer() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            detect_timeout: Duration::from_micros(10),
+            backoff_base: Duration::from_micros(5),
+            backoff_factor: 2,
+            backoff_max: Duration::from_micros(160),
+            deadline: Duration::from_millis(1),
+        }
+    }
+
+    /// Backoff before retry attempt `attempt` (1-based: the wait after the
+    /// first failed transmission is `backoff(1, ..)`). Exponential growth
+    /// capped at `backoff_max`, with deterministic jitter drawn from `rng`
+    /// mapping the nominal value to `[1/2, 3/2)` of itself.
+    pub fn backoff(&self, attempt: u32, rng: &mut Pcg32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let nominal = self
+            .backoff_base
+            .as_nanos()
+            .saturating_mul(u64::from(self.backoff_factor).saturating_pow(exp))
+            .min(self.backoff_max.as_nanos());
+        if nominal == 0 {
+            return Duration::ZERO;
+        }
+        let jittered = nominal / 2 + rng.next_u64() % nominal.max(1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::default_transfer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_fires_and_never_draws() {
+        let mut plan = FaultPlan::new(42);
+        for _ in 0..1000 {
+            for s in FaultSite::ALL {
+                assert!(!plan.should_inject(s));
+            }
+        }
+        assert_eq!(plan.fired_total(), 0);
+        // The RNG state must be untouched: a fresh plan's streams produce
+        // the same next values as the exercised plan's.
+        let mut fresh = FaultPlan::uniform(42, 1.0);
+        let mut used = {
+            let mut p = FaultPlan::new(42);
+            for _ in 0..1000 {
+                for s in FaultSite::ALL {
+                    p.should_inject(s);
+                }
+            }
+            // Arm after the fact; the streams must not have advanced.
+            for s in FaultSite::ALL {
+                p = p.with(s, FaultSpec::with_probability(1.0));
+            }
+            p
+        };
+        for s in FaultSite::ALL {
+            assert_eq!(used.spike(s).as_nanos(), fresh.spike(s).as_nanos());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mk = || FaultPlan::uniform(7, 0.3);
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..500 {
+            for s in FaultSite::ALL {
+                assert_eq!(a.should_inject(s), b.should_inject(s));
+            }
+        }
+        assert!(a.fired_total() > 0, "p=0.3 over 4500 decisions must fire");
+        assert_eq!(a.fired_total(), b.fired_total());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::uniform(1, 0.5);
+        let mut b = FaultPlan::uniform(2, 0.5);
+        let diffs = (0..200)
+            .filter(|_| {
+                a.should_inject(FaultSite::LinkDrop) != b.should_inject(FaultSite::LinkDrop)
+            })
+            .count();
+        assert!(diffs > 10, "seeds should disagree sometimes: {diffs}");
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        // Arming LinkDrop must not perturb LinkDelay's decision sequence.
+        let drops_only = {
+            let mut p =
+                FaultPlan::new(9).with(FaultSite::LinkDelay, FaultSpec::with_probability(0.4));
+            (0..300)
+                .map(|_| p.should_inject(FaultSite::LinkDelay))
+                .collect::<Vec<_>>()
+        };
+        let both = {
+            let mut p = FaultPlan::new(9)
+                .with(FaultSite::LinkDelay, FaultSpec::with_probability(0.4))
+                .with(FaultSite::LinkDrop, FaultSpec::with_probability(0.4));
+            (0..300)
+                .map(|_| {
+                    p.should_inject(FaultSite::LinkDrop);
+                    p.should_inject(FaultSite::LinkDelay)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(drops_only, both);
+    }
+
+    #[test]
+    fn burst_fires_consecutively() {
+        let mut p = FaultPlan::new(5).with(
+            FaultSite::NicTimeout,
+            FaultSpec {
+                probability: 0.05,
+                burst: 3,
+                delay_ns: 1000,
+            },
+        );
+        // Find the first probabilistic trigger, then expect 3 more fires.
+        let mut i = 0;
+        while !p.should_inject(FaultSite::NicTimeout) {
+            i += 1;
+            assert!(i < 10_000, "p=0.05 should trigger well before 10k");
+        }
+        for _ in 0..3 {
+            assert!(p.should_inject(FaultSite::NicTimeout), "burst continues");
+        }
+    }
+
+    #[test]
+    fn spike_is_bounded_around_mean() {
+        let mut p = FaultPlan::new(3).with(FaultSite::LinkDelay, FaultSpec::with_probability(1.0));
+        for _ in 0..1000 {
+            let d = p.spike(FaultSite::LinkDelay).as_nanos();
+            assert!((10_000..30_000).contains(&d), "spike {d} out of [d/2,3d/2)");
+        }
+        assert_eq!(p.spike(FaultSite::LinkDrop), Duration::ZERO, "mean 0 => 0");
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_in_range() {
+        let pol = RetryPolicy::default_transfer();
+        let mut rng = Pcg32::seeded(17);
+        let mut prev_nominal = 0u64;
+        for attempt in 1..=8 {
+            let nominal = pol
+                .backoff_base
+                .as_nanos()
+                .saturating_mul(u64::from(pol.backoff_factor).saturating_pow(attempt - 1))
+                .min(pol.backoff_max.as_nanos());
+            assert!(nominal >= prev_nominal, "monotone until the cap");
+            prev_nominal = nominal;
+            let b = pol.backoff(attempt, &mut rng).as_nanos();
+            assert!(
+                b >= nominal / 2 && b < nominal / 2 + nominal,
+                "attempt {attempt}: backoff {b} outside jitter window of {nominal}"
+            );
+        }
+        // Deterministic for a fixed rng state.
+        let mut r1 = Pcg32::seeded(23);
+        let mut r2 = Pcg32::seeded(23);
+        assert_eq!(pol.backoff(3, &mut r1), pol.backoff(3, &mut r2));
+    }
+
+    #[test]
+    fn summary_merge_and_clean() {
+        let mut a = FaultSummary::default();
+        assert!(a.is_clean());
+        let b = FaultSummary {
+            injected: 2,
+            retried: 3,
+            degraded: 1,
+            recovered: 2,
+            deadline_exceeded: 0,
+            spurious: 1,
+            added_latency: Duration::from_micros(5),
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.injected, 4);
+        assert_eq!(a.retried, 6);
+        assert_eq!(a.added_latency, Duration::from_micros(10));
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn labels_are_stable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in FaultSite::ALL {
+            assert!(seen.insert(s.label()), "duplicate label {}", s.label());
+            assert_eq!(format!("{s}"), s.label());
+        }
+        assert_eq!(seen.len(), FaultSite::ALL.len());
+    }
+}

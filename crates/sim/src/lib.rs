@@ -18,6 +18,7 @@
 
 pub mod clock;
 pub mod event;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -25,6 +26,7 @@ pub mod trace;
 
 pub use clock::{Duration, Time};
 pub use event::{ClampStats, EventQueue};
+pub use fault::{FaultPlan, FaultSite, FaultSpec, FaultSummary, RetryPolicy};
 pub use resource::FifoResource;
 pub use rng::Pcg32;
 pub use stats::{Accumulator, Summary};

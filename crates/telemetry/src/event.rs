@@ -1,6 +1,6 @@
 //! The typed event model: lanes, payloads, spans, instants, counters.
 
-use fusedpack_sim::{Duration, Time};
+use fusedpack_sim::{Duration, FaultSite, Time};
 
 /// Where an event happened within a rank; rendered as a Perfetto thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -215,6 +215,19 @@ pub enum Payload {
     /// driver; `index` is the cell's position in the deterministic cell
     /// list, `worker` the pool thread that ran it.
     SweepCell { index: u64, worker: u32 },
+    /// The fault plan injected a fault at a named site.
+    FaultInjected { site: FaultSite },
+    /// The transfer protocol retransmitted after a detected loss/NACK.
+    Retry {
+        site: FaultSite,
+        attempt: u32,
+        backoff_ns: u64,
+    },
+    /// A degradation ladder was taken instead of the fast path.
+    Degraded {
+        site: FaultSite,
+        action: &'static str,
+    },
 }
 
 impl Payload {
@@ -244,6 +257,9 @@ impl Payload {
             Payload::Marker { label } => label,
             Payload::ClampedEvent { .. } => "past-event-clamp",
             Payload::SweepCell { .. } => "sweep-cell",
+            Payload::FaultInjected { .. } => "fault-injected",
+            Payload::Retry { .. } => "retry",
+            Payload::Degraded { .. } => "degraded",
         }
     }
 
@@ -271,6 +287,9 @@ impl Payload {
             Payload::Marker { .. } => "marker",
             Payload::ClampedEvent { .. } => "sim",
             Payload::SweepCell { .. } => "sweep",
+            Payload::FaultInjected { .. } | Payload::Retry { .. } | Payload::Degraded { .. } => {
+                "fault"
+            }
         }
     }
 
@@ -365,6 +384,20 @@ impl Payload {
             Payload::SweepCell { index, worker } => vec![
                 ("index", ArgValue::U64(index)),
                 ("worker", ArgValue::U64(worker as u64)),
+            ],
+            Payload::FaultInjected { site } => vec![("site", ArgValue::Str(site.label()))],
+            Payload::Retry {
+                site,
+                attempt,
+                backoff_ns,
+            } => vec![
+                ("site", ArgValue::Str(site.label())),
+                ("attempt", ArgValue::U64(attempt as u64)),
+                ("backoff_ns", ArgValue::U64(backoff_ns)),
+            ],
+            Payload::Degraded { site, action } => vec![
+                ("site", ArgValue::Str(site.label())),
+                ("action", ArgValue::Str(action)),
             ],
         }
     }

@@ -4,9 +4,9 @@ use crate::bulk::{bulk_exchange_programs, phase_shift_programs};
 use crate::Workload;
 use fusedpack_core::SchedStats;
 use fusedpack_gpu::DataMode;
-use fusedpack_mpi::{Breakdown, ClusterBuilder, SchemeKind};
+use fusedpack_mpi::{Breakdown, ClusterBuilder, RankId, SchemeKind};
 use fusedpack_net::Platform;
-use fusedpack_sim::Duration;
+use fusedpack_sim::{ClampStats, Duration, FaultPlan, FaultSummary};
 use fusedpack_telemetry::Telemetry;
 
 /// Configuration of one exchange measurement.
@@ -124,6 +124,84 @@ fn run_exchange_with(
         kernels: report.kernels_launched.iter().sum(),
     };
     (outcome, report.breakdowns)
+}
+
+/// Results of one fault-injected (or fault-free reference) measurement.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Mean makespan of the measured iterations.
+    pub latency: Duration,
+    /// Individual measured-iteration makespans.
+    pub lap_latencies: Vec<Duration>,
+    /// Fusion scheduler statistics (rank 0), if the scheme fuses.
+    pub sched: Option<SchedStats>,
+    /// What the fault plan did to this run.
+    pub faults: FaultSummary,
+    /// Past-event clamps the event queue had to repair. Must be zero on a
+    /// fault-free run — the chaos report fails its baseline otherwise.
+    pub clamps: ClampStats,
+    /// FNV-1a over both ranks' receive buffers (rank 0's first), the
+    /// end-to-end data-integrity fingerprint. Only meaningful with
+    /// `DataMode::Full`; a faulty run recovered correctly iff its checksum
+    /// equals the fault-free run's.
+    pub checksum: u64,
+}
+
+/// Run one bulk-exchange measurement under an optional fault plan,
+/// returning latency plus integrity evidence (checksum, fault summary,
+/// clamp stats). Pass `cfg.mode = DataMode::Full` so the checksum covers
+/// real bytes.
+pub fn run_exchange_chaos(cfg: &ExchangeConfig, plan: Option<FaultPlan>) -> ChaosOutcome {
+    let laps = cfg.warmup_laps + cfg.measured_laps;
+    let ((p0, b0), (p1, b1)) = bulk_exchange_programs(&cfg.workload, cfg.n_msgs, laps, 7);
+    let mut builder = ClusterBuilder::new(cfg.platform.clone(), cfg.scheme.clone())
+        .data_mode(cfg.mode)
+        .add_rank(0, p0)
+        .add_rank(1, p1);
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let mut cluster = builder.build();
+    let report = cluster.run();
+
+    let measured: Vec<Duration> = (cfg.warmup_laps..laps)
+        .map(|i| report.lap_makespan(i))
+        .collect();
+    let mean = if measured.is_empty() {
+        Duration::ZERO
+    } else {
+        measured.iter().copied().sum::<Duration>() / measured.len() as u64
+    };
+
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for (rank, bufs) in [(RankId(0), &b0), (RankId(1), &b1)] {
+        for &buf in &bufs.recv {
+            for byte in cluster.rank_buffer(rank, buf) {
+                checksum ^= byte as u64;
+                checksum = checksum.wrapping_mul(0x0100_0000_01b3);
+            }
+        }
+    }
+
+    if report.event_clamps.count > 0 {
+        // A clamp means the simulator rewrote a computed timestamp —
+        // harmless for liveness but a red flag for timing fidelity. Shout
+        // on stderr so table/CSV bytes stay stable.
+        eprintln!(
+            "WARNING: {} event clamp(s) (total skew {}) during a chaos cell — \
+             timing fidelity is degraded",
+            report.event_clamps.count, report.event_clamps.total_skew
+        );
+    }
+
+    ChaosOutcome {
+        latency: mean,
+        lap_latencies: measured,
+        sched: report.sched_stats[0],
+        faults: report.fault_summary,
+        clamps: report.event_clamps,
+        checksum,
+    }
 }
 
 /// Results of one phase-changing measurement ([`run_phase_shift`]).

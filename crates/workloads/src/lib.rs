@@ -26,8 +26,8 @@ pub mod specfem;
 
 pub use bulk::{bulk_exchange_programs, phase_shift_programs};
 pub use driver::{
-    run_exchange, run_exchange_traced, run_phase_shift, run_phase_shift_traced, ExchangeConfig,
-    ExchangeOutcome, PhaseShiftOutcome,
+    run_exchange, run_exchange_chaos, run_exchange_traced, run_phase_shift, run_phase_shift_traced,
+    ChaosOutcome, ExchangeConfig, ExchangeOutcome, PhaseShiftOutcome,
 };
 
 use fusedpack_datatype::TypeDesc;
