@@ -102,10 +102,14 @@ pub fn run() -> Table {
         ("specfem3D_oc", specfem3d_oc(2400)),
         ("NAS_MG_y", nas_mg_y(64)),
     ];
-    let schemes = [
-        ("Proposed", SchemeKind::fusion_default()),
-        ("Proposed-Adaptive", SchemeKind::fusion_adaptive()),
-    ];
+    let registry = fusedpack_mpi::SchemeRegistry::global();
+    let schemes: Vec<(&str, SchemeKind)> = ["proposed", "proposed-adaptive"]
+        .iter()
+        .map(|name| {
+            let d = registry.get(name).expect("registered scheme");
+            (d.label, d.make())
+        })
+        .collect();
 
     // Flat cell list: for each (workload, scheme) a fault-free baseline,
     // then every (profile, rate) cell. The sweep executor reassembles in

@@ -17,11 +17,7 @@ pub const N_MSGS: usize = 16;
 
 /// The GPU-driven designs the paper breaks down.
 pub fn schemes() -> Vec<SchemeKind> {
-    vec![
-        SchemeKind::GpuSync,
-        SchemeKind::GpuAsync,
-        SchemeKind::fusion_default(),
-    ]
+    fusedpack_mpi::SchemeRegistry::global().by_names(&["gpu-sync", "gpu-async", "proposed"])
 }
 
 /// The configuration of one Fig. 11 cell.

@@ -4,18 +4,18 @@
 use crate::exec::{self, Cell};
 use crate::figs::{latency, HALO_MSGS};
 use crate::table::Table;
-use fusedpack_mpi::{NaiveFlavor, SchemeKind};
+use fusedpack_mpi::SchemeKind;
 use fusedpack_net::Platform;
 use fusedpack_workloads::{nas::nas_mg_y, specfem::specfem3d_cm, Workload};
 
 /// The production-library lineup of Fig. 14.
 pub fn libraries() -> Vec<SchemeKind> {
-    vec![
-        SchemeKind::NaiveCopy(NaiveFlavor::SpectrumMpi),
-        SchemeKind::NaiveCopy(NaiveFlavor::OpenMpi),
-        SchemeKind::Adaptive, // MVAPICH2-GDR
-        SchemeKind::fusion_default(),
-    ]
+    fusedpack_mpi::SchemeRegistry::global().by_names(&[
+        "spectrum-mpi",
+        "open-mpi",
+        "mvapich2-gdr",
+        "proposed",
+    ])
 }
 
 /// The two representative layouts the figure covers.
@@ -68,6 +68,7 @@ pub fn run() -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fusedpack_mpi::NaiveFlavor;
 
     #[test]
     fn proposed_is_orders_of_magnitude_faster_than_naive_on_sparse() {

@@ -73,15 +73,16 @@ pub fn run() -> Table {
     .with_note("DirectIPC fuses zero-copy NVLink loads — no pack, no staging, no unpack");
 
     let w = specfem3d_cm(2000);
+    let registry = fusedpack_mpi::SchemeRegistry::global();
     let staged_fusion = SchemeKind::Fusion(FusionConfig {
         enable_direct_ipc: false,
         ..FusionConfig::default()
     });
     let schemes: Vec<(&str, SchemeKind)> = vec![
-        ("Proposed (DirectIPC)", SchemeKind::fusion_default()),
+        ("Proposed (DirectIPC)", registry.create("proposed")),
         ("Proposed (staged)", staged_fusion),
-        ("GPU-Sync", SchemeKind::GpuSync),
-        ("CPU-GPU-Hybrid", SchemeKind::CpuGpuHybrid),
+        ("GPU-Sync", registry.create("gpu-sync")),
+        ("CPU-GPU-Hybrid", registry.create("cpu-gpu-hybrid")),
     ];
     // One cell per scheme; the first row *is* the DirectIPC baseline, so
     // normalization uses the reassembled list's first entry.

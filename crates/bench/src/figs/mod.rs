@@ -114,12 +114,12 @@ pub fn latency(
 
 /// The GPU-driven comparison set of Figs. 9/10/12/13 in paper legend order.
 pub fn gpu_driven_schemes() -> Vec<SchemeKind> {
-    vec![
-        SchemeKind::fusion_default(),
-        SchemeKind::GpuSync,
-        SchemeKind::GpuAsync,
-        SchemeKind::CpuGpuHybrid,
-    ]
+    fusedpack_mpi::SchemeRegistry::global().by_names(&[
+        "proposed",
+        "gpu-sync",
+        "gpu-async",
+        "cpu-gpu-hybrid",
+    ])
 }
 
 /// Tune the fusion threshold for one workload on one platform by sweeping

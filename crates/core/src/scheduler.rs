@@ -130,6 +130,22 @@ impl Scheduler {
         self.tele = tele;
     }
 
+    /// One-call construction for a middleware hook surface: build the
+    /// scheduler, attach telemetry, and (for the adaptive scheme) enable
+    /// the online threshold controller for `adaptive_arch`.
+    pub fn configured(
+        config: FusionConfig,
+        adaptive_arch: Option<&GpuArch>,
+        tele: Telemetry,
+    ) -> Self {
+        let mut sched = Scheduler::new(config);
+        sched.set_telemetry(tele);
+        if let Some(arch) = adaptive_arch {
+            sched.enable_adaptive(arch);
+        }
+        sched
+    }
+
     /// Turn on online threshold adaptation (the *Proposed-Adaptive*
     /// scheme): every flush feeds an [`AdaptiveThreshold`] controller that
     /// may retune `threshold_bytes` before the next enqueue.

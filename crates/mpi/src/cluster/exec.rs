@@ -1,10 +1,11 @@
 //! Program execution: stepping ranks through their [`AppOp`] sequences.
 
-use super::schemes::Bucket;
+use super::accounting::Bucket;
+use super::schemes::PathCtx;
 use super::{Cluster, Event, RankId};
+use crate::lifecycle::RequestLifecycle;
 use crate::program::AppOp;
-use crate::sendrecv::{PackState, RecvId, RecvOp, RecvState, SendId, SendOp, StagingLoc};
-use fusedpack_core::FlushReason;
+use crate::sendrecv::{RecvId, RecvOp, SendId, SendOp, StagingLoc};
 use fusedpack_sim::Time;
 use fusedpack_telemetry::{Lane, Payload, WaitKindTag};
 
@@ -137,8 +138,7 @@ impl Cluster {
                 packed_bytes,
                 blocks,
                 staging: StagingLoc::None,
-                state: RecvState::Posted,
-                unpack: PackState::NotStarted,
+                lifecycle: RequestLifecycle::recv(),
                 fusion_uid: None,
                 ipc_send_id: None,
             });
@@ -184,12 +184,9 @@ impl Cluster {
                 blocks,
                 eager: packed_bytes <= self.platform.eager_limit,
                 staging: StagingLoc::None,
-                pack: PackState::NotStarted,
-                rts_sent: false,
+                lifecycle: RequestLifecycle::send(),
                 cts: None,
-                data_issued: false,
                 fusion_uid: None,
-                completed: false,
             });
             sid
         };
@@ -272,15 +269,10 @@ impl Cluster {
 
     /// Enter Waitall. Returns `true` if the rank blocked.
     fn enter_waitall(&mut self, r: usize) -> bool {
-        // §IV-C scenario 1: the progress engine reached a synchronization
-        // point — flush any pending fusion requests immediately.
-        if self.ranks[r]
-            .sched
-            .as_ref()
-            .is_some_and(|s| s.has_pending())
-        {
-            self.fusion_flush(r, FlushReason::SyncPoint);
-        }
+        // The rank reached a synchronization point: let the engine flush
+        // whatever its data plane has been batching.
+        let engine = self.engine.clone();
+        engine.on_sync_point(&mut PathCtx { cl: self, r });
         if self.ranks[r].all_requests_complete() {
             self.exit_waitall(r);
             return false;

@@ -7,16 +7,17 @@
 //! returns a [`RunReport`] with per-rank lap times, Fig.-11 breakdowns, and
 //! scheduler statistics.
 
+mod accounting;
 mod exec;
 mod protocol;
 mod rank;
-mod schemes;
+pub(crate) mod schemes;
 
 use crate::message::WireMsg;
 use crate::program::{BufInit, Program};
-use crate::scheme::{HybridPolicy, SchemeKind};
+use crate::scheme::SchemeKind;
 use crate::sendrecv::{RecvId, SendId};
-use fusedpack_core::{SchedStats, Scheduler, Uid};
+use fusedpack_core::{SchedStats, Uid};
 use fusedpack_gpu::{BufferPool, DataMode, Gpu, MemPool};
 use fusedpack_net::platform::Platform;
 use fusedpack_net::{Link, Nic};
@@ -27,8 +28,10 @@ use fusedpack_sim::{
 use fusedpack_telemetry::{Lane, Payload, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 pub(crate) use rank::RankState;
+pub(crate) use schemes::SchemeEngine;
 
 /// Rendezvous sub-protocol for large messages (§IV-B1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -165,10 +168,8 @@ impl ClusterBuilder {
             None if self.trace_capacity > 0 => Telemetry::with_capacity(self.trace_capacity),
             None => Telemetry::disabled(),
         };
-        let hybrid = HybridPolicy::for_link(
-            &self.platform.host_link,
-            matches!(self.scheme, SchemeKind::Adaptive),
-        );
+        // The single construction-time dispatch: scheme → strategy object.
+        let engine = crate::registry::engine_for(&self.scheme, &self.platform);
 
         let mut ranks = Vec::new();
         let mut gpus = Vec::new();
@@ -208,12 +209,7 @@ impl ClusterBuilder {
             }
             let tele_r = telemetry.for_rank(idx as u32);
             gpu.set_telemetry(tele_r.clone());
-            if let SchemeKind::Fusion(cfg) | SchemeKind::FusionAdaptive(cfg) = &self.scheme {
-                let mut sched = Scheduler::new(cfg.clone());
-                sched.set_telemetry(tele_r.clone());
-                if matches!(self.scheme, SchemeKind::FusionAdaptive(_)) {
-                    sched.enable_adaptive(&gpu.arch);
-                }
+            if let Some(sched) = engine.make_scheduler(&gpu, tele_r.clone()) {
                 rank.sched = Some(sched);
             }
             rank.tele = tele_r;
@@ -250,8 +246,7 @@ impl ClusterBuilder {
 
         Cluster {
             platform: self.platform,
-            scheme: self.scheme,
-            hybrid,
+            engine,
             data_mode: self.data_mode,
             events,
             ranks,
@@ -278,8 +273,9 @@ const RETRY_RNG_STREAM: u64 = 0x4e7c;
 /// The running cluster.
 pub struct Cluster {
     pub(crate) platform: Platform,
-    pub(crate) scheme: SchemeKind,
-    pub(crate) hybrid: HybridPolicy,
+    /// The data-plane strategy object for the selected scheme (the only
+    /// remnant of the `SchemeKind` the cluster was built with).
+    pub(crate) engine: Arc<dyn SchemeEngine>,
     pub(crate) data_mode: DataMode,
     pub(crate) events: EventQueue<Event>,
     pub(crate) ranks: Vec<RankState>,

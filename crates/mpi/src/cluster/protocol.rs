@@ -1,10 +1,11 @@
 //! Wire protocols: eager, rendezvous RPUT handshake, tag matching, and
 //! payload delivery.
 
+use super::schemes::PathCtx;
 use super::{Cluster, Event, RankId, RndvProtocol};
+use crate::lifecycle::LifecycleEvent;
 use crate::message::{WireKind, WireMsg};
-use crate::scheme::SchemeKind;
-use crate::sendrecv::{CtsInfo, RecvId, RecvState, SendId, StagingLoc};
+use crate::sendrecv::{CtsInfo, PackState, RecvId, SendId, StagingLoc};
 use fusedpack_gpu::MemPool;
 use fusedpack_net::rdma::CTRL_BYTES;
 use fusedpack_sim::{FaultSite, Time};
@@ -196,7 +197,7 @@ impl Cluster {
             let s = &self.ranks[r].sends[sid.0];
             let ready = if rget && !s.eager {
                 // RGET needs only the pack; there is no CTS.
-                !s.data_issued && s.pack == crate::sendrecv::PackState::Done
+                s.lifecycle.is_unmatched() && s.lifecycle.pack() == PackState::Done
             } else {
                 s.ready_to_issue()
             };
@@ -205,7 +206,9 @@ impl Cluster {
             }
             (s.dst, s.tag, s.packed_bytes, s.eager, s.staging, s.cts)
         };
-        self.ranks[r].sends[sid.0].data_issued = true;
+        self.ranks[r].sends[sid.0]
+            .lifecycle
+            .apply(LifecycleEvent::Issued);
         let payload = self.read_staging(r, staging);
         let gdr_src = matches!(staging, StagingLoc::Gpu(_) | StagingLoc::UserGpu(_));
         let at = self.ranks[r].cpu;
@@ -214,8 +217,8 @@ impl Cluster {
         if !eager && self.rndv == RndvProtocol::Rget {
             // RGET: announce the packed buffer; the receiver pulls it.
             let send = &mut self.ranks[r].sends[sid.0];
-            if !send.rts_sent {
-                send.rts_sent = true;
+            if !send.lifecycle.rts_sent() {
+                send.lifecycle.apply(LifecycleEvent::RtsSent);
                 let tag = send.tag;
                 self.send_ctrl(
                     r,
@@ -256,7 +259,9 @@ impl Cluster {
                 })),
             );
             // Eager sends complete locally once injected.
-            self.ranks[r].sends[sid.0].completed = true;
+            self.ranks[r].sends[sid.0]
+                .lifecycle
+                .apply(LifecycleEvent::Completed);
             let now = self.ranks[r].cpu;
             self.check_unblock(r, now);
         } else {
@@ -266,7 +271,9 @@ impl Cluster {
             let Some(cts) = cts else {
                 debug_assert!(false, "rendezvous issue without CTS");
                 self.fault_stats.spurious += 1;
-                self.ranks[r].sends[sid.0].data_issued = false;
+                self.ranks[r].sends[sid.0]
+                    .lifecycle
+                    .apply(LifecycleEvent::IssueRetracted);
                 self.buf_pool.put(payload);
                 return;
             };
@@ -326,7 +333,7 @@ impl Cluster {
         match msg.kind {
             WireKind::Rts { .. } | WireKind::Eager { .. } => {
                 let matched = self.ranks[r].recvs.iter().position(|op| {
-                    op.state == RecvState::Posted && op.src == msg.src && op.tag == msg.tag
+                    op.lifecycle.is_unmatched() && op.src == msg.src && op.tag == msg.tag
                 });
                 match matched {
                     Some(idx) => {
@@ -349,7 +356,7 @@ impl Cluster {
                     self.fault_stats.spurious += 1;
                     return;
                 };
-                if send.cts.is_some() || send.completed {
+                if send.cts.is_some() || send.lifecycle.is_done() {
                     self.fault_stats.spurious += 1;
                     return;
                 }
@@ -367,7 +374,7 @@ impl Cluster {
                 let live = self.ranks[r]
                     .recvs
                     .get(recv_id.0)
-                    .is_some_and(|op| op.state == RecvState::AwaitingData);
+                    .is_some_and(|op| op.lifecycle.awaiting_data());
                 if !live {
                     self.fault_stats.spurious += 1;
                     self.buf_pool.put(msg.payload);
@@ -375,7 +382,9 @@ impl Cluster {
                 }
                 self.deposit_payload(r, recv_id, &msg.payload);
                 self.buf_pool.put(msg.payload);
-                self.ranks[r].recvs[recv_id.0].state = RecvState::Unpacking;
+                self.ranks[r].recvs[recv_id.0]
+                    .lifecycle
+                    .apply(LifecycleEvent::DataArrived);
                 if self.rndv == RndvProtocol::Rget {
                     // The sender's buffer has been drained by our read.
                     self.send_ctrl(r, msg.src, 0, WireKind::Fin { send_id });
@@ -411,8 +420,8 @@ impl Cluster {
                 // Guard: a duplicated Fin (or one outliving its epoch) is
                 // absorbed.
                 match self.ranks[r].sends.get_mut(send_id.0) {
-                    Some(s) if !s.completed => {
-                        s.completed = true;
+                    Some(s) if !s.lifecycle.is_done() => {
+                        s.lifecycle.apply(LifecycleEvent::Completed);
                         let now = self.ranks[r].cpu;
                         self.check_unblock(r, now);
                     }
@@ -431,20 +440,16 @@ impl Cluster {
                 ipc_origin: Some(origin),
                 ..
             } => {
-                // DirectIPC: no staging, no CTS, no wire payload — fuse a
-                // zero-copy load of the sender's buffer.
+                // DirectIPC: no staging, no CTS, no wire payload — the
+                // engine fuses a zero-copy load of the sender's buffer (or
+                // degrades to a staged bounce if the handle won't map).
                 let src = msg.src.0 as usize;
-                self.ranks[r].recvs[rid.0].state = RecvState::Unpacking;
+                self.ranks[r].recvs[rid.0]
+                    .lifecycle
+                    .apply(LifecycleEvent::DataArrived);
                 self.ranks[r].recvs[rid.0].ipc_send_id = Some(send_id);
-                let at = self.ranks[r].cpu;
-                if self.fault_fires(r, FaultSite::IpcMapFail, at) {
-                    // Degradation ladder: the IPC handle would not map —
-                    // stage the copy through a pooled bounce buffer instead.
-                    self.fault_degraded(r, FaultSite::IpcMapFail, "staged-copy", at);
-                    self.ipc_staged_fallback(r, rid, src, origin);
-                } else {
-                    self.begin_direct_ipc(r, rid, src, origin);
-                }
+                let engine = self.engine.clone();
+                engine.on_ipc_rts(&mut PathCtx { cl: self, r }, rid, src, origin);
             }
             WireKind::Rts { send_id, rget, .. } => {
                 let (bytes, blocks) = {
@@ -454,7 +459,7 @@ impl Cluster {
                 let staging = self.recv_staging_for(r, rid, bytes, blocks);
                 let op = &mut self.ranks[r].recvs[rid.0];
                 op.staging = staging;
-                op.state = RecvState::AwaitingData;
+                op.lifecycle.apply(LifecycleEvent::Matched);
                 let src = msg.src;
                 if rget {
                     // Pull the announced data with an RDMA READ.
@@ -490,7 +495,9 @@ impl Cluster {
                 self.ranks[r].recvs[rid.0].staging = staging;
                 self.deposit_payload(r, rid, &msg.payload);
                 self.buf_pool.put(msg.payload);
-                self.ranks[r].recvs[rid.0].state = RecvState::Unpacking;
+                self.ranks[r].recvs[rid.0]
+                    .lifecycle
+                    .apply(LifecycleEvent::DataArrived);
                 self.begin_unpack(r, rid);
             }
             _ => unreachable!("only matchable kinds reach match_message"),
@@ -513,13 +520,8 @@ impl Cluster {
 
     /// Choose where the receiver stages the packed payload.
     fn alloc_recv_staging(&mut self, r: usize, bytes: u64, blocks: u64) -> StagingLoc {
-        let host = match &self.scheme {
-            SchemeKind::NaiveCopy(_) => true,
-            SchemeKind::CpuGpuHybrid | SchemeKind::Adaptive => {
-                self.hybrid.use_cpu_path(bytes, blocks) && self.gpus[r].gdr.available
-            }
-            _ => false,
-        };
+        let engine = self.engine.clone();
+        let host = engine.host_recv_staging(self, r, bytes, blocks);
         if host {
             StagingLoc::Host(self.host_mems[r].alloc(bytes.max(1), 64))
         } else {
@@ -551,7 +553,7 @@ impl Cluster {
         // Guard: a duplicated CQE — possibly landing after Waitall already
         // freed the epoch's requests — is absorbed, not double-applied.
         match self.ranks[r].sends.get_mut(sid.0) {
-            Some(s) if !s.completed => s.completed = true,
+            Some(s) if !s.lifecycle.is_done() => s.lifecycle.apply(LifecycleEvent::Completed),
             _ => {
                 self.fault_stats.spurious += 1;
                 return;

@@ -2,15 +2,16 @@
 
 use crate::breakdown::Breakdown;
 use crate::cluster::RankId;
+use crate::lifecycle::{RequeueLadder, Stage};
 use crate::message::WireMsg;
 use crate::program::Program;
-use crate::sendrecv::{PackState, RecvOp, RecvState, SendOp};
+use crate::sendrecv::{PackState, RecvOp, SendOp};
 use fusedpack_core::{Scheduler, Uid};
 use fusedpack_datatype::{Layout, LayoutCache};
 use fusedpack_gpu::DevPtr;
 use fusedpack_sim::{Duration, Time};
 use fusedpack_telemetry::{SpanId, Telemetry};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which operation a fusion UID belongs to.
@@ -70,8 +71,10 @@ pub(crate) struct RankState {
     pub uid_map: HashMap<Uid, OpRef>,
     /// Operations refused by a full request ring, re-enqueued in FIFO order
     /// as retirements free slots (the backpressure ladder).
-    pub fusion_requeue: VecDeque<RequeuedOp>,
-    /// Fusion scheduler (only for `SchemeKind::Fusion`).
+    pub fusion_requeue: RequeueLadder<RequeuedOp>,
+    /// Fusion scheduler — installed by the engine's `make_scheduler` hook,
+    /// so it exists exactly for the fusion schemes (`Fusion` and
+    /// `FusionAdaptive`) and is `None` for every other design.
     pub sched: Option<Scheduler>,
     /// Round-robin stream cursor for the GPU-Async scheme.
     pub next_stream: u32,
@@ -110,7 +113,7 @@ impl RankState {
             recvs: Vec::new(),
             unexpected: Vec::new(),
             uid_map: HashMap::new(),
-            fusion_requeue: VecDeque::new(),
+            fusion_requeue: RequeueLadder::new(),
             sched: None,
             next_stream: 0,
             app_kernels_done: Time::ZERO,
@@ -127,7 +130,8 @@ impl RankState {
 
     /// Are all outstanding requests finished (Waitall condition)?
     pub fn all_requests_complete(&self) -> bool {
-        self.sends.iter().all(|s| s.completed) && self.recvs.iter().all(|r| r.is_complete())
+        self.sends.iter().all(|s| s.lifecycle.is_done())
+            && self.recvs.iter().all(|r| r.is_complete())
     }
 
     /// Classify what a blocked rank is waiting on *right now*.
@@ -135,11 +139,10 @@ impl RankState {
         let kernel_in_flight = self
             .sends
             .iter()
-            .any(|s| !s.completed && s.pack == PackState::InFlight)
-            || self
-                .recvs
-                .iter()
-                .any(|r| r.state == RecvState::Unpacking && r.unpack == PackState::InFlight);
+            .any(|s| !s.lifecycle.is_done() && s.lifecycle.pack() == PackState::InFlight)
+            || self.recvs.iter().any(|r| {
+                r.lifecycle.stage() == Stage::Active && r.lifecycle.pack() == PackState::InFlight
+            });
         if kernel_in_flight {
             WaitKind::LocalKernel
         } else {
@@ -164,8 +167,6 @@ impl RankState {
     /// Are any receives still waiting for their payload to arrive? (Used by
     /// the fusion scheduler's receiver-side linger policy.)
     pub fn recvs_awaiting_data(&self) -> bool {
-        self.recvs
-            .iter()
-            .any(|r| matches!(r.state, RecvState::Posted | RecvState::AwaitingData))
+        self.recvs.iter().any(|r| r.lifecycle.pre_data())
     }
 }

@@ -25,13 +25,17 @@
 pub mod breakdown;
 pub mod cluster;
 pub mod error;
+pub mod lifecycle;
 pub mod message;
 pub mod program;
+pub mod registry;
 pub mod scheme;
 pub mod sendrecv;
 
 pub use breakdown::Breakdown;
 pub use cluster::{Cluster, ClusterBuilder, RankId, RndvProtocol, RunReport};
 pub use error::TransferError;
+pub use lifecycle::{LifecycleEvent, RequestLifecycle, RequeueLadder, Role, Stage};
 pub use program::{AppOp, BufId, BufInit, Program, TypeSlot};
+pub use registry::{SchemeDescriptor, SchemeRegistry};
 pub use scheme::{NaiveFlavor, SchemeKind};

@@ -73,32 +73,11 @@ impl SchemeKind {
             ..FusionConfig::default()
         })
     }
-
-    /// Short display label matching the paper's legends.
-    pub fn label(&self) -> &'static str {
-        match self {
-            SchemeKind::GpuSync => "GPU-Sync",
-            SchemeKind::GpuAsync => "GPU-Async",
-            SchemeKind::CpuGpuHybrid => "CPU-GPU-Hybrid",
-            SchemeKind::Fusion(_) => "Proposed",
-            SchemeKind::FusionAdaptive(_) => "Proposed-Adaptive",
-            SchemeKind::NaiveCopy(NaiveFlavor::SpectrumMpi) => "SpectrumMPI",
-            SchemeKind::NaiveCopy(NaiveFlavor::OpenMpi) => "OpenMPI",
-            SchemeKind::Adaptive => "MVAPICH2-GDR",
-        }
-    }
-
-    /// Does this scheme keep a layout cache (Table I)?
-    pub fn has_layout_cache(&self) -> bool {
-        matches!(
-            self,
-            SchemeKind::CpuGpuHybrid
-                | SchemeKind::Fusion(_)
-                | SchemeKind::FusionAdaptive(_)
-                | SchemeKind::Adaptive
-        )
-    }
 }
+
+// `SchemeKind::label`, `has_layout_cache`, and `fusion_config` live in
+// `crate::registry` beside the descriptor table — the one module allowed
+// to match on the variants.
 
 /// When the hybrid/adaptive schemes choose the GDRCopy CPU path over a GPU
 /// kernel.
@@ -181,28 +160,23 @@ mod tests {
         let s = SchemeKind::fusion_adaptive();
         assert_eq!(s.label(), "Proposed-Adaptive");
         assert!(s.has_layout_cache(), "Table I: fusion caches layouts");
-        if let SchemeKind::FusionAdaptive(cfg) = s {
-            assert_eq!(
-                cfg.partition,
-                fusedpack_gpu::PartitionPolicy::CostGuided,
-                "adaptive scheme pairs with cost-guided partitioning"
-            );
-            assert_eq!(
-                cfg.threshold_bytes,
-                FusionConfig::default().threshold_bytes,
-                "starts from the paper's default and adapts online"
-            );
-        } else {
-            panic!("expected adaptive fusion variant");
-        }
+        let cfg = s.fusion_config().expect("adaptive fusion variant");
+        assert_eq!(
+            cfg.partition,
+            fusedpack_gpu::PartitionPolicy::CostGuided,
+            "adaptive scheme pairs with cost-guided partitioning"
+        );
+        assert_eq!(
+            cfg.threshold_bytes,
+            FusionConfig::default().threshold_bytes,
+            "starts from the paper's default and adapts online"
+        );
     }
 
     #[test]
     fn fusion_with_threshold_sets_config() {
-        if let SchemeKind::Fusion(cfg) = SchemeKind::fusion_with_threshold(64 * 1024) {
-            assert_eq!(cfg.threshold_bytes, 64 * 1024);
-        } else {
-            panic!("expected fusion variant");
-        }
+        let s = SchemeKind::fusion_with_threshold(64 * 1024);
+        let cfg = s.fusion_config().expect("fusion variant");
+        assert_eq!(cfg.threshold_bytes, 64 * 1024);
     }
 }

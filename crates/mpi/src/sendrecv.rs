@@ -1,11 +1,13 @@
-//! Send/receive operation state machines.
+//! Send/receive operation state.
 //!
-//! A [`SendOp`] walks: pack initiated → (RTS out, CTS in, pack complete) →
-//! payload issued → locally complete. A [`RecvOp`] walks: posted →
-//! matched/CTS sent → data arrived → unpack initiated → complete. The
-//! *order* of the middle steps varies by scheme — the proposed design's
-//! whole point is that the RTS/CTS handshake runs concurrently with
-//! packing.
+//! Each operation's protocol progress lives in a
+//! [`RequestLifecycle`](crate::lifecycle::RequestLifecycle) — see that
+//! module for the stage diagram. A send walks: pack initiated → (RTS out,
+//! CTS in, pack complete) → payload issued → locally complete. A receive
+//! walks: posted → matched/CTS sent → data arrived → unpack initiated →
+//! complete. The *order* of the middle steps varies by scheme — the
+//! proposed design's whole point is that the RTS/CTS handshake runs
+//! concurrently with packing.
 
 use fusedpack_core::Uid;
 use fusedpack_datatype::Layout;
@@ -13,6 +15,9 @@ use fusedpack_gpu::DevPtr;
 use std::sync::Arc;
 
 use crate::cluster::RankId;
+use crate::lifecycle::RequestLifecycle;
+
+pub use crate::lifecycle::PackState;
 
 /// Per-rank send-operation index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,14 +58,6 @@ impl StagingLoc {
     }
 }
 
-/// Packing progress on the sender (or unpacking on the receiver).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PackState {
-    NotStarted,
-    InFlight,
-    Done,
-}
-
 /// CTS information remembered by the sender.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CtsInfo {
@@ -82,25 +79,11 @@ pub struct SendOp {
     pub blocks: u64,
     pub eager: bool,
     pub staging: StagingLoc,
-    pub pack: PackState,
-    pub rts_sent: bool,
+    /// Protocol + packing progress (replaces the old `pack`/`rts_sent`/
+    /// `data_issued`/`completed` flag scatter).
+    pub lifecycle: RequestLifecycle,
     pub cts: Option<CtsInfo>,
-    pub data_issued: bool,
     pub fusion_uid: Option<Uid>,
-    pub completed: bool,
-}
-
-/// Receive lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RecvState {
-    /// Posted, not yet matched to an RTS/eager message.
-    Posted,
-    /// Matched; CTS sent; awaiting payload.
-    AwaitingData,
-    /// Payload landed in staging; unpack not started or in flight.
-    Unpacking,
-    /// Data is in the user buffer.
-    Complete,
 }
 
 /// One in-flight receive.
@@ -115,8 +98,9 @@ pub struct RecvOp {
     pub packed_bytes: u64,
     pub blocks: u64,
     pub staging: StagingLoc,
-    pub state: RecvState,
-    pub unpack: PackState,
+    /// Protocol + unpacking progress (replaces the old `state`/`unpack`
+    /// enum pair).
+    pub lifecycle: RequestLifecycle,
     pub fusion_uid: Option<Uid>,
     /// Set when this receive is served by a fused DirectIPC request; the
     /// receiver must notify this send with a `Fin` on completion.
@@ -126,19 +110,22 @@ pub struct RecvOp {
 impl SendOp {
     /// Ready to put the payload on the wire?
     pub fn ready_to_issue(&self) -> bool {
-        !self.data_issued && self.pack == PackState::Done && (self.eager || self.cts.is_some())
+        self.lifecycle.is_unmatched()
+            && self.lifecycle.pack() == PackState::Done
+            && (self.eager || self.cts.is_some())
     }
 }
 
 impl RecvOp {
     pub fn is_complete(&self) -> bool {
-        self.state == RecvState::Complete
+        self.lifecycle.is_done()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lifecycle::LifecycleEvent;
     use fusedpack_datatype::TypeBuilder;
 
     fn send() -> SendOp {
@@ -153,12 +140,9 @@ mod tests {
             blocks: 1,
             eager: false,
             staging: StagingLoc::None,
-            pack: PackState::NotStarted,
-            rts_sent: false,
+            lifecycle: RequestLifecycle::send(),
             cts: None,
-            data_issued: false,
             fusion_uid: None,
-            completed: false,
         }
     }
 
@@ -166,7 +150,7 @@ mod tests {
     fn rendezvous_needs_pack_and_cts() {
         let mut s = send();
         assert!(!s.ready_to_issue());
-        s.pack = PackState::Done;
+        s.lifecycle.apply(LifecycleEvent::PackFinished);
         assert!(!s.ready_to_issue(), "no CTS yet");
         s.cts = Some(CtsInfo {
             recv_id: RecvId(0),
@@ -174,7 +158,7 @@ mod tests {
             host_staging: false,
         });
         assert!(s.ready_to_issue());
-        s.data_issued = true;
+        s.lifecycle.apply(LifecycleEvent::Issued);
         assert!(!s.ready_to_issue(), "never issue twice");
     }
 
@@ -182,7 +166,7 @@ mod tests {
     fn eager_needs_only_pack() {
         let mut s = send();
         s.eager = true;
-        s.pack = PackState::Done;
+        s.lifecycle.apply(LifecycleEvent::PackFinished);
         assert!(s.ready_to_issue());
     }
 

@@ -118,15 +118,13 @@ fn dense_type() -> Arc<TypeDesc> {
 }
 
 fn all_schemes() -> Vec<SchemeKind> {
-    vec![
-        SchemeKind::GpuSync,
-        SchemeKind::GpuAsync,
-        SchemeKind::CpuGpuHybrid,
-        SchemeKind::fusion_default(),
-        SchemeKind::NaiveCopy(fusedpack_mpi::scheme::NaiveFlavor::SpectrumMpi),
-        SchemeKind::NaiveCopy(fusedpack_mpi::scheme::NaiveFlavor::OpenMpi),
-        SchemeKind::Adaptive,
-    ]
+    // Every registered design: the registry is the single source of truth
+    // for what exists, so new schemes are exercised here automatically.
+    fusedpack_mpi::SchemeRegistry::global()
+        .all()
+        .iter()
+        .map(|d| d.make())
+        .collect()
 }
 
 #[test]

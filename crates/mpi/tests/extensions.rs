@@ -178,9 +178,11 @@ fn fusion_without_direct_ipc_config_roundtrip() {
         enable_direct_ipc: false,
         ..FusionConfig::default()
     };
-    if let SchemeKind::Fusion(c) = SchemeKind::Fusion(cfg) {
-        assert!(!c.enable_direct_ipc);
-    }
+    let scheme = SchemeKind::Fusion(cfg);
+    let c = scheme
+        .fusion_config()
+        .expect("fusion scheme carries its config");
+    assert!(!c.enable_direct_ipc);
 }
 
 #[test]
