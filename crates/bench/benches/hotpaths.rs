@@ -253,6 +253,79 @@ fn bench_fault_hooks(c: &mut Criterion) {
     g.finish();
 }
 
+/// Topology hot paths: route resolution and contended multi-hop
+/// transmits at cluster scale. `route_extract` walks the warm BFS tables
+/// per call (what an uncached pair pays after table build);
+/// `route_cached` is [`TopoNet`]'s per-send lookup (HashMap hit + `Arc`
+/// clone — the steady-state cost every routed transfer adds over the flat
+/// path). The contended-transmit series times 64 cross-leaf transfers
+/// whose routes pile onto shared rails and spines, at 256/1k/4k ranks —
+/// the per-event cost the 512-rank halo report pays on its hot path.
+fn bench_topology(c: &mut Criterion) {
+    use fusedpack_net::{Endpoint, Hierarchy, TopoNet, Topology};
+
+    let mut g = c.benchmark_group("hotpaths/topo");
+
+    // Deterministic cross-leaf pair list: ranks i and (i + ranks/2) sit
+    // 16+ nodes apart, so every route crosses the spine layer.
+    let pairs = |ranks: u32| -> Vec<(Endpoint, Endpoint)> {
+        (0..64u32)
+            .map(|i| {
+                let (a, b) = (i % (ranks / 2), ranks / 2 + i % (ranks / 2));
+                (Endpoint::new(a / 4, a % 4), Endpoint::new(b / 4, b % 4))
+            })
+            .collect()
+    };
+
+    let big = Hierarchy::lassen_like(1024); // 4096 ranks
+    let big_pairs = pairs(4096);
+    g.bench_function("route_extract_4k_ranks", |b| {
+        // Warm every destination table once so the loop measures path
+        // extraction, not BFS.
+        for &(a, bb) in &big_pairs {
+            let _ = big.route(a, bb);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let (a, bb) = big_pairs[i % big_pairs.len()];
+            i += 1;
+            black_box(big.route(black_box(a), bb).expect("routable"))
+        })
+    });
+    g.bench_function("route_cached_4k_ranks", |b| {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(1024)));
+        for &key in &big_pairs {
+            let _ = net.resolve(key);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let key = big_pairs[i % big_pairs.len()];
+            i += 1;
+            black_box(net.resolve(black_box(key)).expect("cached"))
+        })
+    });
+
+    for ranks in [256u32, 1024, 4096] {
+        let keys = pairs(ranks);
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(ranks / 4)));
+        for &key in &keys {
+            let _ = net.resolve(key); // routes cached; iters measure transmits
+        }
+        g.bench_function(format!("contended_transmit_64x_{ranks}_ranks"), |b| {
+            b.iter(|| {
+                net.reset();
+                let mut last = Time(0);
+                for &key in &keys {
+                    let t = net.transmit(Time(0), key, 65_536, None).expect("routable");
+                    last = t.delivered;
+                }
+                black_box(last)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     bench_hotpaths,
     bench_pack_shapes,
@@ -260,6 +333,7 @@ criterion_group!(
     bench_event_queue,
     bench_staging_pool,
     bench_scheduler,
-    bench_fault_hooks
+    bench_fault_hooks,
+    bench_topology
 );
 criterion_main!(bench_hotpaths);

@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod ipc;
 pub mod table2;
+pub mod topo;
 
 use fusedpack_mpi::SchemeKind;
 use fusedpack_net::Platform;

@@ -21,6 +21,7 @@
 //! | Adaptive | [`figs::adapt`] | extension: online threshold control on a phase-changing workload |
 //! | DirectIPC | [`figs::ipc`] | extension: fused zero-copy intra-node transfers |
 //! | Chaos | [`figs::chaos`] | robustness: seeded fault-injection grid, checksum + latency inflation |
+//! | Topo | [`figs::topo`] | topology contrast: 512-rank 3-D halo on fat-tree vs dragonfly machines |
 //! | §III / Fig. 4 | [`figs::approaches`] | the three transfer approaches (Algorithms 1-3) |
 
 pub mod exec;
@@ -45,6 +46,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ipc",
     "approaches",
     "chaos",
+    "topo",
 ];
 
 /// Run one experiment by name.
@@ -64,6 +66,7 @@ pub fn run_experiment(name: &str) -> Vec<Table> {
         "ipc" => vec![figs::ipc::run()],
         "approaches" => vec![figs::approaches::run()],
         "chaos" => vec![figs::chaos::run()],
+        "topo" => vec![figs::topo::run()],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

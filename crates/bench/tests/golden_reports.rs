@@ -14,6 +14,11 @@
 //! ```
 
 use fusedpack_bench::run_experiment;
+use fusedpack_mpi::SchemeKind;
+use fusedpack_net::{FlatLink, Platform};
+use fusedpack_workloads::specfem::specfem3d_cm;
+use fusedpack_workloads::{run_halo, HaloConfig, HaloGrid};
+use std::sync::Arc;
 
 /// Path of a committed golden CSV.
 fn golden_path(file: &str) -> std::path::PathBuf {
@@ -69,4 +74,39 @@ fn approaches_matches_golden_snapshot() {
         "approaches",
         "siii_fig_4_three_approaches_to_non_contiguous_transfer_specfem3d_cm_x16_lassen.csv",
     );
+}
+
+/// The topology subsystem's backwards-compatibility promise: a cluster
+/// with an **explicit** [`FlatLink`] topology times every transfer
+/// bit-identically to the default (no-topology) legacy path the golden
+/// snapshots above pin down. If this holds, attaching FlatLink can never
+/// move a golden number.
+#[test]
+fn explicit_flat_topology_is_bit_identical_to_default() {
+    let cfg = |topo: bool| {
+        let platform = Platform::lassen();
+        let grid = HaloGrid::new_3d(2, 2, 2);
+        let mut c = HaloConfig::new(
+            platform.clone(),
+            SchemeKind::fusion_default(),
+            specfem3d_cm(1024),
+            grid,
+            4,
+        );
+        if topo {
+            let nodes = grid.ranks().div_ceil(platform.gpus_per_node);
+            c = c.with_topology(Arc::new(FlatLink::for_platform(&platform, nodes)));
+        }
+        c
+    };
+    let default = run_halo(&cfg(false));
+    let flat = run_halo(&cfg(true));
+    assert_eq!(
+        default.latency, flat.latency,
+        "FlatLink must not move timing"
+    );
+    assert_eq!(default.lap_latencies, flat.lap_latencies);
+    assert_eq!(default.events, flat.events);
+    assert_eq!(default.hop_bytes, 0, "legacy path has no hop accounting");
+    assert!(flat.hop_bytes > 0, "FlatLink accounts the same traffic");
 }

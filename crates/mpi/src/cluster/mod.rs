@@ -12,6 +12,7 @@ mod exec;
 mod protocol;
 mod rank;
 pub(crate) mod schemes;
+mod topo;
 
 use crate::message::WireMsg;
 use crate::program::{BufInit, Program};
@@ -20,7 +21,8 @@ use crate::sendrecv::{RecvId, SendId};
 use fusedpack_core::{SchedStats, Uid};
 use fusedpack_gpu::{BufferPool, DataMode, Gpu, MemPool};
 use fusedpack_net::platform::Platform;
-use fusedpack_net::{Link, Nic};
+use fusedpack_net::topology::{validate_endpoint, Endpoint};
+use fusedpack_net::{Link, Nic, TopoNet, TopologyHandle};
 use fusedpack_sim::trace::Trace;
 use fusedpack_sim::{
     ClampStats, Duration, EventQueue, FaultPlan, FaultSite, FaultSummary, Pcg32, RetryPolicy, Time,
@@ -78,6 +80,7 @@ pub struct ClusterBuilder {
     rndv: RndvProtocol,
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
+    topology: Option<TopologyHandle>,
     ranks: Vec<(u32, Program)>,
 }
 
@@ -93,8 +96,20 @@ impl ClusterBuilder {
             rndv: RndvProtocol::default(),
             faults: None,
             retry: RetryPolicy::default_transfer(),
+            topology: None,
             ranks: Vec::new(),
         }
+    }
+
+    /// Route every transfer through an explicit topology instead of the
+    /// flat scalar-link model: each send resolves a hop sequence and
+    /// occupies every hop on it ([`fusedpack_net::TopoNet`]). Without this
+    /// call the legacy flat path runs untouched — an explicit
+    /// [`fusedpack_net::FlatLink`] is bit-identical to the default
+    /// (enforced by the bench golden guard).
+    pub fn topology(mut self, topo: TopologyHandle) -> Self {
+        self.topology = Some(topo);
+        self
     }
 
     /// Select the rendezvous sub-protocol (default: RPUT, which lets the
@@ -177,8 +192,14 @@ impl ClusterBuilder {
         let mut host_mems = Vec::new();
         // One scratch buffer reused across every random-init declaration.
         let mut init_scratch = Vec::new();
+        // Each rank occupies the next GPU slot on its node, in add order.
+        let mut endpoints = Vec::new();
+        let mut node_slots: HashMap<u32, u32> = HashMap::new();
 
         for (idx, (node, program)) in self.ranks.into_iter().enumerate() {
+            let slot = node_slots.entry(node).or_insert(0);
+            endpoints.push(Endpoint::new(node, *slot));
+            *slot += 1;
             let user_bytes: u64 = program.buffers.iter().map(|b| b.len + 256).sum::<u64>() + 4096;
             // Staging high-water estimate: every comm op may need a packed
             // buffer simultaneously within one Waitall epoch; programs
@@ -237,6 +258,18 @@ impl ClusterBuilder {
             events.push_at(Time::ZERO, Event::Wake(RankId(r as u32)));
         }
 
+        // A misconfigured topology (too few nodes, more ranks on a node
+        // than its island holds) is a build-time error, not a runtime
+        // fault: fail loudly with the typed error's message.
+        let topo = self.topology.map(|t| {
+            for &ep in &endpoints {
+                if let Err(e) = validate_endpoint(t.as_ref(), ep) {
+                    panic!("cluster does not fit topology '{}': {e}", t.name());
+                }
+            }
+            TopoNet::new(t)
+        });
+
         // The retry protocol's jitter stream: seeded from the fault plan so
         // chaos runs are self-contained, never touched on fault-free runs.
         let retry_rng = Pcg32::new(
@@ -255,6 +288,8 @@ impl ClusterBuilder {
             host_mems,
             nics,
             rndv: self.rndv,
+            topo,
+            endpoints,
             intra_links: HashMap::new(),
             buf_pool: BufferPool::new(),
             telemetry,
@@ -289,6 +324,12 @@ pub struct Cluster {
     pub(crate) nics: Vec<Nic>,
     /// Rendezvous sub-protocol.
     pub(crate) rndv: RndvProtocol,
+    /// Live topology network state (None: the legacy flat path runs with
+    /// zero overhead beyond one untaken branch per transport).
+    pub(crate) topo: Option<TopoNet>,
+    /// Per-rank (node, gpu-slot) endpoints, validated against the
+    /// topology at build time.
+    pub(crate) endpoints: Vec<Endpoint>,
     /// Lazily created intra-node GPU↔GPU links, keyed by (node, node).
     pub(crate) intra_links: HashMap<(u32, u32), Link>,
     /// Freelist of staged payload buffers: eager/rendezvous copies and IPC

@@ -23,6 +23,13 @@ impl Cluster {
         bytes: u64,
         gdr: bool,
     ) -> (Time, Time) {
+        if self.topo.is_some() {
+            if let Some(result) = self.transport_routed(src, dst, at, bytes, gdr) {
+                return result;
+            }
+            // Route resolution failed (absorbed, counted): fall through to
+            // the flat path so the transfer still completes.
+        }
         let (src_node, dst_node) = (self.ranks[src].node, self.ranks[dst].node);
         if src_node == dst_node {
             let link = self.intra_link(src_node, dst_node);
@@ -89,20 +96,7 @@ impl Cluster {
                     // is reported instead of retried.
                     self.fault_stats.deadline_exceeded += 1;
                 } else {
-                    let (src_node, dst_node) = (self.ranks[src].node, self.ranks[dst].node);
-                    let (wire_clear, rtt) = if src_node == dst_node {
-                        let link = self.intra_link(src_node, dst_node);
-                        let (start, clear) = link.transmit_wasted(now, bytes, None);
-                        let rtt = link.spec().rtt();
-                        self.ranks[src]
-                            .tele
-                            .span(Lane::Nic, start, clear, || Payload::WireTransfer { bytes });
-                        (clear, rtt)
-                    } else {
-                        let nic = &mut self.nics[src_node as usize];
-                        let (_, clear) = nic.post_send_wasted(now, bytes, gdr);
-                        (clear, nic.wire().rtt())
-                    };
+                    let (wire_clear, rtt) = self.transport_wasted(src, dst, now, bytes, gdr);
                     let detected = if site == FaultSite::LinkCorrupt {
                         // Fully delivered, checksum-rejected, NACKed.
                         wire_clear + rtt
@@ -135,6 +129,38 @@ impl Cluster {
                 self.fault_stats.added_latency += now.since(at);
             }
             return (delivered, completion);
+        }
+    }
+
+    /// Occupy the wire (or every hop of the route) with a payload that is
+    /// dropped mid-flight. Returns `(wire_clear, rtt)` — the inputs to the
+    /// retry protocol's loss-detection timing.
+    fn transport_wasted(
+        &mut self,
+        src: usize,
+        dst: usize,
+        now: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> (Time, fusedpack_sim::Duration) {
+        if self.topo.is_some() {
+            if let Some(result) = self.transport_routed_wasted(src, dst, now, bytes, gdr) {
+                return result;
+            }
+        }
+        let (src_node, dst_node) = (self.ranks[src].node, self.ranks[dst].node);
+        if src_node == dst_node {
+            let link = self.intra_link(src_node, dst_node);
+            let (start, clear) = link.transmit_wasted(now, bytes, None);
+            let rtt = link.spec().rtt();
+            self.ranks[src]
+                .tele
+                .span(Lane::Nic, start, clear, || Payload::WireTransfer { bytes });
+            (clear, rtt)
+        } else {
+            let nic = &mut self.nics[src_node as usize];
+            let (_, clear) = nic.post_send_wasted(now, bytes, gdr);
+            (clear, nic.wire().rtt())
         }
     }
 

@@ -1,0 +1,146 @@
+//! Topology-aware transport: sends resolved to routes through a
+//! [`TopoNet`] instead of the flat scalar links.
+//!
+//! These are the routed twins of `protocol.rs`'s `transport` /
+//! `transport_reliable` wire paths. Semantics mirror the flat model
+//! exactly — intra-node transfers bypass the NIC (completion coincides
+//! with delivery), inter-node transfers charge NIC injection and complete
+//! one tail latency after delivery — so a single-hop [`FlatLink`] route
+//! reproduces the legacy timing bit-for-bit. Runtime route failures
+//! (impossible for endpoints validated at build time, but reachable under
+//! fault-replayed state) are absorbed in the PR-4 style: debug-assert,
+//! count as spurious, fall back to the flat path.
+//!
+//! [`FlatLink`]: fusedpack_net::FlatLink
+
+use super::Cluster;
+use fusedpack_net::topology::RouteKey;
+use fusedpack_net::{HopStats, TopoNet};
+use fusedpack_sim::{Duration, Time};
+use fusedpack_telemetry::{Lane, Payload};
+
+impl Cluster {
+    fn route_key(&self, src: usize, dst: usize) -> RouteKey {
+        (self.endpoints[src], self.endpoints[dst])
+    }
+
+    /// Routed analogue of `transport`: returns `(delivered,
+    /// initiator_completion)`, or `None` if route resolution failed (the
+    /// caller falls back to the flat path).
+    pub(crate) fn transport_routed(
+        &mut self,
+        src: usize,
+        dst: usize,
+        at: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> Option<(Time, Time)> {
+        let key = self.route_key(src, dst);
+        let intra = self.ranks[src].node == self.ranks[dst].node;
+        let outcome = if intra {
+            // Intra-node transfers bypass the NIC: no injection overhead,
+            // no GPUDirect cap, completion == delivery.
+            self.topo
+                .as_mut()?
+                .transmit(at, key, bytes, None)
+                .map(|t| (t.start, t.delivered, t.delivered))
+        } else {
+            let node = self.ranks[src].node as usize;
+            let net = self.topo.as_mut()?;
+            self.nics[node]
+                .post_send_routed(net, key, at, bytes, gdr)
+                .map(|t| (t.start, t.delivered, t.delivered + t.tail_latency))
+        };
+        match outcome {
+            Ok((start, delivered, completion)) => {
+                if intra {
+                    // The NIC emits the wire span for inter-node sends;
+                    // intra-node sends emit it here, as the flat path does.
+                    self.ranks[src].tele.span(Lane::Nic, start, delivered, || {
+                        Payload::WireTransfer { bytes }
+                    });
+                }
+                self.emit_hop_spans(src, bytes);
+                Some((delivered, completion))
+            }
+            Err(e) => {
+                debug_assert!(false, "route resolution failed post-validation: {e}");
+                self.fault_stats.spurious += 1;
+                None
+            }
+        }
+    }
+
+    /// Routed analogue of the wasted (dropped-payload) transmit used by
+    /// the retry protocol: occupies every hop of the route, returns
+    /// `(wire_clear, route_rtt)`.
+    pub(crate) fn transport_routed_wasted(
+        &mut self,
+        src: usize,
+        dst: usize,
+        now: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> Option<(Time, Duration)> {
+        let key = self.route_key(src, dst);
+        let intra = self.ranks[src].node == self.ranks[dst].node;
+        let outcome = if intra {
+            self.topo.as_mut()?.transmit_wasted(now, key, bytes, None)
+        } else {
+            let node = self.ranks[src].node as usize;
+            let net = self.topo.as_mut()?;
+            self.nics[node].post_send_routed_wasted(net, key, now, bytes, gdr)
+        };
+        match outcome {
+            Ok((start, wire_clear)) => {
+                // The route is cached by the transmit above, so this
+                // cannot fail; fall back defensively anyway.
+                let rtt = self.topo.as_mut()?.route_rtt(key).ok()?;
+                if intra {
+                    self.ranks[src].tele.span(Lane::Nic, start, wire_clear, || {
+                        Payload::WireTransfer { bytes }
+                    });
+                }
+                self.emit_hop_spans(src, bytes);
+                Some((wire_clear, rtt))
+            }
+            Err(e) => {
+                debug_assert!(false, "wasted route resolution failed: {e}");
+                self.fault_stats.spurious += 1;
+                None
+            }
+        }
+    }
+
+    /// Emit one [`Payload::HopTransfer`] span per hop of the most recent
+    /// routed transmit, on the sender's NIC lane. The reconciliation
+    /// proptest sums these against [`TopoNet::hop_stats`].
+    fn emit_hop_spans(&mut self, src: usize, bytes: u64) {
+        let Some(net) = self.topo.as_ref() else {
+            return;
+        };
+        let tele = &self.ranks[src].tele;
+        for &(hop, start, wire_done) in net.last_hops() {
+            tele.span(Lane::Nic, start, wire_done, || Payload::HopTransfer {
+                hop,
+                bytes,
+            });
+        }
+    }
+
+    /// Per-hop congestion counters of the topology network, if one is
+    /// attached (reports, reconciliation tests).
+    pub fn topo_hop_stats(&self) -> Option<Vec<HopStats>> {
+        self.topo.as_ref().map(TopoNet::hop_stats)
+    }
+
+    /// The attached topology's display name, if any.
+    pub fn topology_name(&self) -> Option<&'static str> {
+        self.topo.as_ref().map(|net| net.topology().name())
+    }
+
+    /// The (node, gpu-slot) endpoint of a rank (tests and diagnostics).
+    pub fn endpoint_of(&self, rank: super::RankId) -> Option<fusedpack_net::Endpoint> {
+        self.endpoints.get(rank.0 as usize).copied()
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed network errors.
+//!
+//! Route resolution used to be infallible because there was nothing to
+//! resolve: one scalar link per node pair. With hierarchical topologies a
+//! lookup can genuinely fail — an endpoint outside the fabric, a GPU index
+//! beyond the node's island, a node with no path to its peer — and those
+//! states are classified here instead of panicking, mirroring the style of
+//! `fusedpack_mpi::TransferError`: reachable bad states get a variant, and
+//! callers on the hot path absorb them (falling back to the flat model and
+//! counting the event) rather than tearing the simulation down.
+
+use std::fmt;
+
+/// Why a route could not be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// An endpoint names a node the topology does not contain.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Nodes the topology actually has.
+        num_nodes: u32,
+    },
+    /// An endpoint names a GPU beyond the node's island.
+    GpuOutOfRange {
+        /// The offending GPU index.
+        gpu: u32,
+        /// GPUs per node in this topology.
+        gpus_per_node: u32,
+    },
+    /// The fabric graph has no path between two nodes (a misbuilt
+    /// topology: every shipped preset is connected by construction).
+    Disconnected {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+    },
+    /// A route was requested between an endpoint and itself; transfers
+    /// need two distinct endpoints.
+    SelfRoute {
+        /// The endpoint's node.
+        node: u32,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} outside topology of {num_nodes} node(s)")
+            }
+            NetError::GpuOutOfRange { gpu, gpus_per_node } => {
+                write!(f, "gpu {gpu} outside island of {gpus_per_node} gpu(s)")
+            }
+            NetError::Disconnected { src, dst } => {
+                write!(f, "no fabric path from node {src} to node {dst}")
+            }
+            NetError::SelfRoute { node } => {
+                write!(f, "route requested from node {node} to itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = NetError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'), "{s}");
+        let d = NetError::Disconnected { src: 1, dst: 2 };
+        assert!(d.to_string().contains("no fabric path"));
+    }
+}

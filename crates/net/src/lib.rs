@@ -7,12 +7,19 @@
 //! (Table II): LLNL **Lassen** (POWER9 + V100, NVLink2 everywhere) and
 //! **ABCI** (Xeon + V100, PCIe Gen3 to the host).
 
+pub mod error;
 pub mod link;
 pub mod nic;
 pub mod platform;
 pub mod rdma;
+pub mod topology;
 
+pub use error::NetError;
 pub use link::{Link, LinkSpec};
 pub use nic::{Nic, NodeId};
 pub use platform::Platform;
 pub use rdma::{RdmaEngine, RdmaOp, RdmaVerb};
+pub use topology::{
+    Dragonfly, Endpoint, FatTree, FlatLink, Hierarchy, HopId, HopKind, HopSpec, HopStats,
+    NvlinkIsland, RouteKey, RouteTiming, TopoNet, Topology, TopologyHandle,
+};

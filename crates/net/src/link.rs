@@ -46,6 +46,19 @@ impl LinkSpec {
         }
     }
 
+    /// One rail of the dual-rail EDR attachment: same first-byte latency,
+    /// `1/rails` of the aggregate bandwidth. The topology layer wires one
+    /// of these per rail so ECMP can spread concurrent transfers while a
+    /// single stream tops out at the per-rail rate.
+    pub fn ib_edr_rail(rails: u32) -> Self {
+        assert!(rails >= 1);
+        LinkSpec {
+            name: "ib-rail",
+            bw: 25.0e9 / rails as f64,
+            latency: Duration::from_nanos(1_300),
+        }
+    }
+
     /// Wire time for `bytes` ignoring queueing.
     pub fn wire_time(&self, bytes: u64) -> Duration {
         self.latency + Duration::from_secs_f64(bytes as f64 / self.bw)
@@ -210,5 +223,13 @@ mod tests {
     fn nvlink_variants_ordered() {
         assert!(LinkSpec::nvlink2_75().bw > LinkSpec::nvlink2_50().bw);
         assert!(LinkSpec::nvlink2_50().bw > LinkSpec::ib_edr_dual().bw);
+    }
+
+    #[test]
+    fn rails_divide_the_aggregate() {
+        let dual = LinkSpec::ib_edr_dual();
+        let rail = LinkSpec::ib_edr_rail(2);
+        assert_eq!(rail.bw * 2.0, dual.bw);
+        assert_eq!(rail.latency, dual.latency);
     }
 }

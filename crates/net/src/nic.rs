@@ -5,7 +5,9 @@
 //! message to the inter-node link. Send and receive directions are
 //! independent engines, so full-duplex traffic overlaps.
 
+use crate::error::NetError;
 use crate::link::{Link, LinkSpec};
+use crate::topology::{RouteKey, RouteTiming, TopoNet};
 use fusedpack_sim::{Duration, Time};
 use fusedpack_telemetry::{Lane, Payload, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -91,6 +93,54 @@ impl Nic {
         (start, wire_clear)
     }
 
+    /// Post a send that resolves a route through `net` instead of using
+    /// this NIC's scalar wire: injection overhead and GPUDirect capping
+    /// are charged exactly as in [`Nic::post_send`]/[`Nic::post_send_gdr`],
+    /// but occupancy lands on every hop of the route. The work request is
+    /// only counted as posted if the route resolves.
+    pub fn post_send_routed(
+        &mut self,
+        net: &mut TopoNet,
+        key: RouteKey,
+        now: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> Result<RouteTiming, NetError> {
+        let cap = gdr.then_some(self.gdr_bw_cap);
+        let timing = net.transmit(now + self.injection, key, bytes, cap)?;
+        self.posted += 1;
+        self.telemetry
+            .instant(Lane::Nic, now, || Payload::RdmaPost { bytes, gdr });
+        self.telemetry
+            .span(Lane::Nic, timing.start, timing.delivered, || {
+                Payload::WireTransfer { bytes }
+            });
+        Ok(timing)
+    }
+
+    /// Routed analogue of [`Nic::post_send_wasted`]: occupies every hop of
+    /// the route with a payload that never delivers. Returns
+    /// `(wire_start, last_hop_clear)`.
+    pub fn post_send_routed_wasted(
+        &mut self,
+        net: &mut TopoNet,
+        key: RouteKey,
+        now: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> Result<(Time, Time), NetError> {
+        let cap = gdr.then_some(self.gdr_bw_cap);
+        let (start, wire_clear) = net.transmit_wasted(now + self.injection, key, bytes, cap)?;
+        self.posted += 1;
+        self.telemetry
+            .instant(Lane::Nic, now, || Payload::RdmaPost { bytes, gdr });
+        self.telemetry
+            .span(Lane::Nic, start, wire_clear, || Payload::WireTransfer {
+                bytes,
+            });
+        Ok((start, wire_clear))
+    }
+
     /// Injection overhead per work request.
     pub fn injection(&self) -> Duration {
         self.injection
@@ -172,6 +222,36 @@ mod tests {
         assert!(s2 >= clear);
         assert_eq!(n.posted(), 2);
         assert_eq!(n.bytes_wasted(), 25_000_000);
+    }
+
+    #[test]
+    fn routed_send_on_flat_topology_matches_scalar_send() {
+        use crate::topology::{Endpoint, FlatLink, TopoNet};
+        use std::sync::Arc;
+
+        let mut scalar = nic();
+        let (s_start, s_delivered) = scalar.post_send_gdr(Time(0), 1 << 20);
+
+        let mut routed = nic();
+        let mut net = TopoNet::new(Arc::new(FlatLink::new(
+            LinkSpec::nvlink2_75(),
+            LinkSpec::ib_edr_dual(),
+            2,
+            4,
+        )));
+        let key = (Endpoint::new(0, 0), Endpoint::new(1, 0));
+        let t = routed
+            .post_send_routed(&mut net, key, Time(0), 1 << 20, true)
+            .unwrap();
+        assert_eq!((t.start, t.delivered), (s_start, s_delivered));
+        assert_eq!(routed.posted(), 1);
+
+        // A failed resolution is a typed error and does not count a post.
+        let bad = (Endpoint::new(9, 0), Endpoint::new(0, 0));
+        assert!(routed
+            .post_send_routed(&mut net, bad, Time(0), 1, false)
+            .is_err());
+        assert_eq!(routed.posted(), 1);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! can source/target GPU memory directly (GPUDirect RDMA), in which case
 //! the wire bandwidth is capped by the NIC↔GPU path.
 
+use crate::error::NetError;
 use crate::nic::Nic;
+use crate::topology::{RouteKey, TopoNet};
 use fusedpack_sim::Time;
 use serde::{Deserialize, Serialize};
 
@@ -76,6 +78,47 @@ impl RdmaEngine {
             initiator_completion: delivered,
         }
     }
+
+    /// `RDMA WRITE` over a routed topology: the payload crosses every hop
+    /// of `key`'s route, and the hardware ACK returns after the final
+    /// hop's latency.
+    pub fn write_routed(
+        initiator: &mut Nic,
+        net: &mut TopoNet,
+        key: RouteKey,
+        now: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> Result<RdmaOp, NetError> {
+        let t = initiator.post_send_routed(net, key, now, bytes, gdr)?;
+        Ok(RdmaOp {
+            posted: now,
+            data_delivered: t.delivered,
+            initiator_completion: t.delivered + t.tail_latency,
+        })
+    }
+
+    /// `RDMA READ` over a routed topology: the request packet crosses the
+    /// route forward, the payload flows back over the reverse route
+    /// through the responder's NIC.
+    pub fn read_routed(
+        initiator: &mut Nic,
+        responder: &mut Nic,
+        net: &mut TopoNet,
+        key: RouteKey,
+        now: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> Result<RdmaOp, NetError> {
+        let request = initiator.post_send_routed(net, key, now, CTRL_BYTES, false)?;
+        let back = (key.1, key.0);
+        let t = responder.post_send_routed(net, back, request.delivered, bytes, gdr)?;
+        Ok(RdmaOp {
+            posted: now,
+            data_delivered: t.delivered,
+            initiator_completion: t.delivered,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +168,33 @@ mod tests {
         let mut b2 = nic();
         let gdr = RdmaEngine::read(&mut a2, &mut b2, Time(0), 256 << 20, true);
         assert!(gdr.data_delivered > host.data_delivered);
+    }
+
+    #[test]
+    fn routed_verbs_mirror_scalar_semantics() {
+        use crate::topology::{Endpoint, Hierarchy, TopoNet};
+        use std::sync::Arc;
+
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let key = (Endpoint::new(0, 0), Endpoint::new(31, 0));
+        let mut a = nic();
+        let mut b = nic();
+
+        let write =
+            RdmaEngine::write_routed(&mut a, &mut net, key, Time(0), 1 << 20, true).unwrap();
+        assert!(write.initiator_completion > write.data_delivered);
+
+        let read =
+            RdmaEngine::read_routed(&mut a, &mut b, &mut net, key, Time(0), 1 << 20, true).unwrap();
+        assert!(
+            read.data_delivered > write.data_delivered,
+            "READ pays the request trip and queues behind the write"
+        );
+        assert_eq!(read.initiator_completion, read.data_delivered);
+
+        // Self-routes are typed errors, never panics.
+        let self_key = (Endpoint::new(0, 0), Endpoint::new(0, 0));
+        assert!(RdmaEngine::write_routed(&mut a, &mut net, self_key, Time(0), 1, false).is_err());
     }
 
     #[test]

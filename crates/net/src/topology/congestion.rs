@@ -1,0 +1,335 @@
+//! Live congestion state: one FIFO link per hop, cut-through timing.
+//!
+//! [`TopoNet`] realises a [`Topology`]'s static hop table as live
+//! [`Link`]s and times multi-hop transfers with **cut-through** (wormhole)
+//! semantics: the head of the message advances one hop-latency at a time
+//! while the body streams at the running minimum of the hop bandwidths
+//! seen so far, so a slow first hop throttles everything downstream and a
+//! fast hop after a slow one cannot "re-compress" the stream. Each hop is
+//! still a FIFO: two transfers crossing a shared rail or spine serialize
+//! on it deterministically, which is the whole congestion model — no
+//! randomness, no fair-share fluid approximation, just event-ordered
+//! occupancy.
+//!
+//! A single-hop route degenerates to exactly `Link::transmit` /
+//! `transmit_capped`, which is what makes [`super::FlatLink`] bit-identical
+//! to the legacy scalar-link path.
+
+use super::{HopId, RouteKey, Topology, TopologyHandle};
+use crate::error::NetError;
+use crate::link::Link;
+use fusedpack_sim::{Duration, Time};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// When a routed transfer started and finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteTiming {
+    /// First byte left the source (head of message won the first hop).
+    pub start: Time,
+    /// Last byte arrived at the destination (includes the final hop's
+    /// latency tail).
+    pub delivered: Time,
+    /// The final hop's first-byte latency — the piece a caller subtracts
+    /// to recover "wire clear" from `delivered`.
+    pub tail_latency: Duration,
+}
+
+/// Aggregate per-hop counters for reports and reconciliation tests.
+#[derive(Debug, Clone)]
+pub struct HopStats {
+    /// Hop kind display name (`nvlink-xbar`, `ib-rail`, ...).
+    pub kind: &'static str,
+    /// Bytes that crossed the hop (including wasted ones).
+    pub bytes: u64,
+    /// Bytes that occupied the hop but were never delivered.
+    pub wasted: u64,
+    /// Total occupancy.
+    pub busy: Duration,
+}
+
+/// A topology's live network state for one simulated cluster.
+#[derive(Debug)]
+pub struct TopoNet {
+    topo: TopologyHandle,
+    /// One live link per entry of `topo.hops()`.
+    links: Vec<Link>,
+    /// Resolved-route cache: topologies are static, so a pair's hop
+    /// sequence never changes.
+    routes: HashMap<RouteKey, Arc<[HopId]>>,
+    /// Per-hop spans `(hop, start, wire_done)` of the most recent
+    /// transmit, for telemetry emission by the caller.
+    last_hops: Vec<(u32, Time, Time)>,
+}
+
+impl TopoNet {
+    pub fn new(topo: TopologyHandle) -> Self {
+        let links = topo
+            .hops()
+            .iter()
+            .map(|h| Link::new(h.link_spec()))
+            .collect();
+        TopoNet {
+            topo,
+            links,
+            routes: HashMap::new(),
+            last_hops: Vec::new(),
+        }
+    }
+
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// Resolve (and cache) the route for a pair.
+    pub fn resolve(&mut self, key: RouteKey) -> Result<Arc<[HopId]>, NetError> {
+        if let Some(route) = self.routes.get(&key) {
+            return Ok(route.clone());
+        }
+        let route: Arc<[HopId]> = self.topo.route(key.0, key.1)?.into();
+        self.routes.insert(key, route.clone());
+        Ok(route)
+    }
+
+    /// Round-trip control latency along a pair's route (the analogue of
+    /// `LinkSpec::rtt` for the retransmission protocol): twice the sum of
+    /// per-hop first-byte latencies.
+    pub fn route_rtt(&mut self, key: RouteKey) -> Result<Duration, NetError> {
+        let route = self.resolve(key)?;
+        let one_way = route.iter().fold(Duration(0), |acc, h| {
+            acc + self.links[h.0 as usize].spec().latency
+        });
+        Ok(one_way * 2)
+    }
+
+    /// Transmit `bytes` from `key.0` to `key.1` starting no earlier than
+    /// `now`, optionally capped at `bw_cap` (e.g. the GPUDirect ceiling).
+    ///
+    /// Per-hop spans are left in [`TopoNet::last_hops`] for the caller to
+    /// turn into telemetry.
+    pub fn transmit(
+        &mut self,
+        now: Time,
+        key: RouteKey,
+        bytes: u64,
+        bw_cap: Option<f64>,
+    ) -> Result<RouteTiming, NetError> {
+        let route = self.resolve(key)?;
+        debug_assert!(!route.is_empty(), "routes have at least one hop");
+        self.last_hops.clear();
+        let mut head = now;
+        let mut stream_bw = bw_cap.unwrap_or(f64::INFINITY);
+        let mut first_start = now;
+        let mut delivered = now;
+        let mut tail_latency = Duration(0);
+        for (i, hop) in route.iter().enumerate() {
+            let link = &mut self.links[hop.0 as usize];
+            // The body can never stream faster than the narrowest hop the
+            // head has already crossed (cut-through, no re-compression).
+            let (start, done) = link.transmit_capped(head, bytes, stream_bw);
+            let latency = link.spec().latency;
+            self.last_hops.push((hop.0, start, done - latency));
+            if i == 0 {
+                first_start = start;
+            }
+            stream_bw = stream_bw.min(link.spec().bw);
+            // The head reaches the next hop one latency after it left here.
+            head = start + latency;
+            delivered = done;
+            tail_latency = latency;
+        }
+        Ok(RouteTiming {
+            start: first_start,
+            delivered,
+            tail_latency,
+        })
+    }
+
+    /// Occupy the route with a transfer that never delivers (dropped
+    /// mid-flight under fault injection). Returns `(first_byte_sent,
+    /// last_wire_clear)`; later traffic on the same hops queues behind it.
+    pub fn transmit_wasted(
+        &mut self,
+        now: Time,
+        key: RouteKey,
+        bytes: u64,
+        bw_cap: Option<f64>,
+    ) -> Result<(Time, Time), NetError> {
+        let route = self.resolve(key)?;
+        self.last_hops.clear();
+        let mut head = now;
+        let mut stream_bw = bw_cap.unwrap_or(f64::INFINITY);
+        let mut first_start = now;
+        let mut wire_clear = now;
+        for (i, hop) in route.iter().enumerate() {
+            let link = &mut self.links[hop.0 as usize];
+            let (start, clear) = link.transmit_wasted(head, bytes, Some(stream_bw));
+            self.last_hops.push((hop.0, start, clear));
+            if i == 0 {
+                first_start = start;
+            }
+            stream_bw = stream_bw.min(link.spec().bw);
+            head = start + link.spec().latency;
+            wire_clear = clear;
+        }
+        Ok((first_start, wire_clear))
+    }
+
+    /// Per-hop spans `(hop index, start, wire_done)` of the most recent
+    /// transmit.
+    pub fn last_hops(&self) -> &[(u32, Time, Time)] {
+        &self.last_hops
+    }
+
+    /// Bytes carried by one hop (tests, reconciliation).
+    pub fn bytes_on_hop(&self, hop: HopId) -> u64 {
+        self.links[hop.0 as usize].bytes_carried()
+    }
+
+    /// Aggregate counters per hop, in hop-table order.
+    pub fn hop_stats(&self) -> Vec<HopStats> {
+        self.topo
+            .hops()
+            .iter()
+            .zip(&self.links)
+            .map(|(spec, link)| HopStats {
+                kind: spec.kind.name(),
+                bytes: link.bytes_carried(),
+                wasted: link.bytes_wasted(),
+                busy: link.busy_time(),
+            })
+            .collect()
+    }
+
+    /// Reset all occupancy and counters (route cache survives: routes are
+    /// static).
+    pub fn reset(&mut self) {
+        for link in &mut self.links {
+            link.reset();
+        }
+        self.last_hops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::topology::{Endpoint, FlatLink, Hierarchy};
+    use std::sync::Arc;
+
+    fn flat_net() -> TopoNet {
+        TopoNet::new(Arc::new(FlatLink::new(
+            LinkSpec::nvlink2_75(),
+            LinkSpec::ib_edr_dual(),
+            2,
+            4,
+        )))
+    }
+
+    #[test]
+    fn single_hop_matches_raw_link_transmit() {
+        let mut net = flat_net();
+        let mut raw = Link::new(LinkSpec::ib_edr_dual());
+        let key = (Endpoint::new(0, 0), Endpoint::new(1, 0));
+        let t = net.transmit(Time(0), key, 1 << 20, None).unwrap();
+        let (rs, rd) = raw.transmit(Time(0), 1 << 20);
+        assert_eq!((t.start, t.delivered), (rs, rd));
+        assert_eq!(t.tail_latency, LinkSpec::ib_edr_dual().latency);
+
+        let mut capped_net = flat_net();
+        let mut capped_raw = Link::new(LinkSpec::ib_edr_dual());
+        let t = capped_net
+            .transmit(Time(0), key, 1 << 20, Some(11.0e9))
+            .unwrap();
+        let (rs, rd) = capped_raw.transmit_capped(Time(0), 1 << 20, 11.0e9);
+        assert_eq!((t.start, t.delivered), (rs, rd));
+    }
+
+    #[test]
+    fn shared_hops_serialize_transfers() {
+        let mut net = flat_net();
+        let key = (Endpoint::new(0, 0), Endpoint::new(1, 0));
+        let other = (Endpoint::new(0, 1), Endpoint::new(1, 1));
+        let a = net.transmit(Time(0), key, 1 << 20, None).unwrap();
+        // Different GPUs, same node: the flat model shares the node's wire.
+        let b = net.transmit(Time(0), other, 1 << 20, None).unwrap();
+        assert!(b.start >= a.delivered - a.tail_latency, "FIFO on the wire");
+        assert!(b.delivered > a.delivered);
+    }
+
+    #[test]
+    fn multi_hop_head_advances_by_latency_and_narrowest_hop_rules() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let key = (Endpoint::new(0, 0), Endpoint::new(31, 0));
+        let bytes = 1u64 << 24;
+        let t = net.transmit(Time(0), key, bytes, None).unwrap();
+        let hops = net.last_hops().to_vec();
+        assert_eq!(hops.len(), 4, "cross-leaf fat-tree route");
+        // Head progression: hop i+1 starts one hop-latency after hop i.
+        for w in hops.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+        // The narrowest hop is the 12.5 GB/s rail; total time must be at
+        // least the rail serialization plus all hop latencies.
+        let rail_bw = LinkSpec::ib_edr_dual().bw / 2.0;
+        let floor = Duration::from_secs_f64(bytes as f64 / rail_bw);
+        assert!(t.delivered - t.start >= floor);
+        // And within a couple of latencies of it: downstream hops stream
+        // at the capped rate, they do not re-serialize the message.
+        assert!(t.delivered - t.start <= floor + Duration::from_nanos(10_000));
+    }
+
+    #[test]
+    fn wasted_routes_occupy_hops_and_count() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::abci_like(8)));
+        let key = (Endpoint::new(0, 0), Endpoint::new(7, 1));
+        let (start, clear) = net.transmit_wasted(Time(0), key, 4096, None).unwrap();
+        assert!(clear > start);
+        let wasted: u64 = net.hop_stats().iter().map(|h| h.wasted).sum();
+        let route_len = net.resolve(key).unwrap().len() as u64;
+        assert_eq!(wasted, 4096 * route_len, "every hop on the route counts");
+    }
+
+    #[test]
+    fn hop_stats_reconcile_with_transmits() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let key = (Endpoint::new(0, 2), Endpoint::new(20, 3));
+        net.transmit(Time(0), key, 1000, None).unwrap();
+        net.transmit(Time(0), key, 500, None).unwrap();
+        let route = net.resolve(key).unwrap();
+        for hop in route.iter() {
+            assert_eq!(net.bytes_on_hop(*hop), 1500);
+        }
+        let total: u64 = net.hop_stats().iter().map(|h| h.bytes).sum();
+        assert_eq!(total, 1500 * route.len() as u64);
+        net.reset();
+        assert_eq!(net.hop_stats().iter().map(|h| h.bytes).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn route_errors_surface_not_panic() {
+        let mut net = flat_net();
+        let err = net
+            .transmit(Time(0), (Endpoint::new(9, 0), Endpoint::new(0, 0)), 1, None)
+            .unwrap_err();
+        assert!(matches!(err, NetError::NodeOutOfRange { node: 9, .. }));
+        let err = net
+            .route_rtt((Endpoint::new(0, 0), Endpoint::new(0, 0)))
+            .unwrap_err();
+        assert!(matches!(err, NetError::SelfRoute { .. }));
+    }
+
+    #[test]
+    fn route_rtt_sums_hop_latencies() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let same_leaf = net
+            .route_rtt((Endpoint::new(0, 0), Endpoint::new(1, 0)))
+            .unwrap();
+        let cross_leaf = net
+            .route_rtt((Endpoint::new(0, 0), Endpoint::new(31, 0)))
+            .unwrap();
+        assert_eq!(same_leaf, LinkSpec::ib_edr_dual().latency * 4);
+        assert!(cross_leaf > same_leaf);
+    }
+}

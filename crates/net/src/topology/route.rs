@@ -1,0 +1,253 @@
+//! Static shortest-path routing over an explicit fabric graph.
+//!
+//! Fabrics (fat tree, dragonfly) are undirected multigraphs: vertices are
+//! nodes and switches, edges carry [`HopId`]s, and parallel edges model
+//! multi-rail attachments. [`Router`] builds one BFS distance table per
+//! destination node (lazily, cached) and extracts paths by walking
+//! downhill, breaking equal-cost ties **deterministically and
+//! symmetrically**: at every branching point the candidate edges are
+//! sorted by `(neighbor, hop)` and the pick is indexed by the unordered
+//! endpoint pair, so `path(a, b)` load-spreads across rails and spines
+//! (ECMP) while `path(b, a)` is always its exact reverse.
+
+use super::HopId;
+use crate::error::NetError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Index of a vertex in a [`FabricGraph`] (nodes first, then switches).
+pub type Vertex = u32;
+
+/// An undirected multigraph of nodes and switches.
+#[derive(Debug, Default)]
+pub struct FabricGraph {
+    /// Number of leading vertices that are compute nodes.
+    num_nodes: u32,
+    /// Adjacency: per vertex, `(neighbor, hop)` in insertion order.
+    adj: Vec<Vec<(Vertex, HopId)>>,
+}
+
+impl FabricGraph {
+    pub fn new(num_nodes: u32) -> Self {
+        FabricGraph {
+            num_nodes,
+            adj: vec![Vec::new(); num_nodes as usize],
+        }
+    }
+
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Add a switch/router vertex, returning its index.
+    pub fn add_switch(&mut self) -> Vertex {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as Vertex
+    }
+
+    /// Add an undirected edge carrying `hop`. Parallel edges (multi-rail)
+    /// are allowed and kept distinct.
+    pub fn add_edge(&mut self, a: Vertex, b: Vertex, hop: HopId) {
+        assert!((a as usize) < self.adj.len() && (b as usize) < self.adj.len());
+        assert_ne!(a, b, "fabric links join distinct vertices");
+        self.adj[a as usize].push((b, hop));
+        self.adj[b as usize].push((a, hop));
+    }
+
+    fn bfs_from(&self, root: Vertex) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[root as usize] = 0;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v as usize];
+            for &(n, _) in &self.adj[v as usize] {
+                if dist[n as usize] == u32::MAX {
+                    dist[n as usize] = d + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Shortest-path resolver with cached per-destination BFS tables.
+#[derive(Debug)]
+pub struct Router {
+    graph: FabricGraph,
+    /// Destination node → distance-to-destination per vertex. Built
+    /// lazily; the mutex only guards table construction, lookups clone the
+    /// `Arc`.
+    tables: Mutex<HashMap<Vertex, Arc<Vec<u32>>>>,
+}
+
+impl Router {
+    pub fn new(graph: FabricGraph) -> Self {
+        Router {
+            graph,
+            tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn graph(&self) -> &FabricGraph {
+        &self.graph
+    }
+
+    fn table_for(&self, dst: Vertex) -> Arc<Vec<u32>> {
+        let mut tables = self.tables.lock().expect("router table lock");
+        tables
+            .entry(dst)
+            .or_insert_with(|| Arc::new(self.graph.bfs_from(dst)))
+            .clone()
+    }
+
+    /// Hop sequence of a shortest path from node `a` to node `b`.
+    ///
+    /// Computed canonically for the unordered pair `(min, max)` and
+    /// reversed when `a > b`, which makes symmetry structural rather than
+    /// a property to hope for.
+    pub fn path(&self, a: Vertex, b: Vertex) -> Result<Vec<HopId>, NetError> {
+        let nodes = self.graph.num_nodes;
+        for v in [a, b] {
+            if v >= nodes {
+                return Err(NetError::NodeOutOfRange {
+                    node: v,
+                    num_nodes: nodes,
+                });
+            }
+        }
+        if a == b {
+            return Err(NetError::SelfRoute { node: a });
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut hops = self.canonical_path(lo, hi)?;
+        if a > b {
+            hops.reverse();
+        }
+        Ok(hops)
+    }
+
+    /// Walk downhill from `lo` toward `hi` using `hi`'s distance table.
+    fn canonical_path(&self, lo: Vertex, hi: Vertex) -> Result<Vec<HopId>, NetError> {
+        let dist = self.table_for(hi);
+        if dist[lo as usize] == u32::MAX {
+            return Err(NetError::Disconnected { src: lo, dst: hi });
+        }
+        // The ECMP selector: one index for the whole unordered pair, so
+        // distinct pairs spread over parallel rails/spines while the same
+        // pair always takes the same path.
+        let spread = (lo as u64)
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(hi as u64);
+        let mut hops = Vec::with_capacity(dist[lo as usize] as usize);
+        let mut at = lo;
+        let mut candidates: Vec<(Vertex, HopId)> = Vec::new();
+        while at != hi {
+            let d = dist[at as usize];
+            candidates.clear();
+            candidates.extend(
+                self.graph.adj[at as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&(n, _)| dist[n as usize] + 1 == d),
+            );
+            debug_assert!(!candidates.is_empty(), "BFS table admits a next hop");
+            if candidates.is_empty() {
+                return Err(NetError::Disconnected { src: lo, dst: hi });
+            }
+            candidates.sort_unstable_by_key(|&(n, h)| (n, h));
+            let pick = candidates[(spread % candidates.len() as u64) as usize];
+            hops.push(pick.1);
+            at = pick.0;
+        }
+        Ok(hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 nodes on 2 leaf switches, 2 spines — a miniature fat tree.
+    fn mini_fat_tree() -> Router {
+        let mut g = FabricGraph::new(4);
+        let l0 = g.add_switch();
+        let l1 = g.add_switch();
+        let s0 = g.add_switch();
+        let s1 = g.add_switch();
+        let mut hop = 0u32;
+        let mut next = || {
+            hop += 1;
+            HopId(hop - 1)
+        };
+        for n in 0..2 {
+            g.add_edge(n, l0, next());
+        }
+        for n in 2..4 {
+            g.add_edge(n, l1, next());
+        }
+        for l in [l0, l1] {
+            for s in [s0, s1] {
+                g.add_edge(l, s, next());
+            }
+        }
+        Router::new(g)
+    }
+
+    #[test]
+    fn same_leaf_is_two_hops_cross_leaf_is_four() {
+        let r = mini_fat_tree();
+        assert_eq!(r.path(0, 1).unwrap().len(), 2);
+        assert_eq!(r.path(0, 3).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn paths_are_symmetric_by_construction() {
+        let r = mini_fat_tree();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a == b {
+                    continue;
+                }
+                let fwd = r.path(a, b).unwrap();
+                let mut rev = r.path(b, a).unwrap();
+                rev.reverse();
+                assert_eq!(fwd, rev, "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_distinct_pairs_across_spines() {
+        let r = mini_fat_tree();
+        let spine_hops: std::collections::HashSet<HopId> = (0..2)
+            .flat_map(|a| (2..4).map(move |b| (a, b)))
+            .map(|(a, b)| r.path(a, b).unwrap()[1])
+            .collect();
+        assert!(
+            spine_hops.len() > 1,
+            "4 cross-leaf pairs should not all pick the same spine uplink"
+        );
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let r = mini_fat_tree();
+        assert!(matches!(
+            r.path(0, 9),
+            Err(NetError::NodeOutOfRange { node: 9, .. })
+        ));
+        assert!(matches!(r.path(2, 2), Err(NetError::SelfRoute { node: 2 })));
+
+        // A node with no edges is disconnected, not a panic.
+        let mut g = FabricGraph::new(2);
+        let s = g.add_switch();
+        g.add_edge(0, s, HopId(0));
+        let r = Router::new(g);
+        assert!(matches!(
+            r.path(0, 1),
+            Err(NetError::Disconnected { src: 0, dst: 1 })
+        ));
+    }
+}

@@ -200,6 +200,9 @@ pub enum Payload {
     Deliver { peer: u32, tag: u32, bytes: u64 },
     /// Payload bytes in flight on a link.
     WireTransfer { bytes: u64 },
+    /// Payload bytes crossing one hop of a routed (topology-aware)
+    /// transfer; `hop` indexes the topology's hop table.
+    HopTransfer { hop: u32, bytes: u64 },
     /// Host blocked in a sync wait (waitall / device sync).
     SyncWait { kind: WaitKindTag },
     /// Time charged to a Fig. 11 accounting bucket. The reconciliation
@@ -252,6 +255,7 @@ impl Payload {
             Payload::RdmaPost { .. } => "rdma-post",
             Payload::Deliver { .. } => "deliver",
             Payload::WireTransfer { .. } => "wire",
+            Payload::HopTransfer { .. } => "hop",
             Payload::SyncWait { kind } => kind.label(),
             Payload::BucketCharge { label, .. } => label,
             Payload::Marker { label } => label,
@@ -281,7 +285,8 @@ impl Payload {
             | Payload::Rndv { .. }
             | Payload::RdmaPost { .. }
             | Payload::Deliver { .. }
-            | Payload::WireTransfer { .. } => "net",
+            | Payload::WireTransfer { .. }
+            | Payload::HopTransfer { .. } => "net",
             Payload::SyncWait { .. } => "sync",
             Payload::BucketCharge { .. } => "bucket",
             Payload::Marker { .. } => "marker",
@@ -375,6 +380,10 @@ impl Payload {
                 ("bytes", ArgValue::U64(bytes)),
             ],
             Payload::WireTransfer { bytes } => vec![("bytes", ArgValue::U64(bytes))],
+            Payload::HopTransfer { hop, bytes } => vec![
+                ("hop", ArgValue::U64(hop as u64)),
+                ("bytes", ArgValue::U64(bytes)),
+            ],
             Payload::SyncWait { kind } => vec![("kind", ArgValue::Str(kind.label()))],
             Payload::BucketCharge { bucket, .. } => {
                 vec![("bucket", ArgValue::Str(bucket.label()))]

@@ -20,6 +20,7 @@ pub mod approaches;
 pub mod bulk;
 pub mod driver;
 pub mod extra;
+pub mod halo;
 pub mod milc;
 pub mod nas;
 pub mod specfem;
@@ -29,6 +30,7 @@ pub use driver::{
     run_exchange, run_exchange_chaos, run_exchange_traced, run_phase_shift, run_phase_shift_traced,
     ChaosOutcome, ExchangeConfig, ExchangeOutcome, PhaseShiftOutcome,
 };
+pub use halo::{run_halo, run_halo_traced, HaloConfig, HaloGrid, HaloOutcome};
 
 use fusedpack_datatype::TypeDesc;
 use std::sync::Arc;
