@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fusedpack_core::{FlushReason, FusionConfig, FusionOp, Scheduler, Uid};
 use fusedpack_datatype::{pack, Layout, TypeBuilder};
-use fusedpack_gpu::{BufferPool, DataMode, DevPtr, Gpu, GpuArch, HostLink, StreamId};
+use fusedpack_gpu::{
+    BufferPool, DataMode, DevPtr, FixedRuns, Gpu, GpuArch, HostLink, MemPool, StreamId,
+};
 use fusedpack_sim::{EventQueue, FaultPlan, FaultSite, Time};
 use fusedpack_workloads::{run_exchange_chaos, specfem::specfem3d_oc, ExchangeConfig};
 use std::hint::black_box;
@@ -106,6 +108,104 @@ fn bench_staging_pool(c: &mut Criterion) {
             let mut buf: Vec<u8> = Vec::with_capacity(LEN);
             buf.extend_from_slice(black_box(&payload));
             black_box(&buf);
+        })
+    });
+    g.finish();
+}
+
+/// The staging pool under a *mixed* message-size stream — the shape the
+/// uniform-size `hotpaths/staging` group cannot see. Cycling eager- and
+/// rendezvous-sized buffers makes a fresh-alloc strategy bounce between
+/// allocator size classes (and across the mmap threshold) every call,
+/// while the pool's largest-first freelist keeps serving warm buffers.
+fn bench_staging_pool_mixed(c: &mut Criterion) {
+    // 64KB..4MB, deliberately unordered so consecutive requests never
+    // match the previous buffer's size.
+    const SIZES: [usize; 8] = [
+        64 << 10,
+        2 << 20,
+        256 << 10,
+        4 << 20,
+        128 << 10,
+        1 << 20,
+        512 << 10,
+        192 << 10,
+    ];
+    let total: usize = SIZES.iter().sum();
+    let payload = vec![0xA5u8; 4 << 20];
+    let mut g = c.benchmark_group("hotpaths/staging_mixed");
+    g.throughput(Throughput::Bytes(total as u64));
+    g.bench_function("pool_mixed_sizes", |b| {
+        let pool = BufferPool::new();
+        // Warm one max-size buffer; steady state recycles it across sizes.
+        pool.put(Vec::with_capacity(4 << 20));
+        b.iter(|| {
+            for &len in &SIZES {
+                let mut buf = pool.take(len);
+                buf.extend_from_slice(black_box(&payload[..len]));
+                pool.put(buf);
+            }
+        })
+    });
+    g.bench_function("fresh_alloc_mixed_sizes", |b| {
+        b.iter(|| {
+            for &len in &SIZES {
+                let mut buf: Vec<u8> = Vec::with_capacity(len);
+                buf.extend_from_slice(black_box(&payload[..len]));
+                black_box(&buf);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// The fixed-stride gather tier against the generic per-segment loop on
+/// the same uniform layout: 4096 16-byte runs at a 24-byte stride (a
+/// blocklen-2 double vector). `uniform` dispatches to the const-width
+/// `[u8; 16]` inner loop; `generic_loop` walks the same plan through the
+/// segment-iterator path.
+fn bench_gather_tier(c: &mut Criterion) {
+    let layout = Layout::of(&TypeBuilder::vector(4096, 2, 3, TypeBuilder::double()));
+    let count = 1u64;
+    let plan = layout.uniform_for(count).expect("vector is uniform");
+    let src = vec![7u8; layout.footprint(count) as usize];
+    let mut dst = vec![0u8; layout.total_bytes(count) as usize];
+    let mut g = c.benchmark_group("hotpaths/gather_tier");
+    g.throughput(Throughput::Bytes(layout.total_bytes(count)));
+    g.bench_function("pack_uniform", |b| {
+        b.iter(|| pack::pack_into_uniform(black_box(&src), &plan, &mut dst))
+    });
+    g.bench_function("pack_generic_loop", |b| {
+        b.iter(|| pack::pack_into_generic(black_box(&src), &layout, count, &mut dst))
+    });
+    g.bench_function("unpack_uniform", |b| {
+        let packed = vec![9u8; layout.total_bytes(count) as usize];
+        let mut out = vec![0u8; layout.footprint(count) as usize];
+        b.iter(|| pack::unpack_uniform(black_box(&packed), &plan, &mut out))
+    });
+
+    // The same tier inside the device pools (what the cluster's staged
+    // copies hit): gather 4096 runs into a contiguous region of one pool.
+    let span = layout.footprint(count).max(1);
+    let total = layout.total_bytes(count);
+    let mut pool = MemPool::new(span + total + 64, DataMode::Full);
+    let region = pool.alloc(span, 64);
+    let packed = pool.alloc(total, 64);
+    let runs = FixedRuns {
+        first: region.addr + plan.first,
+        stride: plan.stride,
+        len: plan.len,
+        runs: plan.runs,
+    };
+    g.bench_function("mempool_gather_uniform", |b| {
+        b.iter(|| black_box(pool.gather_uniform(black_box(runs), packed.addr)))
+    });
+    g.bench_function("mempool_gather_iter", |b| {
+        b.iter(|| {
+            black_box(pool.gather_iter(
+                layout.abs_segments(black_box(region.addr), count),
+                packed.addr,
+            ))
         })
     });
     g.finish();
@@ -332,6 +432,8 @@ criterion_group!(
     bench_unpack_shapes,
     bench_event_queue,
     bench_staging_pool,
+    bench_staging_pool_mixed,
+    bench_gather_tier,
     bench_scheduler,
     bench_fault_hooks,
     bench_topology

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] [--jobs N]
-//!           [--threshold auto|BYTES] [--seed N] [--timings]
+//!           [--threshold auto|BYTES] [--seed N] [--requests N[k|m]]
+//!           [--timings]
 //!
 //! EXPERIMENT:       table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!                   ablation adapt ipc approaches chaos (default: all)
+//!                   ablation adapt ipc approaches chaos topo serve
+//!                   (default: all)
 //! --csv DIR:        additionally write one CSV per table into DIR
 //! --threshold X:    fusion threshold for the Proposed columns of the
 //!                   scheme-comparison figures (9/10/12/13): a byte count,
@@ -13,6 +15,8 @@
 //!                   from each workload's average contiguous-block size
 //!                   (fusedpack_core::predict_threshold). The explicit
 //!                   fig8 sweep and the adapt experiment are unaffected.
+//! --requests N:     total requests the serve experiment replays per cell
+//!                   (default 200k; "50k" and "1m" style suffixes accepted)
 //! --seed N:         master seed for the chaos experiment's fault plans
 //!                   (default 42). Per-cell plans derive from this and the
 //!                   cell's grid coordinates, so the chaos report is
@@ -93,11 +97,22 @@ fn main() {
                     });
                 figs::set_chaos_seed(n);
             }
+            "--requests" => {
+                let n = it
+                    .next()
+                    .and_then(|v| parse_requests(&v))
+                    .unwrap_or_else(|| {
+                        eprintln!("--requests requires a positive count (k/m suffixes ok)");
+                        std::process::exit(2);
+                    });
+                figs::set_serve_requests(n);
+            }
             "--timings" => timings = true,
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] \
-                     [--jobs N] [--threshold auto|BYTES] [--seed N] [--timings]"
+                     [--jobs N] [--threshold auto|BYTES] [--seed N] [--requests N[k|m]] \
+                     [--timings]"
                 );
                 println!("experiments: {}", EXPERIMENTS.join(" "));
                 return;
@@ -154,6 +169,22 @@ fn main() {
             let _ = exec::take_timings(); // keep the registry bounded
         }
     }
+}
+
+/// Parse a request count with an optional `k`/`m` suffix ("50k", "1m").
+fn parse_requests(v: &str) -> Option<u64> {
+    let (digits, mult) = match v.strip_suffix(['k', 'K']) {
+        Some(d) => (d, 1_000),
+        None => match v.strip_suffix(['m', 'M']) {
+            Some(d) => (d, 1_000_000),
+            None => (v, 1),
+        },
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .filter(|&n| n > 0)
+        .map(|n| n * mult)
 }
 
 /// Render the executor's per-cell wall-clock report for one experiment.

@@ -13,6 +13,7 @@ pub mod fig14;
 pub mod fig8;
 pub mod fig9;
 pub mod ipc;
+pub mod serve;
 pub mod table2;
 pub mod topo;
 
@@ -80,6 +81,25 @@ pub fn set_chaos_seed(seed: u64) {
 /// The current chaos master seed.
 pub fn chaos_seed() -> u64 {
     CHAOS_SEED.load(Ordering::SeqCst)
+}
+
+/// Default request count for the serve experiment: enough steady-state
+/// laps for a stable p999 without making `reproduce all` crawl.
+pub const SERVE_REQUESTS_DEFAULT: u64 = 200_000;
+
+/// Total requests the serve experiment replays per cell (the `reproduce
+/// --requests` flag).
+static SERVE_REQUESTS: AtomicU64 = AtomicU64::new(SERVE_REQUESTS_DEFAULT);
+
+/// Set the serve request count (called once by the `reproduce` binary).
+pub fn set_serve_requests(requests: u64) {
+    assert!(requests > 0, "serve needs at least one request");
+    SERVE_REQUESTS.store(requests, Ordering::SeqCst);
+}
+
+/// The current serve request count.
+pub fn serve_requests() -> u64 {
+    SERVE_REQUESTS.load(Ordering::SeqCst)
 }
 
 /// The *Proposed* scheme for one (platform, workload) cell, honouring the

@@ -1,0 +1,159 @@
+//! `reproduce serve`: sustained-load serving through a long-lived cluster.
+//!
+//! Unlike the figure harnesses (a handful of laps each), this experiment
+//! replays hundreds of thousands of exchange requests through one
+//! long-lived two-rank cluster per cell and reports what only steady
+//! state reveals: sustained throughput, the p50/p99/p999 tail of the
+//! per-batch service latency, and allocator churn (the wire-message and
+//! event-slab occupancy high-water marks, which must not scale with run
+//! length). The grid crosses the proposed fused scheme against the
+//! GPU-based baseline at three deterministic arrival rates; every cell is
+//! virtual-time deterministic, so the table is byte-identical across
+//! `--jobs` counts — the CI smoke job diffs `--jobs 1` vs `--jobs 4`.
+
+use crate::exec::{self, Cell};
+use crate::table::{us, Table};
+use fusedpack_mpi::SchemeKind;
+use fusedpack_net::Platform;
+use fusedpack_workloads::specfem::specfem3d_oc;
+use fusedpack_workloads::{run_serve, ServeConfig, ServeOutcome};
+
+/// specfem3D_oc boundary points per request — sparse, the regime where
+/// fusion's launch-overhead savings dominate.
+pub const POINTS: u64 = 512;
+
+/// Requests per rank per batch (paper's §V-C stress width).
+pub const BATCH: usize = 16;
+
+/// Deterministic request-size mix, cycled batch by batch: element-count
+/// multipliers over the nominal message (mostly 1x with 2x and 4x
+/// excursions), so the latency distribution has a real tail and the
+/// staging pool sees varied capacities.
+pub const SIZE_MIX: [u64; 8] = [1, 1, 2, 1, 1, 4, 1, 2];
+
+/// The scheme rows: `(label, scheme)`.
+pub fn schemes() -> Vec<(&'static str, SchemeKind)> {
+    vec![
+        ("Proposed", SchemeKind::fusion_default()),
+        ("GPU-based", SchemeKind::GpuSync),
+    ]
+}
+
+/// The arrival-rate columns: `(label, think-time ns before each batch)`.
+/// 0 = saturating back-to-back load; the others pace request arrivals.
+pub fn gaps() -> Vec<(&'static str, u64)> {
+    vec![("saturating", 0), ("2us", 2_000), ("20us", 20_000)]
+}
+
+/// Run one (scheme, gap) cell with the CLI-selected request count.
+pub fn measure(scheme: SchemeKind, gap_ns: u64, requests: u64) -> ServeOutcome {
+    run_serve(
+        &ServeConfig::new(Platform::lassen(), scheme, specfem3d_oc(POINTS), requests)
+            .with_gap_ns(gap_ns)
+            .with_size_mix(SIZE_MIX.to_vec()),
+    )
+}
+
+pub fn run() -> Table {
+    let requests = super::serve_requests();
+    let mut t = Table::new(
+        format!(
+            "Serve: sustained load, {requests} requests through a long-lived cluster \
+             (specfem3D_oc x{POINTS}, {BATCH}/batch each way, Lassen)"
+        ),
+        &[
+            "scheme",
+            "arrival gap",
+            "throughput (req/s)",
+            "p50 (us)",
+            "p99 (us)",
+            "p999 (us)",
+            "max (us)",
+            "wire peak",
+            "event-slab peak",
+            "overflow hits",
+        ],
+    )
+    .with_note(
+        "latency percentiles are per-batch service time (think time excluded); the \
+         slab peaks are in-flight high-water marks and must not scale with request count",
+    );
+
+    let mut cells: Vec<Cell<ServeOutcome>> = Vec::new();
+    for (slabel, scheme) in schemes() {
+        for (glabel, gap) in gaps() {
+            let scheme = scheme.clone();
+            cells.push(Cell::new(format!("{slabel}/{glabel}"), move || {
+                measure(scheme, gap, requests)
+            }));
+        }
+    }
+    let outcomes = exec::sweep("serve", cells);
+
+    let per_scheme = gaps().len();
+    for (si, (slabel, _)) in schemes().iter().enumerate() {
+        for ((glabel, _), out) in gaps().iter().zip(&outcomes[si * per_scheme..]) {
+            t.push_row(vec![
+                (*slabel).into(),
+                (*glabel).into(),
+                format!("{:.0}", out.throughput_rps),
+                us(out.p50),
+                us(out.p99),
+                us(out.p999),
+                us(out.max),
+                out.wire_high_water.to_string(),
+                out.wheel.slab_high_water.to_string(),
+                out.wheel.overflow_hits.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small-request in-process version of the CI smoke job: the rendered
+    /// report is identical across worker counts.
+    #[test]
+    fn report_is_identical_across_jobs() {
+        super::super::set_serve_requests(2_000);
+        exec::set_jobs(1);
+        let sequential = run();
+        exec::set_jobs(4);
+        let parallel = run();
+        exec::set_jobs(0);
+        let _ = exec::take_timings();
+        super::super::set_serve_requests(super::super::SERVE_REQUESTS_DEFAULT);
+        assert_eq!(sequential.render(), parallel.render());
+    }
+
+    /// Fusion's throughput advantage survives sustained load.
+    #[test]
+    fn fusion_sustains_higher_throughput_when_saturated() {
+        let fused = measure(SchemeKind::fusion_default(), 0, 2_000);
+        let gpu = measure(SchemeKind::GpuSync, 0, 2_000);
+        assert!(
+            fused.throughput_rps > gpu.throughput_rps,
+            "fused {:.0} req/s should beat GPU-based {:.0} req/s",
+            fused.throughput_rps,
+            gpu.throughput_rps
+        );
+        assert!(fused.p99 < gpu.p99);
+    }
+
+    /// The size mix gives the latency distribution a real spread: the big
+    /// 2048-point batches must show up above the median.
+    #[test]
+    fn mixed_sizes_produce_a_latency_tail() {
+        let out = measure(SchemeKind::fusion_default(), 0, 4_000);
+        assert!(
+            out.p999 > out.p50,
+            "mixed sizes should spread the tail: p50 {} vs p999 {}",
+            out.p50,
+            out.p999
+        );
+        assert!(out.max >= out.p999);
+    }
+}

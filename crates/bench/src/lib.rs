@@ -22,6 +22,7 @@
 //! | DirectIPC | [`figs::ipc`] | extension: fused zero-copy intra-node transfers |
 //! | Chaos | [`figs::chaos`] | robustness: seeded fault-injection grid, checksum + latency inflation |
 //! | Topo | [`figs::topo`] | topology contrast: 512-rank 3-D halo on fat-tree vs dragonfly machines |
+//! | Serve | [`figs::serve`] | sustained load: 200k-request replay, throughput + p50/p99/p999 tails, allocator churn |
 //! | §III / Fig. 4 | [`figs::approaches`] | the three transfer approaches (Algorithms 1-3) |
 
 pub mod exec;
@@ -47,6 +48,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "approaches",
     "chaos",
     "topo",
+    "serve",
 ];
 
 /// Run one experiment by name.
@@ -67,6 +69,7 @@ pub fn run_experiment(name: &str) -> Vec<Table> {
         "approaches" => vec![figs::approaches::run()],
         "chaos" => vec![figs::chaos::run()],
         "topo" => vec![figs::topo::run()],
+        "serve" => vec![figs::serve::run()],
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

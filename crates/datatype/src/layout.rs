@@ -31,6 +31,74 @@ pub struct Layout {
     size: u64,
     /// Extent (tiling stride) per element.
     extent: u64,
+    /// Fixed-stride classification, computed once at commit time: `Some`
+    /// when every segment has the same length and consecutive segments sit
+    /// a constant stride apart (vectors, subarray rows, regular indexed
+    /// types). Copy engines use it to run a chunked fixed-stride loop
+    /// instead of walking the segment table per block.
+    uniform: Option<UniformInfo>,
+}
+
+/// Commit-time fixed-stride classification of one element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct UniformInfo {
+    /// Offset of the first run within the element.
+    first: u64,
+    /// Distance between consecutive run starts (≥ `len`, so runs never
+    /// overlap).
+    stride: u64,
+    /// Bytes per run.
+    len: u64,
+    /// Runs per element.
+    per_elem: u64,
+    /// Whether the stride arithmetic continues across extent-tiled
+    /// elements (`extent == per_elem * stride`); when false the plan is
+    /// only valid for a single element.
+    tiles: bool,
+}
+
+/// A resolved fixed-stride copy plan for `count` elements: `runs` copies of
+/// `len` bytes whose source offsets start at `first` (relative to the
+/// element-base address) and advance by `stride`. The middle tier between
+/// "one memcpy" and the generic segment walk — see [`Layout::uniform_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformPlan {
+    /// Offset of the first run relative to the base address.
+    pub first: u64,
+    /// Constant distance between consecutive run starts.
+    pub stride: u64,
+    /// Bytes per run.
+    pub len: u64,
+    /// Total runs across all `count` elements.
+    pub runs: u64,
+}
+
+fn classify_uniform(segments: &[Segment], extent: u64) -> Option<UniformInfo> {
+    let first = *segments.first()?;
+    if first.len == 0 {
+        return None;
+    }
+    let per_elem = segments.len() as u64;
+    let stride = if per_elem == 1 {
+        extent
+    } else {
+        segments[1].offset.checked_sub(segments[0].offset)?
+    };
+    if stride < first.len {
+        return None;
+    }
+    for (j, s) in segments.iter().enumerate() {
+        if s.len != first.len || s.offset != first.offset + j as u64 * stride {
+            return None;
+        }
+    }
+    Some(UniformInfo {
+        first: first.offset,
+        stride,
+        len: first.len,
+        per_elem,
+        tiles: extent == per_elem * stride,
+    })
 }
 
 fn prefix_sums(segments: &[Segment]) -> Vec<u64> {
@@ -51,11 +119,13 @@ impl Layout {
         let segments = flatten(desc);
         let size = segments.iter().map(|s| s.len).sum();
         debug_assert_eq!(size, desc.size(), "flattening lost bytes");
+        let extent = desc.extent();
         Layout {
             packed_off: prefix_sums(&segments),
+            uniform: classify_uniform(&segments, extent),
             segments,
             size,
-            extent: desc.extent(),
+            extent,
         }
     }
 
@@ -64,6 +134,7 @@ impl Layout {
         let size = segments.iter().map(|s| s.len).sum();
         Layout {
             packed_off: prefix_sums(&segments),
+            uniform: classify_uniform(&segments, extent),
             segments,
             size,
             extent,
@@ -94,6 +165,27 @@ impl Layout {
     /// Extent per element.
     pub fn extent(&self) -> u64 {
         self.extent
+    }
+
+    /// Resolve the fixed-stride copy plan for `count` elements, if this
+    /// layout has one: all runs equal-length, constant stride, and (for
+    /// `count > 1`) the stride arithmetic continuing seamlessly across
+    /// extent-tiled elements. Returns `None` for irregular layouts, which
+    /// must take the generic segment walk.
+    ///
+    /// Classification happens once at commit time; this call is a copy of
+    /// four words plus one multiply.
+    pub fn uniform_for(&self, count: u64) -> Option<UniformPlan> {
+        let u = self.uniform.as_ref()?;
+        if count > 1 && !u.tiles {
+            return None;
+        }
+        Some(UniformPlan {
+            first: u.first,
+            stride: u.stride,
+            len: u.len,
+            runs: u.per_elem * count,
+        })
     }
 
     /// Is one element a single contiguous run starting at offset 0?
@@ -295,6 +387,58 @@ mod tests {
         assert_eq!(l.packed_offsets().len(), l.segments().len());
         let contig = Layout::of(&TypeBuilder::contiguous(16, TypeBuilder::double()));
         assert_eq!(contig.packed_offsets(), &[0]);
+    }
+
+    #[test]
+    fn uniform_plan_covers_vectors_and_rejects_irregular() {
+        // vector(3, 2, 4, int): runs of 8 bytes every 16, extent 40 — the
+        // canonical fixed-stride shape, but trailing-gap-free extent means
+        // tiling breaks (extent 40 != 3*16).
+        let v = Layout::of(&TypeBuilder::vector(3, 2, 4, TypeBuilder::int()));
+        let one = v.uniform_for(1).expect("vector is uniform");
+        assert_eq!((one.first, one.stride, one.len, one.runs), (0, 16, 8, 3));
+        assert!(v.uniform_for(2).is_none(), "extent 40 breaks the stride");
+
+        // A subarray column: rows of 4 bytes every 12, and the extent (36)
+        // continues the stride across elements — uniform for any count.
+        let col = Layout::of(&TypeBuilder::subarray(
+            &[3, 3],
+            &[3, 1],
+            &[0, 0],
+            TypeBuilder::int(),
+        ));
+        let p = col.uniform_for(4).expect("column tiles uniformly");
+        assert_eq!((p.first, p.stride, p.len, p.runs), (0, 12, 4, 12));
+
+        // Irregular indexed layout: unequal lengths, no plan.
+        let irr = Layout::of(&TypeBuilder::indexed(
+            &[(0, 1), (4, 2), (9, 1)],
+            TypeBuilder::float(),
+        ));
+        assert!(irr.uniform_for(1).is_none());
+
+        // Regular indexed layout: equal lengths at constant spacing.
+        let reg = Layout::of(&TypeBuilder::indexed(
+            &[(0, 1), (3, 1), (6, 1)],
+            TypeBuilder::float(),
+        ));
+        let p = reg.uniform_for(1).expect("evenly spaced blocks");
+        assert_eq!((p.first, p.stride, p.len, p.runs), (0, 12, 4, 3));
+    }
+
+    #[test]
+    fn uniform_plan_enumerates_exactly_the_absolute_segments() {
+        let t = TypeBuilder::subarray(&[4, 4], &[4, 2], &[0, 0], TypeBuilder::double());
+        let l = Layout::of(&t);
+        for count in [1u64, 2, 3] {
+            let Some(p) = l.uniform_for(count) else {
+                panic!("subarray columns are uniform");
+            };
+            let walked: Vec<(u64, u64)> = (0..p.runs)
+                .map(|i| (1000 + p.first + i * p.stride, p.len))
+                .collect();
+            assert_eq!(walked, l.absolute_segments(1000, count), "count={count}");
+        }
     }
 
     #[test]

@@ -22,5 +22,5 @@ pub mod typedesc;
 
 pub use builder::TypeBuilder;
 pub use cache::{CacheStats, LayoutCache, TypeHandle};
-pub use layout::{AbsSegments, Layout, Segment};
+pub use layout::{AbsSegments, Layout, Segment, UniformPlan};
 pub use typedesc::{Primitive, TypeDesc};

@@ -4,7 +4,7 @@
 //! the simulated GPU gather/scatter paths and the wire protocols against
 //! these functions, and the CPU-driven (GDRCopy) paths use them directly.
 
-use crate::layout::Layout;
+use crate::layout::{Layout, UniformPlan};
 
 /// Pack `count` elements laid out per `layout` starting at `src\[0\]` into a
 /// contiguous buffer. Returns the packed bytes.
@@ -17,9 +17,13 @@ pub fn pack(src: &[u8], layout: &Layout, count: u64) -> Vec<u8> {
 /// Pack into a caller-provided buffer of exactly `layout.total_bytes(count)`
 /// bytes.
 ///
-/// Fully contiguous layouts (single gapless segment, gapless tiling) take a
-/// single-`memcpy` fast path; everything else runs the generic segment loop
-/// driven by the layout's precomputed prefix sums.
+/// Three tiers, decided by commit-time classification: fully contiguous
+/// layouts (single gapless segment, gapless tiling) take a single-`memcpy`
+/// fast path; fixed-stride layouts (vectors, subarray rows — equal-length
+/// runs a constant stride apart) take a chunked fixed-stride loop whose
+/// run length is a compile-time constant for common widths; everything
+/// else runs the generic segment loop driven by the layout's precomputed
+/// prefix sums.
 pub fn pack_into(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
     assert_eq!(
         dst.len() as u64,
@@ -31,7 +35,57 @@ pub fn pack_into(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
         dst.copy_from_slice(&src[..n]);
         return;
     }
+    if let Some(plan) = layout.uniform_for(count) {
+        pack_into_uniform(src, &plan, dst);
+        return;
+    }
     pack_into_generic(src, layout, count, dst);
+}
+
+/// The fixed-stride middle tier: `plan.runs` copies of `plan.len` bytes at
+/// constant source stride. Widths up to 32 bytes dispatch to const-generic
+/// bodies so each run is a fixed-size (register-width, SIMD-friendly) move
+/// instead of a variable-length `memcpy` call.
+pub fn pack_into_uniform(src: &[u8], plan: &UniformPlan, dst: &mut [u8]) {
+    debug_assert_eq!(dst.len() as u64, plan.runs * plan.len);
+    match plan.len {
+        2 => gather_fixed::<2>(src, plan, dst),
+        4 => gather_fixed::<4>(src, plan, dst),
+        8 => gather_fixed::<8>(src, plan, dst),
+        16 => gather_fixed::<16>(src, plan, dst),
+        32 => gather_fixed::<32>(src, plan, dst),
+        _ => {
+            let len = plan.len as usize;
+            let stride = plan.stride as usize;
+            let mut lo = plan.first as usize;
+            for chunk in dst.chunks_exact_mut(len) {
+                chunk.copy_from_slice(&src[lo..lo + len]);
+                lo += stride;
+            }
+        }
+    }
+}
+
+#[inline]
+fn gather_fixed<const N: usize>(src: &[u8], plan: &UniformPlan, dst: &mut [u8]) {
+    let stride = plan.stride as usize;
+    let mut lo = plan.first as usize;
+    for chunk in dst.chunks_exact_mut(N) {
+        let run: &[u8; N] = src[lo..lo + N].try_into().expect("run width");
+        chunk.copy_from_slice(run);
+        lo += stride;
+    }
+}
+
+#[inline]
+fn scatter_fixed<const N: usize>(src: &[u8], plan: &UniformPlan, dst: &mut [u8]) {
+    let stride = plan.stride as usize;
+    let mut lo = plan.first as usize;
+    for chunk in src.chunks_exact(N) {
+        let run: &[u8; N] = chunk.try_into().expect("run width");
+        dst[lo..lo + N].copy_from_slice(run);
+        lo += stride;
+    }
 }
 
 /// The generic segment loop behind [`pack_into`], without the contiguous
@@ -71,7 +125,33 @@ pub fn unpack(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
         dst[..n].copy_from_slice(src);
         return;
     }
+    if let Some(plan) = layout.uniform_for(count) {
+        unpack_uniform(src, &plan, dst);
+        return;
+    }
     unpack_generic(src, layout, count, dst);
+}
+
+/// Fixed-stride counterpart of [`pack_into_uniform`] on the unpack side:
+/// scatter the packed image out at constant destination stride.
+pub fn unpack_uniform(src: &[u8], plan: &UniformPlan, dst: &mut [u8]) {
+    debug_assert_eq!(src.len() as u64, plan.runs * plan.len);
+    match plan.len {
+        2 => scatter_fixed::<2>(src, plan, dst),
+        4 => scatter_fixed::<4>(src, plan, dst),
+        8 => scatter_fixed::<8>(src, plan, dst),
+        16 => scatter_fixed::<16>(src, plan, dst),
+        32 => scatter_fixed::<32>(src, plan, dst),
+        _ => {
+            let len = plan.len as usize;
+            let stride = plan.stride as usize;
+            let mut lo = plan.first as usize;
+            for chunk in src.chunks_exact(len) {
+                dst[lo..lo + len].copy_from_slice(chunk);
+                lo += stride;
+            }
+        }
+    }
 }
 
 /// The generic segment loop behind [`unpack`], without the contiguous fast

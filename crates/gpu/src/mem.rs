@@ -50,6 +50,125 @@ impl DevPtr {
     }
 }
 
+/// A fixed-stride copy plan: `runs` runs of `len` bytes starting at
+/// absolute address `first`, each `stride` bytes after the previous. The
+/// pool-side mirror of the datatype crate's commit-time uniform
+/// classification (kept as plain numbers so the two crates stay
+/// decoupled); the middle copy tier between "one memcpy" and the generic
+/// per-segment walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedRuns {
+    pub first: u64,
+    pub stride: u64,
+    pub len: u64,
+    pub runs: u64,
+}
+
+impl FixedRuns {
+    /// Total payload bytes the plan moves.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.len * self.runs
+    }
+}
+
+/// Fixed-width strided copy within one buffer: the run length is a
+/// compile-time constant, so each iteration is a register-width move
+/// (auto-vectorizable) instead of a variable-length `memcpy` call.
+#[inline]
+fn runs_within<const N: usize>(
+    bytes: &mut [u8],
+    mut src: usize,
+    src_stride: usize,
+    mut dst: usize,
+    dst_stride: usize,
+    runs: u64,
+) {
+    for _ in 0..runs {
+        let run: [u8; N] = bytes[src..src + N].try_into().expect("run width");
+        bytes[dst..dst + N].copy_from_slice(&run);
+        src += src_stride;
+        dst += dst_stride;
+    }
+}
+
+/// Strided copy within one buffer, dispatching common power-of-two run
+/// widths to the const-generic body.
+fn strided_within(
+    bytes: &mut [u8],
+    src: usize,
+    src_stride: usize,
+    dst: usize,
+    dst_stride: usize,
+    len: usize,
+    runs: u64,
+) {
+    match len {
+        2 => runs_within::<2>(bytes, src, src_stride, dst, dst_stride, runs),
+        4 => runs_within::<4>(bytes, src, src_stride, dst, dst_stride, runs),
+        8 => runs_within::<8>(bytes, src, src_stride, dst, dst_stride, runs),
+        16 => runs_within::<16>(bytes, src, src_stride, dst, dst_stride, runs),
+        32 => runs_within::<32>(bytes, src, src_stride, dst, dst_stride, runs),
+        _ => {
+            let (mut s, mut d) = (src, dst);
+            for _ in 0..runs {
+                bytes.copy_within(s..s + len, d);
+                s += src_stride;
+                d += dst_stride;
+            }
+        }
+    }
+}
+
+/// Fixed-width strided copy between two buffers.
+#[inline]
+fn runs_across<const N: usize>(
+    src: &[u8],
+    mut s: usize,
+    src_stride: usize,
+    dst: &mut [u8],
+    mut d: usize,
+    dst_stride: usize,
+    runs: u64,
+) {
+    for _ in 0..runs {
+        let run: &[u8; N] = src[s..s + N].try_into().expect("run width");
+        dst[d..d + N].copy_from_slice(run);
+        s += src_stride;
+        d += dst_stride;
+    }
+}
+
+/// Strided copy between two buffers, dispatching common run widths to the
+/// const-generic body.
+#[allow(clippy::too_many_arguments)]
+fn strided_across(
+    src: &[u8],
+    s: usize,
+    src_stride: usize,
+    dst: &mut [u8],
+    d: usize,
+    dst_stride: usize,
+    len: usize,
+    runs: u64,
+) {
+    match len {
+        2 => runs_across::<2>(src, s, src_stride, dst, d, dst_stride, runs),
+        4 => runs_across::<4>(src, s, src_stride, dst, d, dst_stride, runs),
+        8 => runs_across::<8>(src, s, src_stride, dst, d, dst_stride, runs),
+        16 => runs_across::<16>(src, s, src_stride, dst, d, dst_stride, runs),
+        32 => runs_across::<32>(src, s, src_stride, dst, d, dst_stride, runs),
+        _ => {
+            let (mut s, mut d) = (s, d);
+            for _ in 0..runs {
+                dst[d..d + len].copy_from_slice(&src[s..s + len]);
+                s += src_stride;
+                d += dst_stride;
+            }
+        }
+    }
+}
+
 /// A flat memory pool with a bump allocator.
 #[derive(Debug, Clone)]
 pub struct MemPool {
@@ -321,6 +440,132 @@ impl MemPool {
         }
         inp - src
     }
+
+    /// [`Self::gather`] for a uniform fixed-stride layout: equivalent to
+    /// `gather_iter` over the plan's runs, but with a constant-width inner
+    /// loop instead of per-segment `memcpy` dispatch.
+    pub fn gather_uniform(&mut self, plan: FixedRuns, dst: u64) -> u64 {
+        if self.mode == DataMode::ModelOnly {
+            return plan.total_bytes();
+        }
+        strided_within(
+            &mut self.bytes,
+            plan.first as usize,
+            plan.stride as usize,
+            dst as usize,
+            plan.len as usize,
+            plan.len as usize,
+            plan.runs,
+        );
+        plan.total_bytes()
+    }
+
+    /// [`Self::scatter`] for a uniform fixed-stride layout.
+    pub fn scatter_uniform(&mut self, src: u64, plan: FixedRuns) -> u64 {
+        if self.mode == DataMode::ModelOnly {
+            return plan.total_bytes();
+        }
+        strided_within(
+            &mut self.bytes,
+            src as usize,
+            plan.len as usize,
+            plan.first as usize,
+            plan.stride as usize,
+            plan.len as usize,
+            plan.runs,
+        );
+        plan.total_bytes()
+    }
+
+    /// [`Self::gather_into`] for a uniform fixed-stride layout: appends
+    /// `plan.total_bytes()` to `out` in one resize, then fills it with the
+    /// fixed-width strided loop.
+    pub fn gather_into_uniform(&self, plan: FixedRuns, out: &mut Vec<u8>) -> u64 {
+        if self.mode == DataMode::ModelOnly {
+            return plan.total_bytes();
+        }
+        let start = out.len();
+        out.resize(start + plan.total_bytes() as usize, 0);
+        strided_across(
+            &self.bytes,
+            plan.first as usize,
+            plan.stride as usize,
+            &mut out[start..],
+            0,
+            plan.len as usize,
+            plan.len as usize,
+            plan.runs,
+        );
+        plan.total_bytes()
+    }
+
+    /// [`Self::scatter_from_slice`] for a uniform fixed-stride layout.
+    pub fn scatter_from_slice_uniform(&mut self, data: &[u8], plan: FixedRuns) {
+        if self.mode == DataMode::ModelOnly || data.is_empty() {
+            return;
+        }
+        debug_assert_eq!(
+            data.len() as u64,
+            plan.total_bytes(),
+            "plan total must match data length"
+        );
+        strided_across(
+            data,
+            0,
+            plan.len as usize,
+            &mut self.bytes,
+            plan.first as usize,
+            plan.stride as usize,
+            plan.len as usize,
+            plan.runs,
+        );
+    }
+
+    /// [`Self::gather_between`] for a uniform fixed-stride layout.
+    pub fn gather_between_uniform(
+        src: &MemPool,
+        plan: FixedRuns,
+        dst: &mut MemPool,
+        dst_off: u64,
+    ) -> u64 {
+        if src.mode == DataMode::ModelOnly || dst.mode == DataMode::ModelOnly {
+            return plan.total_bytes();
+        }
+        strided_across(
+            &src.bytes,
+            plan.first as usize,
+            plan.stride as usize,
+            &mut dst.bytes,
+            dst_off as usize,
+            plan.len as usize,
+            plan.len as usize,
+            plan.runs,
+        );
+        plan.total_bytes()
+    }
+
+    /// [`Self::scatter_between`] for a uniform fixed-stride layout.
+    pub fn scatter_between_uniform(
+        src: &MemPool,
+        src_off: u64,
+        dst: &mut MemPool,
+        plan: FixedRuns,
+    ) -> u64 {
+        if src.mode == DataMode::ModelOnly || dst.mode == DataMode::ModelOnly {
+            return plan.total_bytes();
+        }
+        strided_across(
+            &src.bytes,
+            src_off as usize,
+            plan.len as usize,
+            &mut dst.bytes,
+            plan.first as usize,
+            plan.stride as usize,
+            plan.len as usize,
+            plan.runs,
+        );
+        plan.total_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -474,5 +719,112 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn devptr_slice_bounds_checked() {
         DevPtr { addr: 0, len: 10 }.slice(5, 10);
+    }
+
+    /// The segment list a `FixedRuns` plan stands for.
+    fn plan_segments(plan: FixedRuns) -> Vec<(u64, u64)> {
+        (0..plan.runs)
+            .map(|i| (plan.first + i * plan.stride, plan.len))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_forms_match_iter_forms() {
+        // Cover both the const-generic widths and the fallback loop.
+        for len in [2u64, 4, 8, 16, 32, 3, 7, 48] {
+            let stride = len + 5;
+            let runs = 9u64;
+            let plan = FixedRuns {
+                first: 1,
+                stride,
+                len,
+                runs,
+            };
+            let span = plan.first + (runs - 1) * stride + len;
+            let total = plan.total_bytes();
+
+            let mut fill = MemPool::new(span + total + 16, DataMode::Full);
+            let region = fill.alloc(span, 1);
+            let packed = fill.alloc(total, 1);
+            fill.write(
+                region,
+                &(0..span).map(|i| (i * 37 % 251) as u8).collect::<Vec<_>>(),
+            );
+            let baseline = fill.clone();
+
+            // gather_uniform vs gather_iter
+            let mut a = baseline.clone();
+            let mut b = baseline.clone();
+            assert_eq!(a.gather_uniform(plan, packed.addr), total);
+            b.gather_iter(plan_segments(plan), packed.addr);
+            assert_eq!(a.read(packed), b.read(packed));
+
+            // scatter_uniform vs scatter_iter (round-trip through packed)
+            let mut c = a.clone();
+            let mut d = a.clone();
+            assert_eq!(c.scatter_uniform(packed.addr, plan), total);
+            d.scatter_iter(packed.addr, plan_segments(plan));
+            assert_eq!(c.read(region), d.read(region));
+            assert_eq!(c.read(region), baseline.read(region));
+
+            // gather_into_uniform vs gather_into (appends after a sentinel)
+            let mut out_u = vec![0xEE];
+            let mut out_i = vec![0xEE];
+            assert_eq!(baseline.gather_into_uniform(plan, &mut out_u), total);
+            baseline.gather_into(plan_segments(plan), &mut out_i);
+            assert_eq!(out_u, out_i);
+
+            // scatter_from_slice_uniform vs scatter_from_slice_iter
+            let data: Vec<u8> = (0..total).map(|i| (i % 97) as u8 + 1).collect();
+            let mut e = baseline.clone();
+            let mut f = baseline.clone();
+            e.scatter_from_slice_uniform(&data, plan);
+            f.scatter_from_slice_iter(&data, plan_segments(plan));
+            assert_eq!(e.read(region), f.read(region));
+
+            // between-pool forms
+            let mut host_u = MemPool::new(total + 8, DataMode::Full);
+            let mut host_i = MemPool::new(total + 8, DataMode::Full);
+            host_u.alloc(total, 1);
+            host_i.alloc(total, 1);
+            assert_eq!(
+                MemPool::gather_between_uniform(&baseline, plan, &mut host_u, 0),
+                total
+            );
+            MemPool::gather_between_iter(&baseline, plan_segments(plan), &mut host_i, 0);
+            let whole = DevPtr {
+                addr: 0,
+                len: total,
+            };
+            assert_eq!(host_u.read(whole), host_i.read(whole));
+
+            let mut back_u = MemPool::new(span + 8, DataMode::Full);
+            let mut back_i = MemPool::new(span + 8, DataMode::Full);
+            back_u.alloc(span, 1);
+            back_i.alloc(span, 1);
+            assert_eq!(
+                MemPool::scatter_between_uniform(&host_u, 0, &mut back_u, plan),
+                total
+            );
+            MemPool::scatter_between_iter(&host_i, 0, &mut back_i, plan_segments(plan));
+            let whole_back = DevPtr { addr: 0, len: span };
+            assert_eq!(back_u.read(whole_back), back_i.read(whole_back));
+        }
+    }
+
+    #[test]
+    fn uniform_model_only_counts_bytes() {
+        let plan = FixedRuns {
+            first: 0,
+            stride: 64,
+            len: 16,
+            runs: 1000,
+        };
+        let mut p = MemPool::new(1 << 30, DataMode::ModelOnly);
+        assert_eq!(p.gather_uniform(plan, 0), 16_000);
+        assert_eq!(p.scatter_uniform(0, plan), 16_000);
+        let mut out = Vec::new();
+        assert_eq!(p.gather_into_uniform(plan, &mut out), 16_000);
+        assert!(out.is_empty());
     }
 }

@@ -88,6 +88,10 @@ impl Cluster {
                         return;
                     }
                 }
+                AppOp::Compute { ns } => {
+                    // Application time, not library overhead: no bucket.
+                    self.ranks[r].cpu += fusedpack_sim::Duration(ns);
+                }
                 AppOp::ResetTimer => {
                     let rank = &mut self.ranks[r];
                     rank.lap_start = rank.cpu;
@@ -216,12 +220,19 @@ impl Cluster {
             (rank.types[ty.0].clone(), rank.bufs[src.0], rank.bufs[dst.0])
         };
         let stats = SegmentStats::new(layout.total_bytes(count), layout.total_blocks(count));
-        // Data movement within device memory, streaming the plan straight
+        // Data movement within device memory: fixed-stride fast path when
+        // the layout classifies as uniform, else the plan streams straight
         // off the layout.
         if pack {
-            self.gpus[r]
-                .mem
-                .gather_iter(layout.abs_segments(src_ptr.addr, count), dst_ptr.addr);
+            if let Some(plan) = super::fixed_runs_for(&layout, src_ptr.addr, count) {
+                self.gpus[r].mem.gather_uniform(plan, dst_ptr.addr);
+            } else {
+                self.gpus[r]
+                    .mem
+                    .gather_iter(layout.abs_segments(src_ptr.addr, count), dst_ptr.addr);
+            }
+        } else if let Some(plan) = super::fixed_runs_for(&layout, dst_ptr.addr, count) {
+            self.gpus[r].mem.scatter_uniform(src_ptr.addr, plan);
         } else {
             self.gpus[r]
                 .mem

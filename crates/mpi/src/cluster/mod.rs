@@ -19,13 +19,14 @@ use crate::program::{BufInit, Program};
 use crate::scheme::SchemeKind;
 use crate::sendrecv::{RecvId, SendId};
 use fusedpack_core::{SchedStats, Uid};
-use fusedpack_gpu::{BufferPool, DataMode, Gpu, MemPool};
+use fusedpack_gpu::{BufferPool, DataMode, FixedRuns, Gpu, MemPool};
 use fusedpack_net::platform::Platform;
 use fusedpack_net::topology::{validate_endpoint, Endpoint};
 use fusedpack_net::{Link, Nic, TopoNet, TopologyHandle};
 use fusedpack_sim::trace::Trace;
 use fusedpack_sim::{
-    ClampStats, Duration, EventQueue, FaultPlan, FaultSite, FaultSummary, Pcg32, RetryPolicy, Time,
+    ClampStats, Duration, EventQueue, FaultPlan, FaultSite, FaultSummary, Pcg32, RetryPolicy, Slab,
+    Time, WheelStats,
 };
 use fusedpack_telemetry::{Lane, Payload, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -34,6 +35,23 @@ use std::sync::Arc;
 
 pub(crate) use rank::RankState;
 pub(crate) use schemes::SchemeEngine;
+
+/// Resolve the copy tier for `(layout, base, count)`: the fixed-stride plan
+/// (anchored at the absolute base address) when commit-time classification
+/// admits one, else `None` — callers fall back to the generic segment
+/// iterator.
+pub(crate) fn fixed_runs_for(
+    layout: &fusedpack_datatype::Layout,
+    base: u64,
+    count: u64,
+) -> Option<FixedRuns> {
+    layout.uniform_for(count).map(|p| FixedRuns {
+        first: base + p.first,
+        stride: p.stride,
+        len: p.len,
+        runs: p.runs,
+    })
+}
 
 /// Rendezvous sub-protocol for large messages (§IV-B1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,8 +81,11 @@ pub(crate) enum Event {
     UnpackDone(RankId, RecvId),
     /// A fused-kernel cooperative group signalled one request's completion.
     FusionDone(RankId, Uid),
-    /// A wire message reached its destination.
-    Deliver(Box<WireMsg>),
+    /// A wire message reached its destination. The key indexes
+    /// [`Cluster::wire_slab`]: in-flight messages live in a slab and the
+    /// event carries a `u32` instead of a boxed node, so steady-state
+    /// traffic recycles message storage without touching the allocator.
+    Deliver(u32),
     /// The initiator-side completion (CQE) of an RDMA write.
     SendComplete(RankId, SendId),
 }
@@ -292,6 +313,7 @@ impl ClusterBuilder {
             endpoints,
             intra_links: HashMap::new(),
             buf_pool: BufferPool::new(),
+            wire_slab: Slab::new(),
             telemetry,
             faults: self.faults,
             fault_stats: FaultSummary::default(),
@@ -336,6 +358,10 @@ pub struct Cluster {
     /// gathers recycle their `Vec<u8>`s here instead of allocating per
     /// message.
     pub(crate) buf_pool: BufferPool,
+    /// In-flight wire messages, keyed by the `u32` inside
+    /// [`Event::Deliver`]; recycled indices keep per-message storage off
+    /// the global allocator.
+    pub(crate) wire_slab: Slab<WireMsg>,
     /// Root telemetry handle (disabled unless the builder attached one).
     pub(crate) telemetry: Telemetry,
     /// Deterministic fault plan (None: the hot paths take a single
@@ -369,6 +395,14 @@ pub struct RunReport {
     /// Release-mode past-event clamps in the event queue (a determinism
     /// hazard; always zero in debug builds, which panic instead).
     pub event_clamps: ClampStats,
+    /// Event-queue timing-wheel health: overflow-bucket hits, cascades,
+    /// slots drained (`events_processed / slots_drained` ≈ events per
+    /// wheel tick), and the event slab's occupancy high-water mark.
+    pub wheel: WheelStats,
+    /// Peak simultaneously in-flight wire messages in the message slab —
+    /// allocator churn under sustained load is `high_water ×
+    /// size_of::<WireMsg>()`, not one heap node per message.
+    pub wire_high_water: u32,
     /// Fault-injection and recovery accounting. All-zero (`is_clean`) on
     /// fault-free runs with no ring backpressure.
     pub fault_summary: FaultSummary,
@@ -427,6 +461,22 @@ impl Cluster {
                 rank.id, rank.pc, rank.blocked
             );
         }
+        debug_assert!(self.wire_slab.is_empty(), "wire messages leaked");
+        // One end-of-run health snapshot; free when telemetry is disabled
+        // (the closure never runs).
+        {
+            let wheel = self.events.wheel_stats();
+            let wire_hw = self.wire_slab.high_water();
+            let events = self.events.processed();
+            self.telemetry
+                .instant(Lane::Host, self.events.now(), || Payload::QueueHealth {
+                    event_slab_high_water: wheel.slab_high_water,
+                    wire_slab_high_water: wire_hw,
+                    overflow_hits: wheel.overflow_hits,
+                    slots_drained: wheel.slots_drained,
+                    events,
+                });
+        }
         RunReport {
             laps: self.ranks.iter().map(|r| r.laps.clone()).collect(),
             breakdowns: self.ranks.iter().map(|r| r.breakdown).collect(),
@@ -444,6 +494,8 @@ impl Cluster {
             end_time: self.events.now(),
             events_processed: self.events.processed(),
             event_clamps: self.events.clamp_stats(),
+            wheel: self.events.wheel_stats(),
+            wire_high_water: self.wire_slab.high_water(),
             fault_summary: self.fault_stats,
         }
     }
@@ -461,7 +513,10 @@ impl Cluster {
             Event::PackDone(r, sid) => self.on_pack_done(r.0 as usize, sid, t),
             Event::UnpackDone(r, rid) => self.on_unpack_done(r.0 as usize, rid, t),
             Event::FusionDone(r, uid) => self.on_fusion_done(r.0 as usize, uid, t),
-            Event::Deliver(msg) => self.on_deliver(*msg, t),
+            Event::Deliver(key) => {
+                let msg = self.wire_slab.remove(key);
+                self.on_deliver(msg, t)
+            }
             Event::SendComplete(r, sid) => self.on_send_complete(r.0 as usize, sid, t),
         }
     }
@@ -469,6 +524,12 @@ impl Cluster {
     /// Effective processing time for rank work arriving at wall time `t`.
     pub(crate) fn eff_now(&self, r: usize, t: Time) -> Time {
         t.max(self.ranks[r].cpu)
+    }
+
+    /// Park a wire message in the slab and schedule its delivery.
+    pub(crate) fn schedule_deliver(&mut self, at: Time, msg: WireMsg) {
+        let key = self.wire_slab.insert(msg);
+        self.events.push_at(at, Event::Deliver(key));
     }
 
     /// Fetch the intra-node link between two nodes' GPUs, creating it on

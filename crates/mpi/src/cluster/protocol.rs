@@ -185,15 +185,15 @@ impl Cluster {
                 });
         }
         let (delivered, _) = self.transport_reliable(src, dst.0 as usize, at, CTRL_BYTES, false);
-        self.events.push_at(
+        self.schedule_deliver(
             delivered.max(self.events.now()),
-            Event::Deliver(Box::new(WireMsg {
+            WireMsg {
                 src: self.ranks[src].id,
                 dst,
                 tag,
                 kind,
                 payload: Vec::new(),
-            })),
+            },
         );
     }
 
@@ -271,9 +271,9 @@ impl Cluster {
                 });
             let (delivered, _) =
                 self.transport_reliable(r, dst.0 as usize, at, bytes + CTRL_BYTES, gdr_src);
-            self.events.push_at(
+            self.schedule_deliver(
                 delivered.max(self.events.now()),
-                Event::Deliver(Box::new(WireMsg {
+                WireMsg {
                     src: src_id,
                     dst,
                     tag,
@@ -282,7 +282,7 @@ impl Cluster {
                         packed_bytes: bytes,
                     },
                     payload,
-                })),
+                },
             );
             // Eager sends complete locally once injected.
             self.ranks[r].sends[sid.0]
@@ -314,9 +314,9 @@ impl Cluster {
                 });
             let (delivered, completion) =
                 self.transport_reliable(r, dst.0 as usize, at, bytes, gdr);
-            self.events.push_at(
+            self.schedule_deliver(
                 delivered.max(self.events.now()),
-                Event::Deliver(Box::new(WireMsg {
+                WireMsg {
                     src: src_id,
                     dst,
                     tag: 0,
@@ -325,7 +325,7 @@ impl Cluster {
                         recv_id: cts.recv_id,
                     },
                     payload,
-                })),
+                },
             );
             self.events.push_at(
                 completion.max(self.events.now()),
@@ -431,15 +431,15 @@ impl Cluster {
                 let at = self.events.now();
                 let (delivered, _) = self.transport_reliable(r, dst.0 as usize, at, bytes, gdr);
                 let src_id = self.ranks[r].id;
-                self.events.push_at(
+                self.schedule_deliver(
                     delivered.max(self.events.now()),
-                    Event::Deliver(Box::new(WireMsg {
+                    WireMsg {
                         src: src_id,
                         dst,
                         tag: 0,
                         kind: WireKind::RdmaData { send_id, recv_id },
                         payload,
-                    })),
+                    },
                 );
             }
             WireKind::Fin { send_id } => {
@@ -606,23 +606,41 @@ impl Cluster {
             let s = &self.ranks[r].sends[sid.0];
             (s.layout.clone(), s.user_buf.addr, s.count, s.staging)
         };
-        let segs = layout.abs_segments(base, count);
+        let plan = super::fixed_runs_for(&layout, base, count);
         match staging {
             StagingLoc::Gpu(p) => {
-                MemPool::gather_between_iter(
-                    &self.gpus[r].mem,
-                    segs,
-                    &mut self.staging_mems[r],
-                    p.addr,
-                );
+                if let Some(plan) = plan {
+                    MemPool::gather_between_uniform(
+                        &self.gpus[r].mem,
+                        plan,
+                        &mut self.staging_mems[r],
+                        p.addr,
+                    );
+                } else {
+                    MemPool::gather_between_iter(
+                        &self.gpus[r].mem,
+                        layout.abs_segments(base, count),
+                        &mut self.staging_mems[r],
+                        p.addr,
+                    );
+                }
             }
             StagingLoc::Host(p) => {
-                MemPool::gather_between_iter(
-                    &self.gpus[r].mem,
-                    segs,
-                    &mut self.host_mems[r],
-                    p.addr,
-                );
+                if let Some(plan) = plan {
+                    MemPool::gather_between_uniform(
+                        &self.gpus[r].mem,
+                        plan,
+                        &mut self.host_mems[r],
+                        p.addr,
+                    );
+                } else {
+                    MemPool::gather_between_iter(
+                        &self.gpus[r].mem,
+                        layout.abs_segments(base, count),
+                        &mut self.host_mems[r],
+                        p.addr,
+                    );
+                }
             }
             StagingLoc::UserGpu(_) => {} // contiguous: nothing to move
             StagingLoc::None => {
@@ -642,23 +660,41 @@ impl Cluster {
             let op = &self.ranks[r].recvs[rid.0];
             (op.layout.clone(), op.user_buf.addr, op.count, op.staging)
         };
-        let segs = layout.abs_segments(base, count);
+        let plan = super::fixed_runs_for(&layout, base, count);
         match staging {
             StagingLoc::Gpu(p) => {
-                MemPool::scatter_between_iter(
-                    &self.staging_mems[r],
-                    p.addr,
-                    &mut self.gpus[r].mem,
-                    segs,
-                );
+                if let Some(plan) = plan {
+                    MemPool::scatter_between_uniform(
+                        &self.staging_mems[r],
+                        p.addr,
+                        &mut self.gpus[r].mem,
+                        plan,
+                    );
+                } else {
+                    MemPool::scatter_between_iter(
+                        &self.staging_mems[r],
+                        p.addr,
+                        &mut self.gpus[r].mem,
+                        layout.abs_segments(base, count),
+                    );
+                }
             }
             StagingLoc::Host(p) => {
-                MemPool::scatter_between_iter(
-                    &self.host_mems[r],
-                    p.addr,
-                    &mut self.gpus[r].mem,
-                    segs,
-                );
+                if let Some(plan) = plan {
+                    MemPool::scatter_between_uniform(
+                        &self.host_mems[r],
+                        p.addr,
+                        &mut self.gpus[r].mem,
+                        plan,
+                    );
+                } else {
+                    MemPool::scatter_between_iter(
+                        &self.host_mems[r],
+                        p.addr,
+                        &mut self.gpus[r].mem,
+                        layout.abs_segments(base, count),
+                    );
+                }
             }
             StagingLoc::UserGpu(_) => {} // contiguous: payload landed in place
             StagingLoc::None => {

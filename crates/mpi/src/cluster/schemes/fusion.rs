@@ -288,12 +288,20 @@ impl FusionEngine {
                 (op.layout.clone(), op.count, op.user_buf)
             };
             let mut packed = cx.cl.buf_pool.take(layout.total_bytes(count) as usize);
-            cx.cl.gpus[src]
-                .mem
-                .gather_into(layout.abs_segments(origin, count), &mut packed);
-            cx.cl.gpus[r]
-                .mem
-                .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
+            if let Some(plan) = crate::cluster::fixed_runs_for(&layout, origin, count) {
+                cx.cl.gpus[src].mem.gather_into_uniform(plan, &mut packed);
+            } else {
+                cx.cl.gpus[src]
+                    .mem
+                    .gather_into(layout.abs_segments(origin, count), &mut packed);
+            }
+            if let Some(plan) = crate::cluster::fixed_runs_for(&layout, user_buf.addr, count) {
+                cx.cl.gpus[r].mem.scatter_from_slice_uniform(&packed, plan);
+            } else {
+                cx.cl.gpus[r]
+                    .mem
+                    .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
+            }
             cx.cl.buf_pool.put(packed);
         }
         match self.enqueue_ipc(cx, rid.0, origin) {
@@ -349,12 +357,20 @@ impl FusionEngine {
         // zero-copy path, via the staged bounce buffer.
         {
             let mut packed = cx.cl.buf_pool.take(layout.total_bytes(count) as usize);
-            cx.cl.gpus[src]
-                .mem
-                .gather_into(layout.abs_segments(origin, count), &mut packed);
-            cx.cl.gpus[r]
-                .mem
-                .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
+            if let Some(plan) = crate::cluster::fixed_runs_for(&layout, origin, count) {
+                cx.cl.gpus[src].mem.gather_into_uniform(plan, &mut packed);
+            } else {
+                cx.cl.gpus[src]
+                    .mem
+                    .gather_into(layout.abs_segments(origin, count), &mut packed);
+            }
+            if let Some(plan) = crate::cluster::fixed_runs_for(&layout, user_buf.addr, count) {
+                cx.cl.gpus[r].mem.scatter_from_slice_uniform(&packed, plan);
+            } else {
+                cx.cl.gpus[r]
+                    .mem
+                    .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
+            }
             cx.cl.buf_pool.put(packed);
         }
         // Timing: the bounce rides the intra-node link, then a synchronous

@@ -101,6 +101,10 @@ pub enum AppOp {
     /// `cudaDeviceSynchronize`: block until every application-launched
     /// kernel has drained (the single sync point of Algorithm 2).
     DeviceSync,
+    /// Pure application think time: advance the rank's CPU clock by `ns`
+    /// nanoseconds without entering the library. Sustained-load (serve)
+    /// workloads use this to space request arrivals deterministically.
+    Compute { ns: u64 },
     /// Start (or restart) the rank's lap timer.
     ResetTimer,
     /// Record the elapsed lap into the run report.

@@ -21,12 +21,14 @@ pub mod event;
 pub mod fault;
 pub mod resource;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod trace;
 
 pub use clock::{Duration, Time};
-pub use event::{ClampStats, EventQueue};
+pub use event::{ClampStats, EventQueue, WheelStats};
 pub use fault::{FaultPlan, FaultSite, FaultSpec, FaultSummary, RetryPolicy};
 pub use resource::FifoResource;
 pub use rng::Pcg32;
+pub use slab::Slab;
 pub use stats::{Accumulator, Summary};

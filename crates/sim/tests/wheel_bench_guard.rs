@@ -1,0 +1,96 @@
+//! Release-mode regression guard for the timing-wheel event queue.
+//!
+//! The wheel replaced a `BinaryHeap` whose `hotpaths/event_queue_push_pop_4k`
+//! baseline is recorded in `BENCH_hotpaths.json`. Absolute nanoseconds vary
+//! by machine, so the guard is *relative*: on the same host, in the same
+//! process, the wheel must clear the inline binary-heap reference by a
+//! comfortable margin on the benchmark's exact workload. A regression that
+//! erodes the wheel's advantage (accidental per-pop allocation, cascade
+//! blow-up, slot-scan bugs) trips this long before anyone re-reads the
+//! bench JSON.
+//!
+//! Debug builds skip the guard — unoptimised timing proves nothing.
+
+#![cfg(not(debug_assertions))]
+
+use fusedpack_sim::{EventQueue, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The `hotpaths/event_queue_push_pop_4k` workload, verbatim.
+fn wheel_round() -> u64 {
+    let mut q = EventQueue::new();
+    for i in 0..4096u64 {
+        q.push_at(Time(i * 6151 % 65_536), i);
+    }
+    let mut sum = 0u64;
+    while let Some((_, e)) = q.pop() {
+        sum = sum.wrapping_add(e);
+    }
+    sum
+}
+
+/// The same workload on the pre-wheel representation: a reversed binary
+/// heap of `(time, seq, payload)` with monotone-now clamping.
+fn heap_round() -> u64 {
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    let mut now = 0u64;
+    for i in 0..4096u64 {
+        let at = (i * 6151 % 65_536).max(now);
+        heap.push(Reverse((at, i, i)));
+    }
+    let mut sum = 0u64;
+    while let Some(Reverse((t, _, e))) = heap.pop() {
+        now = t;
+        sum = sum.wrapping_add(e);
+    }
+    std::hint::black_box(now);
+    sum
+}
+
+/// One timed batch of `per_batch` calls, in ns per call.
+fn batch_ns(f: impl Fn() -> u64, per_batch: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..per_batch {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / per_batch as f64
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn wheel_beats_reference_heap_on_the_bench_workload() {
+    // Both rounds must agree on the drained payload sum before any timing
+    // claim means anything.
+    assert_eq!(wheel_round(), heap_round());
+
+    for _ in 0..10 {
+        std::hint::black_box(wheel_round());
+        std::hint::black_box(heap_round());
+    }
+    // Interleave wheel and heap batches so machine-speed drift (shared
+    // hosts throttle and un-throttle over seconds) hits both sides
+    // equally; the medians then compare like with like.
+    let mut wheel_samples = Vec::new();
+    let mut heap_samples = Vec::new();
+    for _ in 0..15 {
+        wheel_samples.push(batch_ns(wheel_round, 10));
+        heap_samples.push(batch_ns(heap_round, 10));
+    }
+    let wheel = median(wheel_samples);
+    let heap = median(heap_samples);
+
+    // The measured gap is ~2x; 1.4x leaves headroom for noisy CI hosts
+    // while still catching any real regression (which lands at <= 1x).
+    assert!(
+        wheel * 1.4 <= heap,
+        "timing wheel ({wheel:.0} ns/round) must beat the binary-heap \
+         reference ({heap:.0} ns/round) by >= 1.4x on the \
+         event_queue_push_pop_4k workload"
+    );
+}

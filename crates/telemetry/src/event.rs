@@ -214,6 +214,16 @@ pub enum Payload {
     /// builds only — debug builds panic). `skew_ns` is how far in the past
     /// the rewritten timestamp was.
     ClampedEvent { skew_ns: u64 },
+    /// End-of-run allocator/queue health snapshot: timing-wheel counters
+    /// and slab occupancy high-water marks (`events / slots_drained` is
+    /// the events-per-wheel-tick figure).
+    QueueHealth {
+        event_slab_high_water: u32,
+        wire_slab_high_water: u32,
+        overflow_hits: u64,
+        slots_drained: u64,
+        events: u64,
+    },
     /// One cell of a parallel experiment sweep executed by the bench
     /// driver; `index` is the cell's position in the deterministic cell
     /// list, `worker` the pool thread that ran it.
@@ -260,6 +270,7 @@ impl Payload {
             Payload::BucketCharge { label, .. } => label,
             Payload::Marker { label } => label,
             Payload::ClampedEvent { .. } => "past-event-clamp",
+            Payload::QueueHealth { .. } => "queue-health",
             Payload::SweepCell { .. } => "sweep-cell",
             Payload::FaultInjected { .. } => "fault-injected",
             Payload::Retry { .. } => "retry",
@@ -290,7 +301,7 @@ impl Payload {
             Payload::SyncWait { .. } => "sync",
             Payload::BucketCharge { .. } => "bucket",
             Payload::Marker { .. } => "marker",
-            Payload::ClampedEvent { .. } => "sim",
+            Payload::ClampedEvent { .. } | Payload::QueueHealth { .. } => "sim",
             Payload::SweepCell { .. } => "sweep",
             Payload::FaultInjected { .. } | Payload::Retry { .. } | Payload::Degraded { .. } => {
                 "fault"
@@ -390,6 +401,32 @@ impl Payload {
             }
             Payload::Marker { .. } => vec![],
             Payload::ClampedEvent { skew_ns } => vec![("skew_ns", ArgValue::U64(skew_ns))],
+            Payload::QueueHealth {
+                event_slab_high_water,
+                wire_slab_high_water,
+                overflow_hits,
+                slots_drained,
+                events,
+            } => vec![
+                (
+                    "event_slab_high_water",
+                    ArgValue::U64(event_slab_high_water as u64),
+                ),
+                (
+                    "wire_slab_high_water",
+                    ArgValue::U64(wire_slab_high_water as u64),
+                ),
+                ("overflow_hits", ArgValue::U64(overflow_hits)),
+                ("slots_drained", ArgValue::U64(slots_drained)),
+                (
+                    "events_per_tick",
+                    ArgValue::F64(if slots_drained == 0 {
+                        0.0
+                    } else {
+                        events as f64 / slots_drained as f64
+                    }),
+                ),
+            ],
             Payload::SweepCell { index, worker } => vec![
                 ("index", ArgValue::U64(index)),
                 ("worker", ArgValue::U64(worker as u64)),

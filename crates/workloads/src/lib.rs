@@ -23,6 +23,7 @@ pub mod extra;
 pub mod halo;
 pub mod milc;
 pub mod nas;
+pub mod serve;
 pub mod specfem;
 
 pub use bulk::{bulk_exchange_programs, phase_shift_programs};
@@ -31,6 +32,7 @@ pub use driver::{
     ChaosOutcome, ExchangeConfig, ExchangeOutcome, PhaseShiftOutcome,
 };
 pub use halo::{run_halo, run_halo_traced, HaloConfig, HaloGrid, HaloOutcome};
+pub use serve::{run_serve, ServeConfig, ServeOutcome};
 
 use fusedpack_datatype::TypeDesc;
 use std::sync::Arc;
