@@ -356,11 +356,14 @@ fn bench_fault_hooks(c: &mut Criterion) {
 /// Topology hot paths: route resolution and contended multi-hop
 /// transmits at cluster scale. `route_extract` walks the warm BFS tables
 /// per call (what an uncached pair pays after table build);
-/// `route_cached` is [`TopoNet`]'s per-send lookup (HashMap hit + `Arc`
-/// clone — the steady-state cost every routed transfer adds over the flat
-/// path). The contended-transmit series times 64 cross-leaf transfers
-/// whose routes pile onto shared rails and spines, at 256/1k/4k ranks —
-/// the per-event cost the 512-rank halo report pays on its hot path.
+/// `route_cached` is [`TopoNet`]'s per-send lookup (a HashMap hit
+/// returning an `(offset, len)` window into the contiguous route arena —
+/// the steady-state cost every routed transfer adds over the flat path),
+/// and `route_cached_arc_baseline` replays the pre-arena design it
+/// replaced (per-send `Arc<[HopId]>` refcount clone out of the cache).
+/// The contended-transmit series times 64 cross-leaf transfers whose
+/// routes pile onto shared rails and spines, at 256/1k/4k ranks — the
+/// per-event cost the 512-rank halo report pays on its hot path.
 fn bench_topology(c: &mut Criterion) {
     use fusedpack_net::{Endpoint, Hierarchy, TopoNet, Topology};
 
@@ -401,7 +404,27 @@ fn bench_topology(c: &mut Criterion) {
         b.iter(|| {
             let key = big_pairs[i % big_pairs.len()];
             i += 1;
-            black_box(net.resolve(black_box(key)).expect("cached"))
+            let route = net.resolve(black_box(key)).expect("cached");
+            black_box(route.last().copied())
+        })
+    });
+    g.bench_function("route_cached_arc_baseline_4k_ranks", |b| {
+        // The design the arena replaced: every send clones an
+        // `Arc<[HopId]>` out of the cache (two atomic refcount ops and a
+        // pointer chase per transfer).
+        use fusedpack_net::HopId;
+        use std::collections::HashMap;
+        let topo = Hierarchy::lassen_like(1024);
+        let mut cache: HashMap<(Endpoint, Endpoint), std::sync::Arc<[HopId]>> = HashMap::new();
+        for &(a, bb) in &big_pairs {
+            cache.insert((a, bb), topo.route(a, bb).expect("routable").into());
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let key = big_pairs[i % big_pairs.len()];
+            i += 1;
+            let route = cache.get(&black_box(key)).expect("cached").clone();
+            black_box(route.last().copied())
         })
     });
 
@@ -426,6 +449,73 @@ fn bench_topology(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded event loop's per-window coordination primitives, isolated
+/// from any simulation: computing the next window (min `peek_time` over
+/// every shard queue) and round-tripping cross-shard messages through the
+/// bounded mailboxes. One iteration is one barrier cycle over 4 shards
+/// with 64 in-flight cross-shard sends — the fixed cost a window barrier
+/// adds on top of the workers' useful event processing.
+fn bench_shard_barrier(c: &mut Criterion) {
+    use fusedpack_sim::Mailbox;
+
+    const SHARDS: usize = 4;
+    const MSGS: usize = 64;
+    let mut g = c.benchmark_group("hotpaths/shard");
+    g.bench_function("shard_barrier_overhead_4x64", |b| {
+        let mut queues: Vec<EventQueue<u64>> = (0..SHARDS).map(|_| EventQueue::new()).collect();
+        for (s, q) in queues.iter_mut().enumerate() {
+            for i in 0..256u64 {
+                q.push_at(Time(s as u64 * 977 + i * 6151 % 65_536), i);
+            }
+        }
+        let mut boxes: Vec<Mailbox<(Time, u64, u64)>> =
+            (0..SHARDS * SHARDS).map(|_| Mailbox::default()).collect();
+        let mut scratch: Vec<(Time, u64, u64)> = Vec::new();
+        b.iter(|| {
+            // Window computation: min next-event time across all shards.
+            let window = queues
+                .iter_mut()
+                .filter_map(|q| q.peek_time())
+                .min()
+                .unwrap_or(Time(u64::MAX));
+            // Outbox fill: every shard sends to every other shard.
+            for src in 0..SHARDS {
+                for dst in 0..SHARDS {
+                    if src == dst {
+                        continue;
+                    }
+                    for i in 0..(MSGS / (SHARDS - 1)) as u64 {
+                        boxes[src * SHARDS + dst].push((window, i, i * 31));
+                    }
+                }
+            }
+            // Barrier drain: admit everything into the destination queues.
+            let mut admitted = 0u64;
+            for src in 0..SHARDS {
+                for dst in 0..SHARDS {
+                    if src == dst {
+                        continue;
+                    }
+                    scratch.clear();
+                    scratch.extend(boxes[src * SHARDS + dst].drain());
+                    admitted += scratch.len() as u64;
+                    for &(at, key, payload) in &scratch {
+                        queues[dst].push_at_key(at, key, payload);
+                    }
+                }
+            }
+            // Keep the queues bounded: drain what the fill added.
+            for q in &mut queues {
+                for _ in 0..MSGS / (SHARDS - 1) * (SHARDS - 1) {
+                    let _ = q.pop();
+                }
+            }
+            black_box(admitted)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     bench_hotpaths,
     bench_pack_shapes,
@@ -436,6 +526,7 @@ criterion_group!(
     bench_gather_tier,
     bench_scheduler,
     bench_fault_hooks,
-    bench_topology
+    bench_topology,
+    bench_shard_barrier
 );
 criterion_main!(bench_hotpaths);

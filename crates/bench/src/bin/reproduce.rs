@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] [--jobs N]
 //!           [--threshold auto|BYTES] [--seed N] [--requests N[k|m]]
-//!           [--timings]
+//!           [--shards N] [--timings]
 //!
 //! EXPERIMENT:       table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //!                   ablation adapt ipc approaches chaos topo serve
@@ -24,6 +24,11 @@
 //! --jobs N:         run sweep cells on N worker threads (default: the
 //!                   FUSEDPACK_JOBS env var, then all available cores).
 //!                   Tables and CSVs are byte-identical for every N.
+//! --shards N:       split each simulation's event loop over N worker
+//!                   shards (time-window synchronized; clamped per
+//!                   cluster). Simulation results are byte-identical for
+//!                   every N; only host-process diagnostics (queue-health
+//!                   peaks) may differ.
 //! --timings:        after each experiment, print the per-cell wall-clock
 //!                   timing report from the sweep executor
 //! --trace-out FILE: run the Fig. 11 fusion cell with the typed-event
@@ -107,12 +112,23 @@ fn main() {
                     });
                 figs::set_serve_requests(n);
             }
+            "--shards" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards requires a positive integer");
+                        std::process::exit(2);
+                    });
+                figs::set_shards(n);
+            }
             "--timings" => timings = true,
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [EXPERIMENT...] [--csv DIR] [--trace-out FILE] \
                      [--jobs N] [--threshold auto|BYTES] [--seed N] [--requests N[k|m]] \
-                     [--timings]"
+                     [--shards N] [--timings]"
                 );
                 println!("experiments: {}", EXPERIMENTS.join(" "));
                 return;

@@ -102,6 +102,24 @@ pub fn serve_requests() -> u64 {
     SERVE_REQUESTS.load(Ordering::SeqCst)
 }
 
+/// Event-loop worker shards per simulation for the cluster-scale
+/// experiments (the `reproduce --shards` flag). Each cluster clamps the
+/// request to what its layout supports; reports are byte-identical at any
+/// value — the CI smoke job diffs `--shards 1` vs `--shards 4` CSVs.
+static SHARDS: AtomicU64 = AtomicU64::new(1);
+
+/// Set the per-simulation shard count (called once by the `reproduce`
+/// binary before any experiment runs).
+pub fn set_shards(shards: u32) {
+    assert!(shards >= 1, "at least one shard");
+    SHARDS.store(shards as u64, Ordering::SeqCst);
+}
+
+/// The current per-simulation shard count.
+pub fn shards() -> u32 {
+    SHARDS.load(Ordering::SeqCst) as u32
+}
+
 /// The *Proposed* scheme for one (platform, workload) cell, honouring the
 /// CLI threshold mode: the 512 KB default, a fixed `--threshold BYTES`, or
 /// `--threshold auto` (model-predicted from the workload's average block

@@ -45,16 +45,23 @@ pub fn gaps() -> Vec<(&'static str, u64)> {
     vec![("saturating", 0), ("2us", 2_000), ("20us", 20_000)]
 }
 
-/// Run one (scheme, gap) cell with the CLI-selected request count.
+/// Run one (scheme, gap) cell with the CLI-selected request count and
+/// shard count.
 pub fn measure(scheme: SchemeKind, gap_ns: u64, requests: u64) -> ServeOutcome {
     run_serve(
         &ServeConfig::new(Platform::lassen(), scheme, specfem3d_oc(POINTS), requests)
             .with_gap_ns(gap_ns)
-            .with_size_mix(SIZE_MIX.to_vec()),
+            .with_size_mix(SIZE_MIX.to_vec())
+            .with_shards(super::shards()),
     )
 }
 
-pub fn run() -> Table {
+/// The main service table plus the queue-health companion. The main table
+/// reports only virtual-time results, so it is byte-identical across
+/// `--jobs` *and* `--shards`; the queue-health peaks describe the process
+/// that ran the simulation (per-shard slabs sum/max differently than one
+/// global queue), so they live in their own non-diffed table.
+pub fn run() -> Vec<Table> {
     let requests = super::serve_requests();
     let mut t = Table::new(
         format!(
@@ -69,14 +76,25 @@ pub fn run() -> Table {
             "p99 (us)",
             "p999 (us)",
             "max (us)",
+        ],
+    )
+    .with_note(
+        "latency percentiles are per-batch service time (think time excluded); \
+         byte-identical across --jobs and --shards",
+    );
+    let mut health = Table::new(
+        format!("Serve queue health: in-flight high-water marks ({requests} requests)"),
+        &[
+            "scheme",
+            "arrival gap",
             "wire peak",
             "event-slab peak",
             "overflow hits",
         ],
     )
     .with_note(
-        "latency percentiles are per-batch service time (think time excluded); the \
-         slab peaks are in-flight high-water marks and must not scale with request count",
+        "host-process diagnostics: peaks must not scale with request count, but their \
+         exact values depend on the --shards decomposition (excluded from the CI diff)",
     );
 
     let mut cells: Vec<Cell<ServeOutcome>> = Vec::new();
@@ -101,13 +119,17 @@ pub fn run() -> Table {
                 us(out.p99),
                 us(out.p999),
                 us(out.max),
+            ]);
+            health.push_row(vec![
+                (*slabel).into(),
+                (*glabel).into(),
                 out.wire_high_water.to_string(),
                 out.wheel.slab_high_water.to_string(),
                 out.wheel.overflow_hits.to_string(),
             ]);
         }
     }
-    t
+    vec![t, health]
 }
 
 #[cfg(test)]
@@ -115,7 +137,7 @@ mod tests {
     use super::*;
 
     /// Small-request in-process version of the CI smoke job: the rendered
-    /// report is identical across worker counts.
+    /// report (both tables) is identical across worker counts.
     #[test]
     fn report_is_identical_across_jobs() {
         super::super::set_serve_requests(2_000);
@@ -126,7 +148,28 @@ mod tests {
         exec::set_jobs(0);
         let _ = exec::take_timings();
         super::super::set_serve_requests(super::super::SERVE_REQUESTS_DEFAULT);
-        assert_eq!(sequential.render(), parallel.render());
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    /// The main service table is byte-identical across shard counts —
+    /// the in-process version of the CI `--shards 1` vs `--shards 4`
+    /// CSV diff (the queue-health companion is deliberately excluded:
+    /// its peaks describe the host process, not the simulation).
+    #[test]
+    fn report_is_identical_across_shards() {
+        super::super::set_serve_requests(2_000);
+        super::super::set_shards(1);
+        let single = run();
+        super::super::set_shards(4);
+        let sharded = run();
+        super::super::set_shards(1);
+        let _ = exec::take_timings();
+        super::super::set_serve_requests(super::super::SERVE_REQUESTS_DEFAULT);
+        assert_eq!(single[0].render(), sharded[0].render());
+        assert_eq!(single[0].to_csv(), sharded[0].to_csv());
     }
 
     /// Fusion's throughput advantage survives sustained load.

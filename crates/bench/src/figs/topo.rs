@@ -67,7 +67,8 @@ pub fn schemes() -> Vec<(&'static str, SchemeKind)> {
     ]
 }
 
-/// Run the 512-rank halo for one machine × scheme cell.
+/// Run the 512-rank halo for one machine × scheme cell, on the
+/// CLI-selected shard count.
 pub fn measure(machine: &Machine, scheme: SchemeKind) -> HaloOutcome {
     run_halo(
         &HaloConfig::new(
@@ -77,7 +78,8 @@ pub fn measure(machine: &Machine, scheme: SchemeKind) -> HaloOutcome {
             HaloGrid::new_3d(GRID, GRID, GRID),
             N_MSGS,
         )
-        .with_topology(machine.topology.clone()),
+        .with_topology(machine.topology.clone())
+        .with_shards(super::shards()),
     )
 }
 
@@ -179,5 +181,20 @@ mod tests {
         exec::set_jobs(0);
         let _ = exec::take_timings();
         assert_eq!(sequential.render(), parallel.render());
+    }
+
+    /// Sharding the event loop must not perturb a single digit of the
+    /// report — the in-process version of the CI `--shards 1` vs
+    /// `--shards 4` CSV diff.
+    #[test]
+    fn report_is_identical_across_shards() {
+        super::super::set_shards(1);
+        let single = run();
+        super::super::set_shards(4);
+        let sharded = run();
+        super::super::set_shards(1);
+        let _ = exec::take_timings();
+        assert_eq!(single.render(), sharded.render());
+        assert_eq!(single.to_csv(), sharded.to_csv());
     }
 }

@@ -69,7 +69,7 @@ pub fn run_experiment(name: &str) -> Vec<Table> {
         "approaches" => vec![figs::approaches::run()],
         "chaos" => vec![figs::chaos::run()],
         "topo" => vec![figs::topo::run()],
-        "serve" => vec![figs::serve::run()],
+        "serve" => figs::serve::run(),
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),
     }
 }

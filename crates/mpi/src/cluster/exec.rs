@@ -330,8 +330,9 @@ impl Cluster {
             rank.cpu
         };
         self.exit_waitall(r);
+        let key = self.next_key(r);
         let rid = self.ranks[r].id;
         self.events
-            .push_at(resume.max(self.events.now()), Event::Wake(rid));
+            .push_at_key(resume.max(self.events.now()), key, Event::Wake(rid));
     }
 }

@@ -10,8 +10,10 @@
 mod accounting;
 mod exec;
 mod protocol;
+mod ranged;
 mod rank;
 pub(crate) mod schemes;
+mod shardrun;
 mod topo;
 
 use crate::message::WireMsg;
@@ -25,16 +27,25 @@ use fusedpack_net::topology::{validate_endpoint, Endpoint};
 use fusedpack_net::{Link, Nic, TopoNet, TopologyHandle};
 use fusedpack_sim::trace::Trace;
 use fusedpack_sim::{
-    ClampStats, Duration, EventQueue, FaultPlan, FaultSite, FaultSummary, Pcg32, RetryPolicy, Slab,
-    Time, WheelStats,
+    ClampStats, Duration, EventQueue, FaultPlan, FaultSite, FaultSummary, Mailbox, Pcg32,
+    RetryPolicy, ShardStats, Slab, Time, WheelStats,
 };
 use fusedpack_telemetry::{Lane, Payload, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+pub(crate) use ranged::Ranged;
 pub(crate) use rank::RankState;
 pub(crate) use schemes::SchemeEngine;
+pub(crate) use shardrun::PendingTransmit;
+
+/// Bit position of the originating rank in a canonical event key: the low
+/// 42 bits count events the rank originated, the high bits name the rank.
+/// Keys are globally unique and identical across shard counts, so the
+/// timing wheel's (time, key) pop order — and therefore the entire run —
+/// is byte-identical whether one queue or many drain it.
+pub(crate) const KEY_RANK_SHIFT: u32 = 42;
 
 /// Resolve the copy tier for `(layout, base, count)`: the fixed-stride plan
 /// (anchored at the absolute base address) when commit-time classification
@@ -102,6 +113,7 @@ pub struct ClusterBuilder {
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
     topology: Option<TopologyHandle>,
+    shards: u32,
     ranks: Vec<(u32, Program)>,
 }
 
@@ -118,8 +130,21 @@ impl ClusterBuilder {
             faults: None,
             retry: RetryPolicy::default_transfer(),
             topology: None,
+            shards: 1,
             ranks: Vec::new(),
         }
+    }
+
+    /// Partition the event loop across `n` worker shards synchronized by
+    /// conservative time windows (see the `shardrun` module). Reports are
+    /// byte-identical to the single-queue run for every virtual-time
+    /// quantity; only wall-clock and queue-health diagnostics differ. The
+    /// request is clamped at run time (to the node count, and to 1 when a
+    /// fault plan is armed, ranks are not node-contiguous, or there is no
+    /// lookahead) — `RunReport::shard.shards` echoes the effective value.
+    pub fn shards(mut self, n: u32) -> Self {
+        self.shards = n.max(1);
+        self
     }
 
     /// Route every transfer through an explicit topology instead of the
@@ -263,7 +288,7 @@ impl ClusterBuilder {
 
         // NIC events are tagged with the lowest rank on the NIC's node so
         // they appear under that rank's process in the Perfetto view.
-        let nics = (0..num_nodes)
+        let nics: Vec<Nic> = (0..num_nodes)
             .map(|node| {
                 let mut nic = self.platform.make_nic();
                 let owner = ranks
@@ -275,8 +300,11 @@ impl ClusterBuilder {
             })
             .collect();
         let mut events = EventQueue::new();
-        for r in 0..ranks.len() {
-            events.push_at(Time::ZERO, Event::Wake(RankId(r as u32)));
+        for (r, rank) in ranks.iter_mut().enumerate() {
+            // The seed Wake is the rank's first canonical key draw.
+            let key = (r as u64) << KEY_RANK_SHIFT;
+            rank.key_counter = 1;
+            events.push_at_key(Time::ZERO, key, Event::Wake(RankId(r as u32)));
         }
 
         // A misconfigured topology (too few nodes, more ranks on a node
@@ -303,11 +331,11 @@ impl ClusterBuilder {
             engine,
             data_mode: self.data_mode,
             events,
-            ranks,
-            gpus,
-            staging_mems,
-            host_mems,
-            nics,
+            ranks: Ranged::from_vec(ranks),
+            gpus: Ranged::from_vec(gpus),
+            staging_mems: Ranged::from_vec(staging_mems),
+            host_mems: Ranged::from_vec(host_mems),
+            nics: Ranged::from_vec(nics),
             rndv: self.rndv,
             topo,
             endpoints,
@@ -319,6 +347,15 @@ impl ClusterBuilder {
             fault_stats: FaultSummary::default(),
             retry: self.retry,
             retry_rng,
+            shards_requested: self.shards,
+            cur_event: (Time::ZERO, 0),
+            defer_transmits: false,
+            pending: Vec::new(),
+            pending_seq: 0,
+            rank_shard: Vec::new(),
+            outboxes: Vec::new(),
+            shard_stats: ShardStats::default(),
+            absorbed_pool: fusedpack_gpu::PoolStats::default(),
         }
     }
 }
@@ -335,15 +372,18 @@ pub struct Cluster {
     pub(crate) engine: Arc<dyn SchemeEngine>,
     pub(crate) data_mode: DataMode,
     pub(crate) events: EventQueue<Event>,
-    pub(crate) ranks: Vec<RankState>,
-    pub(crate) gpus: Vec<Gpu>,
+    /// Per-rank state, indexed by *global* rank id. In a sharded run each
+    /// worker's cluster owns a contiguous sub-range; the `Ranged` wrapper
+    /// translates the global indices every protocol path uses.
+    pub(crate) ranks: Ranged<RankState>,
+    pub(crate) gpus: Ranged<Gpu>,
     /// Device staging pools (packed buffers), reset at each Waitall exit.
-    pub(crate) staging_mems: Vec<MemPool>,
+    pub(crate) staging_mems: Ranged<MemPool>,
     /// Host staging pools (hybrid CPU path, naive libraries, bounce
     /// buffers), reset with the device staging pools.
-    pub(crate) host_mems: Vec<MemPool>,
-    /// One NIC per node.
-    pub(crate) nics: Vec<Nic>,
+    pub(crate) host_mems: Ranged<MemPool>,
+    /// One NIC per node, indexed by global node id.
+    pub(crate) nics: Ranged<Nic>,
     /// Rendezvous sub-protocol.
     pub(crate) rndv: RndvProtocol,
     /// Live topology network state (None: the legacy flat path runs with
@@ -373,6 +413,31 @@ pub struct Cluster {
     pub(crate) retry: RetryPolicy,
     /// Jitter stream for [`RetryPolicy::backoff`].
     pub(crate) retry_rng: Pcg32,
+    /// Worker shards requested via [`ClusterBuilder::shards`] (clamped at
+    /// run time; 1 = the single-queue loop).
+    pub(crate) shards_requested: u32,
+    /// (time, key) of the event currently being dispatched. Sharded topo
+    /// runs use it to order deferred transmits exactly as the single
+    /// queue would have executed them.
+    pub(crate) cur_event: (Time, u64),
+    /// Sharded topology mode: record wire transmits as
+    /// [`PendingTransmit`]s instead of executing them (the master network
+    /// lives with the coordinator between barriers).
+    pub(crate) defer_transmits: bool,
+    /// Deferred routed transmits for the current round.
+    pub(crate) pending: Vec<PendingTransmit>,
+    /// Monotone sequence disambiguating transmits within one dispatch.
+    pub(crate) pending_seq: u64,
+    /// Global rank → owning shard (empty outside sharded runs).
+    pub(crate) rank_shard: Vec<u32>,
+    /// Outgoing cross-shard deliveries, one mailbox per destination
+    /// shard, drained by the coordinator at each barrier.
+    pub(crate) outboxes: Vec<Mailbox<(Time, u64, WireMsg)>>,
+    /// Barrier/stall counters (all-zero for single-queue runs).
+    pub(crate) shard_stats: ShardStats,
+    /// Buffer-pool counters absorbed from shard-local pools at recompose,
+    /// folded into [`Cluster::staging_pool_stats`].
+    pub(crate) absorbed_pool: fusedpack_gpu::PoolStats,
 }
 
 /// Results of a completed run.
@@ -406,6 +471,10 @@ pub struct RunReport {
     /// Fault-injection and recovery accounting. All-zero (`is_clean`) on
     /// fault-free runs with no ring backpressure.
     pub fault_summary: FaultSummary,
+    /// Sharded-execution health: effective shard count, barriers crossed,
+    /// admitted/deferred message counts, mailbox spills, and wall-clock
+    /// barrier/stall time. All-zero for single-queue runs.
+    pub shard: ShardStats,
 }
 
 impl RunReport {
@@ -436,8 +505,20 @@ impl RunReport {
 }
 
 impl Cluster {
-    /// Run every rank's program to completion.
+    /// Run every rank's program to completion — on the single event
+    /// queue, or partitioned across worker shards when the builder asked
+    /// for them and the run qualifies (see `shardrun`). Both paths
+    /// produce byte-identical reports for every virtual-time quantity.
     pub fn run(&mut self) -> RunReport {
+        let shards = self.effective_shards();
+        if shards > 1 {
+            self.run_sharded(shards)
+        } else {
+            self.run_single()
+        }
+    }
+
+    fn run_single(&mut self) -> RunReport {
         let mut clamps_seen = self.events.clamp_stats();
         while let Some((t, ev)) = self.events.pop() {
             self.dispatch(t, ev);
@@ -454,7 +535,26 @@ impl Cluster {
                 clamps_seen = clamps_now;
             }
         }
-        for rank in &self.ranks {
+        let end_time = self.events.now();
+        let events_processed = self.events.processed();
+        let event_clamps = self.events.clamp_stats();
+        let wheel = self.events.wheel_stats();
+        let wire_high_water = self.wire_slab.high_water();
+        self.finish_report(end_time, events_processed, event_clamps, wheel, wire_high_water)
+    }
+
+    /// Post-run assertions, the end-of-run health snapshot, and report
+    /// assembly. `run_single` feeds its own queue's counters; sharded
+    /// runs feed aggregates merged across shard queues.
+    pub(crate) fn finish_report(
+        &mut self,
+        end_time: Time,
+        events_processed: u64,
+        event_clamps: ClampStats,
+        wheel: WheelStats,
+        wire_high_water: u32,
+    ) -> RunReport {
+        for rank in self.ranks.iter() {
             assert!(
                 rank.done,
                 "rank {:?} deadlocked at pc={} (blocked={})",
@@ -464,19 +564,14 @@ impl Cluster {
         debug_assert!(self.wire_slab.is_empty(), "wire messages leaked");
         // One end-of-run health snapshot; free when telemetry is disabled
         // (the closure never runs).
-        {
-            let wheel = self.events.wheel_stats();
-            let wire_hw = self.wire_slab.high_water();
-            let events = self.events.processed();
-            self.telemetry
-                .instant(Lane::Host, self.events.now(), || Payload::QueueHealth {
-                    event_slab_high_water: wheel.slab_high_water,
-                    wire_slab_high_water: wire_hw,
-                    overflow_hits: wheel.overflow_hits,
-                    slots_drained: wheel.slots_drained,
-                    events,
-                });
-        }
+        self.telemetry
+            .instant(Lane::Host, end_time, || Payload::QueueHealth {
+                event_slab_high_water: wheel.slab_high_water,
+                wire_slab_high_water: wire_high_water,
+                overflow_hits: wheel.overflow_hits,
+                slots_drained: wheel.slots_drained,
+                events: events_processed,
+            });
         RunReport {
             laps: self.ranks.iter().map(|r| r.laps.clone()).collect(),
             breakdowns: self.ranks.iter().map(|r| r.breakdown).collect(),
@@ -491,12 +586,13 @@ impl Cluster {
                 .map(|r| r.sched.as_ref().map(|s| s.stats()))
                 .collect(),
             kernels_launched: self.gpus.iter().map(|g| g.kernels_launched()).collect(),
-            end_time: self.events.now(),
-            events_processed: self.events.processed(),
-            event_clamps: self.events.clamp_stats(),
-            wheel: self.events.wheel_stats(),
-            wire_high_water: self.wire_slab.high_water(),
+            end_time,
+            events_processed,
+            event_clamps,
+            wheel,
+            wire_high_water,
             fault_summary: self.fault_stats,
+            shard: self.shard_stats,
         }
     }
 
@@ -526,10 +622,33 @@ impl Cluster {
         t.max(self.ranks[r].cpu)
     }
 
-    /// Park a wire message in the slab and schedule its delivery.
-    pub(crate) fn schedule_deliver(&mut self, at: Time, msg: WireMsg) {
-        let key = self.wire_slab.insert(msg);
-        self.events.push_at(at, Event::Deliver(key));
+    /// Draw the next canonical event key for an event rank `r`
+    /// originates: `(rank << 42) | counter`, advancing the rank's
+    /// counter. Each rank draws in its own program order, so the sequence
+    /// of keys is identical no matter how ranks are interleaved across
+    /// shards — the determinism anchor of the sharded loop.
+    #[inline]
+    pub(crate) fn next_key(&mut self, r: usize) -> u64 {
+        let rank = &mut self.ranks[r];
+        let c = rank.key_counter;
+        rank.key_counter += 1;
+        debug_assert!(c < 1 << KEY_RANK_SHIFT, "rank event counter overflow");
+        ((rank.id.0 as u64) << KEY_RANK_SHIFT) | c
+    }
+
+    /// Park a wire message in the slab and schedule its delivery under a
+    /// pre-drawn canonical key. Deliveries addressed to a rank another
+    /// shard owns go to that shard's outbox instead, admitted by the
+    /// coordinator at the next window barrier.
+    pub(crate) fn push_deliver(&mut self, at: Time, key: u64, msg: WireMsg) {
+        let dst = msg.dst.0 as usize;
+        if !self.ranks.contains_index(dst) {
+            let shard = self.rank_shard[dst] as usize;
+            self.outboxes[shard].push((at, key, msg));
+            return;
+        }
+        let slab_key = self.wire_slab.insert(msg);
+        self.events.push_at_key(at, key, Event::Deliver(slab_key));
     }
 
     /// Fetch the intra-node link between two nodes' GPUs, creating it on
@@ -626,9 +745,22 @@ impl Cluster {
     }
 
     /// Acquire/release counters of the staged-payload buffer pool
-    /// (diagnostics: steady-state traffic should be all hits).
+    /// (diagnostics: steady-state traffic should be all hits). After a
+    /// sharded run this is the merged total over every shard-local pool.
     pub fn staging_pool_stats(&self) -> fusedpack_gpu::PoolStats {
-        self.buf_pool.stats()
+        let mut s = self.buf_pool.stats();
+        s.hits += self.absorbed_pool.hits;
+        s.misses += self.absorbed_pool.misses;
+        s.released += self.absorbed_pool.released;
+        s.dropped += self.absorbed_pool.dropped;
+        s
+    }
+
+    /// Per-hop FIFO order violations observed by the routed network
+    /// (always zero; asserted by the shard-window property tests). `None`
+    /// without a topology.
+    pub fn topo_order_violations(&self) -> Option<u64> {
+        self.topo.as_ref().map(|net| net.order_violations())
     }
 
     /// The telemetry handle this cluster records into (disabled unless the

@@ -30,7 +30,21 @@ impl Cluster {
             // Route resolution failed (absorbed, counted): fall through to
             // the flat path so the transfer still completes.
         }
-        let (src_node, dst_node) = (self.ranks[src].node, self.ranks[dst].node);
+        self.transport_flat(src, dst, at, bytes, gdr)
+    }
+
+    /// The flat (non-routed) wire model. Node lookups go through the
+    /// endpoint table — valid for *any* global rank, local or not, which
+    /// sharded runs rely on.
+    pub(crate) fn transport_flat(
+        &mut self,
+        src: usize,
+        dst: usize,
+        at: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> (Time, Time) {
+        let (src_node, dst_node) = (self.endpoints[src].node, self.endpoints[dst].node);
         if src_node == dst_node {
             let link = self.intra_link(src_node, dst_node);
             let (start, delivered) = link.transmit(at, bytes);
@@ -52,6 +66,59 @@ impl Cluster {
             // Initiator completion (CQE/ACK) one wire latency later.
             (delivered, delivered + nic.wire().latency)
         }
+    }
+
+    /// The single chokepoint for asynchronous wire traffic: transport the
+    /// payload and schedule the arrival (and, when `complete` is set, the
+    /// initiator-side CQE). The canonical keys for both events are drawn
+    /// from the sender *before* any timing is computed, so the per-rank
+    /// draw order is identical whether the transmit executes now
+    /// (single-queue and flat-sharded runs) or is recorded as a
+    /// [`super::PendingTransmit`] for the coordinator to apply at the
+    /// window barrier (topology-sharded runs). Returns the
+    /// `(delivered, completion)` times, or `None` when deferred.
+    pub(crate) fn wire_transmit(
+        &mut self,
+        src: usize,
+        at: Time,
+        bytes: u64,
+        gdr: bool,
+        msg: WireMsg,
+        complete: Option<SendId>,
+    ) -> Option<(Time, Time)> {
+        let deliver_key = self.next_key(src);
+        let complete_key = complete.map(|sid| (sid, self.next_key(src)));
+        if self.defer_transmits {
+            debug_assert!(self.faults.is_none(), "fault plans clamp to one shard");
+            let (t_e, k_e) = self.cur_event;
+            let seq = self.pending_seq;
+            self.pending_seq += 1;
+            self.pending.push(super::PendingTransmit {
+                t_e,
+                k_e,
+                seq,
+                src,
+                at,
+                bytes,
+                gdr,
+                msg,
+                deliver_key,
+                complete: complete_key,
+            });
+            return None;
+        }
+        let dst = msg.dst.0 as usize;
+        let (delivered, completion) = self.transport_reliable(src, dst, at, bytes, gdr);
+        self.push_deliver(delivered.max(self.events.now()), deliver_key, msg);
+        if let Some((sid, key)) = complete_key {
+            let rid = self.ranks[src].id;
+            self.events.push_at_key(
+                completion.max(self.events.now()),
+                key,
+                Event::SendComplete(rid, sid),
+            );
+        }
+        Some((delivered, completion))
     }
 
     /// [`Cluster::transport`] behind the retry protocol.
@@ -117,7 +184,7 @@ impl Cluster {
                 delivered += spike;
                 completion += spike;
             }
-            let inter = self.ranks[src].node != self.ranks[dst].node;
+            let inter = self.endpoints[src].node != self.endpoints[dst].node;
             if inter && self.fault_fires(src, FaultSite::NicTimeout, now) {
                 // CQE stalls: delivery is unaffected, the initiator's
                 // completion arrives late.
@@ -148,7 +215,7 @@ impl Cluster {
                 return result;
             }
         }
-        let (src_node, dst_node) = (self.ranks[src].node, self.ranks[dst].node);
+        let (src_node, dst_node) = (self.endpoints[src].node, self.endpoints[dst].node);
         if src_node == dst_node {
             let link = self.intra_link(src_node, dst_node);
             let (start, clear) = link.transmit_wasted(now, bytes, None);
@@ -184,17 +251,14 @@ impl Cluster {
                     bytes: CTRL_BYTES,
                 });
         }
-        let (delivered, _) = self.transport_reliable(src, dst.0 as usize, at, CTRL_BYTES, false);
-        self.schedule_deliver(
-            delivered.max(self.events.now()),
-            WireMsg {
-                src: self.ranks[src].id,
-                dst,
-                tag,
-                kind,
-                payload: Vec::new(),
-            },
-        );
+        let msg = WireMsg {
+            src: self.ranks[src].id,
+            dst,
+            tag,
+            kind,
+            payload: Vec::new(),
+        };
+        self.wire_transmit(src, at, CTRL_BYTES, false, msg, None);
     }
 
     /// Read the packed payload bytes behind a staging location into a
@@ -269,21 +333,17 @@ impl Cluster {
                     tag,
                     bytes,
                 });
-            let (delivered, _) =
-                self.transport_reliable(r, dst.0 as usize, at, bytes + CTRL_BYTES, gdr_src);
-            self.schedule_deliver(
-                delivered.max(self.events.now()),
-                WireMsg {
-                    src: src_id,
-                    dst,
-                    tag,
-                    kind: WireKind::Eager {
-                        send_id: sid,
-                        packed_bytes: bytes,
-                    },
-                    payload,
+            let msg = WireMsg {
+                src: src_id,
+                dst,
+                tag,
+                kind: WireKind::Eager {
+                    send_id: sid,
+                    packed_bytes: bytes,
                 },
-            );
+                payload,
+            };
+            self.wire_transmit(r, at, bytes + CTRL_BYTES, gdr_src, msg, None);
             // Eager sends complete locally once injected.
             self.ranks[r].sends[sid.0]
                 .lifecycle
@@ -312,33 +372,31 @@ impl Cluster {
                     phase: RndvPhaseTag::Data,
                     bytes,
                 });
-            let (delivered, completion) =
-                self.transport_reliable(r, dst.0 as usize, at, bytes, gdr);
-            self.schedule_deliver(
-                delivered.max(self.events.now()),
-                WireMsg {
-                    src: src_id,
-                    dst,
-                    tag: 0,
-                    kind: WireKind::RdmaData {
-                        send_id: sid,
-                        recv_id: cts.recv_id,
-                    },
-                    payload,
+            let msg = WireMsg {
+                src: src_id,
+                dst,
+                tag: 0,
+                kind: WireKind::RdmaData {
+                    send_id: sid,
+                    recv_id: cts.recv_id,
                 },
-            );
-            self.events.push_at(
-                completion.max(self.events.now()),
-                Event::SendComplete(src_id, sid),
-            );
-            if self.fault_fires(r, FaultSite::NicDupCompletion, completion) {
-                // The NIC replays the CQE; the progress engine's guard in
-                // `on_send_complete` must absorb the duplicate.
-                let dup_at = completion + self.platform.progress_poll;
-                self.events.push_at(
-                    dup_at.max(self.events.now()),
-                    Event::SendComplete(src_id, sid),
-                );
+                payload,
+            };
+            let result = self.wire_transmit(r, at, bytes, gdr, msg, Some(sid));
+            // Deferred transmits (`None`) only happen fault-free, where
+            // the dup-CQE site can never fire.
+            if let Some((_, completion)) = result {
+                if self.fault_fires(r, FaultSite::NicDupCompletion, completion) {
+                    // The NIC replays the CQE; the progress engine's guard
+                    // in `on_send_complete` must absorb the duplicate.
+                    let dup_at = completion + self.platform.progress_poll;
+                    let key = self.next_key(r);
+                    self.events.push_at_key(
+                        dup_at.max(self.events.now()),
+                        key,
+                        Event::SendComplete(src_id, sid),
+                    );
+                }
             }
         }
     }
@@ -429,18 +487,15 @@ impl Cluster {
                 let payload = self.read_staging(r, staging);
                 let gdr = matches!(staging, StagingLoc::Gpu(_) | StagingLoc::UserGpu(_));
                 let at = self.events.now();
-                let (delivered, _) = self.transport_reliable(r, dst.0 as usize, at, bytes, gdr);
                 let src_id = self.ranks[r].id;
-                self.schedule_deliver(
-                    delivered.max(self.events.now()),
-                    WireMsg {
-                        src: src_id,
-                        dst,
-                        tag: 0,
-                        kind: WireKind::RdmaData { send_id, recv_id },
-                        payload,
-                    },
-                );
+                let msg = WireMsg {
+                    src: src_id,
+                    dst,
+                    tag: 0,
+                    kind: WireKind::RdmaData { send_id, recv_id },
+                    payload,
+                };
+                self.wire_transmit(r, at, bytes, gdr, msg, None);
             }
             WireKind::Fin { send_id } => {
                 // Guard: a duplicated Fin (or one outliving its epoch) is

@@ -94,6 +94,11 @@ pub(crate) struct RankState {
     pub tele: Telemetry,
     /// Open `SyncWait` span while blocked in Waitall.
     pub wait_span: Option<SpanId>,
+    /// Next canonical event-key counter for events this rank originates.
+    /// Keys are `(rank << 42) | counter`, giving every cluster event a
+    /// globally unique, mode-independent tiebreaker (see
+    /// [`super::Cluster::next_key`]).
+    pub key_counter: u64,
 }
 
 impl RankState {
@@ -125,6 +130,7 @@ impl RankState {
             wait_anchor: Time::ZERO,
             tele: Telemetry::disabled(),
             wait_span: None,
+            key_counter: 0,
         }
     }
 

@@ -425,7 +425,8 @@ impl SchemeEngine for FusionEngine {
         let stats = SegmentStats::new(bytes, blocks);
         cx.charge(lookup_cost(), Bucket::Sync);
         let dst = cx.cl.ranks[r].sends[sid.0].dst;
-        let same_node = cx.cl.ranks[r].node == cx.cl.ranks[dst.0 as usize].node;
+        // Endpoint table, not rank state: `dst` may live on another shard.
+        let same_node = cx.cl.endpoints[r].node == cx.cl.endpoints[dst.0 as usize].node;
         if self.cfg.enable_direct_ipc && same_node {
             // DirectIPC (the zero-copy scheme of [24], fused as a third
             // operation kind): no packing at all on the sender — advertise

@@ -143,10 +143,12 @@ impl PathCtx<'_> {
         self.cl.finish_unpack(self.r, rid);
     }
 
-    /// Schedule an event at `at` (clamped to the event loop's now).
+    /// Schedule an event at `at` (clamped to the event loop's now), keyed
+    /// by the path's rank so the tiebreak order is shard-invariant.
     pub(crate) fn schedule(&mut self, at: Time, ev: Event) {
+        let key = self.cl.next_key(self.r);
         let t = at.max(self.cl.events.now());
-        self.cl.events.push_at(t, ev);
+        self.cl.events.push_at_key(t, key, ev);
     }
 }
 

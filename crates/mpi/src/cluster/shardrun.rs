@@ -1,0 +1,498 @@
+//! Time-window sharded execution: a conservative parallel event loop.
+//!
+//! ## Shape
+//!
+//! `run_sharded` partitions the cluster into N worker shards at node
+//! boundaries — each shard *is* a [`Cluster`] owning a contiguous range of
+//! ranks, their GPUs, staging pools, and the NICs of its nodes (the
+//! [`Ranged`](super::Ranged) wrappers keep global indexing working). The
+//! coordinator repeatedly:
+//!
+//! 1. computes the next window `[W, W + δ)` where `W` is the minimum
+//!    next-event time over all shard queues and δ is the *lookahead* —
+//!    the smallest latency any cross-shard effect must pay (the fastest
+//!    hop of the topology, or the internode wire latency in flat mode);
+//! 2. hands each shard to a persistent worker thread, which drains its
+//!    own timing wheel up to (excluding) `W + δ`;
+//! 3. at the barrier, applies the round's deferred routed transmits
+//!    against the master [`TopoNet`] and admits cross-shard deliveries
+//!    from the per-pair [`Mailbox`]es into destination queues.
+//!
+//! ## Why the result is byte-identical to the single queue
+//!
+//! Every event processed in a round has `t ≥ W`, so any effect it sends
+//! across shards lands at `t + δ ≥ W + δ` — at or past the window end,
+//! never inside a queue a worker is concurrently draining. Within a
+//! round, shards only touch disjoint state: rank/GPU/pool state is
+//! shard-local by construction, flat intra-node links and NICs are
+//! node-aligned, and *all* routed transmits are deferred (intra-node
+//! routes share node-local hops with inter-node ones, so topology state
+//! stays with the coordinator). Deferred transmits are applied in
+//! ascending (event time, event key, intra-dispatch seq) — exactly the
+//! order the single-queue loop executes them, because it dispatches
+//! events in (time, key) order and issues transmits in program order
+//! within a dispatch. Canonical keys (see [`super::Cluster::next_key`])
+//! make that order global and mode-independent, and give the timing
+//! wheels the same tiebreaker everywhere. Wall-clock-only quantities
+//! (stall/barrier time, per-shard queue high-waters) are reported in
+//! [`ShardStats`] and excluded from the identity claim.
+//!
+//! ## What disqualifies a run
+//!
+//! `effective_shards` clamps to 1 when a fault plan is armed (fault RNG
+//! streams are consumed in global dispatch order — not partitionable),
+//! when ranks are not grouped contiguously by node, when there are fewer
+//! than two nodes, or when the lookahead is zero.
+
+use super::{Cluster, Event, Ranged, RankId};
+use crate::message::WireMsg;
+use crate::sendrecv::SendId;
+use fusedpack_gpu::BufferPool;
+use fusedpack_net::TopoNet;
+use fusedpack_sim::{
+    ClampStats, Duration, EventQueue, FaultSummary, Mailbox, ShardStats, Slab, Time, WheelStats,
+};
+use fusedpack_telemetry::{Lane, Payload};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A routed transmit recorded during a sharded round, applied at the
+/// barrier against the master [`TopoNet`] in the exact order the
+/// single-queue loop would have executed it.
+#[derive(Debug)]
+pub(crate) struct PendingTransmit {
+    /// Virtual time of the event whose dispatch issued the transmit.
+    pub t_e: Time,
+    /// Canonical key of that event (globally unique).
+    pub k_e: u64,
+    /// Shard-local monotone sequence: orders transmits within one
+    /// dispatch (between dispatches, `(t_e, k_e)` already decides).
+    pub seq: u64,
+    /// Sending rank (global).
+    pub src: usize,
+    /// Wire time the sender issued at.
+    pub at: Time,
+    pub bytes: u64,
+    pub gdr: bool,
+    /// The message to deliver (payload captured at defer time).
+    pub msg: WireMsg,
+    /// Pre-drawn key for the Deliver event.
+    pub deliver_key: u64,
+    /// Initiator-side CQE to schedule at completion, with its key.
+    pub complete: Option<(SendId, u64)>,
+}
+
+/// One shard's slice of the cluster: rank range and node range, both
+/// half-open, both aligned (every node's ranks land in exactly one shard).
+#[derive(Debug, Clone, Copy)]
+struct ShardSpec {
+    rank_start: usize,
+    rank_end: usize,
+    node_start: usize,
+    node_end: usize,
+}
+
+impl Cluster {
+    /// Clamp the requested shard count to what this run supports.
+    pub(crate) fn effective_shards(&self) -> u32 {
+        let req = self.shards_requested;
+        if req <= 1 {
+            return 1;
+        }
+        // Fault plans draw per-site RNG streams in global dispatch order;
+        // splitting dispatch across threads would reorder the draws.
+        if self.faults.is_some() {
+            return 1;
+        }
+        let num_nodes = self.nics.len() as u32;
+        if num_nodes < 2 || self.ranks.len() < 2 {
+            return 1;
+        }
+        // Node-aligned splitting needs each node's ranks contiguous.
+        if !self.endpoints.windows(2).all(|w| w[0].node <= w[1].node) {
+            return 1;
+        }
+        if self.lookahead() == Duration::ZERO {
+            return 1;
+        }
+        req.min(num_nodes)
+    }
+
+    /// The conservative lookahead δ: no effect of an event at `t` can
+    /// reach another shard before `t + δ`. Topology mode: the fastest
+    /// hop's latency (every route crosses at least one hop). Flat mode:
+    /// the internode first-byte latency (node-aligned shards make every
+    /// cross-shard delivery an internode one).
+    fn lookahead(&self) -> Duration {
+        match &self.topo {
+            Some(net) => net.min_hop_latency(),
+            None => self.platform.internode.latency,
+        }
+    }
+
+    /// Drain this shard's queue up to (excluding) `window_end`.
+    fn run_window(&mut self, window_end: Time) {
+        let mut clamps_seen = self.events.clamp_stats();
+        while self.events.peek_time().is_some_and(|t| t < window_end) {
+            let (t, key, ev) = self.events.pop_keyed().expect("peeked event");
+            self.cur_event = (t, key);
+            self.dispatch(t, ev);
+            let clamps_now = self.events.clamp_stats();
+            if clamps_now.count > clamps_seen.count {
+                let skew = clamps_now.total_skew - clamps_seen.total_skew;
+                self.telemetry
+                    .instant(Lane::Host, self.events.now(), || Payload::ClampedEvent {
+                        skew_ns: skew.as_nanos(),
+                    });
+                clamps_seen = clamps_now;
+            }
+        }
+    }
+
+    /// Node-aligned partition: nodes are split into `shards` contiguous
+    /// groups of near-equal size, rank ranges follow from the endpoints.
+    fn shard_plan(&self, shards: u32) -> Vec<ShardSpec> {
+        let num_nodes = self.nics.len();
+        let shards = shards as usize;
+        let mut specs = Vec::with_capacity(shards);
+        let mut rank_cursor = 0usize;
+        for s in 0..shards {
+            let node_start = s * num_nodes / shards;
+            let node_end = (s + 1) * num_nodes / shards;
+            let rank_start = rank_cursor;
+            while rank_cursor < self.endpoints.len()
+                && (self.endpoints[rank_cursor].node as usize) < node_end
+            {
+                rank_cursor += 1;
+            }
+            specs.push(ShardSpec {
+                rank_start,
+                rank_end: rank_cursor,
+                node_start,
+                node_end,
+            });
+        }
+        debug_assert_eq!(rank_cursor, self.endpoints.len());
+        specs
+    }
+
+    /// Split the master cluster into per-shard clusters. The master is
+    /// left hollow (empty vectors) until `recompose` puts everything
+    /// back.
+    fn decompose(&mut self, specs: &[ShardSpec], defer_transmits: bool) -> Vec<Cluster> {
+        let shards = specs.len();
+        let mut rank_shard = vec![0u32; self.endpoints.len()];
+        for (s, spec) in specs.iter().enumerate() {
+            for r in spec.rank_start..spec.rank_end {
+                rank_shard[r] = s as u32;
+            }
+        }
+        let mut ranks = std::mem::take(&mut self.ranks).into_vec();
+        let mut gpus = std::mem::take(&mut self.gpus).into_vec();
+        let mut staging_mems = std::mem::take(&mut self.staging_mems).into_vec();
+        let mut host_mems = std::mem::take(&mut self.host_mems).into_vec();
+        let mut nics = std::mem::take(&mut self.nics).into_vec();
+        let mut intra_links = std::mem::take(&mut self.intra_links);
+
+        // Redistribute the seeded events to their owner shards. Only
+        // pre-run queues can be sharded: in-flight wire traffic has no
+        // owner rank to route by.
+        debug_assert!(
+            self.wire_slab.is_empty(),
+            "cannot shard a cluster with in-flight wire messages"
+        );
+        let mut master_q = std::mem::take(&mut self.events);
+        let mut queues: Vec<EventQueue<Event>> = (0..shards).map(|_| EventQueue::new()).collect();
+        while let Some((t, key, ev)) = master_q.pop_keyed() {
+            let origin = event_origin(&ev);
+            queues[rank_shard[origin] as usize].push_at_key(t, key, ev);
+        }
+
+        let mut out: Vec<Cluster> = Vec::with_capacity(shards);
+        for spec in specs.iter().rev() {
+            let shard_ranks = ranks.split_off(spec.rank_start);
+            let shard_gpus = gpus.split_off(spec.rank_start);
+            let shard_staging = staging_mems.split_off(spec.rank_start);
+            let shard_host = host_mems.split_off(spec.rank_start);
+            let shard_nics = nics.split_off(spec.node_start);
+            // Intra-node links are keyed by (node, node); each belongs to
+            // the shard owning that node.
+            let node_range = spec.node_start as u32..spec.node_end as u32;
+            let shard_intra: std::collections::HashMap<_, _> = intra_links
+                .extract_if(|&(a, _), _| node_range.contains(&a))
+                .collect();
+            out.push(Cluster {
+                platform: self.platform.clone(),
+                engine: Arc::clone(&self.engine),
+                data_mode: self.data_mode,
+                events: queues.pop().expect("one queue per shard"),
+                ranks: Ranged::with_base(spec.rank_start, shard_ranks),
+                gpus: Ranged::with_base(spec.rank_start, shard_gpus),
+                staging_mems: Ranged::with_base(spec.rank_start, shard_staging),
+                host_mems: Ranged::with_base(spec.rank_start, shard_host),
+                nics: Ranged::with_base(spec.node_start, shard_nics),
+                rndv: self.rndv,
+                topo: None,
+                endpoints: self.endpoints.clone(),
+                intra_links: shard_intra,
+                buf_pool: BufferPool::new(),
+                wire_slab: Slab::new(),
+                telemetry: self.telemetry.clone(),
+                faults: None,
+                fault_stats: FaultSummary::default(),
+                retry: self.retry,
+                retry_rng: self.retry_rng.clone(),
+                shards_requested: 1,
+                cur_event: (Time::ZERO, 0),
+                defer_transmits,
+                pending: Vec::new(),
+                pending_seq: 0,
+                rank_shard: rank_shard.clone(),
+                outboxes: (0..shards).map(|_| Mailbox::default()).collect(),
+                shard_stats: ShardStats {
+                    shards: shards as u32,
+                    ..ShardStats::default()
+                },
+                absorbed_pool: fusedpack_gpu::PoolStats::default(),
+            });
+        }
+        out.reverse();
+        out
+    }
+
+    /// Reassemble the master cluster from finished shard states, folding
+    /// their counters into the master's accumulators.
+    fn recompose(&mut self, states: Vec<Cluster>) {
+        let mut ranks = Vec::new();
+        let mut gpus = Vec::new();
+        let mut staging_mems = Vec::new();
+        let mut host_mems = Vec::new();
+        let mut nics = Vec::new();
+        for mut cl in states {
+            debug_assert!(cl.wire_slab.is_empty(), "shard leaked wire messages");
+            debug_assert!(cl.pending.is_empty(), "shard leaked deferred transmits");
+            debug_assert!(
+                cl.outboxes.iter().all(|m| m.is_empty()),
+                "shard leaked outbox messages"
+            );
+            for mb in &cl.outboxes {
+                cl.shard_stats.mailbox_spills += mb.spill_count();
+            }
+            let pool = cl.buf_pool.stats();
+            self.absorbed_pool.hits += pool.hits;
+            self.absorbed_pool.misses += pool.misses;
+            self.absorbed_pool.released += pool.released;
+            self.absorbed_pool.dropped += pool.dropped;
+            self.fault_stats.spurious += cl.fault_stats.spurious;
+            self.shard_stats.merge(&cl.shard_stats);
+            ranks.extend(cl.ranks.into_vec());
+            gpus.extend(cl.gpus.into_vec());
+            staging_mems.extend(cl.staging_mems.into_vec());
+            host_mems.extend(cl.host_mems.into_vec());
+            nics.extend(cl.nics.into_vec());
+            self.intra_links.extend(cl.intra_links);
+        }
+        self.ranks = Ranged::from_vec(ranks);
+        self.gpus = Ranged::from_vec(gpus);
+        self.staging_mems = Ranged::from_vec(staging_mems);
+        self.host_mems = Ranged::from_vec(host_mems);
+        self.nics = Ranged::from_vec(nics);
+    }
+
+    /// The sharded run loop (coordinator side).
+    pub(crate) fn run_sharded(&mut self, shards: u32) -> super::RunReport {
+        let specs = self.shard_plan(shards);
+        let delta = self.lookahead();
+        let mut master_net = self.topo.take();
+        let mut slots: Vec<Option<Cluster>> = self
+            .decompose(&specs, master_net.is_some())
+            .into_iter()
+            .map(Some)
+            .collect();
+        let n = slots.len();
+        let mut coord = ShardStats {
+            shards,
+            ..ShardStats::default()
+        };
+        let mut scratch: Vec<(Time, u64, WireMsg)> = Vec::new();
+
+        crossbeam::thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel::<(usize, Cluster)>();
+            let mut cmd_txs: Vec<mpsc::SyncSender<(Cluster, Time)>> = Vec::with_capacity(n);
+            for s in 0..n {
+                let (tx, rx) = mpsc::sync_channel::<(Cluster, Time)>(1);
+                cmd_txs.push(tx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    let mut idle_since: Option<Instant> = None;
+                    while let Ok((mut cl, window_end)) = rx.recv() {
+                        if let Some(t) = idle_since {
+                            cl.shard_stats.stall_wall_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        cl.run_window(window_end);
+                        idle_since = Some(Instant::now());
+                        if res_tx.send((s, cl)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            loop {
+                // All shards are home between rounds: the earliest event
+                // anywhere opens the next window.
+                let w = slots
+                    .iter()
+                    .filter_map(|c| c.as_ref().expect("shard home").events.peek_time())
+                    .min();
+                let Some(w) = w else { break };
+                let window_end = w + delta;
+                coord.barriers += 1;
+                for (s, slot) in slots.iter_mut().enumerate() {
+                    let cl = slot.take().expect("shard home");
+                    cmd_txs[s].send((cl, window_end)).expect("worker alive");
+                }
+                for _ in 0..n {
+                    let (s, cl) = res_rx.recv().expect("worker alive");
+                    slots[s] = Some(cl);
+                }
+                let t0 = Instant::now();
+                let applied = match master_net.as_mut() {
+                    Some(net) => apply_pending(&mut slots, net),
+                    None => 0,
+                };
+                coord.deferred_transmits += applied;
+                let admitted = drain_outboxes(&mut slots, &mut scratch);
+                coord.admitted_msgs += admitted;
+                coord.barrier_wall_ns += t0.elapsed().as_nanos() as u64;
+                let window_ns = window_end.as_nanos();
+                self.telemetry
+                    .instant(Lane::Host, window_end, || Payload::ShardBarrier {
+                        window_ns,
+                        admitted,
+                        applied,
+                    });
+            }
+            drop(cmd_txs); // workers exit their recv loops
+        })
+        .expect("shard worker panicked");
+
+        let mut states: Vec<Cluster> = slots
+            .into_iter()
+            .map(|c| c.expect("shard home"))
+            .collect();
+        // Queue aggregates across shards, gathered before recompose.
+        let mut end_time = Time::ZERO;
+        let mut events_processed = 0u64;
+        let mut event_clamps = ClampStats::default();
+        let mut wheel = WheelStats::default();
+        let mut wire_high_water = 0u32;
+        for cl in &mut states {
+            end_time = end_time.max(cl.events.now());
+            events_processed += cl.events.processed();
+            let c = cl.events.clamp_stats();
+            event_clamps.count += c.count;
+            event_clamps.total_skew += c.total_skew;
+            event_clamps.max_skew = event_clamps.max_skew.max(c.max_skew);
+            let ws = cl.events.wheel_stats();
+            wheel.overflow_hits += ws.overflow_hits;
+            wheel.cascades += ws.cascades;
+            wheel.slots_drained += ws.slots_drained;
+            wheel.slab_high_water = wheel.slab_high_water.max(ws.slab_high_water);
+            // Peak in-flight wire messages: shard slabs are disjoint, so
+            // the cluster-wide peak is bounded by the sum of peaks.
+            wire_high_water += cl.wire_slab.high_water();
+        }
+        self.topo = master_net;
+        self.shard_stats.merge(&coord);
+        self.recompose(states);
+        self.finish_report(end_time, events_processed, event_clamps, wheel, wire_high_water)
+    }
+}
+
+/// The rank whose shard owns this event. `Deliver` never appears in a
+/// pre-run queue (asserted in `decompose`) and is routed explicitly at
+/// barriers, so it has no origin here.
+fn event_origin(ev: &Event) -> usize {
+    match ev {
+        Event::Wake(r)
+        | Event::PackDone(r, _)
+        | Event::UnpackDone(r, _)
+        | Event::FusionDone(r, _)
+        | Event::SendComplete(r, _) => r.0 as usize,
+        Event::Deliver(_) => unreachable!("in-flight deliveries cannot be redistributed"),
+    }
+}
+
+/// Apply every transmit deferred during the round against the master
+/// network, in ascending (event time, event key, intra-dispatch seq) —
+/// the exact order the single-queue loop issues them — then schedule the
+/// resulting Deliver/SendComplete events into the owning shards.
+fn apply_pending(slots: &mut [Option<Cluster>], net: &mut TopoNet) -> u64 {
+    let mut batch: Vec<PendingTransmit> = Vec::new();
+    for slot in slots.iter_mut() {
+        let cl = slot.as_mut().expect("shard home");
+        // `append` leaves the shard's buffer empty but keeps its
+        // capacity, so steady-state rounds never reallocate.
+        batch.append(&mut cl.pending);
+    }
+    batch.sort_by_key(|p| (p.t_e, p.k_e, p.seq));
+    let applied = batch.len() as u64;
+    for p in batch {
+        let dst = p.msg.dst.0 as usize;
+        let (src_shard, dst_shard) = {
+            let map = &slots[0].as_ref().expect("shard home").rank_shard;
+            (map[p.src] as usize, map[dst] as usize)
+        };
+        let (delivered, completion) = {
+            let cl = slots[src_shard].as_mut().expect("shard home");
+            cl.apply_routed_transmit(net, p.src, dst, p.at, p.bytes, p.gdr)
+        };
+        {
+            let cl = slots[dst_shard].as_mut().expect("shard home");
+            let at = delivered.max(cl.events.now());
+            let slab_key = cl.wire_slab.insert(p.msg);
+            cl.events
+                .push_at_key(at, p.deliver_key, Event::Deliver(slab_key));
+        }
+        if let Some((sid, key)) = p.complete {
+            let cl = slots[src_shard].as_mut().expect("shard home");
+            let rid = RankId(p.src as u32);
+            cl.events.push_at_key(
+                completion.max(cl.events.now()),
+                key,
+                Event::SendComplete(rid, sid),
+            );
+        }
+    }
+    applied
+}
+
+/// Admit every cross-shard delivery parked in an outbox into its
+/// destination shard's queue. `scratch` is reused across rounds so the
+/// hand-off itself never allocates in steady state.
+fn drain_outboxes(
+    slots: &mut [Option<Cluster>],
+    scratch: &mut Vec<(Time, u64, WireMsg)>,
+) -> u64 {
+    let n = slots.len();
+    let mut admitted = 0u64;
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(slots[src].as_mut().expect("shard home").outboxes[dst].drain());
+            admitted += scratch.len() as u64;
+            let cl = slots[dst].as_mut().expect("shard home");
+            for (at, key, msg) in scratch.drain(..) {
+                let at = at.max(cl.events.now());
+                let slab_key = cl.wire_slab.insert(msg);
+                cl.events.push_at_key(at, key, Event::Deliver(slab_key));
+            }
+        }
+    }
+    admitted
+}

@@ -25,8 +25,8 @@ impl Cluster {
     }
 
     /// Routed analogue of `transport`: returns `(delivered,
-    /// initiator_completion)`, or `None` if route resolution failed (the
-    /// caller falls back to the flat path).
+    /// initiator_completion)`, or `None` if no network is attached or
+    /// route resolution failed (the caller falls back to the flat path).
     pub(crate) fn transport_routed(
         &mut self,
         src: usize,
@@ -35,18 +35,55 @@ impl Cluster {
         bytes: u64,
         gdr: bool,
     ) -> Option<(Time, Time)> {
+        // Take/restore so the routed body can borrow the network mutably
+        // alongside `self` — the same body a sharded coordinator drives
+        // with the master network (`apply_routed_transmit`).
+        let mut net = self.topo.take()?;
+        let out = self.transport_routed_with(&mut net, src, dst, at, bytes, gdr);
+        self.topo = Some(net);
+        out
+    }
+
+    /// Replay a transmit that a shard deferred at its window barrier,
+    /// against the master network. Mirrors [`Cluster::transport`]'s
+    /// single-queue behaviour exactly: routed first, flat fallback on a
+    /// (counted) route failure.
+    pub(crate) fn apply_routed_transmit(
+        &mut self,
+        net: &mut TopoNet,
+        src: usize,
+        dst: usize,
+        at: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> (Time, Time) {
+        match self.transport_routed_with(net, src, dst, at, bytes, gdr) {
+            Some(result) => result,
+            None => self.transport_flat(src, dst, at, bytes, gdr),
+        }
+    }
+
+    /// The routed transmit body, generic over where the network lives
+    /// (owned `self.topo` in single-queue runs, the coordinator's master
+    /// copy in sharded runs).
+    pub(crate) fn transport_routed_with(
+        &mut self,
+        net: &mut TopoNet,
+        src: usize,
+        dst: usize,
+        at: Time,
+        bytes: u64,
+        gdr: bool,
+    ) -> Option<(Time, Time)> {
         let key = self.route_key(src, dst);
-        let intra = self.ranks[src].node == self.ranks[dst].node;
+        let intra = self.endpoints[src].node == self.endpoints[dst].node;
         let outcome = if intra {
             // Intra-node transfers bypass the NIC: no injection overhead,
             // no GPUDirect cap, completion == delivery.
-            self.topo
-                .as_mut()?
-                .transmit(at, key, bytes, None)
+            net.transmit(at, key, bytes, None)
                 .map(|t| (t.start, t.delivered, t.delivered))
         } else {
-            let node = self.ranks[src].node as usize;
-            let net = self.topo.as_mut()?;
+            let node = self.endpoints[src].node as usize;
             self.nics[node]
                 .post_send_routed(net, key, at, bytes, gdr)
                 .map(|t| (t.start, t.delivered, t.delivered + t.tail_latency))
@@ -60,7 +97,7 @@ impl Cluster {
                         Payload::WireTransfer { bytes }
                     });
                 }
-                self.emit_hop_spans(src, bytes);
+                self.emit_hop_spans(net, src, bytes);
                 Some((delivered, completion))
             }
             Err(e) => {
@@ -82,43 +119,42 @@ impl Cluster {
         bytes: u64,
         gdr: bool,
     ) -> Option<(Time, Duration)> {
+        let mut net = self.topo.take()?;
         let key = self.route_key(src, dst);
-        let intra = self.ranks[src].node == self.ranks[dst].node;
+        let intra = self.endpoints[src].node == self.endpoints[dst].node;
         let outcome = if intra {
-            self.topo.as_mut()?.transmit_wasted(now, key, bytes, None)
+            net.transmit_wasted(now, key, bytes, None)
         } else {
-            let node = self.ranks[src].node as usize;
-            let net = self.topo.as_mut()?;
-            self.nics[node].post_send_routed_wasted(net, key, now, bytes, gdr)
+            let node = self.endpoints[src].node as usize;
+            self.nics[node].post_send_routed_wasted(&mut net, key, now, bytes, gdr)
         };
-        match outcome {
+        let out = match outcome {
             Ok((start, wire_clear)) => {
                 // The route is cached by the transmit above, so this
                 // cannot fail; fall back defensively anyway.
-                let rtt = self.topo.as_mut()?.route_rtt(key).ok()?;
+                let rtt = net.route_rtt(key).ok();
                 if intra {
                     self.ranks[src].tele.span(Lane::Nic, start, wire_clear, || {
                         Payload::WireTransfer { bytes }
                     });
                 }
-                self.emit_hop_spans(src, bytes);
-                Some((wire_clear, rtt))
+                self.emit_hop_spans(&net, src, bytes);
+                rtt.map(|rtt| (wire_clear, rtt))
             }
             Err(e) => {
                 debug_assert!(false, "wasted route resolution failed: {e}");
                 self.fault_stats.spurious += 1;
                 None
             }
-        }
+        };
+        self.topo = Some(net);
+        out
     }
 
     /// Emit one [`Payload::HopTransfer`] span per hop of the most recent
     /// routed transmit, on the sender's NIC lane. The reconciliation
     /// proptest sums these against [`TopoNet::hop_stats`].
-    fn emit_hop_spans(&mut self, src: usize, bytes: u64) {
-        let Some(net) = self.topo.as_ref() else {
-            return;
-        };
+    fn emit_hop_spans(&mut self, net: &TopoNet, src: usize, bytes: u64) {
         let tele = &self.ranks[src].tele;
         for &(hop, start, wire_done) in net.last_hops() {
             tele.span(Lane::Nic, start, wire_done, || Payload::HopTransfer {

@@ -20,7 +20,6 @@ use crate::error::NetError;
 use crate::link::Link;
 use fusedpack_sim::{Duration, Time};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// When a routed transfer started and finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,25 +54,72 @@ pub struct TopoNet {
     /// One live link per entry of `topo.hops()`.
     links: Vec<Link>,
     /// Resolved-route cache: topologies are static, so a pair's hop
-    /// sequence never changes.
-    routes: HashMap<RouteKey, Arc<[HopId]>>,
+    /// sequence never changes. Values are `(offset, len)` windows into
+    /// `route_arena` — `Copy`, so the steady-state per-send lookup is one
+    /// HashMap hit and two integers, with no refcount traffic and no
+    /// per-route allocation.
+    routes: HashMap<RouteKey, (u32, u32)>,
+    /// Bump arena holding every cached route's hop sequence back to back.
+    /// Entries are referenced by offset, so the arena growing (and
+    /// reallocating) never invalidates a cached route.
+    route_arena: Vec<HopId>,
     /// Per-hop spans `(hop, start, wire_done)` of the most recent
     /// transmit, for telemetry emission by the caller.
     last_hops: Vec<(u32, Time, Time)>,
+    /// Most recent transmit *start* per hop. Hops are FIFO resources, so
+    /// starts must be non-decreasing per hop no matter how callers
+    /// interleave — the invariant the sharded event loop's window barriers
+    /// preserve, checked cheaply here so tests can assert it end to end.
+    last_starts: Vec<Time>,
+    /// Transmits whose start on some hop preceded the previous start on
+    /// that hop. Always zero unless the per-hop FIFO contract is broken.
+    order_violations: u64,
 }
 
 impl TopoNet {
     pub fn new(topo: TopologyHandle) -> Self {
-        let links = topo
+        let links: Vec<Link> = topo
             .hops()
             .iter()
             .map(|h| Link::new(h.link_spec()))
             .collect();
+        let last_starts = vec![Time::ZERO; links.len()];
         TopoNet {
             topo,
             links,
             routes: HashMap::new(),
+            route_arena: Vec::new(),
             last_hops: Vec::new(),
+            last_starts,
+            order_violations: 0,
+        }
+    }
+
+    /// Smallest first-byte latency of any hop in the fabric — the
+    /// conservative lookahead `δ` for time-window sharding: no effect of
+    /// an event can reach another rank's state sooner than one hop away.
+    pub fn min_hop_latency(&self) -> Duration {
+        self.topo
+            .hops()
+            .iter()
+            .map(|h| h.latency)
+            .min()
+            .unwrap_or(Duration(0))
+    }
+
+    /// How many transmits started on some hop *earlier* than the previous
+    /// transmit on that hop (see `last_starts`). Zero in a correct run.
+    pub fn order_violations(&self) -> u64 {
+        self.order_violations
+    }
+
+    #[inline]
+    fn note_start(last_starts: &mut [Time], violations: &mut u64, hop: u32, start: Time) {
+        let slot = &mut last_starts[hop as usize];
+        if start < *slot {
+            *violations += 1;
+        } else {
+            *slot = start;
         }
     }
 
@@ -81,24 +127,45 @@ impl TopoNet {
         self.topo.as_ref()
     }
 
-    /// Resolve (and cache) the route for a pair.
-    pub fn resolve(&mut self, key: RouteKey) -> Result<Arc<[HopId]>, NetError> {
-        if let Some(route) = self.routes.get(&key) {
-            return Ok(route.clone());
+    /// Resolve (and cache) the route for a pair. The returned slice
+    /// borrows the route arena; copy it out if the caller needs to keep it
+    /// across further network calls.
+    pub fn resolve(&mut self, key: RouteKey) -> Result<&[HopId], NetError> {
+        let (off, len) = self.resolve_ref(key)?;
+        Ok(&self.route_arena[off as usize..(off + len) as usize])
+    }
+
+    /// The per-send resolution fast path: a `Copy` `(offset, len)` window
+    /// into the arena, so hop iteration and link mutation can proceed
+    /// without holding any borrow of the cache.
+    #[inline]
+    fn resolve_ref(&mut self, key: RouteKey) -> Result<(u32, u32), NetError> {
+        if let Some(&window) = self.routes.get(&key) {
+            return Ok(window);
         }
-        let route: Arc<[HopId]> = self.topo.route(key.0, key.1)?.into();
-        self.routes.insert(key, route.clone());
-        Ok(route)
+        let hops = self.topo.route(key.0, key.1)?;
+        let off = u32::try_from(self.route_arena.len()).expect("route arena fits u32 offsets");
+        self.route_arena.extend_from_slice(&hops);
+        let window = (off, hops.len() as u32);
+        self.routes.insert(key, window);
+        Ok(window)
+    }
+
+    /// Hops currently packed in the route arena (diagnostics, benches).
+    pub fn route_arena_len(&self) -> usize {
+        self.route_arena.len()
     }
 
     /// Round-trip control latency along a pair's route (the analogue of
     /// `LinkSpec::rtt` for the retransmission protocol): twice the sum of
     /// per-hop first-byte latencies.
     pub fn route_rtt(&mut self, key: RouteKey) -> Result<Duration, NetError> {
-        let route = self.resolve(key)?;
-        let one_way = route.iter().fold(Duration(0), |acc, h| {
-            acc + self.links[h.0 as usize].spec().latency
-        });
+        let (off, len) = self.resolve_ref(key)?;
+        let one_way = self.route_arena[off as usize..(off + len) as usize]
+            .iter()
+            .fold(Duration(0), |acc, h| {
+                acc + self.links[h.0 as usize].spec().latency
+            });
         Ok(one_way * 2)
     }
 
@@ -114,20 +181,27 @@ impl TopoNet {
         bytes: u64,
         bw_cap: Option<f64>,
     ) -> Result<RouteTiming, NetError> {
-        let route = self.resolve(key)?;
-        debug_assert!(!route.is_empty(), "routes have at least one hop");
+        let (off, len) = self.resolve_ref(key)?;
+        debug_assert!(len > 0, "routes have at least one hop");
         self.last_hops.clear();
         let mut head = now;
         let mut stream_bw = bw_cap.unwrap_or(f64::INFINITY);
         let mut first_start = now;
         let mut delivered = now;
         let mut tail_latency = Duration(0);
-        for (i, hop) in route.iter().enumerate() {
+        for i in 0..len {
+            let hop = self.route_arena[(off + i) as usize];
             let link = &mut self.links[hop.0 as usize];
             // The body can never stream faster than the narrowest hop the
             // head has already crossed (cut-through, no re-compression).
             let (start, done) = link.transmit_capped(head, bytes, stream_bw);
             let latency = link.spec().latency;
+            Self::note_start(
+                &mut self.last_starts,
+                &mut self.order_violations,
+                hop.0,
+                start,
+            );
             self.last_hops.push((hop.0, start, done - latency));
             if i == 0 {
                 first_start = start;
@@ -155,15 +229,22 @@ impl TopoNet {
         bytes: u64,
         bw_cap: Option<f64>,
     ) -> Result<(Time, Time), NetError> {
-        let route = self.resolve(key)?;
+        let (off, len) = self.resolve_ref(key)?;
         self.last_hops.clear();
         let mut head = now;
         let mut stream_bw = bw_cap.unwrap_or(f64::INFINITY);
         let mut first_start = now;
         let mut wire_clear = now;
-        for (i, hop) in route.iter().enumerate() {
+        for i in 0..len {
+            let hop = self.route_arena[(off + i) as usize];
             let link = &mut self.links[hop.0 as usize];
             let (start, clear) = link.transmit_wasted(head, bytes, Some(stream_bw));
+            Self::note_start(
+                &mut self.last_starts,
+                &mut self.order_violations,
+                hop.0,
+                start,
+            );
             self.last_hops.push((hop.0, start, clear));
             if i == 0 {
                 first_start = start;
@@ -208,6 +289,8 @@ impl TopoNet {
             link.reset();
         }
         self.last_hops.clear();
+        self.last_starts.fill(Time::ZERO);
+        self.order_violations = 0;
     }
 }
 
@@ -297,7 +380,7 @@ mod tests {
         let key = (Endpoint::new(0, 2), Endpoint::new(20, 3));
         net.transmit(Time(0), key, 1000, None).unwrap();
         net.transmit(Time(0), key, 500, None).unwrap();
-        let route = net.resolve(key).unwrap();
+        let route = net.resolve(key).unwrap().to_vec();
         for hop in route.iter() {
             assert_eq!(net.bytes_on_hop(*hop), 1500);
         }
@@ -305,6 +388,50 @@ mod tests {
         assert_eq!(total, 1500 * route.len() as u64);
         net.reset();
         assert_eq!(net.hop_stats().iter().map(|h| h.bytes).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn per_hop_starts_are_monotone_even_with_nonmonotone_call_times() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let key = (Endpoint::new(0, 0), Endpoint::new(31, 0));
+        // Callers' `now` values regress; the FIFO links still serialize,
+        // so per-hop starts never go backwards and no violation fires.
+        net.transmit(Time(5_000), key, 1 << 16, None).unwrap();
+        net.transmit(Time(0), key, 1 << 16, None).unwrap();
+        net.transmit(Time(2_000), key, 1 << 16, None).unwrap();
+        assert_eq!(net.order_violations(), 0);
+        net.reset();
+        assert_eq!(net.order_violations(), 0);
+    }
+
+    #[test]
+    fn route_cache_packs_the_arena_and_hits_never_grow_it() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let k1 = (Endpoint::new(0, 0), Endpoint::new(31, 0));
+        let k2 = (Endpoint::new(1, 0), Endpoint::new(2, 0));
+        let r1 = net.resolve(k1).unwrap().to_vec();
+        let r2 = net.resolve(k2).unwrap().to_vec();
+        assert_eq!(net.route_arena_len(), r1.len() + r2.len());
+        // Cache hits return the same hops and allocate nothing new.
+        assert_eq!(net.resolve(k1).unwrap(), &r1[..]);
+        assert_eq!(net.resolve(k2).unwrap(), &r2[..]);
+        assert_eq!(net.route_arena_len(), r1.len() + r2.len());
+        // The cached windows drive transmits identically to fresh routes.
+        let t = net.transmit(Time(0), k1, 4096, None).unwrap();
+        assert_eq!(net.last_hops().len(), r1.len());
+        assert!(t.delivered > t.start);
+    }
+
+    #[test]
+    fn min_hop_latency_is_the_fabric_floor() {
+        let net = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let floor = net.min_hop_latency();
+        assert!(floor > Duration(0));
+        assert!(net
+            .topology()
+            .hops()
+            .iter()
+            .all(|h| h.latency >= floor));
     }
 
     #[test]

@@ -261,6 +261,27 @@ impl<E> EventQueue<E> {
 
     /// Schedule `payload` at absolute time `at`.
     pub fn push_at(&mut self, at: Time, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.push_keyed(at, seq, payload);
+    }
+
+    /// Schedule `payload` at `at` under a caller-supplied ordering key.
+    ///
+    /// Ties in time break on the key exactly as they break on the internal
+    /// sequence number under [`push_at`](Self::push_at). The sharded
+    /// cluster loop uses this to give every event a *canonical* key derived
+    /// from its origin rank, so the pop order — and therefore the whole
+    /// simulation — is identical no matter which shard's queue an event
+    /// lands in. A queue must use one discipline or the other: mixing
+    /// auto-sequence and canonical keys would interleave two unrelated tie
+    /// orders.
+    #[inline]
+    pub fn push_at_key(&mut self, at: Time, key: u64, payload: E) {
+        self.push_keyed(at, key, payload);
+    }
+
+    fn push_keyed(&mut self, at: Time, seq: u64, payload: E) {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at:?} < now {:?}",
@@ -276,8 +297,6 @@ impl<E> EventQueue<E> {
             self.clamps.max_skew = self.clamps.max_skew.max(skew);
         }
         let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
         if at < self.ready_until {
             // Lands inside the already-drained window: merge straight into
             // the sorted ready run. A fresh push carries the largest seq,
@@ -429,14 +448,22 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event and advance the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.pop_keyed().map(|(time, _, payload)| (time, payload))
+    }
+
+    /// Pop the earliest event, returning its ordering key alongside the
+    /// timestamp. Under [`push_at_key`](Self::push_at_key) the key is the
+    /// caller's canonical key; under [`push_at`](Self::push_at) it is the
+    /// internal sequence number.
+    pub fn pop_keyed(&mut self) -> Option<(Time, u64, E)> {
         if self.ready.is_empty() && !self.refill_ready() {
             return None;
         }
-        let (time, _, payload) = self.ready.pop_front().expect("refilled");
+        let (time, key, payload) = self.ready.pop_front().expect("refilled");
         debug_assert!(time >= self.now);
         self.now = time;
         self.popped += 1;
-        Some((time, payload))
+        Some((time, key, payload))
     }
 
     /// Timestamp of the next event without popping it.
@@ -645,6 +672,45 @@ mod tests {
         q.push_at(Time(20), 2);
         assert_eq!(q.pop(), Some((Time(20), 2)));
         assert_eq!(q.pop(), Some((Time(50), 5)));
+        assert!(q.pop().is_none());
+    }
+
+    /// Canonical keys order timestamp ties regardless of push order —
+    /// including keys arriving out of order into the drained ready window.
+    #[test]
+    fn keyed_ties_break_on_key_not_push_order() {
+        let mut q = EventQueue::new();
+        q.push_at_key(Time(5), 30, "c");
+        q.push_at_key(Time(5), 10, "a");
+        q.push_at_key(Time(5), 20, "b");
+        q.push_at_key(Time(3), 99, "first");
+        assert_eq!(q.pop_keyed(), Some((Time(3), 99, "first")));
+        // Time 3 and 5 share a bottom slot, so the keyed ties now sit in
+        // the ready run; a *smaller* key pushed late must merge ahead.
+        q.push_at_key(Time(5), 15, "a2");
+        assert_eq!(q.pop_keyed(), Some((Time(5), 10, "a")));
+        assert_eq!(q.pop_keyed(), Some((Time(5), 15, "a2")));
+        assert_eq!(q.pop_keyed(), Some((Time(5), 20, "b")));
+        assert_eq!(q.pop_keyed(), Some((Time(5), 30, "c")));
+        assert!(q.pop().is_none());
+    }
+
+    /// Keyed events behave identically across the wheel's three storage
+    /// tiers (ready run, wheel slots, overflow calendar).
+    #[test]
+    fn keyed_order_survives_cascade_and_overflow() {
+        let far = 1u64 << 50;
+        let mut q = EventQueue::new();
+        q.push_at_key(Time(far), 7, "far-b");
+        q.push_at_key(Time(far), 3, "far-a");
+        q.push_at_key(Time(300_000), 9, "mid-b");
+        q.push_at_key(Time(300_000), 1, "mid-a");
+        q.push_at_key(Time(8), 5, "near");
+        assert_eq!(q.pop_keyed(), Some((Time(8), 5, "near")));
+        assert_eq!(q.pop_keyed(), Some((Time(300_000), 1, "mid-a")));
+        assert_eq!(q.pop_keyed(), Some((Time(300_000), 9, "mid-b")));
+        assert_eq!(q.pop_keyed(), Some((Time(far), 3, "far-a")));
+        assert_eq!(q.pop_keyed(), Some((Time(far), 7, "far-b")));
         assert!(q.pop().is_none());
     }
 

@@ -21,6 +21,7 @@ pub mod event;
 pub mod fault;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod slab;
 pub mod stats;
 pub mod trace;
@@ -30,5 +31,6 @@ pub use event::{ClampStats, EventQueue, WheelStats};
 pub use fault::{FaultPlan, FaultSite, FaultSpec, FaultSummary, RetryPolicy};
 pub use resource::FifoResource;
 pub use rng::Pcg32;
+pub use shard::{Mailbox, ShardStats};
 pub use slab::Slab;
 pub use stats::{Accumulator, Summary};

@@ -224,6 +224,19 @@ pub enum Payload {
         slots_drained: u64,
         events: u64,
     },
+    /// A sharded run crossed a conservative window barrier: the
+    /// coordinator admitted cross-shard messages and applied deferred
+    /// routed transmits before opening the next window. Recorded as an
+    /// instant at the barrier's virtual time, so barrier cadence and
+    /// per-barrier work are visible in Perfetto.
+    ShardBarrier {
+        /// Exclusive end of the window just executed (virtual ns).
+        window_ns: u64,
+        /// Cross-shard messages admitted into destination queues here.
+        admitted: u64,
+        /// Deferred routed transmits applied against the shared fabric.
+        applied: u64,
+    },
     /// One cell of a parallel experiment sweep executed by the bench
     /// driver; `index` is the cell's position in the deterministic cell
     /// list, `worker` the pool thread that ran it.
@@ -271,6 +284,7 @@ impl Payload {
             Payload::Marker { label } => label,
             Payload::ClampedEvent { .. } => "past-event-clamp",
             Payload::QueueHealth { .. } => "queue-health",
+            Payload::ShardBarrier { .. } => "shard-barrier",
             Payload::SweepCell { .. } => "sweep-cell",
             Payload::FaultInjected { .. } => "fault-injected",
             Payload::Retry { .. } => "retry",
@@ -301,7 +315,9 @@ impl Payload {
             Payload::SyncWait { .. } => "sync",
             Payload::BucketCharge { .. } => "bucket",
             Payload::Marker { .. } => "marker",
-            Payload::ClampedEvent { .. } | Payload::QueueHealth { .. } => "sim",
+            Payload::ClampedEvent { .. }
+            | Payload::QueueHealth { .. }
+            | Payload::ShardBarrier { .. } => "sim",
             Payload::SweepCell { .. } => "sweep",
             Payload::FaultInjected { .. } | Payload::Retry { .. } | Payload::Degraded { .. } => {
                 "fault"
@@ -426,6 +442,15 @@ impl Payload {
                         events as f64 / slots_drained as f64
                     }),
                 ),
+            ],
+            Payload::ShardBarrier {
+                window_ns,
+                admitted,
+                applied,
+            } => vec![
+                ("window_ns", ArgValue::U64(window_ns)),
+                ("admitted", ArgValue::U64(admitted)),
+                ("applied", ArgValue::U64(applied)),
             ],
             Payload::SweepCell { index, worker } => vec![
                 ("index", ArgValue::U64(index)),

@@ -205,6 +205,9 @@ pub struct HaloConfig {
     /// Route transfers through a topology; `None` runs the legacy flat
     /// model.
     pub topology: Option<TopologyHandle>,
+    /// Worker shards for the event loop (clamped by the cluster; 1 =
+    /// single-queue). Reports are byte-identical at any shard count.
+    pub shards: u32,
 }
 
 impl HaloConfig {
@@ -224,11 +227,17 @@ impl HaloConfig {
             warmup_laps: 1,
             measured_laps: 1,
             topology: None,
+            shards: 1,
         }
     }
 
     pub fn with_topology(mut self, topo: TopologyHandle) -> Self {
         self.topology = Some(topo);
+        self
+    }
+
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -247,6 +256,11 @@ pub struct HaloOutcome {
     pub busiest_hop_busy: Duration,
     /// Bytes summed over every hop of the topology (zero without one).
     pub hop_bytes: u64,
+    /// Hop-level start-time order violations observed by the topology
+    /// network (zero without one; must stay zero under sharding).
+    pub order_violations: u64,
+    /// Window barriers the sharded coordinator ran (zero single-queue).
+    pub shard_barriers: u64,
 }
 
 /// Run one halo-exchange measurement.
@@ -264,7 +278,8 @@ fn run_halo_with(cfg: &HaloConfig, telemetry: Option<&Telemetry>) -> HaloOutcome
     let programs = halo_programs(&cfg.grid, &cfg.workload, cfg.n_msgs, laps, 7);
     let gpus_per_node = cfg.platform.gpus_per_node.max(1);
     let mut builder = ClusterBuilder::new(cfg.platform.clone(), cfg.scheme.clone())
-        .data_mode(DataMode::ModelOnly);
+        .data_mode(DataMode::ModelOnly)
+        .shards(cfg.shards);
     if let Some(topo) = &cfg.topology {
         builder = builder.topology(topo.clone());
     }
@@ -302,6 +317,8 @@ fn run_halo_with(cfg: &HaloConfig, telemetry: Option<&Telemetry>) -> HaloOutcome
         events: report.events_processed,
         busiest_hop_busy: busiest,
         hop_bytes: bytes,
+        order_violations: cluster.topo_order_violations().unwrap_or(0),
+        shard_barriers: report.shard.barriers,
     }
 }
 
@@ -378,5 +395,33 @@ mod tests {
         let out = run_halo(&cfg);
         assert!(out.hop_bytes > 0);
         assert!(out.busiest_hop_busy.as_nanos() > 0);
+    }
+
+    #[test]
+    fn sharded_halo_matches_single_queue_exactly() {
+        for topo in [false, true] {
+            let mut cfg = HaloConfig::new(
+                Platform::lassen(),
+                SchemeKind::fusion_default(),
+                specfem3d_cm(200),
+                HaloGrid::new_3d(2, 2, 2),
+                2,
+            );
+            if topo {
+                cfg = cfg.with_topology(Arc::new(Hierarchy::lassen_like(2)));
+            }
+            let single = run_halo(&cfg);
+            let sharded = run_halo(&cfg.clone().with_shards(2));
+            assert!(sharded.shard_barriers > 0, "sharding engaged (topo={topo})");
+            assert_eq!(single.latency, sharded.latency, "topo={topo}");
+            assert_eq!(single.lap_latencies, sharded.lap_latencies, "topo={topo}");
+            assert_eq!(single.events, sharded.events, "topo={topo}");
+            assert_eq!(single.hop_bytes, sharded.hop_bytes, "topo={topo}");
+            assert_eq!(
+                single.busiest_hop_busy, sharded.busiest_hop_busy,
+                "topo={topo}"
+            );
+            assert_eq!(sharded.order_violations, 0, "topo={topo}");
+        }
     }
 }

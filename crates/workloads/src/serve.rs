@@ -47,6 +47,9 @@ pub struct ServeConfig {
     pub size_mix: Vec<u64>,
     /// Route transfers through a topology; `None` runs the flat model.
     pub topology: Option<TopologyHandle>,
+    /// Worker shards for the event loop (clamped by the cluster; 1 =
+    /// single-queue). Outcomes are byte-identical at any shard count.
+    pub shards: u32,
 }
 
 impl ServeConfig {
@@ -61,7 +64,13 @@ impl ServeConfig {
             warmup_laps: 2,
             size_mix: Vec::new(),
             topology: None,
+            shards: 1,
         }
+    }
+
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     pub fn with_gap_ns(mut self, gap_ns: u64) -> Self {
@@ -122,6 +131,8 @@ pub struct ServeOutcome {
     pub pool: PoolStats,
     /// Simulation events processed.
     pub events: u64,
+    /// Window barriers the sharded coordinator ran (zero single-queue).
+    pub shard_barriers: u64,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice: the smallest
@@ -192,6 +203,7 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeOutcome {
     let p1 = serve_program(cfg, 1007, RankId(0));
     let mut builder = ClusterBuilder::new(cfg.platform.clone(), cfg.scheme.clone())
         .data_mode(DataMode::ModelOnly)
+        .shards(cfg.shards)
         .add_rank(0, p0)
         .add_rank(1, p1);
     if let Some(topo) = &cfg.topology {
@@ -227,6 +239,7 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeOutcome {
         wire_high_water: report.wire_high_water,
         pool: cluster.staging_pool_stats(),
         events: report.events_processed,
+        shard_barriers: report.shard.barriers,
     }
 }
 
@@ -305,6 +318,27 @@ mod tests {
         assert_eq!(a.wire_high_water, b.wire_high_water);
         assert_eq!(a.wheel.slab_high_water, b.wheel.slab_high_water);
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn sharded_serve_matches_single_queue_exactly() {
+        let cfg = ServeConfig::new(
+            Platform::lassen(),
+            SchemeKind::fusion_default(),
+            specfem3d_oc(200),
+            1_000,
+        )
+        .with_gap_ns(2_000);
+        let single = run_serve(&cfg);
+        let sharded = run_serve(&cfg.clone().with_shards(2));
+        assert!(sharded.shard_barriers > 0, "sharding engaged");
+        assert_eq!(single.elapsed, sharded.elapsed);
+        assert_eq!(single.p50, sharded.p50);
+        assert_eq!(single.p99, sharded.p99);
+        assert_eq!(single.p999, sharded.p999);
+        assert_eq!(single.max, sharded.max);
+        assert_eq!(single.events, sharded.events);
+        assert_eq!(single.requests, sharded.requests);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Release-mode guard for the sharded event loop's headline claim: on a
+//! 4096-rank torus, four shards must (a) reproduce the single-queue run
+//! byte for byte, and (b) actually be faster on a machine with cores to
+//! spare.
+//!
+//! Correctness is asserted unconditionally. The wall-clock half follows
+//! the `wheel_bench_guard` convention: absolute times vary by host, so
+//! the guard is *relative* and in-process — interleaved timed rounds of
+//! the same cluster at 1 vs 4 shards, compared by median. It only runs
+//! where `available_parallelism() >= 4`; on smaller hosts (CI containers
+//! are often single-core) a conservative-window loop has no cores to
+//! win with, and unoptimised debug timing proves nothing, so debug
+//! builds skip the whole file.
+
+#![cfg(not(debug_assertions))]
+
+use fusedpack_gpu::DataMode;
+use fusedpack_mpi::{ClusterBuilder, RunReport, SchemeKind};
+use fusedpack_net::{Hierarchy, Platform};
+use fusedpack_workloads::halo::halo_programs;
+use fusedpack_workloads::specfem::specfem3d_cm;
+use fusedpack_workloads::HaloGrid;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The BENCH_hotpaths.json `contended_transmit_64x_4096_ranks` scale: a
+/// 16x16x16 periodic torus over 1024 Lassen nodes.
+const GRID: [u32; 3] = [16, 16, 16];
+const LAPS: usize = 1;
+
+/// Build the 4096-rank cluster and run it once; returns the report plus
+/// the hop table and order-violation count.
+fn run_torus(shards: u32) -> (RunReport, Vec<(u64, u64)>, u64) {
+    let grid = HaloGrid::new_3d(GRID[0], GRID[1], GRID[2]);
+    let platform = Platform::lassen();
+    let gpus_per_node = platform.gpus_per_node.max(1);
+    let nodes = grid.ranks().div_ceil(gpus_per_node);
+    let programs = halo_programs(&grid, &specfem3d_cm(200), 1, LAPS, 7);
+    let mut builder = ClusterBuilder::new(platform, SchemeKind::fusion_default())
+        .data_mode(DataMode::ModelOnly)
+        .shards(shards)
+        .topology(Arc::new(Hierarchy::lassen_like(nodes)));
+    for (rank, (program, _)) in programs.into_iter().enumerate() {
+        builder = builder.add_rank(rank as u32 / gpus_per_node, program);
+    }
+    let mut cluster = builder.build();
+    let report = cluster.run();
+    let hops: Vec<(u64, u64)> = cluster
+        .topo_hop_stats()
+        .expect("topology attached")
+        .iter()
+        .map(|h| (h.bytes, h.busy.as_nanos()))
+        .collect();
+    let violations = cluster.topo_order_violations().unwrap_or(0);
+    (report, hops, violations)
+}
+
+/// Wall-clock of one full run at `shards`, in seconds.
+fn timed_round(shards: u32) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(run_torus(shards));
+    start.elapsed().as_secs_f64()
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn four_shards_reproduce_and_beat_single_queue_on_4096_ranks() {
+    // Byte-identity first: no timing claim matters if the decomposition
+    // changes the simulation.
+    let (single, single_hops, single_viol) = run_torus(1);
+    let (sharded, sharded_hops, sharded_viol) = run_torus(4);
+    assert!(sharded.shard.barriers > 0, "coordinator must engage");
+    assert_eq!(single_viol, 0);
+    assert_eq!(sharded_viol, 0, "per-hop transmit starts regressed");
+    assert_eq!(single.events_processed, sharded.events_processed);
+    for lap in 0..LAPS {
+        assert_eq!(single.lap_makespan(lap), sharded.lap_makespan(lap));
+    }
+    assert_eq!(single_hops, sharded_hops, "per-hop byte/busy tables diverged");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!(
+            "shard_speedup_guard: byte-identity verified; skipping the wall-clock \
+             half on a {cores}-core host (needs >= 4)"
+        );
+        return;
+    }
+
+    // Interleave the sides so host-speed drift hits both equally.
+    let mut single_s = Vec::new();
+    let mut sharded_s = Vec::new();
+    for _ in 0..3 {
+        single_s.push(timed_round(1));
+        sharded_s.push(timed_round(4));
+    }
+    let single_t = median(single_s);
+    let sharded_t = median(sharded_s);
+    assert!(
+        sharded_t * 2.0 <= single_t,
+        "4 shards ({sharded_t:.2}s) must run the 4096-rank torus >= 2x faster \
+         than the single queue ({single_t:.2}s)"
+    );
+}
