@@ -301,18 +301,21 @@ fn bench_scheduler(c: &mut Criterion) {
 /// plan whose every spec is `probability: 0` (an early-out before any RNG
 /// draw); `armed_plan` actually draws. The first two must be
 /// indistinguishable — that is the zero-cost contract the bit-identity
-/// tests enforce semantically and this group quantifies.
+/// tests enforce semantically and this group quantifies. The stateful
+/// (`fires`, per-(site, rank) streams) and keyed (`fires_keyed`, stateless
+/// splitmix over the event key — the per-hop decision of the routed
+/// transmit path) families are benchmarked side by side.
 fn bench_fault_hooks(c: &mut Criterion) {
     let mut g = c.benchmark_group("hotpaths/fault_hooks");
 
-    // The raw decision loop: 4096 should-inject checks round-robining the
-    // fault sites, the shape the cluster's hooks execute per event.
+    // The raw decision loop: 4096 fires checks round-robining the fault
+    // sites and 8 ranks, the shape the cluster's hooks execute per event.
     let decisions = |plan: &mut Option<FaultPlan>| {
         let mut fired = 0u64;
         for i in 0..4096u64 {
             let site = FaultSite::ALL[(i % FaultSite::ALL.len() as u64) as usize];
             if let Some(p) = plan.as_mut() {
-                if p.should_inject(site) {
+                if p.fires(site, (i % 8) as u32) {
                     fired += 1;
                 }
             }
@@ -331,6 +334,30 @@ fn bench_fault_hooks(c: &mut Criterion) {
     g.bench_function("decisions_4k_armed_plan", |b| {
         let mut plan = Some(FaultPlan::uniform(0, 0.1));
         b.iter(|| decisions(black_box(&mut plan)))
+    });
+
+    // The stateless keyed family: one hash per decision, no stream state —
+    // what every hop crossing of a routed transmit pays under an armed
+    // fabric plan (zero-probability must stay an ≈ns-scale early-out).
+    let keyed = |plan: &mut Option<FaultPlan>| {
+        let mut fired = 0u64;
+        for i in 0..4096u64 {
+            let site = FaultSite::ALL[(i % FaultSite::ALL.len() as u64) as usize];
+            if let Some(p) = plan.as_mut() {
+                if p.fires_keyed(site, i % 64, i) {
+                    fired += 1;
+                }
+            }
+        }
+        fired
+    };
+    g.bench_function("keyed_decisions_4k_zero_probability_plan", |b| {
+        let mut plan = Some(FaultPlan::new(0));
+        b.iter(|| keyed(black_box(&mut plan)))
+    });
+    g.bench_function("keyed_decisions_4k_armed_plan", |b| {
+        let mut plan = Some(FaultPlan::uniform(0, 0.1));
+        b.iter(|| keyed(black_box(&mut plan)))
     });
 
     // End to end: a small fused exchange simulated with no plan vs an
@@ -444,6 +471,57 @@ fn bench_topology(c: &mut Criterion) {
                 }
                 black_box(last)
             })
+        });
+    }
+
+    // The same contended series with a zero-probability fabric plan armed:
+    // the per-hop fault hook's cost when it never fires. The delta against
+    // contended_transmit_64x_256_ranks is the hook — it must stay ≈ns per
+    // hop (an early-out before any hash).
+    {
+        let keys = pairs(256);
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(64)));
+        net.arm_faults(FaultPlan::new(0));
+        for &key in &keys {
+            let _ = net.resolve(key);
+        }
+        g.bench_function("contended_transmit_64x_256_ranks_zero_prob_fabric", |b| {
+            b.iter(|| {
+                net.reset();
+                let mut last = Time(0);
+                for &key in &keys {
+                    let t = net.transmit(Time(0), key, 65_536, None).expect("routable");
+                    last = t.delivered;
+                }
+                black_box(last)
+            })
+        });
+    }
+
+    // The reroute slow path: dead-set-avoiding shortest-path resolution
+    // (what one ECMP re-resolution costs after a hop dies) against the
+    // unrestricted resolution on the same pair.
+    {
+        use fusedpack_net::HopKind;
+        let topo = Hierarchy::lassen_like(64);
+        let (a, b_) = (Endpoint::new(0, 0), Endpoint::new(63, 0));
+        let healthy = topo.route(a, b_).expect("routable");
+        let dead: Vec<u32> = healthy
+            .iter()
+            .filter(|h| topo.hops()[h.0 as usize].kind == HopKind::Rail)
+            .map(|h| h.0)
+            .take(1)
+            .collect();
+        g.bench_function("reroute_resolve_avoiding_dead_rail", |b| {
+            b.iter(|| {
+                black_box(
+                    topo.route_avoiding(black_box(a), b_, black_box(&dead))
+                        .expect("sibling rail survives"),
+                )
+            })
+        });
+        g.bench_function("reroute_resolve_unrestricted_baseline", |b| {
+            b.iter(|| black_box(topo.route(black_box(a), b_).expect("routable")))
         });
     }
     g.finish();

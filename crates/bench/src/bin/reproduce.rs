@@ -6,8 +6,8 @@
 //!           [--shards N] [--timings]
 //!
 //! EXPERIMENT:       table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!                   ablation adapt ipc approaches chaos topo serve
-//!                   (default: all)
+//!                   ablation adapt ipc approaches chaos chaos-topo topo
+//!                   serve (default: all)
 //! --csv DIR:        additionally write one CSV per table into DIR
 //! --threshold X:    fusion threshold for the Proposed columns of the
 //!                   scheme-comparison figures (9/10/12/13): a byte count,
@@ -17,10 +17,11 @@
 //!                   fig8 sweep and the adapt experiment are unaffected.
 //! --requests N:     total requests the serve experiment replays per cell
 //!                   (default 200k; "50k" and "1m" style suffixes accepted)
-//! --seed N:         master seed for the chaos experiment's fault plans
+//! --seed N:         master seed for the chaos/chaos-topo fault plans
 //!                   (default 42). Per-cell plans derive from this and the
-//!                   cell's grid coordinates, so the chaos report is
-//!                   byte-identical across runs and --jobs counts.
+//!                   cell's grid coordinates, and fault decisions ride
+//!                   per-rank/keyed streams, so the chaos reports are
+//!                   byte-identical across runs, --jobs, and --shards.
 //! --jobs N:         run sweep cells on N worker threads (default: the
 //!                   FUSEDPACK_JOBS env var, then all available cores).
 //!                   Tables and CSVs are byte-identical for every N.

@@ -252,9 +252,11 @@ mod tests {
         // bandwidth it would never see fault-free; it must move.
         let w = specfem3d_oc(1200);
         let mut plan = FaultPlan::new(cell_seed(42, 0, 1, 2, 1));
-        for site in [FaultSite::FusedLaunchFail, FaultSite::FusedFlagLost] {
-            plan = plan.with(site, FaultSpec::with_probability(0.3));
-        }
+        // Launch-fail draws happen once per flush — far fewer than flag
+        // draws (once per request) — so they need a high rate for the
+        // degraded path to fire reliably on the per-(site, rank) streams.
+        plan = plan.with(FaultSite::FusedLaunchFail, FaultSpec::with_probability(0.6));
+        plan = plan.with(FaultSite::FusedFlagLost, FaultSpec::with_probability(0.3));
         let out = run_exchange_chaos(
             &config(SchemeKind::fusion_adaptive(), w.clone()),
             Some(plan),

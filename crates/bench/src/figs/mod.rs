@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod adapt;
 pub mod approaches;
 pub mod chaos;
+pub mod chaos_topo;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

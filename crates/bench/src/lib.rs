@@ -21,6 +21,7 @@
 //! | Adaptive | [`figs::adapt`] | extension: online threshold control on a phase-changing workload |
 //! | DirectIPC | [`figs::ipc`] | extension: fused zero-copy intra-node transfers |
 //! | Chaos | [`figs::chaos`] | robustness: seeded fault-injection grid, checksum + latency inflation |
+//! | Chaos-topo | [`figs::chaos_topo`] | robustness: per-hop fabric faults on the 512-rank torus, reroute/failover counts |
 //! | Topo | [`figs::topo`] | topology contrast: 512-rank 3-D halo on fat-tree vs dragonfly machines |
 //! | Serve | [`figs::serve`] | sustained load: 200k-request replay, throughput + p50/p99/p999 tails, allocator churn |
 //! | §III / Fig. 4 | [`figs::approaches`] | the three transfer approaches (Algorithms 1-3) |
@@ -47,6 +48,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ipc",
     "approaches",
     "chaos",
+    "chaos-topo",
     "topo",
     "serve",
 ];
@@ -68,6 +70,7 @@ pub fn run_experiment(name: &str) -> Vec<Table> {
         "ipc" => vec![figs::ipc::run()],
         "approaches" => vec![figs::approaches::run()],
         "chaos" => vec![figs::chaos::run()],
+        "chaos-topo" => vec![figs::chaos_topo::run()],
         "topo" => vec![figs::topo::run()],
         "serve" => figs::serve::run(),
         other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?}"),

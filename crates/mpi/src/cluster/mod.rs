@@ -23,8 +23,8 @@ use crate::sendrecv::{RecvId, SendId};
 use fusedpack_core::{SchedStats, Uid};
 use fusedpack_gpu::{BufferPool, DataMode, FixedRuns, Gpu, MemPool};
 use fusedpack_net::platform::Platform;
-use fusedpack_net::topology::{validate_endpoint, Endpoint};
-use fusedpack_net::{Link, Nic, TopoNet, TopologyHandle};
+use fusedpack_net::topology::{validate_endpoint, Endpoint, FabricEvent};
+use fusedpack_net::{FabricHealth, Link, Nic, TopoNet, TopologyHandle};
 use fusedpack_sim::trace::Trace;
 use fusedpack_sim::{
     ClampStats, Duration, EventQueue, FaultPlan, FaultSite, FaultSummary, Mailbox, Pcg32,
@@ -138,10 +138,12 @@ impl ClusterBuilder {
     /// Partition the event loop across `n` worker shards synchronized by
     /// conservative time windows (see the `shardrun` module). Reports are
     /// byte-identical to the single-queue run for every virtual-time
-    /// quantity; only wall-clock and queue-health diagnostics differ. The
-    /// request is clamped at run time (to the node count, and to 1 when a
-    /// fault plan is armed, ranks are not node-contiguous, or there is no
-    /// lookahead) — `RunReport::shard.shards` echoes the effective value.
+    /// quantity — armed fault plans included, since every fault decision is
+    /// drawn from a per-rank stream or a stateless keyed hash; only
+    /// wall-clock and queue-health diagnostics differ. The request is
+    /// clamped at run time (to the node count, and to 1 when ranks are not
+    /// node-contiguous or there is no lookahead) — `RunReport::shard.shards`
+    /// echoes the effective value.
     pub fn shards(mut self, n: u32) -> Self {
         self.shards = n.max(1);
         self
@@ -310,21 +312,25 @@ impl ClusterBuilder {
         // A misconfigured topology (too few nodes, more ranks on a node
         // than its island holds) is a build-time error, not a runtime
         // fault: fail loudly with the typed error's message.
+        let faults = self.faults;
         let topo = self.topology.map(|t| {
             for &ep in &endpoints {
                 if let Err(e) = validate_endpoint(t.as_ref(), ep) {
                     panic!("cluster does not fit topology '{}': {e}", t.name());
                 }
             }
-            TopoNet::new(t)
+            let mut net = TopoNet::new(t);
+            // Arm the fabric fault domain when the plan carries per-hop
+            // sites. Flat topologies have no path diversity (nothing to
+            // reroute around), so their single wire stays fault-free at
+            // the hop level — the link-scoped sites still apply.
+            if let Some(plan) = faults.as_ref() {
+                if plan.is_fabric_armed() && !net.topology().is_flat() {
+                    net.arm_faults(plan.clone());
+                }
+            }
+            net
         });
-
-        // The retry protocol's jitter stream: seeded from the fault plan so
-        // chaos runs are self-contained, never touched on fault-free runs.
-        let retry_rng = Pcg32::new(
-            self.faults.as_ref().map_or(0, |p| p.seed()),
-            RETRY_RNG_STREAM,
-        );
 
         Cluster {
             platform: self.platform,
@@ -343,10 +349,9 @@ impl ClusterBuilder {
             buf_pool: BufferPool::new(),
             wire_slab: Slab::new(),
             telemetry,
-            faults: self.faults,
+            faults,
             fault_stats: FaultSummary::default(),
             retry: self.retry,
-            retry_rng,
             shards_requested: self.shards,
             cur_event: (Time::ZERO, 0),
             defer_transmits: false,
@@ -359,10 +364,6 @@ impl ClusterBuilder {
         }
     }
 }
-
-/// Stream tag for the retry protocol's deterministic backoff jitter,
-/// disjoint from the per-site fault streams and the buffer-init streams.
-const RETRY_RNG_STREAM: u64 = 0x4e7c;
 
 /// The running cluster.
 pub struct Cluster {
@@ -410,9 +411,10 @@ pub struct Cluster {
     /// Injection/recovery accounting for the final [`RunReport`].
     pub(crate) fault_stats: FaultSummary,
     /// Retry/backoff/deadline policy for recovering injected wire faults.
+    /// Backoff jitter is keyed ([`RetryPolicy::backoff_keyed`]) by the
+    /// transfer's canonical event key, so retries draw identical jitter at
+    /// any shard count.
     pub(crate) retry: RetryPolicy,
-    /// Jitter stream for [`RetryPolicy::backoff`].
-    pub(crate) retry_rng: Pcg32,
     /// Worker shards requested via [`ClusterBuilder::shards`] (clamped at
     /// run time; 1 = the single-queue loop).
     pub(crate) shards_requested: u32,
@@ -471,6 +473,10 @@ pub struct RunReport {
     /// Fault-injection and recovery accounting. All-zero (`is_clean`) on
     /// fault-free runs with no ring backpressure.
     pub fault_summary: FaultSummary,
+    /// Fabric-level fault-domain accounting (per-hop injections, health
+    /// transitions, reroutes, rail failovers, forced deliveries). All-zero
+    /// unless a topology is attached and its fault domain armed.
+    pub fabric: FabricHealth,
     /// Sharded-execution health: effective shard count, barriers crossed,
     /// admitted/deferred message counts, mailbox spills, and wall-clock
     /// barrier/stall time. All-zero for single-queue runs.
@@ -540,7 +546,13 @@ impl Cluster {
         let event_clamps = self.events.clamp_stats();
         let wheel = self.events.wheel_stats();
         let wire_high_water = self.wire_slab.high_water();
-        self.finish_report(end_time, events_processed, event_clamps, wheel, wire_high_water)
+        self.finish_report(
+            end_time,
+            events_processed,
+            event_clamps,
+            wheel,
+            wire_high_water,
+        )
     }
 
     /// Post-run assertions, the end-of-run health snapshot, and report
@@ -554,6 +566,9 @@ impl Cluster {
         wheel: WheelStats,
         wire_high_water: u32,
     ) -> RunReport {
+        // A clean chaos run must not clamp: fold the queue counter into the
+        // fault summary so `FaultSummary::is_clean` covers timeline repairs.
+        self.fault_stats.event_clamps += event_clamps.count;
         for rank in self.ranks.iter() {
             assert!(
                 rank.done,
@@ -592,6 +607,11 @@ impl Cluster {
             wheel,
             wire_high_water,
             fault_summary: self.fault_stats,
+            fabric: self
+                .topo
+                .as_ref()
+                .map(|net| net.fabric_health())
+                .unwrap_or_default(),
             shard: self.shard_stats,
         }
     }
@@ -668,13 +688,15 @@ impl Cluster {
     // RNG — which is what keeps no-plan and all-zero-plan runs bit-identical
     // to the pre-fault code (enforced by tests).
 
-    /// Should a fault fire at `site` right now? Counts the injection and
-    /// marks the rank's timeline when it does.
+    /// Should a fault fire at `site` right now for rank `r`? Draws from
+    /// the rank's own decision stream (shard-safe: a rank's events execute
+    /// in the same relative order at any shard count), counts the
+    /// injection, and marks the rank's timeline when it fires.
     pub(crate) fn fault_fires(&mut self, r: usize, site: FaultSite, at: Time) -> bool {
         let Some(plan) = self.faults.as_mut() else {
             return false;
         };
-        if !plan.should_inject(site) {
+        if !plan.fires(site, r as u32) {
             return false;
         }
         self.fault_stats.injected += 1;
@@ -684,11 +706,30 @@ impl Cluster {
         true
     }
 
-    /// Draw the latency spike for a site that just fired.
-    pub(crate) fn fault_spike(&mut self, site: FaultSite) -> Duration {
+    /// Draw the latency spike for a site that just fired for rank `r`.
+    pub(crate) fn fault_spike(&mut self, r: usize, site: FaultSite) -> Duration {
         self.faults
             .as_mut()
-            .map_or(Duration::ZERO, |plan| plan.spike(site))
+            .map_or(Duration::ZERO, |plan| plan.spike(site, r as u32))
+    }
+
+    /// Drain fabric state transitions from `net` and emit them as
+    /// telemetry instants on the triggering sender's timeline.
+    pub(crate) fn emit_fabric_events(&mut self, net: &mut TopoNet, src: usize) {
+        for ev in net.drain_fabric_events() {
+            let tele = &self.ranks[src].tele;
+            match ev {
+                FabricEvent::HopDown { hop, at } => {
+                    tele.instant(Lane::Nic, at, || Payload::HopDown { hop });
+                }
+                FabricEvent::Rerouted { src, dst, at } => {
+                    tele.instant(Lane::Nic, at, || Payload::Rerouted { src, dst });
+                }
+                FabricEvent::RailFailover { hop, at } => {
+                    tele.instant(Lane::Nic, at, || Payload::RailFailover { hop });
+                }
+            }
+        }
     }
 
     /// Record a retry decision (telemetry + counters).

@@ -15,6 +15,8 @@ impl Cluster {
     /// Transport `bytes` from rank `src` to rank `dst`. Returns
     /// `(delivered, initiator_completion)`. `gdr` caps inter-node bandwidth
     /// by the NIC↔GPU path; intra-node transfers ride the GPU↔GPU link.
+    /// `event_key` is the transfer's canonical event key — the coordinate
+    /// an armed fabric fault domain keys its per-hop draws by.
     pub(crate) fn transport(
         &mut self,
         src: usize,
@@ -22,13 +24,15 @@ impl Cluster {
         at: Time,
         bytes: u64,
         gdr: bool,
+        event_key: u64,
     ) -> (Time, Time) {
         if self.topo.is_some() {
-            if let Some(result) = self.transport_routed(src, dst, at, bytes, gdr) {
+            if let Some(result) = self.transport_routed(src, dst, at, bytes, gdr, event_key) {
                 return result;
             }
-            // Route resolution failed (absorbed, counted): fall through to
-            // the flat path so the transfer still completes.
+            // Route resolution failed (absorbed, counted) or the fabric is
+            // disconnected (forced-delivery rung): fall through to the flat
+            // path so the transfer still completes and Waitall never wedges.
         }
         self.transport_flat(src, dst, at, bytes, gdr)
     }
@@ -89,7 +93,6 @@ impl Cluster {
         let deliver_key = self.next_key(src);
         let complete_key = complete.map(|sid| (sid, self.next_key(src)));
         if self.defer_transmits {
-            debug_assert!(self.faults.is_none(), "fault plans clamp to one shard");
             let (t_e, k_e) = self.cur_event;
             let seq = self.pending_seq;
             self.pending_seq += 1;
@@ -104,11 +107,13 @@ impl Cluster {
                 msg,
                 deliver_key,
                 complete: complete_key,
+                dup: None,
             });
             return None;
         }
         let dst = msg.dst.0 as usize;
-        let (delivered, completion) = self.transport_reliable(src, dst, at, bytes, gdr);
+        let (delivered, completion) =
+            self.transport_reliable(src, dst, at, bytes, gdr, deliver_key);
         self.push_deliver(delivered.max(self.events.now()), deliver_key, msg);
         if let Some((sid, key)) = complete_key {
             let rid = self.ranks[src].id;
@@ -133,6 +138,12 @@ impl Cluster {
     /// bound the loop; once exhausted the transfer is forced through the
     /// reliable slow path (counted as `deadline_exceeded`), so a Waitall
     /// can never wedge on an unlucky seed.
+    ///
+    /// `event_key` is the transfer's pre-drawn Deliver key: unique per
+    /// transfer and identical across shard counts, it keys both the backoff
+    /// jitter and the fabric's per-hop draws, which is what lets the
+    /// sharded loop replay deferred transmits at window barriers and still
+    /// produce byte-identical chaos reports.
     pub(crate) fn transport_reliable(
         &mut self,
         src: usize,
@@ -140,11 +151,13 @@ impl Cluster {
         at: Time,
         bytes: u64,
         gdr: bool,
+        event_key: u64,
     ) -> (Time, Time) {
         if self.faults.is_none() {
-            return self.transport(src, dst, at, bytes, gdr);
+            return self.transport(src, dst, at, bytes, gdr, event_key);
         }
         let policy = self.retry;
+        let jitter_seed = self.faults.as_ref().map_or(0, |p| p.seed());
         let deadline = at + policy.deadline;
         let mut now = at;
         let mut attempt: u32 = 1;
@@ -170,16 +183,17 @@ impl Cluster {
                     } else {
                         wire_clear + policy.detect_timeout
                     };
-                    let backoff = policy.backoff(attempt, &mut self.retry_rng);
+                    let backoff = policy.backoff_keyed(attempt, jitter_seed, event_key);
                     self.fault_retry(src, site, attempt, backoff, detected);
                     now = detected + backoff;
                     attempt += 1;
                     continue;
                 }
             }
-            let (mut delivered, mut completion) = self.transport(src, dst, now, bytes, gdr);
+            let (mut delivered, mut completion) =
+                self.transport(src, dst, now, bytes, gdr, event_key);
             if self.fault_fires(src, FaultSite::LinkDelay, now) {
-                let spike = self.fault_spike(FaultSite::LinkDelay);
+                let spike = self.fault_spike(src, FaultSite::LinkDelay);
                 self.fault_recovered(spike);
                 delivered += spike;
                 completion += spike;
@@ -188,7 +202,7 @@ impl Cluster {
             if inter && self.fault_fires(src, FaultSite::NicTimeout, now) {
                 // CQE stalls: delivery is unaffected, the initiator's
                 // completion arrives late.
-                let spike = self.fault_spike(FaultSite::NicTimeout);
+                let spike = self.fault_spike(src, FaultSite::NicTimeout);
                 self.fault_recovered(spike);
                 completion += spike;
             }
@@ -383,20 +397,34 @@ impl Cluster {
                 payload,
             };
             let result = self.wire_transmit(r, at, bytes, gdr, msg, Some(sid));
-            // Deferred transmits (`None`) only happen fault-free, where
-            // the dup-CQE site can never fire.
-            if let Some((_, completion)) = result {
-                if self.fault_fires(r, FaultSite::NicDupCompletion, completion) {
-                    // The NIC replays the CQE; the progress engine's guard
-                    // in `on_send_complete` must absorb the duplicate.
+            // The dup-CQE decision (and its event key) is drawn in program
+            // order whether the transmit executed inline or was deferred to
+            // a window barrier, so the rank's per-site stream and key
+            // sequence stay aligned across shard counts. The NIC replays
+            // the CQE; the progress engine's guard in `on_send_complete`
+            // absorbs the duplicate.
+            let dup = self
+                .fault_fires(r, FaultSite::NicDupCompletion, at)
+                .then(|| self.next_key(r));
+            match (result, dup) {
+                (Some((_, completion)), Some(key)) => {
                     let dup_at = completion + self.platform.progress_poll;
-                    let key = self.next_key(r);
                     self.events.push_at_key(
                         dup_at.max(self.events.now()),
                         key,
                         Event::SendComplete(src_id, sid),
                     );
                 }
+                (None, Some(key)) => {
+                    // Deferred: carry the pre-drawn key in the pending
+                    // record; the coordinator schedules the duplicate once
+                    // the real completion time is known.
+                    self.pending
+                        .last_mut()
+                        .expect("deferred transmit just pushed")
+                        .dup = Some(key);
+                }
+                _ => {}
             }
         }
     }

@@ -72,7 +72,7 @@ impl FusionEngine {
                     // progress engine's watchdog re-polls the ring and
                     // rescues the request one spike later. Data movement is
                     // unaffected (it was applied at enqueue).
-                    let spike = cx.cl.fault_spike(FaultSite::FusedFlagLost);
+                    let spike = cx.cl.fault_spike(r, FaultSite::FusedFlagLost);
                     cx.cl.fault_recovered(spike);
                     done += spike;
                 }
@@ -376,7 +376,7 @@ impl FusionEngine {
         // Timing: the bounce rides the intra-node link, then a synchronous
         // scatter kernel lands it in the user buffer.
         let at = cx.cl.ranks[r].cpu;
-        let (delivered, _) = cx.cl.transport(src, r, at, bytes, false);
+        let (delivered, _) = cx.cl.transport(src, r, at, bytes, false, 0);
         cx.cl
             .bucket_add_at(r, Bucket::Comm, at, delivered.since(at));
         cx.cl.ranks[r].cpu = cx.cl.ranks[r].cpu.max(delivered);

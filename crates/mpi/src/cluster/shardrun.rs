@@ -37,12 +37,23 @@
 //! (stall/barrier time, per-shard queue high-waters) are reported in
 //! [`ShardStats`] and excluded from the identity claim.
 //!
+//! ## Fault plans shard cleanly
+//!
+//! Armed fault plans no longer clamp the shard count: rank-scoped fault
+//! streams are consumed in each rank's own event order (identical at any
+//! shard count), wire/NIC/hop decisions and backoff jitter are stateless
+//! hashes keyed by canonical event keys, and deferred transmits replay the
+//! full retry ladder at the barrier in single-queue order against the
+//! master network — so chaos reports are byte-identical at any `--shards
+//! N`. Fabric hop-state transitions happen only during barrier replay,
+//! which means every shard observes a route-epoch change at the same
+//! window boundary (the barrier telemetry instant records the epoch).
+//!
 //! ## What disqualifies a run
 //!
-//! `effective_shards` clamps to 1 when a fault plan is armed (fault RNG
-//! streams are consumed in global dispatch order — not partitionable),
-//! when ranks are not grouped contiguously by node, when there are fewer
-//! than two nodes, or when the lookahead is zero.
+//! `effective_shards` clamps to 1 when ranks are not grouped contiguously
+//! by node, when there are fewer than two nodes, or when the lookahead is
+//! zero.
 
 use super::{Cluster, Event, Ranged, RankId};
 use crate::message::WireMsg;
@@ -81,6 +92,10 @@ pub(crate) struct PendingTransmit {
     pub deliver_key: u64,
     /// Initiator-side CQE to schedule at completion, with its key.
     pub complete: Option<(SendId, u64)>,
+    /// Pre-drawn key for a duplicated CQE (the `NicDupCompletion` site
+    /// fired at issue time); the coordinator schedules the replayed
+    /// completion once the real completion time is known.
+    pub dup: Option<u64>,
 }
 
 /// One shard's slice of the cluster: rank range and node range, both
@@ -98,11 +113,6 @@ impl Cluster {
     pub(crate) fn effective_shards(&self) -> u32 {
         let req = self.shards_requested;
         if req <= 1 {
-            return 1;
-        }
-        // Fault plans draw per-site RNG streams in global dispatch order;
-        // splitting dispatch across threads would reorder the draws.
-        if self.faults.is_some() {
             return 1;
         }
         let num_nodes = self.nics.len() as u32;
@@ -184,8 +194,8 @@ impl Cluster {
         let shards = specs.len();
         let mut rank_shard = vec![0u32; self.endpoints.len()];
         for (s, spec) in specs.iter().enumerate() {
-            for r in spec.rank_start..spec.rank_end {
-                rank_shard[r] = s as u32;
+            for slot in &mut rank_shard[spec.rank_start..spec.rank_end] {
+                *slot = s as u32;
             }
         }
         let mut ranks = std::mem::take(&mut self.ranks).into_vec();
@@ -219,6 +229,9 @@ impl Cluster {
             // Intra-node links are keyed by (node, node); each belongs to
             // the shard owning that node.
             let node_range = spec.node_start as u32..spec.node_end as u32;
+            // HashMap::extract_if is 1.88+; the toolchain provides it even
+            // though the manifest MSRV trails behind.
+            #[allow(clippy::incompatible_msrv)]
             let shard_intra: std::collections::HashMap<_, _> = intra_links
                 .extract_if(|&(a, _), _| node_range.contains(&a))
                 .collect();
@@ -239,10 +252,13 @@ impl Cluster {
                 buf_pool: BufferPool::new(),
                 wire_slab: Slab::new(),
                 telemetry: self.telemetry.clone(),
-                faults: None,
+                // Each shard carries a clone of the plan: rank-scoped
+                // streams are drawn only by the owning shard (per-rank,
+                // so the clones never diverge from the single-queue
+                // sequences) and keyed decisions are stateless.
+                faults: self.faults.clone(),
                 fault_stats: FaultSummary::default(),
                 retry: self.retry,
-                retry_rng: self.retry_rng.clone(),
                 shards_requested: 1,
                 cur_event: (Time::ZERO, 0),
                 defer_transmits,
@@ -284,7 +300,7 @@ impl Cluster {
             self.absorbed_pool.misses += pool.misses;
             self.absorbed_pool.released += pool.released;
             self.absorbed_pool.dropped += pool.dropped;
-            self.fault_stats.spurious += cl.fault_stats.spurious;
+            self.fault_stats.merge(&cl.fault_stats);
             self.shard_stats.merge(&cl.shard_stats);
             ranks.extend(cl.ranks.into_vec());
             gpus.extend(cl.gpus.into_vec());
@@ -358,30 +374,33 @@ impl Cluster {
                     slots[s] = Some(cl);
                 }
                 let t0 = Instant::now();
-                let applied = match master_net.as_mut() {
-                    Some(net) => apply_pending(&mut slots, net),
-                    None => 0,
+                let applied = if master_net.is_some() {
+                    apply_pending(&mut slots, &mut master_net)
+                } else {
+                    0
                 };
                 coord.deferred_transmits += applied;
                 let admitted = drain_outboxes(&mut slots, &mut scratch);
                 coord.admitted_msgs += admitted;
                 coord.barrier_wall_ns += t0.elapsed().as_nanos() as u64;
                 let window_ns = window_end.as_nanos();
+                // Every shard observes fabric hop transitions at the same
+                // barrier, so the route epoch recorded here is identical
+                // at any shard count.
+                let route_epoch = master_net.as_ref().map_or(0, |n| n.route_epoch());
                 self.telemetry
                     .instant(Lane::Host, window_end, || Payload::ShardBarrier {
                         window_ns,
                         admitted,
                         applied,
+                        route_epoch,
                     });
             }
             drop(cmd_txs); // workers exit their recv loops
         })
         .expect("shard worker panicked");
 
-        let mut states: Vec<Cluster> = slots
-            .into_iter()
-            .map(|c| c.expect("shard home"))
-            .collect();
+        let mut states: Vec<Cluster> = slots.into_iter().map(|c| c.expect("shard home")).collect();
         // Queue aggregates across shards, gathered before recompose.
         let mut end_time = Time::ZERO;
         let mut events_processed = 0u64;
@@ -407,7 +426,13 @@ impl Cluster {
         self.topo = master_net;
         self.shard_stats.merge(&coord);
         self.recompose(states);
-        self.finish_report(end_time, events_processed, event_clamps, wheel, wire_high_water)
+        self.finish_report(
+            end_time,
+            events_processed,
+            event_clamps,
+            wheel,
+            wire_high_water,
+        )
     }
 }
 
@@ -429,7 +454,13 @@ fn event_origin(ev: &Event) -> usize {
 /// network, in ascending (event time, event key, intra-dispatch seq) —
 /// the exact order the single-queue loop issues them — then schedule the
 /// resulting Deliver/SendComplete events into the owning shards.
-fn apply_pending(slots: &mut [Option<Cluster>], net: &mut TopoNet) -> u64 {
+///
+/// The master network is temporarily installed into the sending shard's
+/// `topo` slot so the replay runs the exact single-queue code path:
+/// the full retry ladder, keyed fault draws, fabric health transitions,
+/// and the forced-delivery rung all execute here, against shared fabric
+/// state, in canonical order.
+fn apply_pending(slots: &mut [Option<Cluster>], net_slot: &mut Option<TopoNet>) -> u64 {
     let mut batch: Vec<PendingTransmit> = Vec::new();
     for slot in slots.iter_mut() {
         let cl = slot.as_mut().expect("shard home");
@@ -447,7 +478,11 @@ fn apply_pending(slots: &mut [Option<Cluster>], net: &mut TopoNet) -> u64 {
         };
         let (delivered, completion) = {
             let cl = slots[src_shard].as_mut().expect("shard home");
-            cl.apply_routed_transmit(net, p.src, dst, p.at, p.bytes, p.gdr)
+            debug_assert!(cl.topo.is_none(), "shards never own a network");
+            cl.topo = net_slot.take();
+            let out = cl.transport_reliable(p.src, dst, p.at, p.bytes, p.gdr, p.deliver_key);
+            *net_slot = cl.topo.take();
+            out
         };
         {
             let cl = slots[dst_shard].as_mut().expect("shard home");
@@ -464,6 +499,17 @@ fn apply_pending(slots: &mut [Option<Cluster>], net: &mut TopoNet) -> u64 {
                 key,
                 Event::SendComplete(rid, sid),
             );
+            // A dup-CQE decision drawn at issue time replays the
+            // completion one progress poll later, exactly as the
+            // single-queue loop schedules it.
+            if let Some(dup_key) = p.dup {
+                let dup_at = completion + cl.platform.progress_poll;
+                cl.events.push_at_key(
+                    dup_at.max(cl.events.now()),
+                    dup_key,
+                    Event::SendComplete(rid, sid),
+                );
+            }
         }
     }
     applied
@@ -472,10 +518,7 @@ fn apply_pending(slots: &mut [Option<Cluster>], net: &mut TopoNet) -> u64 {
 /// Admit every cross-shard delivery parked in an outbox into its
 /// destination shard's queue. `scratch` is reused across rounds so the
 /// hand-off itself never allocates in steady state.
-fn drain_outboxes(
-    slots: &mut [Option<Cluster>],
-    scratch: &mut Vec<(Time, u64, WireMsg)>,
-) -> u64 {
+fn drain_outboxes(slots: &mut [Option<Cluster>], scratch: &mut Vec<(Time, u64, WireMsg)>) -> u64 {
     let n = slots.len();
     let mut admitted = 0u64;
     for src in 0..n {

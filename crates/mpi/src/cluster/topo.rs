@@ -15,8 +15,8 @@
 
 use super::Cluster;
 use fusedpack_net::topology::RouteKey;
-use fusedpack_net::{HopStats, TopoNet};
-use fusedpack_sim::{Duration, Time};
+use fusedpack_net::{FabricHealth, HopStats, NetError, TopoNet};
+use fusedpack_sim::{Duration, FaultSite, Time};
 use fusedpack_telemetry::{Lane, Payload};
 
 impl Cluster {
@@ -25,8 +25,10 @@ impl Cluster {
     }
 
     /// Routed analogue of `transport`: returns `(delivered,
-    /// initiator_completion)`, or `None` if no network is attached or
-    /// route resolution failed (the caller falls back to the flat path).
+    /// initiator_completion)`, or `None` if no network is attached, route
+    /// resolution failed, or the fabric is disconnected (the caller falls
+    /// back to the flat path — the forced-delivery rung under a dead
+    /// fabric).
     pub(crate) fn transport_routed(
         &mut self,
         src: usize,
@@ -34,38 +36,21 @@ impl Cluster {
         at: Time,
         bytes: u64,
         gdr: bool,
+        event_key: u64,
     ) -> Option<(Time, Time)> {
         // Take/restore so the routed body can borrow the network mutably
-        // alongside `self` — the same body a sharded coordinator drives
-        // with the master network (`apply_routed_transmit`).
+        // alongside `self` — the same body the sharded coordinator drives
+        // with the master network installed in this slot at barriers.
         let mut net = self.topo.take()?;
-        let out = self.transport_routed_with(&mut net, src, dst, at, bytes, gdr);
+        let out = self.transport_routed_with(&mut net, src, dst, at, bytes, gdr, event_key);
         self.topo = Some(net);
         out
-    }
-
-    /// Replay a transmit that a shard deferred at its window barrier,
-    /// against the master network. Mirrors [`Cluster::transport`]'s
-    /// single-queue behaviour exactly: routed first, flat fallback on a
-    /// (counted) route failure.
-    pub(crate) fn apply_routed_transmit(
-        &mut self,
-        net: &mut TopoNet,
-        src: usize,
-        dst: usize,
-        at: Time,
-        bytes: u64,
-        gdr: bool,
-    ) -> (Time, Time) {
-        match self.transport_routed_with(net, src, dst, at, bytes, gdr) {
-            Some(result) => result,
-            None => self.transport_flat(src, dst, at, bytes, gdr),
-        }
     }
 
     /// The routed transmit body, generic over where the network lives
     /// (owned `self.topo` in single-queue runs, the coordinator's master
     /// copy in sharded runs).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn transport_routed_with(
         &mut self,
         net: &mut TopoNet,
@@ -74,21 +59,22 @@ impl Cluster {
         at: Time,
         bytes: u64,
         gdr: bool,
+        event_key: u64,
     ) -> Option<(Time, Time)> {
         let key = self.route_key(src, dst);
         let intra = self.endpoints[src].node == self.endpoints[dst].node;
         let outcome = if intra {
             // Intra-node transfers bypass the NIC: no injection overhead,
             // no GPUDirect cap, completion == delivery.
-            net.transmit(at, key, bytes, None)
+            net.transmit_keyed(at, key, bytes, None, event_key)
                 .map(|t| (t.start, t.delivered, t.delivered))
         } else {
             let node = self.endpoints[src].node as usize;
             self.nics[node]
-                .post_send_routed(net, key, at, bytes, gdr)
+                .post_send_routed_keyed(net, key, at, bytes, gdr, event_key)
                 .map(|t| (t.start, t.delivered, t.delivered + t.tail_latency))
         };
-        match outcome {
+        let out = match outcome {
             Ok((start, delivered, completion)) => {
                 if intra {
                     // The NIC emits the wire span for inter-node sends;
@@ -100,12 +86,22 @@ impl Cluster {
                 self.emit_hop_spans(net, src, bytes);
                 Some((delivered, completion))
             }
+            Err(NetError::Disconnected { .. }) => {
+                // Last rung of the degradation ladder: the failures severed
+                // every surviving route for this pair. The transfer is
+                // forced through the flat wire model by the caller so the
+                // exchange still completes — absorbed, counted, visible.
+                self.fault_degraded(src, FaultSite::HopDown, "forced-delivery", at);
+                None
+            }
             Err(e) => {
                 debug_assert!(false, "route resolution failed post-validation: {e}");
                 self.fault_stats.spurious += 1;
                 None
             }
-        }
+        };
+        self.emit_fabric_events(net, src);
+        out
     }
 
     /// Routed analogue of the wasted (dropped-payload) transmit used by
@@ -141,12 +137,17 @@ impl Cluster {
                 self.emit_hop_spans(&net, src, bytes);
                 rtt.map(|rtt| (wire_clear, rtt))
             }
+            // Disconnected fabric: the retry ladder's real transmit takes
+            // (and accounts) the forced-delivery rung; the wasted occupancy
+            // falls back to the flat wire silently.
+            Err(NetError::Disconnected { .. }) => None,
             Err(e) => {
                 debug_assert!(false, "wasted route resolution failed: {e}");
                 self.fault_stats.spurious += 1;
                 None
             }
         };
+        self.emit_fabric_events(&mut net, src);
         self.topo = Some(net);
         out
     }
@@ -168,6 +169,12 @@ impl Cluster {
     /// attached (reports, reconciliation tests).
     pub fn topo_hop_stats(&self) -> Option<Vec<HopStats>> {
         self.topo.as_ref().map(TopoNet::hop_stats)
+    }
+
+    /// Fabric-health counters of the attached topology network (`None`
+    /// without one; all-zero with one but no armed fault domain).
+    pub fn fabric_health(&self) -> Option<FabricHealth> {
+        self.topo.as_ref().map(TopoNet::fabric_health)
     }
 
     /// The attached topology's display name, if any.

@@ -9,7 +9,7 @@ use fusedpack_mpi::program::BufInit;
 use fusedpack_mpi::{
     AppOp, BufId, ClusterBuilder, Program, RankId, RunReport, SchemeKind, TypeSlot,
 };
-use fusedpack_net::Platform;
+use fusedpack_net::{Hierarchy, Platform, TopologyHandle};
 use fusedpack_sim::{FaultPlan, FaultSite, FaultSpec, Pcg32};
 use std::sync::Arc;
 
@@ -95,6 +95,79 @@ fn verify_received(desc: &Arc<TypeDesc>, received: &[Vec<u8>], len: u64) {
     }
 }
 
+/// Four ranks, one per node, exchanging `n` messages around a ring over a
+/// routed topology — the smallest shape where hop faults, reroutes, and
+/// multi-shard execution all engage at once. Returns the report and every
+/// rank's receive buffers.
+fn run_chaos_ring(
+    desc: &Arc<TypeDesc>,
+    n: usize,
+    topo: TopologyHandle,
+    plan: Option<FaultPlan>,
+    shards: u32,
+) -> (RunReport, Vec<Vec<Vec<u8>>>) {
+    const RANKS: u32 = 4;
+    let layout = Layout::of(desc);
+    let count = 2u64;
+    let len = layout.footprint(count).max(1);
+
+    let mut builder = ClusterBuilder::new(Platform::lassen(), SchemeKind::fusion_default())
+        .topology(topo)
+        .shards(shards);
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let mut rbufs = Vec::new();
+    for r in 0..RANKS {
+        let next = (r + 1) % RANKS;
+        let prev = (r + RANKS - 1) % RANKS;
+        let mut p = Program::new();
+        let sbufs: Vec<BufId> = (0..n)
+            .map(|i| p.buffer(len, BufInit::Random(100 * r as u64 + i as u64)))
+            .collect();
+        let rb: Vec<BufId> = (0..n).map(|_| p.buffer(len, BufInit::Zero)).collect();
+        p.push(AppOp::Commit {
+            slot: TypeSlot(0),
+            desc: desc.clone(),
+        });
+        p.push(AppOp::ResetTimer);
+        for (i, &b) in rb.iter().enumerate() {
+            p.push(AppOp::Irecv {
+                buf: b,
+                ty: TypeSlot(0),
+                count,
+                src: RankId(prev),
+                tag: i as u32,
+            });
+        }
+        for (i, &b) in sbufs.iter().enumerate() {
+            p.push(AppOp::Isend {
+                buf: b,
+                ty: TypeSlot(0),
+                count,
+                dst: RankId(next),
+                tag: i as u32,
+            });
+        }
+        p.push(AppOp::Waitall);
+        p.push(AppOp::RecordLap);
+        rbufs.push(rb);
+        builder = builder.add_rank(r, p);
+    }
+    let mut cluster = builder.build();
+    let report = cluster.run();
+    let received: Vec<Vec<Vec<u8>>> = rbufs
+        .iter()
+        .enumerate()
+        .map(|(r, bufs)| {
+            bufs.iter()
+                .map(|&b| cluster.rank_buffer(RankId(r as u32), b))
+                .collect()
+        })
+        .collect();
+    (report, received)
+}
+
 #[test]
 fn all_zero_plan_is_bit_identical_to_no_plan() {
     // The zero-cost guarantee: an armed plan whose every site has
@@ -128,6 +201,12 @@ fn every_fault_site_preserves_transferred_bytes() {
     // NIC-completion sites on the RPUT path are reachable.
     let desc = sparse_type(1500);
     for &site in &FaultSite::ALL {
+        // Fabric sites live on the per-hop topology path; the flat wire
+        // model has no hops to flap. They are exercised by the fabric tests
+        // below and the topology chaos grid.
+        if site.is_fabric() {
+            continue;
+        }
         // DirectIPC mapping only exists intra-node; everything else is
         // exercised on the inter-node wire.
         let same_node = site == FaultSite::IpcMapFail;
@@ -252,6 +331,72 @@ fn injected_ring_exhaustion_stays_live_with_a_tiny_ring() {
     verify_received(&desc, &received, len);
     assert!(report.fault_summary.injected > 0);
     assert_eq!(report.lap_count(), 1);
+}
+
+#[test]
+fn fabric_chaos_is_byte_identical_at_any_shard_count() {
+    // The tentpole claim: with the per-rank/keyed fault streams there is
+    // no armed-plan shard clamp, and a routed chaos run's report and
+    // received bytes are bit-identical at --shards 1, 2, and 4.
+    let desc = sparse_type(700);
+    let plan = || FaultPlan::uniform(4242, 0.08);
+    let topo = || -> TopologyHandle { Arc::new(Hierarchy::lassen_like(4)) };
+    let (base, base_rx) = run_chaos_ring(&desc, 5, topo(), Some(plan()), 1);
+    assert!(base.fault_summary.injected > 0, "{:?}", base.fault_summary);
+    for shards in [2u32, 4] {
+        let (sharded, rx) = run_chaos_ring(&desc, 5, topo(), Some(plan()), shards);
+        assert!(sharded.shard.barriers > 0, "sharding engaged ({shards})");
+        assert_eq!(base.laps, sharded.laps, "--shards {shards}");
+        assert_eq!(base.end_time, sharded.end_time, "--shards {shards}");
+        assert_eq!(
+            base.events_processed, sharded.events_processed,
+            "--shards {shards}"
+        );
+        assert_eq!(
+            base.fault_summary, sharded.fault_summary,
+            "--shards {shards}"
+        );
+        assert_eq!(base.fabric, sharded.fabric, "--shards {shards}");
+        assert_eq!(base_rx, rx, "received bytes at --shards {shards}");
+    }
+}
+
+#[test]
+fn hop_down_reroutes_around_dead_hops_and_preserves_bytes() {
+    // Permanent hop failures must trigger ECMP re-resolution (and, on the
+    // dual-rail lassen-like fabric, rail failover) while every receive
+    // buffer still matches the fault-free baseline byte for byte.
+    let desc = sparse_type(700);
+    let topo = || -> TopologyHandle { Arc::new(Hierarchy::lassen_like(4)) };
+    let (clean, clean_rx) = run_chaos_ring(&desc, 8, topo(), None, 1);
+    assert!(clean.fabric.injected() == 0 && clean.fabric.reroutes == 0);
+    let plan = FaultPlan::new(17).with(FaultSite::HopDown, FaultSpec::with_probability(0.15));
+    let (faulty, rx) = run_chaos_ring(&desc, 8, topo(), Some(plan), 1);
+    assert!(faulty.fabric.downs > 0, "{}", faulty.fabric);
+    assert!(faulty.fabric.reroutes > 0, "{}", faulty.fabric);
+    assert!(faulty.fabric.route_epoch > 0, "{}", faulty.fabric);
+    assert_eq!(clean_rx, rx, "reroute must not corrupt a single byte");
+}
+
+#[test]
+fn severed_fabric_forces_delivery_and_never_wedges() {
+    // HopDown at probability 1.0 kills every hop a transfer touches; once
+    // no surviving route exists the forced-delivery rung pushes the bytes
+    // through the flat wire model — degraded and counted, never wedged.
+    let desc = sparse_type(700);
+    let topo = || -> TopologyHandle { Arc::new(Hierarchy::lassen_like(4)) };
+    let (clean, clean_rx) = run_chaos_ring(&desc, 6, topo(), None, 1);
+    let plan = FaultPlan::new(29).with(FaultSite::HopDown, FaultSpec::with_probability(1.0));
+    let (faulty, rx) = run_chaos_ring(&desc, 6, topo(), Some(plan), 1);
+    assert!(faulty.fabric.downs > 0, "{}", faulty.fabric);
+    assert!(faulty.fabric.disconnects > 0, "{}", faulty.fabric);
+    assert!(
+        faulty.fault_summary.degraded > 0,
+        "forced deliveries are accounted as degradations: {:?}",
+        faulty.fault_summary
+    );
+    assert_eq!(faulty.lap_count(), clean.lap_count(), "every rank finished");
+    assert_eq!(clean_rx, rx, "forced delivery still lands the bytes");
 }
 
 #[test]

@@ -20,6 +20,7 @@ pub use nic::{Nic, NodeId};
 pub use platform::Platform;
 pub use rdma::{RdmaEngine, RdmaOp, RdmaVerb};
 pub use topology::{
-    Dragonfly, Endpoint, FatTree, FlatLink, Hierarchy, HopId, HopKind, HopSpec, HopStats,
-    NvlinkIsland, RouteKey, RouteTiming, TopoNet, Topology, TopologyHandle,
+    Dragonfly, Endpoint, FabricEvent, FabricHealth, FatTree, FlatLink, Hierarchy, HopId, HopKind,
+    HopSpec, HopState, HopStats, NvlinkIsland, RouteKey, RouteTiming, TopoNet, Topology,
+    TopologyHandle,
 };

@@ -106,8 +106,24 @@ impl Nic {
         bytes: u64,
         gdr: bool,
     ) -> Result<RouteTiming, NetError> {
+        self.post_send_routed_keyed(net, key, now, bytes, gdr, 0)
+    }
+
+    /// [`Nic::post_send_routed`] carrying the transfer's canonical event
+    /// key through to [`TopoNet::transmit_keyed`], so an armed fabric
+    /// fault domain draws its per-hop decisions from coordinates that are
+    /// invariant across event-loop shard counts.
+    pub fn post_send_routed_keyed(
+        &mut self,
+        net: &mut TopoNet,
+        key: RouteKey,
+        now: Time,
+        bytes: u64,
+        gdr: bool,
+        event_key: u64,
+    ) -> Result<RouteTiming, NetError> {
         let cap = gdr.then_some(self.gdr_bw_cap);
-        let timing = net.transmit(now + self.injection, key, bytes, cap)?;
+        let timing = net.transmit_keyed(now + self.injection, key, bytes, cap, event_key)?;
         self.posted += 1;
         self.telemetry
             .instant(Lane::Nic, now, || Payload::RdmaPost { bytes, gdr });

@@ -1,4 +1,5 @@
-//! Live congestion state: one FIFO link per hop, cut-through timing.
+//! Live congestion state: one FIFO link per hop, cut-through timing,
+//! and the fabric fault domain.
 //!
 //! [`TopoNet`] realises a [`Topology`]'s static hop table as live
 //! [`Link`]s and times multi-hop transfers with **cut-through** (wormhole)
@@ -14,12 +15,53 @@
 //! A single-hop route degenerates to exactly `Link::transmit` /
 //! `transmit_capped`, which is what makes [`super::FlatLink`] bit-identical
 //! to the legacy scalar-link path.
+//!
+//! ## Fabric fault domain
+//!
+//! When a [`FaultPlan`] with fabric sites is armed
+//! ([`TopoNet::arm_faults`]), every hop of a keyed transmit
+//! ([`TopoNet::transmit_keyed`]) consults three *stateless* per-hop draws
+//! (`hash(seed, site, hop, event_key)` — order-independent, so identical
+//! at any event-loop shard count):
+//!
+//! * [`FaultSite::HopFlap`] — a transient error: the head is delayed by a
+//!   spike and the hop's health streak deepens. [`FLAP_DOWN_STREAK`]
+//!   consecutive flapped traversals mark the hop down.
+//! * [`FaultSite::RailDegrade`] — sustained degradation: the hop's
+//!   bandwidth is capped at [`DEGRADE_BW_FACTOR`] of nominal until
+//!   [`HEAL_STREAK`] consecutive clean traversals heal it.
+//! * [`FaultSite::HopDown`] — the hop fails permanently.
+//!
+//! The health monitor is pure virtual-time state (signed streaks with
+//! hysteresis, like the adaptive controller's): no wall clock, no
+//! randomness beyond the plan. Down transitions are **deferred to the end
+//! of the transmit that caused them** — the triggering transfer still
+//! crosses (charged with its spike), then the hop joins the sorted dead
+//! set, the route epoch bumps, and the route cache + arena are discarded
+//! so every later resolution re-resolves around the failure via
+//! [`Topology::route_avoiding`] (ECMP reroute, dual-rail failover).
+//! Reroutes and rail failovers are detected at re-resolution by comparing
+//! against the unrestricted route, counted in [`FabricHealth`], and
+//! surfaced as [`FabricEvent`]s for telemetry. When no surviving route
+//! exists the resolution returns [`NetError::Disconnected`] — the caller's
+//! last-resort degradation rung (forced delivery) takes over.
 
-use super::{HopId, RouteKey, Topology, TopologyHandle};
+use super::{HopId, HopKind, RouteKey, Topology, TopologyHandle};
 use crate::error::NetError;
 use crate::link::Link;
-use fusedpack_sim::{Duration, Time};
+use fusedpack_sim::{Duration, FaultPlan, FaultSite, Time};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Consecutive flapped traversals that mark a hop down.
+pub const FLAP_DOWN_STREAK: i32 = 3;
+
+/// Consecutive clean traversals that heal a degraded hop back to full
+/// bandwidth.
+pub const HEAL_STREAK: i32 = 8;
+
+/// Fraction of nominal bandwidth a degraded hop retains.
+pub const DEGRADE_BW_FACTOR: f64 = 0.25;
 
 /// When a routed transfer started and finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,17 +89,166 @@ pub struct HopStats {
     pub busy: Duration,
 }
 
+/// Health of one hop as seen by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopState {
+    /// Nominal bandwidth, routable.
+    Up,
+    /// Routable at [`DEGRADE_BW_FACTOR`] of nominal bandwidth.
+    Degraded,
+    /// Permanently failed; routes avoid it.
+    Down,
+}
+
+/// Per-hop monitor state: health plus the signed error/heal streak
+/// (negative = consecutive flapped traversals, positive = consecutive
+/// clean ones).
+#[derive(Debug, Clone, Copy)]
+struct HopHealth {
+    state: HopState,
+    streak: i32,
+}
+
+impl Default for HopHealth {
+    fn default() -> Self {
+        HopHealth {
+            state: HopState::Up,
+            streak: 0,
+        }
+    }
+}
+
+/// Aggregate fabric-health counters for one cluster's run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricHealth {
+    /// Transient hop errors injected (head delayed, streak deepened).
+    pub flaps: u64,
+    /// Up→Degraded transitions (sustained bandwidth loss).
+    pub degrades: u64,
+    /// Hops marked permanently down (by `HopDown` or a flap streak).
+    pub downs: u64,
+    /// Hops currently down.
+    pub hops_down: u64,
+    /// Hops currently degraded.
+    pub hops_degraded: u64,
+    /// Routes re-resolved around dead hops.
+    pub reroutes: u64,
+    /// Reroutes that failed over a dead NIC rail to a sibling rail.
+    pub rail_failovers: u64,
+    /// Resolutions that found no surviving route (forced-delivery rung).
+    pub disconnects: u64,
+    /// Times the route cache was invalidated by a hop state transition.
+    pub route_epoch: u64,
+    /// Virtual nanoseconds of spike delay charged by hop flaps.
+    pub added_latency_ns: u64,
+}
+
+impl FabricHealth {
+    /// Total fabric faults injected.
+    pub fn injected(&self) -> u64 {
+        self.flaps + self.degrades + self.downs
+    }
+
+    /// Fold another cluster's counters into this one. Counters sum;
+    /// `route_epoch` takes the max (it is a version, not a tally).
+    pub fn merge(&mut self, other: &FabricHealth) {
+        self.flaps += other.flaps;
+        self.degrades += other.degrades;
+        self.downs += other.downs;
+        self.hops_down += other.hops_down;
+        self.hops_degraded += other.hops_degraded;
+        self.reroutes += other.reroutes;
+        self.rail_failovers += other.rail_failovers;
+        self.disconnects += other.disconnects;
+        self.route_epoch = self.route_epoch.max(other.route_epoch);
+        self.added_latency_ns += other.added_latency_ns;
+    }
+}
+
+impl std::fmt::Display for FabricHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flaps={} degrades={} downs={} hops_down={} hops_degraded={} \
+             reroutes={} rail_failovers={} disconnects={} route_epoch={}",
+            self.flaps,
+            self.degrades,
+            self.downs,
+            self.hops_down,
+            self.hops_degraded,
+            self.reroutes,
+            self.rail_failovers,
+            self.disconnects,
+            self.route_epoch
+        )
+    }
+}
+
+/// A fabric state transition, drained by the cluster layer and emitted as
+/// telemetry instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// A hop was marked permanently down at `at`.
+    HopDown { hop: u32, at: Time },
+    /// A pair's route was re-resolved around dead hops.
+    Rerouted { src: u32, dst: u32, at: Time },
+    /// A reroute failed over a dead NIC rail to a sibling rail.
+    RailFailover { hop: u32, at: Time },
+}
+
+/// The armed fault domain of one [`TopoNet`].
+#[derive(Debug)]
+struct FabricFaults {
+    plan: FaultPlan,
+    hops: Vec<HopHealth>,
+    /// Sorted ids of permanently-down hops (the routing dead set).
+    dead: Vec<u32>,
+    health: FabricHealth,
+    events: Vec<FabricEvent>,
+}
+
+impl FabricFaults {
+    fn new(plan: FaultPlan, num_hops: usize) -> Self {
+        FabricFaults {
+            plan,
+            hops: vec![HopHealth::default(); num_hops],
+            dead: Vec::new(),
+            health: FabricHealth::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Mark `hop` permanently down (idempotent). Returns whether the
+    /// state actually transitioned.
+    fn mark_down(&mut self, hop: u32, at: Time) -> bool {
+        let h = &mut self.hops[hop as usize];
+        if h.state == HopState::Down {
+            return false;
+        }
+        if h.state == HopState::Degraded {
+            self.health.hops_degraded -= 1;
+        }
+        h.state = HopState::Down;
+        self.health.downs += 1;
+        self.health.hops_down += 1;
+        let pos = self.dead.binary_search(&hop).unwrap_err();
+        self.dead.insert(pos, hop);
+        self.events.push(FabricEvent::HopDown { hop, at });
+        true
+    }
+}
+
 /// A topology's live network state for one simulated cluster.
 #[derive(Debug)]
 pub struct TopoNet {
     topo: TopologyHandle,
     /// One live link per entry of `topo.hops()`.
     links: Vec<Link>,
-    /// Resolved-route cache: topologies are static, so a pair's hop
-    /// sequence never changes. Values are `(offset, len)` windows into
+    /// Resolved-route cache. Values are `(offset, len)` windows into
     /// `route_arena` — `Copy`, so the steady-state per-send lookup is one
     /// HashMap hit and two integers, with no refcount traffic and no
-    /// per-route allocation.
+    /// per-route allocation. Valid for the current route epoch only: a hop
+    /// going down clears the cache and the arena wholesale.
     routes: HashMap<RouteKey, (u32, u32)>,
     /// Bump arena holding every cached route's hop sequence back to back.
     /// Entries are referenced by offset, so the arena growing (and
@@ -74,6 +265,8 @@ pub struct TopoNet {
     /// Transmits whose start on some hop preceded the previous start on
     /// that hop. Always zero unless the per-hop FIFO contract is broken.
     order_violations: u64,
+    /// Armed fault domain; `None` costs nothing on the hot path.
+    faults: Option<Box<FabricFaults>>,
 }
 
 impl TopoNet {
@@ -92,12 +285,90 @@ impl TopoNet {
             last_hops: Vec::new(),
             last_starts,
             order_violations: 0,
+            faults: None,
+        }
+    }
+
+    /// Arm the fabric fault domain with `plan`. The plan's fabric sites
+    /// drive per-hop keyed draws; a plan with no fabric site armed still
+    /// enables the health monitor (useful with the `force_*` helpers).
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        let n = self.links.len();
+        self.faults = Some(Box::new(FabricFaults::new(plan, n)));
+    }
+
+    /// Aggregate fabric-health counters (all-zero when unarmed).
+    pub fn fabric_health(&self) -> FabricHealth {
+        self.faults.as_ref().map(|f| f.health).unwrap_or_default()
+    }
+
+    /// Current monitor state of one hop.
+    pub fn hop_state(&self, hop: HopId) -> HopState {
+        self.faults
+            .as_ref()
+            .map(|f| f.hops[hop.0 as usize].state)
+            .unwrap_or(HopState::Up)
+    }
+
+    /// Route-cache epoch: bumps every time a hop transition invalidates
+    /// the cache. The sharded cluster loop carries this through its window
+    /// barriers so all shards observe transitions at the same virtual
+    /// time.
+    pub fn route_epoch(&self) -> u64 {
+        self.faults
+            .as_ref()
+            .map(|f| f.health.route_epoch)
+            .unwrap_or(0)
+    }
+
+    /// Drain fabric state transitions accumulated since the last drain
+    /// (for telemetry emission by the cluster layer).
+    pub fn drain_fabric_events(&mut self) -> Vec<FabricEvent> {
+        self.faults
+            .as_mut()
+            .map(|f| std::mem::take(&mut f.events))
+            .unwrap_or_default()
+    }
+
+    /// Administratively mark a hop permanently down at `at` (chaos
+    /// scenarios and tests; the probabilistic path is
+    /// [`FaultSite::HopDown`]). Arms an empty fault domain if none is
+    /// armed yet.
+    pub fn force_hop_down(&mut self, hop: HopId, at: Time) {
+        if self.faults.is_none() {
+            let seed = 0;
+            self.arm_faults(FaultPlan::new(seed));
+        }
+        let f = self.faults.as_mut().expect("just armed");
+        if f.mark_down(hop.0, at) {
+            f.health.route_epoch += 1;
+            self.routes.clear();
+            self.route_arena.clear();
+        }
+    }
+
+    /// Administratively degrade a hop to [`DEGRADE_BW_FACTOR`] of nominal
+    /// bandwidth (heals after [`HEAL_STREAK`] clean traversals). Arms an
+    /// empty fault domain if none is armed yet.
+    pub fn force_hop_degrade(&mut self, hop: HopId) {
+        if self.faults.is_none() {
+            self.arm_faults(FaultPlan::new(0));
+        }
+        let f = self.faults.as_mut().expect("just armed");
+        let h = &mut f.hops[hop.0 as usize];
+        if h.state == HopState::Up {
+            h.state = HopState::Degraded;
+            h.streak = 0;
+            f.health.degrades += 1;
+            f.health.hops_degraded += 1;
         }
     }
 
     /// Smallest first-byte latency of any hop in the fabric — the
     /// conservative lookahead `δ` for time-window sharding: no effect of
     /// an event can reach another rank's state sooner than one hop away.
+    /// Fault spikes and degradation only ever *add* delay, so the bound
+    /// stays conservative under chaos.
     pub fn min_hop_latency(&self) -> Duration {
         self.topo
             .hops()
@@ -129,21 +400,67 @@ impl TopoNet {
 
     /// Resolve (and cache) the route for a pair. The returned slice
     /// borrows the route arena; copy it out if the caller needs to keep it
-    /// across further network calls.
+    /// across further network calls. (Diagnostics path: reroute events
+    /// triggered here are stamped at `Time::ZERO`; transmits stamp them at
+    /// the transfer time.)
     pub fn resolve(&mut self, key: RouteKey) -> Result<&[HopId], NetError> {
-        let (off, len) = self.resolve_ref(key)?;
+        let (off, len) = self.resolve_ref(key, Time::ZERO)?;
         Ok(&self.route_arena[off as usize..(off + len) as usize])
     }
 
     /// The per-send resolution fast path: a `Copy` `(offset, len)` window
     /// into the arena, so hop iteration and link mutation can proceed
     /// without holding any borrow of the cache.
+    ///
+    /// With dead hops present, cache misses re-resolve via
+    /// [`Topology::route_avoiding`] and compare against the unrestricted
+    /// route to detect (and count) reroutes and rail failovers.
     #[inline]
-    fn resolve_ref(&mut self, key: RouteKey) -> Result<(u32, u32), NetError> {
+    fn resolve_ref(&mut self, key: RouteKey, now: Time) -> Result<(u32, u32), NetError> {
         if let Some(&window) = self.routes.get(&key) {
             return Ok(window);
         }
-        let hops = self.topo.route(key.0, key.1)?;
+        let dead_empty = self.faults.as_ref().is_none_or(|f| f.dead.is_empty());
+        let hops = if dead_empty {
+            self.topo.route(key.0, key.1)?
+        } else {
+            let f = self.faults.as_mut().expect("dead set implies armed");
+            let routed = self.topo.route_avoiding(key.0, key.1, &f.dead);
+            let hops = match routed {
+                Ok(hops) => hops,
+                Err(e) => {
+                    if matches!(e, NetError::Disconnected { .. }) {
+                        f.health.disconnects += 1;
+                    }
+                    return Err(e);
+                }
+            };
+            // A reroute happened iff the unrestricted route would have
+            // crossed a dead hop; a failover iff that dead hop is a NIC
+            // rail (the dual-rail machines' sibling-rail path).
+            if let Ok(unrestricted) = self.topo.route(key.0, key.1) {
+                let crossed: Vec<u32> = unrestricted
+                    .iter()
+                    .map(|h| h.0)
+                    .filter(|h| f.dead.binary_search(h).is_ok())
+                    .collect();
+                if !crossed.is_empty() {
+                    f.health.reroutes += 1;
+                    f.events.push(FabricEvent::Rerouted {
+                        src: key.0.node,
+                        dst: key.1.node,
+                        at: now,
+                    });
+                    for h in crossed {
+                        if self.topo.hops()[h as usize].kind == HopKind::Rail {
+                            f.health.rail_failovers += 1;
+                            f.events.push(FabricEvent::RailFailover { hop: h, at: now });
+                        }
+                    }
+                }
+            }
+            hops
+        };
         let off = u32::try_from(self.route_arena.len()).expect("route arena fits u32 offsets");
         self.route_arena.extend_from_slice(&hops);
         let window = (off, hops.len() as u32);
@@ -160,7 +477,7 @@ impl TopoNet {
     /// `LinkSpec::rtt` for the retransmission protocol): twice the sum of
     /// per-hop first-byte latencies.
     pub fn route_rtt(&mut self, key: RouteKey) -> Result<Duration, NetError> {
-        let (off, len) = self.resolve_ref(key)?;
+        let (off, len) = self.resolve_ref(key, Time::ZERO)?;
         let one_way = self.route_arena[off as usize..(off + len) as usize]
             .iter()
             .fold(Duration(0), |acc, h| {
@@ -173,7 +490,9 @@ impl TopoNet {
     /// `now`, optionally capped at `bw_cap` (e.g. the GPUDirect ceiling).
     ///
     /// Per-hop spans are left in [`TopoNet::last_hops`] for the caller to
-    /// turn into telemetry.
+    /// turn into telemetry. Equivalent to [`TopoNet::transmit_keyed`] with
+    /// event key 0 — callers with an armed fault domain should use the
+    /// keyed variant so per-hop draws decorrelate across transfers.
     pub fn transmit(
         &mut self,
         now: Time,
@@ -181,7 +500,23 @@ impl TopoNet {
         bytes: u64,
         bw_cap: Option<f64>,
     ) -> Result<RouteTiming, NetError> {
-        let (off, len) = self.resolve_ref(key)?;
+        self.transmit_keyed(now, key, bytes, bw_cap, 0)
+    }
+
+    /// [`TopoNet::transmit`] with the transfer's canonical event key, the
+    /// coordinate fabric fault draws are keyed by. The draws are pure
+    /// hashes of `(plan seed, site, hop, event_key)`, so replaying the
+    /// same transfers in any order — in particular the sharded loop's
+    /// barrier replay — injects the identical fault timeline.
+    pub fn transmit_keyed(
+        &mut self,
+        now: Time,
+        key: RouteKey,
+        bytes: u64,
+        bw_cap: Option<f64>,
+        event_key: u64,
+    ) -> Result<RouteTiming, NetError> {
+        let (off, len) = self.resolve_ref(key, now)?;
         debug_assert!(len > 0, "routes have at least one hop");
         self.last_hops.clear();
         let mut head = now;
@@ -189,12 +524,61 @@ impl TopoNet {
         let mut first_start = now;
         let mut delivered = now;
         let mut tail_latency = Duration(0);
+        // Down transitions triggered mid-route are applied *after* the hop
+        // loop: the triggering transfer still crosses, and the route
+        // arena/cache stay valid while the loop's (off, len) window is
+        // live.
+        let mut pending_down: Vec<(u32, Time)> = Vec::new();
         for i in 0..len {
             let hop = self.route_arena[(off + i) as usize];
+            let nominal_bw = self.links[hop.0 as usize].spec().bw;
+            let mut hop_bw = nominal_bw;
+            if let Some(f) = self.faults.as_deref_mut() {
+                let salt = u64::from(hop.0);
+                if f.plan.fires_keyed(FaultSite::HopDown, salt, event_key)
+                    && f.hops[hop.0 as usize].state != HopState::Down
+                    && !pending_down.iter().any(|&(h, _)| h == hop.0)
+                {
+                    pending_down.push((hop.0, head));
+                }
+                if f.plan.fires_keyed(FaultSite::RailDegrade, salt, event_key) {
+                    let h = &mut f.hops[hop.0 as usize];
+                    if h.state == HopState::Up {
+                        h.state = HopState::Degraded;
+                        h.streak = 0;
+                        f.health.degrades += 1;
+                        f.health.hops_degraded += 1;
+                    }
+                }
+                if f.plan.fires_keyed(FaultSite::HopFlap, salt, event_key) {
+                    let spike = f.plan.spike_keyed(FaultSite::HopFlap, salt, event_key);
+                    head += spike;
+                    f.health.flaps += 1;
+                    f.health.added_latency_ns += spike.as_nanos();
+                    let h = &mut f.hops[hop.0 as usize];
+                    h.streak = h.streak.min(0) - 1;
+                    if h.streak <= -FLAP_DOWN_STREAK
+                        && h.state != HopState::Down
+                        && !pending_down.iter().any(|&(hid, _)| hid == hop.0)
+                    {
+                        pending_down.push((hop.0, head));
+                    }
+                } else {
+                    let h = &mut f.hops[hop.0 as usize];
+                    h.streak = h.streak.max(0) + 1;
+                    if h.streak >= HEAL_STREAK && h.state == HopState::Degraded {
+                        h.state = HopState::Up;
+                        f.health.hops_degraded -= 1;
+                    }
+                }
+                if f.hops[hop.0 as usize].state == HopState::Degraded {
+                    hop_bw = nominal_bw * DEGRADE_BW_FACTOR;
+                }
+            }
             let link = &mut self.links[hop.0 as usize];
             // The body can never stream faster than the narrowest hop the
             // head has already crossed (cut-through, no re-compression).
-            let (start, done) = link.transmit_capped(head, bytes, stream_bw);
+            let (start, done) = link.transmit_capped(head, bytes, stream_bw.min(hop_bw));
             let latency = link.spec().latency;
             Self::note_start(
                 &mut self.last_starts,
@@ -206,11 +590,23 @@ impl TopoNet {
             if i == 0 {
                 first_start = start;
             }
-            stream_bw = stream_bw.min(link.spec().bw);
+            stream_bw = stream_bw.min(hop_bw);
             // The head reaches the next hop one latency after it left here.
             head = start + latency;
             delivered = done;
             tail_latency = latency;
+        }
+        if !pending_down.is_empty() {
+            let f = self.faults.as_deref_mut().expect("pending implies armed");
+            let mut transitioned = false;
+            for (hop, at) in pending_down {
+                transitioned |= f.mark_down(hop, at);
+            }
+            if transitioned {
+                f.health.route_epoch += 1;
+                self.routes.clear();
+                self.route_arena.clear();
+            }
         }
         Ok(RouteTiming {
             start: first_start,
@@ -222,6 +618,9 @@ impl TopoNet {
     /// Occupy the route with a transfer that never delivers (dropped
     /// mid-flight under fault injection). Returns `(first_byte_sent,
     /// last_wire_clear)`; later traffic on the same hops queues behind it.
+    /// Wasted occupancy rides the surviving route and respects degraded
+    /// bandwidth caps, but draws no hop faults of its own (it *is* the
+    /// fault path).
     pub fn transmit_wasted(
         &mut self,
         now: Time,
@@ -229,7 +628,7 @@ impl TopoNet {
         bytes: u64,
         bw_cap: Option<f64>,
     ) -> Result<(Time, Time), NetError> {
-        let (off, len) = self.resolve_ref(key)?;
+        let (off, len) = self.resolve_ref(key, now)?;
         self.last_hops.clear();
         let mut head = now;
         let mut stream_bw = bw_cap.unwrap_or(f64::INFINITY);
@@ -237,8 +636,14 @@ impl TopoNet {
         let mut wire_clear = now;
         for i in 0..len {
             let hop = self.route_arena[(off + i) as usize];
+            let mut hop_bw = self.links[hop.0 as usize].spec().bw;
+            if let Some(f) = self.faults.as_deref() {
+                if f.hops[hop.0 as usize].state == HopState::Degraded {
+                    hop_bw *= DEGRADE_BW_FACTOR;
+                }
+            }
             let link = &mut self.links[hop.0 as usize];
-            let (start, clear) = link.transmit_wasted(head, bytes, Some(stream_bw));
+            let (start, clear) = link.transmit_wasted(head, bytes, Some(stream_bw.min(hop_bw)));
             Self::note_start(
                 &mut self.last_starts,
                 &mut self.order_violations,
@@ -249,7 +654,7 @@ impl TopoNet {
             if i == 0 {
                 first_start = start;
             }
-            stream_bw = stream_bw.min(link.spec().bw);
+            stream_bw = stream_bw.min(hop_bw);
             head = start + link.spec().latency;
             wire_clear = clear;
         }
@@ -282,8 +687,9 @@ impl TopoNet {
             .collect()
     }
 
-    /// Reset all occupancy and counters (route cache survives: routes are
-    /// static).
+    /// Reset all occupancy and counters. The route cache survives only if
+    /// no hop has ever gone down (routes are static in a healthy fabric);
+    /// fault-domain health state survives — a dead hop stays dead.
     pub fn reset(&mut self) {
         for link in &mut self.links {
             link.reset();
@@ -299,6 +705,7 @@ mod tests {
     use super::*;
     use crate::link::LinkSpec;
     use crate::topology::{Endpoint, FlatLink, Hierarchy};
+    use fusedpack_sim::FaultSpec;
     use std::sync::Arc;
 
     fn flat_net() -> TopoNet {
@@ -427,11 +834,7 @@ mod tests {
         let net = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
         let floor = net.min_hop_latency();
         assert!(floor > Duration(0));
-        assert!(net
-            .topology()
-            .hops()
-            .iter()
-            .all(|h| h.latency >= floor));
+        assert!(net.topology().hops().iter().all(|h| h.latency >= floor));
     }
 
     #[test]
@@ -458,5 +861,179 @@ mod tests {
             .unwrap();
         assert_eq!(same_leaf, LinkSpec::ib_edr_dual().latency * 4);
         assert!(cross_leaf > same_leaf);
+    }
+
+    // ---- fabric fault domain ----
+
+    #[test]
+    fn unarmed_keyed_transmit_matches_plain_transmit() {
+        let key = (Endpoint::new(0, 0), Endpoint::new(31, 0));
+        let mut a = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let mut b = TopoNet::new(Arc::new(Hierarchy::lassen_like(32)));
+        let ta = a.transmit(Time(0), key, 1 << 20, None).unwrap();
+        let tb = b
+            .transmit_keyed(Time(0), key, 1 << 20, None, 12345)
+            .unwrap();
+        assert_eq!(ta, tb, "event keys are inert without an armed domain");
+        assert_eq!(a.fabric_health(), FabricHealth::default());
+        assert_eq!(a.route_epoch(), 0);
+    }
+
+    #[test]
+    fn forced_hop_down_reroutes_and_counts_rail_failover() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(8)));
+        let key = (Endpoint::new(0, 0), Endpoint::new(7, 0));
+        let healthy = net.resolve(key).unwrap().to_vec();
+        let rail = healthy
+            .iter()
+            .copied()
+            .find(|h| net.topology().hops()[h.0 as usize].kind == HopKind::Rail)
+            .expect("fat-tree route rides a rail");
+        net.force_hop_down(rail, Time(100));
+        assert_eq!(net.hop_state(rail), HopState::Down);
+        assert_eq!(net.route_epoch(), 1);
+        assert_eq!(net.route_arena_len(), 0, "arena discarded on transition");
+        let t = net.transmit_keyed(Time(200), key, 4096, None, 1).unwrap();
+        assert!(t.delivered > t.start);
+        let rerouted = net.resolve(key).unwrap().to_vec();
+        assert!(rerouted.iter().all(|h| *h != rail), "dead hop avoided");
+        let health = net.fabric_health();
+        assert_eq!(health.downs, 1);
+        assert_eq!(health.hops_down, 1);
+        assert!(health.reroutes >= 1);
+        assert!(
+            health.rail_failovers >= 1,
+            "dead rail => dual-rail failover"
+        );
+        let events = net.drain_fabric_events();
+        assert!(events.iter().any(
+            |e| matches!(e, FabricEvent::HopDown { hop, at } if *hop == rail.0 && *at == Time(100))
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FabricEvent::Rerouted { src: 0, dst: 7, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FabricEvent::RailFailover { hop, .. } if *hop == rail.0)));
+        assert!(net.drain_fabric_events().is_empty(), "drain empties");
+    }
+
+    #[test]
+    fn degraded_hop_slows_the_stream_and_heals_after_clean_traversals() {
+        let key = (Endpoint::new(0, 0), Endpoint::new(7, 0));
+        let mut clean = TopoNet::new(Arc::new(Hierarchy::lassen_like(8)));
+        let base = clean.transmit(Time(0), key, 1 << 24, None).unwrap();
+
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(8)));
+        let route = clean.resolve(key).unwrap().to_vec();
+        let rail = route
+            .iter()
+            .copied()
+            .find(|h| clean.topology().hops()[h.0 as usize].kind == HopKind::Rail)
+            .unwrap();
+        net.force_hop_degrade(rail);
+        assert_eq!(net.hop_state(rail), HopState::Degraded);
+        let slow = net.transmit_keyed(Time(0), key, 1 << 24, None, 0).unwrap();
+        assert!(
+            slow.delivered - slow.start > base.delivered - base.start,
+            "degraded rail must stretch the transfer"
+        );
+        // Clean traversals heal it back to nominal bandwidth.
+        for k in 1..=HEAL_STREAK as u64 {
+            net.transmit_keyed(Time(0), key, 4096, None, k).unwrap();
+        }
+        assert_eq!(net.hop_state(rail), HopState::Up);
+        assert_eq!(net.fabric_health().hops_degraded, 0);
+        assert_eq!(net.fabric_health().degrades, 1);
+    }
+
+    #[test]
+    fn sustained_flaps_take_hops_down_until_disconnected() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(8)));
+        net.arm_faults(FaultPlan::new(7).with(
+            FaultSite::HopFlap,
+            FaultSpec::with_probability(1.0).delay_ns(5_000),
+        ));
+        let key = (Endpoint::new(0, 0), Endpoint::new(7, 0));
+        // Every traversal flaps every hop, so streaks hit -FLAP_DOWN_STREAK
+        // together and hops die route by route until node 0 is severed.
+        let mut disconnected = false;
+        for k in 0..32u64 {
+            match net.transmit_keyed(Time(0), key, 4096, None, k) {
+                Ok(t) => assert!(t.delivered > t.start),
+                Err(NetError::Disconnected { .. }) => {
+                    disconnected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(disconnected, "flap streaks must eventually sever the route");
+        let health = net.fabric_health();
+        assert!(health.flaps > 0);
+        assert!(health.downs > 0, "streaks crossed the down threshold");
+        assert!(
+            health.disconnects > 0,
+            "severed pair reported, not panicked"
+        );
+        assert!(health.added_latency_ns > 0, "spikes charged virtual time");
+        assert!(health.route_epoch > 0);
+    }
+
+    #[test]
+    fn keyed_fault_draws_are_replay_invariant() {
+        // Two nets replaying the same (event_key, transfer) set in
+        // different orders end with identical health state — the property
+        // the sharded barrier replay relies on. Keys come from disjoint
+        // pairs so FIFO occupancy cannot couple the timelines.
+        let mk = || {
+            let mut n = TopoNet::new(Arc::new(Hierarchy::lassen_like(8)));
+            n.arm_faults(
+                FaultPlan::new(21).with(FaultSite::RailDegrade, FaultSpec::with_probability(0.2)),
+            );
+            n
+        };
+        let pairs = [
+            ((Endpoint::new(0, 0), Endpoint::new(5, 0)), 10u64),
+            ((Endpoint::new(1, 0), Endpoint::new(6, 0)), 11),
+            ((Endpoint::new(2, 0), Endpoint::new(7, 0)), 12),
+            ((Endpoint::new(3, 0), Endpoint::new(4, 0)), 13),
+        ];
+        let mut fwd = mk();
+        for &(key, k) in &pairs {
+            fwd.transmit_keyed(Time(0), key, 1 << 16, None, k).unwrap();
+        }
+        let mut rev = mk();
+        for &(key, k) in pairs.iter().rev() {
+            rev.transmit_keyed(Time(0), key, 1 << 16, None, k).unwrap();
+        }
+        assert_eq!(fwd.fabric_health(), rev.fabric_health());
+    }
+
+    #[test]
+    fn hop_byte_accounting_reconciles_across_a_reroute() {
+        let mut net = TopoNet::new(Arc::new(Hierarchy::lassen_like(8)));
+        let key = (Endpoint::new(0, 0), Endpoint::new(7, 0));
+        net.transmit(Time(0), key, 1000, None).unwrap();
+        let healthy = net.resolve(key).unwrap().to_vec();
+        let rail = healthy
+            .iter()
+            .copied()
+            .find(|h| net.topology().hops()[h.0 as usize].kind == HopKind::Rail)
+            .unwrap();
+        net.force_hop_down(rail, Time(0));
+        net.transmit_keyed(Time(0), key, 500, None, 1).unwrap();
+        let rerouted = net.resolve(key).unwrap().to_vec();
+        // Bytes land on exactly the hops each transfer rode: the shared
+        // suffix carries both, the dead rail only the first.
+        assert_eq!(net.bytes_on_hop(rail), 1000);
+        for h in rerouted.iter().filter(|h| !healthy.contains(h)) {
+            assert_eq!(net.bytes_on_hop(*h), 500);
+        }
+        let total: u64 = net.hop_stats().iter().map(|s| s.bytes).sum();
+        assert_eq!(
+            total,
+            1000 * healthy.len() as u64 + 500 * rerouted.len() as u64
+        );
     }
 }

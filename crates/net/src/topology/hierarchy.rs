@@ -315,6 +315,51 @@ impl Topology for Hierarchy {
         hops.extend(self.host(dst.node));
         Ok(hops)
     }
+
+    fn route_avoiding(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        dead: &[u32],
+    ) -> Result<Vec<HopId>, NetError> {
+        super::validate_endpoint(self, src)?;
+        super::validate_endpoint(self, dst)?;
+        if src == dst {
+            return Err(NetError::SelfRoute { node: src.node });
+        }
+        let disconnected = || NetError::Disconnected {
+            src: src.node,
+            dst: dst.node,
+        };
+        if src.node == dst.node {
+            // A GPU pair owns exactly one crossbar segment; there is no
+            // alternate intra-node path to fail over to.
+            let xbar = self.xbar(src.node, src.gpu, dst.gpu);
+            if dead.binary_search(&xbar.0).is_ok() {
+                return Err(disconnected());
+            }
+            return Ok(vec![xbar]);
+        }
+        // The host bracket is likewise unavoidable where modelled: a dead
+        // host complex strands the whole island.
+        for node in [src.node, dst.node] {
+            if let Some(h) = self.host(node) {
+                if dead.binary_search(&h.0).is_ok() {
+                    return Err(disconnected());
+                }
+            }
+        }
+        // Fabric hops carry the path diversity (multi-rail ECMP, multiple
+        // spines/routers): re-resolve a surviving shortest path. Non-fabric
+        // hop ids in `dead` never match a graph edge, so the full sorted
+        // set passes straight through.
+        let fabric = self.router.path_avoiding(src.node, dst.node, dead)?;
+        let mut hops = Vec::with_capacity(fabric.len() + 2);
+        hops.extend(self.host(src.node));
+        hops.extend(fabric);
+        hops.extend(self.host(dst.node));
+        Ok(hops)
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +415,68 @@ mod tests {
                 assert_eq!(fwd, rev, "{a}<->{b} on {}", t.name());
             }
         }
+    }
+
+    #[test]
+    fn dual_rail_failover_survives_one_dead_rail() {
+        let t = Hierarchy::lassen_like(8);
+        let healthy = t.route(Endpoint::new(0, 0), Endpoint::new(7, 0)).unwrap();
+        // Kill the first rail the healthy route rides: the dual-rail NIC
+        // must fail over to its sibling rail and still connect.
+        let first_rail = healthy
+            .iter()
+            .find(|h| t.hops()[h.0 as usize].kind == HopKind::Rail)
+            .copied()
+            .unwrap();
+        let dead = vec![first_rail.0];
+        let rerouted = t
+            .route_avoiding(Endpoint::new(0, 0), Endpoint::new(7, 0), &dead)
+            .unwrap();
+        assert_eq!(rerouted.len(), healthy.len(), "failover stays shortest");
+        assert!(rerouted.iter().all(|h| h.0 != first_rail.0));
+        let mut rev = t
+            .route_avoiding(Endpoint::new(7, 0), Endpoint::new(0, 0), &dead)
+            .unwrap();
+        rev.reverse();
+        assert_eq!(rerouted, rev, "failover routes stay symmetric");
+    }
+
+    #[test]
+    fn dead_crossbar_and_severed_node_report_disconnected() {
+        let t = Hierarchy::lassen_like(8);
+        let xbar = t.route(Endpoint::new(2, 0), Endpoint::new(2, 1)).unwrap()[0];
+        assert!(matches!(
+            t.route_avoiding(Endpoint::new(2, 0), Endpoint::new(2, 1), &[xbar.0]),
+            Err(NetError::Disconnected { .. })
+        ));
+        // Killing both of node 0's rails severs it from the fabric.
+        let mut rails: Vec<u32> = t
+            .route(Endpoint::new(0, 0), Endpoint::new(7, 0))
+            .unwrap()
+            .iter()
+            .map(|h| h.0)
+            .filter(|&h| t.hops()[h as usize].kind == HopKind::Rail)
+            .collect();
+        let sibling: Vec<u32> = t
+            .route_avoiding(Endpoint::new(0, 0), Endpoint::new(7, 0), &{
+                rails.sort_unstable();
+                rails.clone()
+            })
+            .map(|r| {
+                r.iter()
+                    .map(|h| h.0)
+                    .filter(|&h| t.hops()[h as usize].kind == HopKind::Rail)
+                    .collect()
+            })
+            .unwrap_or_default();
+        rails.extend(sibling);
+        rails.sort_unstable();
+        rails.dedup();
+        // With every rail touching node 0 or node 7 down, no route exists.
+        assert!(matches!(
+            t.route_avoiding(Endpoint::new(0, 0), Endpoint::new(7, 0), &rails),
+            Err(NetError::Disconnected { .. })
+        ));
     }
 
     #[test]

@@ -31,7 +31,10 @@ mod flat;
 mod hierarchy;
 pub mod route;
 
-pub use congestion::{HopStats, RouteTiming, TopoNet};
+pub use congestion::{
+    FabricEvent, FabricHealth, HopState, HopStats, RouteTiming, TopoNet, DEGRADE_BW_FACTOR,
+    FLAP_DOWN_STREAK, HEAL_STREAK,
+};
 pub use flat::FlatLink;
 pub use hierarchy::{Dragonfly, Fabric, FatTree, Hierarchy, NvlinkIsland};
 
@@ -144,6 +147,27 @@ pub trait Topology: Send + Sync + std::fmt::Debug {
 
     /// Resolve the hop sequence from `src` to `dst`.
     fn route(&self, src: Endpoint, dst: Endpoint) -> Result<Vec<HopId>, NetError>;
+
+    /// Resolve a route that never traverses a hop in the sorted `dead`
+    /// list (indices into [`Topology::hops`]). The default ignores the
+    /// dead set — correct for topologies with no path diversity (the flat
+    /// model's single wire has nothing to fail over to); fabrics with ECMP
+    /// ([`Hierarchy`]) override this to re-resolve around failures.
+    fn route_avoiding(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        dead: &[u32],
+    ) -> Result<Vec<HopId>, NetError> {
+        let route = self.route(src, dst)?;
+        if route.iter().any(|h| dead.binary_search(&h.0).is_ok()) {
+            return Err(NetError::Disconnected {
+                src: src.node,
+                dst: dst.node,
+            });
+        }
+        Ok(route)
+    }
 
     /// `true` only for [`FlatLink`], whose inter-node routes replicate the
     /// legacy directed per-node wire instead of shared undirected fabric

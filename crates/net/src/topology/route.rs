@@ -54,14 +54,19 @@ impl FabricGraph {
         self.adj[b as usize].push((a, hop));
     }
 
-    fn bfs_from(&self, root: Vertex) -> Vec<u32> {
+    /// BFS distance-to-`root` table, treating every hop in the sorted
+    /// `dead` list as cut. An empty list is the fault-free fabric.
+    fn bfs_from(&self, root: Vertex, dead: &[u32]) -> Vec<u32> {
         let mut dist = vec![u32::MAX; self.adj.len()];
         let mut queue = std::collections::VecDeque::new();
         dist[root as usize] = 0;
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
             let d = dist[v as usize];
-            for &(n, _) in &self.adj[v as usize] {
+            for &(n, h) in &self.adj[v as usize] {
+                if dead.binary_search(&h.0).is_ok() {
+                    continue;
+                }
                 if dist[n as usize] == u32::MAX {
                     dist[n as usize] = d + 1;
                     queue.push_back(n);
@@ -72,14 +77,18 @@ impl FabricGraph {
     }
 }
 
+/// Key of one cached BFS table: (destination node, sorted dead-hop set).
+/// The fault-free fabric is the empty dead set, so healthy routing costs
+/// one small-key lookup.
+type TableKey = (Vertex, Vec<u32>);
+
 /// Shortest-path resolver with cached per-destination BFS tables.
 #[derive(Debug)]
 pub struct Router {
     graph: FabricGraph,
-    /// Destination node → distance-to-destination per vertex. Built
-    /// lazily; the mutex only guards table construction, lookups clone the
-    /// `Arc`.
-    tables: Mutex<HashMap<Vertex, Arc<Vec<u32>>>>,
+    /// [`TableKey`] → distance-to-destination per vertex. Built lazily;
+    /// the mutex only guards table construction, lookups clone the `Arc`.
+    tables: Mutex<HashMap<TableKey, Arc<Vec<u32>>>>,
 }
 
 impl Router {
@@ -94,11 +103,14 @@ impl Router {
         &self.graph
     }
 
-    fn table_for(&self, dst: Vertex) -> Arc<Vec<u32>> {
+    fn table_for(&self, dst: Vertex, dead: &[u32]) -> Arc<Vec<u32>> {
         let mut tables = self.tables.lock().expect("router table lock");
+        if let Some(t) = tables.get(&(dst, Vec::new())).filter(|_| dead.is_empty()) {
+            return t.clone();
+        }
         tables
-            .entry(dst)
-            .or_insert_with(|| Arc::new(self.graph.bfs_from(dst)))
+            .entry((dst, dead.to_vec()))
+            .or_insert_with(|| Arc::new(self.graph.bfs_from(dst, dead)))
             .clone()
     }
 
@@ -108,6 +120,22 @@ impl Router {
     /// reversed when `a > b`, which makes symmetry structural rather than
     /// a property to hope for.
     pub fn path(&self, a: Vertex, b: Vertex) -> Result<Vec<HopId>, NetError> {
+        self.path_avoiding(a, b, &[])
+    }
+
+    /// Like [`path`](Self::path) but never traversing a hop in the sorted
+    /// `dead` list. The surviving-shortest-path tables are keyed by the
+    /// dead set, so each distinct failure pattern pays one BFS per
+    /// destination and is cached after that; paths stay symmetric because
+    /// both directions share the canonical `(lo, hi)` walk. Returns
+    /// [`NetError::Disconnected`] when the failures partition the fabric.
+    pub fn path_avoiding(
+        &self,
+        a: Vertex,
+        b: Vertex,
+        dead: &[u32],
+    ) -> Result<Vec<HopId>, NetError> {
+        debug_assert!(dead.windows(2).all(|w| w[0] < w[1]), "dead set is sorted");
         let nodes = self.graph.num_nodes;
         for v in [a, b] {
             if v >= nodes {
@@ -121,7 +149,7 @@ impl Router {
             return Err(NetError::SelfRoute { node: a });
         }
         let (lo, hi) = (a.min(b), a.max(b));
-        let mut hops = self.canonical_path(lo, hi)?;
+        let mut hops = self.canonical_path(lo, hi, dead)?;
         if a > b {
             hops.reverse();
         }
@@ -129,8 +157,8 @@ impl Router {
     }
 
     /// Walk downhill from `lo` toward `hi` using `hi`'s distance table.
-    fn canonical_path(&self, lo: Vertex, hi: Vertex) -> Result<Vec<HopId>, NetError> {
-        let dist = self.table_for(hi);
+    fn canonical_path(&self, lo: Vertex, hi: Vertex, dead: &[u32]) -> Result<Vec<HopId>, NetError> {
+        let dist = self.table_for(hi, dead);
         if dist[lo as usize] == u32::MAX {
             return Err(NetError::Disconnected { src: lo, dst: hi });
         }
@@ -150,7 +178,11 @@ impl Router {
                 self.graph.adj[at as usize]
                     .iter()
                     .copied()
-                    .filter(|&(n, _)| dist[n as usize] + 1 == d),
+                    .filter(|&(n, h)| {
+                        dist[n as usize] != u32::MAX
+                            && dist[n as usize] + 1 == d
+                            && dead.binary_search(&h.0).is_err()
+                    }),
             );
             debug_assert!(!candidates.is_empty(), "BFS table admits a next hop");
             if candidates.is_empty() {
@@ -229,6 +261,34 @@ mod tests {
             spine_hops.len() > 1,
             "4 cross-leaf pairs should not all pick the same spine uplink"
         );
+    }
+
+    #[test]
+    fn avoiding_reroutes_around_dead_hops_and_stays_symmetric() {
+        let r = mini_fat_tree();
+        let healthy = r.path(0, 3).unwrap();
+        // Kill the spine uplink the healthy path picked: the reroute must
+        // avoid it and still connect, symmetrically.
+        let dead = vec![healthy[1].0];
+        let fwd = r.path_avoiding(0, 3, &dead).unwrap();
+        let mut rev = r.path_avoiding(3, 0, &dead).unwrap();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), 4, "reroute stays shortest");
+        assert!(fwd.iter().all(|h| h.0 != dead[0]), "dead hop is avoided");
+    }
+
+    #[test]
+    fn avoiding_every_uplink_reports_disconnected() {
+        let r = mini_fat_tree();
+        // Hops 0..4 are the node->leaf rails; cutting node 0's only rail
+        // (hop 0) severs it from everything.
+        assert!(matches!(
+            r.path_avoiding(0, 3, &[0]),
+            Err(NetError::Disconnected { .. })
+        ));
+        // The fault-free path is unaffected by the cached avoiding table.
+        assert_eq!(r.path(0, 3).unwrap().len(), 4);
     }
 
     #[test]

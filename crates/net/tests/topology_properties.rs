@@ -11,10 +11,18 @@
 //!   hop by hop.
 //! * **Typed errors** — malformed endpoints produce [`NetError`] values,
 //!   never panics.
+//! * **Fault-domain safety** (PR 9) — with arbitrary hops forced down, a
+//!   re-resolved route never traverses a downed hop (pairs with no
+//!   surviving path report `Disconnected`); byte and busy counters still
+//!   reconcile exactly across fail/reroute cycles; and the keyed fault
+//!   draws the fabric sites ride are pure functions of their coordinates,
+//!   independent of evaluation order — the foundation of the end-to-end
+//!   `--shards N` byte-identity checks in `mpi/tests/chaos.rs` and the
+//!   bench chaos-topo grid.
 
 use fusedpack_net::topology::route::{FabricGraph, Router};
-use fusedpack_net::{Endpoint, Hierarchy, HopId, NetError, TopoNet, Topology};
-use fusedpack_sim::Time;
+use fusedpack_net::{Endpoint, Hierarchy, HopId, HopState, NetError, TopoNet, Topology};
+use fusedpack_sim::{Duration, FaultPlan, FaultSite, Time};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -184,6 +192,129 @@ proptest! {
                 continue;
             }
             prop_assert_eq!(ra.path(a, b).unwrap(), rb.path(a, b).unwrap());
+        }
+    }
+
+    /// With arbitrary hops administratively downed, every route the
+    /// network still hands out avoids every downed hop; pairs with no
+    /// surviving path report `Disconnected`, never a dead route.
+    #[test]
+    fn rerouted_paths_never_traverse_downed_hops(
+        (a, b) in distinct_pair(),
+        kills in proptest::collection::vec(0u32..4096, 1..6),
+    ) {
+        for build in [Hierarchy::lassen_like as fn(u32) -> Hierarchy, Hierarchy::abci_like] {
+            let mut net = TopoNet::new(Arc::new(build(NODES)));
+            let n_hops = net.topology().hops().len() as u32;
+            for k in &kills {
+                net.force_hop_down(HopId(k % n_hops), Time(0));
+            }
+            match net.resolve((a, b)) {
+                Ok(route) => {
+                    let route: Vec<HopId> = route.to_vec();
+                    for hop in route {
+                        prop_assert!(
+                            net.hop_state(hop) != HopState::Down,
+                            "route for {:?}/{:?} crosses downed hop {:?}",
+                            a, b, hop
+                        );
+                    }
+                }
+                Err(NetError::Disconnected { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+
+    /// Byte and busy counters reconcile exactly with the per-transmit hop
+    /// spans even as hops die mid-schedule and traffic reroutes: each
+    /// surviving hop carried exactly the bytes of the transfers routed
+    /// across it *at the time they ran*, and its occupancy equals the sum
+    /// of their wire spans. Severed pairs occupy nothing.
+    #[test]
+    fn hop_counters_reconcile_across_fail_reroute_cycles(
+        transfers in proptest::collection::vec((distinct_pair(), 1u64..1_000_000), 4..24),
+        kill_every in 2usize..5,
+    ) {
+        for build in [Hierarchy::lassen_like as fn(u32) -> Hierarchy, Hierarchy::abci_like] {
+            let mut net = TopoNet::new(Arc::new(build(NODES)));
+            let mut bytes_by_hop: HashMap<u32, u64> = HashMap::new();
+            let mut busy_by_hop: HashMap<u32, Duration> = HashMap::new();
+            for (i, &((a, b), bytes)) in transfers.iter().enumerate() {
+                match net.transmit(Time(0), (a, b), bytes, None) {
+                    Ok(timing) => {
+                        prop_assert!(timing.delivered > timing.start);
+                        // Routes change under us, so the ground truth is
+                        // the hop spans of *this* transmit, not a
+                        // resolve-once route table.
+                        for &(hop, start, wire_done) in net.last_hops() {
+                            *bytes_by_hop.entry(hop).or_default() += bytes;
+                            *busy_by_hop.entry(hop).or_default() += wire_done - start;
+                        }
+                        if i % kill_every == kill_every - 1 {
+                            // Kill the first hop this transfer crossed;
+                            // later transfers must reroute around it.
+                            let victim = net.last_hops().first().map(|&(h, _, _)| h);
+                            if let Some(h) = victim {
+                                net.force_hop_down(HopId(h), Time(0));
+                            }
+                        }
+                    }
+                    Err(NetError::Disconnected { .. }) => {}
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+            for (i, stat) in net.hop_stats().iter().enumerate() {
+                prop_assert_eq!(
+                    stat.bytes,
+                    bytes_by_hop.get(&(i as u32)).copied().unwrap_or(0),
+                    "bytes on hop {} ({})", i, stat.kind
+                );
+                prop_assert_eq!(
+                    stat.busy,
+                    busy_by_hop.get(&(i as u32)).copied().unwrap_or(Duration::ZERO),
+                    "busy on hop {} ({})", i, stat.kind
+                );
+                prop_assert_eq!(stat.wasted, 0u64);
+            }
+        }
+    }
+
+    /// Keyed fault draws are pure functions of `(plan seed, site, salt,
+    /// key)`: evaluating the same coordinates in any order — forward,
+    /// reversed, or interleaved across two plan instances — produces the
+    /// identical decision sequence. This is what lets the sharded event
+    /// loop replay fabric faults in barrier order without divergence.
+    #[test]
+    fn keyed_fault_draws_are_order_independent(
+        seed in 0u64..u64::MAX,
+        coords in proptest::collection::vec((0u64..64, 0u64..1 << 48), 1..32),
+    ) {
+        let mut fwd = FaultPlan::uniform(seed, 0.3);
+        let mut rev = FaultPlan::uniform(seed, 0.3);
+        for site in [FaultSite::HopFlap, FaultSite::RailDegrade, FaultSite::HopDown] {
+            let forward: Vec<bool> = coords
+                .iter()
+                .map(|&(salt, key)| fwd.fires_keyed(site, salt, key))
+                .collect();
+            let mut backward: Vec<bool> = coords
+                .iter()
+                .rev()
+                .map(|&(salt, key)| rev.fires_keyed(site, salt, key))
+                .collect();
+            backward.reverse();
+            prop_assert_eq!(&forward, &backward, "{:?} draws depend on order", site);
+            let spikes_fwd: Vec<_> = coords
+                .iter()
+                .map(|&(salt, key)| fwd.spike_keyed(site, salt, key))
+                .collect();
+            let mut spikes_rev: Vec<_> = coords
+                .iter()
+                .rev()
+                .map(|&(salt, key)| rev.spike_keyed(site, salt, key))
+                .collect();
+            spikes_rev.reverse();
+            prop_assert_eq!(spikes_fwd, spikes_rev);
         }
     }
 }

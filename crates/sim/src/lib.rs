@@ -28,7 +28,7 @@ pub mod trace;
 
 pub use clock::{Duration, Time};
 pub use event::{ClampStats, EventQueue, WheelStats};
-pub use fault::{FaultPlan, FaultSite, FaultSpec, FaultSummary, RetryPolicy};
+pub use fault::{splitmix64, FaultPlan, FaultSite, FaultSpec, FaultSummary, RetryPolicy};
 pub use resource::FifoResource;
 pub use rng::Pcg32;
 pub use shard::{Mailbox, ShardStats};

@@ -23,18 +23,29 @@ use std::collections::VecDeque;
 /// not a steady state.
 pub const MAILBOX_CAPACITY: usize = 1024;
 
+/// Hard cap on one round's spill growth, as a multiple of the ring
+/// capacity. Messages are never dropped (that would corrupt the
+/// simulation), but a spill this deep means the window/lookahead tuning is
+/// broken — warn loudly once so it is investigated instead of silently
+/// degrading into unbounded allocation.
+pub const MAILBOX_SPILL_WARN_FACTOR: usize = 16;
+
 /// A bounded FIFO ring with an overflow spill, for one shard pair.
 ///
 /// `push` never fails and never reorders: once the ring is full, messages
 /// go to a spill vector and are drained after the ring's contents, which
 /// preserves arrival order because the ring stops accepting pushes the
-/// moment the first spill happens (drain resets both).
+/// moment the first spill happens (drain resets both). Spill depth is
+/// tracked as a high-water mark and a one-time stderr warning fires when a
+/// round overruns [`MAILBOX_SPILL_WARN_FACTOR`] rings' worth of messages.
 #[derive(Debug)]
 pub struct Mailbox<T> {
     ring: VecDeque<T>,
     capacity: usize,
     spill: Vec<T>,
     spills: u64,
+    spill_max: u64,
+    warned: bool,
 }
 
 impl<T> Default for Mailbox<T> {
@@ -51,6 +62,8 @@ impl<T> Mailbox<T> {
             capacity,
             spill: Vec::new(),
             spills: 0,
+            spill_max: 0,
+            warned: false,
         }
     }
 
@@ -62,6 +75,19 @@ impl<T> Mailbox<T> {
         } else {
             self.spills += 1;
             self.spill.push(msg);
+            self.spill_max = self.spill_max.max(self.spill.len() as u64);
+            if !self.warned && self.spill.len() >= self.capacity * MAILBOX_SPILL_WARN_FACTOR {
+                self.warned = true;
+                eprintln!(
+                    "warning: shard mailbox spill exceeded {}x its ring capacity \
+                     ({} spilled past a {}-slot ring); messages are preserved, but \
+                     the window lookahead is admitting far more cross-shard traffic \
+                     per round than the mailboxes were sized for",
+                    MAILBOX_SPILL_WARN_FACTOR,
+                    self.spill.len(),
+                    self.capacity
+                );
+            }
         }
     }
 
@@ -80,6 +106,14 @@ impl<T> Mailbox<T> {
     #[inline]
     pub fn spill_count(&self) -> u64 {
         self.spills
+    }
+
+    /// Deepest the spill vector has ever grown (messages queued past the
+    /// ring at once) — the high-water mark reported via
+    /// [`ShardStats::spill_max`].
+    #[inline]
+    pub fn spill_high_water(&self) -> u64 {
+        self.spill_max
     }
 
     /// Remove and return all queued messages in arrival order.
@@ -102,6 +136,9 @@ pub struct ShardStats {
     pub deferred_transmits: u64,
     /// Mailbox pushes that overran a ring into its spill vector.
     pub mailbox_spills: u64,
+    /// Deepest any single mailbox's spill vector grew during the run (a
+    /// high-water mark: 0 means no round ever overran its ring).
+    pub spill_max: u64,
     /// Wall-clock nanoseconds the coordinator spent in barrier work
     /// (applying transmits, draining mailboxes, computing windows).
     pub barrier_wall_ns: u64,
@@ -119,6 +156,7 @@ impl ShardStats {
         self.admitted_msgs += other.admitted_msgs;
         self.deferred_transmits += other.deferred_transmits;
         self.mailbox_spills += other.mailbox_spills;
+        self.spill_max = self.spill_max.max(other.spill_max);
         self.barrier_wall_ns += other.barrier_wall_ns;
         self.stall_wall_ns += other.stall_wall_ns;
     }
@@ -136,11 +174,36 @@ mod tests {
         }
         assert_eq!(mb.len(), 10);
         assert_eq!(mb.spill_count(), 6);
+        assert_eq!(mb.spill_high_water(), 6);
         let order: Vec<_> = mb.drain().collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
         assert!(mb.is_empty());
-        // The spill count survives the drain.
+        // The spill count and high-water mark survive the drain.
         assert_eq!(mb.spill_count(), 6);
+        assert_eq!(mb.spill_high_water(), 6);
+    }
+
+    #[test]
+    fn saturated_mailbox_keeps_every_message_and_records_high_water() {
+        // Saturate far past the warn threshold: nothing may be dropped,
+        // order must hold, and the high-water mark reflects the deepest
+        // spill (the whole overrun, since nothing drained in between).
+        let cap = 4;
+        let total = cap * (MAILBOX_SPILL_WARN_FACTOR + 2) + 3;
+        let mut mb = Mailbox::with_capacity(cap);
+        for i in 0..total {
+            mb.push(i);
+        }
+        assert_eq!(mb.len(), total);
+        assert_eq!(mb.spill_count(), (total - cap) as u64);
+        assert_eq!(mb.spill_high_water(), (total - cap) as u64);
+        let drained: Vec<_> = mb.drain().collect();
+        assert_eq!(drained, (0..total).collect::<Vec<_>>());
+        // A later, smaller round does not shrink the high-water mark.
+        for i in 0..cap + 1 {
+            mb.push(i);
+        }
+        assert_eq!(mb.spill_high_water(), (total - cap) as u64);
     }
 
     #[test]
@@ -162,6 +225,7 @@ mod tests {
             admitted_msgs: 5,
             deferred_transmits: 7,
             mailbox_spills: 1,
+            spill_max: 3,
             barrier_wall_ns: 100,
             stall_wall_ns: 50,
         };
@@ -171,6 +235,7 @@ mod tests {
             admitted_msgs: 3,
             deferred_transmits: 2,
             mailbox_spills: 0,
+            spill_max: 9,
             barrier_wall_ns: 40,
             stall_wall_ns: 75,
         };
@@ -178,6 +243,7 @@ mod tests {
         assert_eq!(a.barriers, 10);
         assert_eq!(a.admitted_msgs, 8);
         assert_eq!(a.deferred_transmits, 9);
+        assert_eq!(a.spill_max, 9, "high-water mark maxes, not sums");
         assert_eq!(a.stall_wall_ns, 125);
     }
 }

@@ -236,6 +236,11 @@ pub enum Payload {
         admitted: u64,
         /// Deferred routed transmits applied against the shared fabric.
         applied: u64,
+        /// Route-cache epoch of the shared fabric after this barrier's
+        /// transmits were applied (0 without a topology or fault domain).
+        /// Every shard observes a hop-state transition at the same barrier,
+        /// so the epoch sequence is identical across shard counts.
+        route_epoch: u64,
     },
     /// One cell of a parallel experiment sweep executed by the bench
     /// driver; `index` is the cell's position in the deterministic cell
@@ -254,6 +259,13 @@ pub enum Payload {
         site: FaultSite,
         action: &'static str,
     },
+    /// The fabric health monitor marked a hop permanently down.
+    HopDown { hop: u32 },
+    /// A pair's route was re-resolved around dead hops (self-healing
+    /// ECMP reroute).
+    Rerouted { src: u32, dst: u32 },
+    /// A reroute failed over a dead NIC rail to a sibling rail.
+    RailFailover { hop: u32 },
 }
 
 impl Payload {
@@ -289,6 +301,9 @@ impl Payload {
             Payload::FaultInjected { .. } => "fault-injected",
             Payload::Retry { .. } => "retry",
             Payload::Degraded { .. } => "degraded",
+            Payload::HopDown { .. } => "hop-down",
+            Payload::Rerouted { .. } => "rerouted",
+            Payload::RailFailover { .. } => "rail-failover",
         }
     }
 
@@ -319,9 +334,12 @@ impl Payload {
             | Payload::QueueHealth { .. }
             | Payload::ShardBarrier { .. } => "sim",
             Payload::SweepCell { .. } => "sweep",
-            Payload::FaultInjected { .. } | Payload::Retry { .. } | Payload::Degraded { .. } => {
-                "fault"
-            }
+            Payload::FaultInjected { .. }
+            | Payload::Retry { .. }
+            | Payload::Degraded { .. }
+            | Payload::HopDown { .. }
+            | Payload::Rerouted { .. }
+            | Payload::RailFailover { .. } => "fault",
         }
     }
 
@@ -447,10 +465,12 @@ impl Payload {
                 window_ns,
                 admitted,
                 applied,
+                route_epoch,
             } => vec![
                 ("window_ns", ArgValue::U64(window_ns)),
                 ("admitted", ArgValue::U64(admitted)),
                 ("applied", ArgValue::U64(applied)),
+                ("route_epoch", ArgValue::U64(route_epoch)),
             ],
             Payload::SweepCell { index, worker } => vec![
                 ("index", ArgValue::U64(index)),
@@ -470,6 +490,12 @@ impl Payload {
                 ("site", ArgValue::Str(site.label())),
                 ("action", ArgValue::Str(action)),
             ],
+            Payload::HopDown { hop } => vec![("hop", ArgValue::U64(hop as u64))],
+            Payload::Rerouted { src, dst } => vec![
+                ("src", ArgValue::U64(src as u64)),
+                ("dst", ArgValue::U64(dst as u64)),
+            ],
+            Payload::RailFailover { hop } => vec![("hop", ArgValue::U64(hop as u64))],
         }
     }
 }

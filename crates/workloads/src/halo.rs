@@ -18,8 +18,8 @@ use crate::Workload;
 use fusedpack_gpu::DataMode;
 use fusedpack_mpi::program::BufInit;
 use fusedpack_mpi::{AppOp, BufId, ClusterBuilder, Program, RankId, SchemeKind, TypeSlot};
-use fusedpack_net::{Platform, TopologyHandle};
-use fusedpack_sim::Duration;
+use fusedpack_net::{FabricHealth, Platform, TopologyHandle};
+use fusedpack_sim::{ClampStats, Duration, FaultPlan, FaultSummary};
 use fusedpack_telemetry::Telemetry;
 
 /// A Cartesian process grid. Dimensions of size 1 are inactive (a 2-D
@@ -206,8 +206,12 @@ pub struct HaloConfig {
     /// model.
     pub topology: Option<TopologyHandle>,
     /// Worker shards for the event loop (clamped by the cluster; 1 =
-    /// single-queue). Reports are byte-identical at any shard count.
+    /// single-queue). Reports are byte-identical at any shard count —
+    /// armed fault plans included.
     pub shards: u32,
+    /// Fault plan armed on the cluster (the chaos harness). `None` runs
+    /// fault-free.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl HaloConfig {
@@ -228,6 +232,7 @@ impl HaloConfig {
             measured_laps: 1,
             topology: None,
             shards: 1,
+            fault_plan: None,
         }
     }
 
@@ -238,6 +243,11 @@ impl HaloConfig {
 
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -283,6 +293,9 @@ fn run_halo_with(cfg: &HaloConfig, telemetry: Option<&Telemetry>) -> HaloOutcome
     if let Some(topo) = &cfg.topology {
         builder = builder.topology(topo.clone());
     }
+    if let Some(plan) = &cfg.fault_plan {
+        builder = builder.fault_plan(plan.clone());
+    }
     if let Some(t) = telemetry {
         builder = builder.telemetry(t.clone());
     }
@@ -318,6 +331,86 @@ fn run_halo_with(cfg: &HaloConfig, telemetry: Option<&Telemetry>) -> HaloOutcome
         busiest_hop_busy: busiest,
         hop_bytes: bytes,
         order_violations: cluster.topo_order_violations().unwrap_or(0),
+        shard_barriers: report.shard.barriers,
+    }
+}
+
+/// Results of one fault-injected (or fault-free reference) halo run.
+#[derive(Debug, Clone)]
+pub struct HaloChaosOutcome {
+    /// Mean makespan of the measured iterations.
+    pub latency: Duration,
+    /// What the fault plan did to this run (flat sites + forced
+    /// deliveries).
+    pub faults: FaultSummary,
+    /// Fabric fault-domain accounting: per-hop injections, health
+    /// transitions, reroutes, rail failovers, forced-delivery
+    /// disconnects. All-zero without a topology or an armed fabric plan.
+    pub fabric: FabricHealth,
+    /// Past-event clamps the event queue repaired. Must be zero on the
+    /// fault-free baseline.
+    pub clamps: ClampStats,
+    /// FNV-1a over every rank's receive buffers in (rank, neighbor,
+    /// message) order — the end-to-end data-integrity fingerprint. A
+    /// faulty run recovered correctly iff its checksum equals the
+    /// fault-free baseline's.
+    pub checksum: u64,
+    /// Window barriers the sharded coordinator ran (zero single-queue).
+    pub shard_barriers: u64,
+}
+
+/// Run one halo exchange with real bytes ([`DataMode::Full`]) under the
+/// config's optional fault plan, returning latency plus integrity
+/// evidence. The topo-chaos grid compares each cell's checksum against a
+/// fault-free baseline run of the same config.
+pub fn run_halo_chaos(cfg: &HaloConfig) -> HaloChaosOutcome {
+    let laps = cfg.warmup_laps + cfg.measured_laps;
+    let programs = halo_programs(&cfg.grid, &cfg.workload, cfg.n_msgs, laps, 7);
+    let gpus_per_node = cfg.platform.gpus_per_node.max(1);
+    let mut builder = ClusterBuilder::new(cfg.platform.clone(), cfg.scheme.clone())
+        .data_mode(DataMode::Full)
+        .shards(cfg.shards);
+    if let Some(topo) = &cfg.topology {
+        builder = builder.topology(topo.clone());
+    }
+    if let Some(plan) = &cfg.fault_plan {
+        builder = builder.fault_plan(plan.clone());
+    }
+    let mut rbufs = Vec::new();
+    for (rank, (program, bufs)) in programs.into_iter().enumerate() {
+        builder = builder.add_rank(rank as u32 / gpus_per_node, program);
+        rbufs.push(bufs.recv);
+    }
+    let mut cluster = builder.build();
+    let report = cluster.run();
+
+    let measured: Vec<Duration> = (cfg.warmup_laps..laps)
+        .map(|i| report.lap_makespan(i))
+        .collect();
+    let mean = if measured.is_empty() {
+        Duration::ZERO
+    } else {
+        measured.iter().copied().sum::<Duration>() / measured.len() as u64
+    };
+
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for (rank, neighbors) in rbufs.iter().enumerate() {
+        for bufs in neighbors {
+            for &buf in bufs {
+                for byte in cluster.rank_buffer(RankId(rank as u32), buf) {
+                    checksum ^= byte as u64;
+                    checksum = checksum.wrapping_mul(0x0100_0000_01b3);
+                }
+            }
+        }
+    }
+
+    HaloChaosOutcome {
+        latency: mean,
+        faults: report.fault_summary,
+        fabric: report.fabric,
+        clamps: report.event_clamps,
+        checksum,
         shard_barriers: report.shard.barriers,
     }
 }

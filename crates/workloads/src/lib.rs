@@ -31,7 +31,9 @@ pub use driver::{
     run_exchange, run_exchange_chaos, run_exchange_traced, run_phase_shift, run_phase_shift_traced,
     ChaosOutcome, ExchangeConfig, ExchangeOutcome, PhaseShiftOutcome,
 };
-pub use halo::{run_halo, run_halo_traced, HaloConfig, HaloGrid, HaloOutcome};
+pub use halo::{
+    run_halo, run_halo_chaos, run_halo_traced, HaloChaosOutcome, HaloConfig, HaloGrid, HaloOutcome,
+};
 pub use serve::{run_serve, ServeConfig, ServeOutcome};
 
 use fusedpack_datatype::TypeDesc;

@@ -80,7 +80,10 @@ fn four_shards_reproduce_and_beat_single_queue_on_4096_ranks() {
     for lap in 0..LAPS {
         assert_eq!(single.lap_makespan(lap), sharded.lap_makespan(lap));
     }
-    assert_eq!(single_hops, sharded_hops, "per-hop byte/busy tables diverged");
+    assert_eq!(
+        single_hops, sharded_hops,
+        "per-hop byte/busy tables diverged"
+    );
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
