@@ -211,6 +211,65 @@ fn bench_gather_tier(c: &mut Criterion) {
     g.finish();
 }
 
+/// The block-uniform tier against the generic segment walk on the same
+/// wide-run layout: 2048 72-byte runs at a 120-byte stride (a blocklen-9
+/// double vector — runs past `FIXED_RUN_WIDTH_MAX`, so the layout
+/// compiler classifies it BlockUniform and the copy moves each run as
+/// fixed 64-byte chunks plus a tail instead of walking the per-segment
+/// offset table). Runs this size keep per-run bookkeeping visible; much
+/// wider runs converge to memory bandwidth on every path.
+fn bench_block_uniform_tier(c: &mut Criterion) {
+    use fusedpack_datatype::CopyPlan;
+    let layout = Layout::of(&TypeBuilder::vector(2048, 9, 15, TypeBuilder::double()));
+    let count = 1u64;
+    let plan = match layout.plan_for(count) {
+        CopyPlan::BlockUniform(p) => p,
+        other => panic!("wide-run vector must classify BlockUniform, got {other:?}"),
+    };
+    let src = vec![7u8; layout.footprint(count) as usize];
+    let mut dst = vec![0u8; layout.total_bytes(count) as usize];
+    let mut g = c.benchmark_group("hotpaths/block_uniform");
+    g.throughput(Throughput::Bytes(layout.total_bytes(count)));
+    g.bench_function("pack_block_uniform", |b| {
+        b.iter(|| pack::pack_into_block_uniform(black_box(&src), &plan, &mut dst))
+    });
+    g.bench_function("pack_generic_loop", |b| {
+        b.iter(|| pack::pack_into_generic(black_box(&src), &layout, count, &mut dst))
+    });
+    g.bench_function("unpack_block_uniform", |b| {
+        let packed = vec![9u8; layout.total_bytes(count) as usize];
+        let mut out = vec![0u8; layout.footprint(count) as usize];
+        b.iter(|| pack::unpack_block_uniform(black_box(&packed), &plan, &mut out))
+    });
+
+    // The same tier inside the device pools: the >32-byte dispatch arm of
+    // the strided gather (what the cluster's staged copies hit for
+    // BlockUniform plans) against the segment-iterator walk.
+    let span = layout.footprint(count).max(1);
+    let total = layout.total_bytes(count);
+    let mut pool = MemPool::new(span + total + 64, DataMode::Full);
+    let region = pool.alloc(span, 64);
+    let packed = pool.alloc(total, 64);
+    let runs = FixedRuns {
+        first: region.addr + plan.first,
+        stride: plan.stride,
+        len: plan.len,
+        runs: plan.runs,
+    };
+    g.bench_function("mempool_gather_block", |b| {
+        b.iter(|| black_box(pool.gather_uniform(black_box(runs), packed.addr)))
+    });
+    g.bench_function("mempool_gather_iter", |b| {
+        b.iter(|| {
+            black_box(pool.gather_iter(
+                layout.abs_segments(black_box(region.addr), count),
+                packed.addr,
+            ))
+        })
+    });
+    g.finish();
+}
+
 /// One scheduler service cycle: 64 enqueues with a threshold check after
 /// each (flushing whenever it fires), a final sync-point flush, then
 /// completion signalling and retirement for every request — the per-epoch
@@ -602,6 +661,7 @@ criterion_group!(
     bench_staging_pool,
     bench_staging_pool_mixed,
     bench_gather_tier,
+    bench_block_uniform_tier,
     bench_scheduler,
     bench_fault_hooks,
     bench_topology,

@@ -97,6 +97,23 @@ pub fn run() -> Vec<Table> {
          exact values depend on the --shards decomposition (excluded from the CI diff)",
     );
 
+    let mut cache = Table::new(
+        format!("Serve layout cache: compile-once amortization ({requests} requests)"),
+        &[
+            "scheme",
+            "arrival gap",
+            "hits",
+            "misses",
+            "evictions",
+            "hit rate (%)",
+            "resident (B)",
+        ],
+    )
+    .with_note(
+        "acquire counters of the sharded layout cache, merged over ranks; \
+         cost-free in virtual time and byte-identical across --jobs and --shards",
+    );
+
     let mut cells: Vec<Cell<ServeOutcome>> = Vec::new();
     for (slabel, scheme) in schemes() {
         for (glabel, gap) in gaps() {
@@ -127,9 +144,19 @@ pub fn run() -> Vec<Table> {
                 out.wheel.slab_high_water.to_string(),
                 out.wheel.overflow_hits.to_string(),
             ]);
+            let lc = &out.layout_cache;
+            cache.push_row(vec![
+                (*slabel).into(),
+                (*glabel).into(),
+                lc.hits().to_string(),
+                lc.misses().to_string(),
+                lc.evictions().to_string(),
+                format!("{:.3}", lc.hit_rate() * 100.0),
+                lc.resident_bytes().to_string(),
+            ]);
         }
     }
-    vec![t, health]
+    vec![t, health, cache]
 }
 
 #[cfg(test)]
@@ -170,6 +197,23 @@ mod tests {
         super::super::set_serve_requests(super::super::SERVE_REQUESTS_DEFAULT);
         assert_eq!(single[0].render(), sharded[0].render());
         assert_eq!(single[0].to_csv(), sharded[0].to_csv());
+        // The layout-cache table is pure merged-counter bookkeeping, so it
+        // too must be byte-identical at any shard decomposition.
+        assert_eq!(single[2].render(), sharded[2].render());
+        assert_eq!(single[2].to_csv(), sharded[2].to_csv());
+    }
+
+    /// Steady state amortizes layout compilation: the cache table's hit
+    /// rate is ≥ 99% once warmup's single compile per rank is behind it.
+    #[test]
+    fn layout_cache_hit_rate_exceeds_99_percent() {
+        let out = measure(SchemeKind::fusion_default(), 0, 2_000);
+        assert!(
+            out.layout_cache.hit_rate() >= 0.99,
+            "hit rate {}",
+            out.layout_cache.hit_rate()
+        );
+        assert_eq!(out.layout_cache.evictions(), 0);
     }
 
     /// Fusion's throughput advantage survives sustained load.

@@ -77,6 +77,7 @@ impl RequestRing {
         }
         let uid = Uid(self.next_uid);
         self.next_uid += 1;
+        let (stats, class) = FusionRequest::classify(&layout, count);
         self.slots[idx] = Some(FusionRequest {
             uid,
             op,
@@ -84,6 +85,8 @@ impl RequestRing {
             target,
             layout,
             count,
+            stats,
+            class,
             bw_cap,
             request_status: Status::Pending,
             response_status: Status::Idle,

@@ -1,18 +1,38 @@
-//! The datatype layout cache.
+//! The production layout cache: sharded, bounded, LRU-evicting.
 //!
 //! Following the scheme of Chu et al. \[24\] (the paper's `data layout` field
 //! in each fusion request is "the cached data layout entry"), committed
-//! types are flattened once and the resulting [`Layout`] is cached, keyed by
-//! the structural hash of the type tree. Subsequent commits of an identical
-//! type reuse the entry.
+//! types are compiled once ([`CompiledLayout`]) and cached, keyed by the
+//! structural hash of the type tree. Subsequent commits of an identical
+//! type reuse the entry, and per-message [`LayoutCache::acquire`] calls
+//! resolve a [`TypeHandle`] to its compiled plan with a counter bump — the
+//! "hits amortize to near zero" regime `reproduce serve` measures.
+//!
+//! Production shape (TEMPI-style, per ROADMAP):
+//!
+//! * **Sharded by structural hash** — entries land in `shards` independent
+//!   ways, so per-shard scans stay tiny and the stats expose skew.
+//! * **Bounded with LRU eviction** — each shard holds at most
+//!   `shard_capacity` compiled layouts; inserting beyond that evicts the
+//!   least-recently-used *unpinned* entry. An entry whose `Arc` is still
+//!   referenced outside the cache (an in-flight request holds its layout)
+//!   is pinned and never evicted.
+//! * **Handles survive eviction** — the commit→handle binding is
+//!   permanent, like an `MPI_Datatype`. Eviction drops only the compiled
+//!   artifact; a later `acquire` recompiles from the retained descriptor
+//!   and re-inserts (counted as a miss).
+//! * **Telemetry** — per-shard hit/miss/eviction counters plus resident
+//!   bytes and high-water marks, surfaced as [`LayoutCacheStats`] in
+//!   `RunReport` and as `Payload::LayoutCacheHealth` instants.
 //!
 //! The cache also carries the *cost model* for layout processing: schemes
 //! that cache layouts (CPU-GPU-Hybrid, the proposed fusion design) pay the
 //! flattening cost once per type; schemes without a cache (GPU-Sync,
 //! GPU-Async — "Layout Cache: N" in Table I) re-parse the datatype on every
-//! pack/unpack operation.
+//! pack/unpack operation. The constants are unchanged from the seed, so
+//! virtual-time reports are byte-identical to the pre-refactor cache.
 
-use crate::layout::Layout;
+use crate::compile::CompiledLayout;
 use crate::typedesc::TypeDesc;
 use fusedpack_sim::Duration;
 use std::collections::hash_map::DefaultHasher;
@@ -24,13 +44,107 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TypeHandle(pub u64);
 
-/// Cache hit/miss counters.
+/// Legacy aggregate counters (commit/lookup granularity), kept for the
+/// pre-shard API. [`LayoutCacheStats`] is the full per-shard view.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub commits: u64,
     pub hits: u64,
     pub misses: u64,
     pub lookups: u64,
+}
+
+/// Per-shard cache health counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayoutShardStats {
+    /// Resolutions served from the shard (commit hits + handle acquires).
+    pub hits: u64,
+    /// Compiles: first commits plus post-eviction re-compiles.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
+    /// Compiled layouts currently resident.
+    pub resident_entries: u64,
+    /// Bytes of compiled layout data currently resident.
+    pub resident_bytes: u64,
+    /// Highest `resident_bytes` ever observed.
+    pub high_water_bytes: u64,
+}
+
+impl LayoutShardStats {
+    /// Element-wise merge across disjoint caches: counters and residency
+    /// gauges add, and summed high-waters are exact because per-rank
+    /// residency is monotone while no eviction fires (the steady state of
+    /// every real run).
+    pub fn absorb(&mut self, other: &LayoutShardStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.resident_entries += other.resident_entries;
+        self.resident_bytes += other.resident_bytes;
+        self.high_water_bytes += other.high_water_bytes;
+    }
+}
+
+/// Cache-wide health: commit/lookup totals plus the per-shard breakdown.
+/// Merged across ranks into `RunReport::layout_cache`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LayoutCacheStats {
+    /// `commit` calls observed.
+    pub commits: u64,
+    /// Charged `get` lookups observed.
+    pub lookups: u64,
+    /// Per-shard counters, index = shard.
+    pub per_shard: Vec<LayoutShardStats>,
+}
+
+impl LayoutCacheStats {
+    pub fn hits(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.hits).sum()
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.misses).sum()
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.evictions).sum()
+    }
+
+    pub fn resident_entries(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.resident_entries).sum()
+    }
+
+    pub fn resident_bytes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.resident_bytes).sum()
+    }
+
+    pub fn high_water_bytes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.high_water_bytes).sum()
+    }
+
+    /// Fraction of resolutions served without compiling, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            return 1.0;
+        }
+        h as f64 / (h + m) as f64
+    }
+
+    /// Merge another cache's stats into this one (e.g. across ranks).
+    /// Shard vectors are padded to the longer length.
+    pub fn absorb(&mut self, other: &LayoutCacheStats) {
+        self.commits += other.commits;
+        self.lookups += other.lookups;
+        if self.per_shard.len() < other.per_shard.len() {
+            self.per_shard
+                .resize(other.per_shard.len(), LayoutShardStats::default());
+        }
+        for (mine, theirs) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            mine.absorb(theirs);
+        }
+    }
 }
 
 /// CPU cost of flattening a type with `blocks` leaf blocks (first commit).
@@ -51,13 +165,72 @@ pub fn parse_cost(blocks: u64) -> Duration {
     Duration::from_nanos((200 + blocks / 4).min(3_000))
 }
 
-/// The layout cache.
+/// Cache geometry. Defaults are generous enough that real runs never
+/// evict (the goldens prove byte-identity), while tests can shrink the
+/// bound to exercise the LRU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutCacheConfig {
+    /// Shard count; rounded up to a power of two.
+    pub shards: usize,
+    /// Maximum resident compiled layouts per shard.
+    pub shard_capacity: usize,
+}
+
+impl Default for LayoutCacheConfig {
+    fn default() -> Self {
+        LayoutCacheConfig {
+            shards: 4,
+            shard_capacity: 64,
+        }
+    }
+}
+
+/// One resident compiled layout.
+#[derive(Debug)]
+struct CachedEntry {
+    handle: TypeHandle,
+    layout: Arc<CompiledLayout>,
+    /// LRU tick of the most recent touch (globally unique, so eviction
+    /// order is total and deterministic).
+    last_use: u64,
+}
+
 #[derive(Debug, Default)]
+struct Shard {
+    /// structural hash → resident entry.
+    entries: HashMap<u64, CachedEntry>,
+    stats: LayoutShardStats,
+}
+
+/// The commit→handle binding, permanent like an `MPI_Datatype`. Keeps the
+/// (cheap, `Arc`-shared) descriptor so an evicted layout can be recompiled
+/// on demand.
+#[derive(Debug, Clone)]
+struct HandleInfo {
+    shard: usize,
+    key: u64,
+    desc: TypeDesc,
+}
+
+/// The sharded layout cache.
+#[derive(Debug)]
 pub struct LayoutCache {
-    by_handle: HashMap<TypeHandle, Arc<Layout>>,
-    by_structure: HashMap<u64, TypeHandle>,
+    shards: Vec<Shard>,
+    shard_mask: u64,
+    shard_capacity: usize,
+    by_handle: HashMap<u64, HandleInfo>,
     next: u64,
-    stats: CacheStats,
+    tick: u64,
+    commits: u64,
+    commit_hits: u64,
+    commit_misses: u64,
+    lookups: u64,
+}
+
+impl Default for LayoutCache {
+    fn default() -> Self {
+        Self::with_config(LayoutCacheConfig::default())
+    }
 }
 
 impl LayoutCache {
@@ -65,53 +238,195 @@ impl LayoutCache {
         Self::default()
     }
 
-    /// Commit a type: flatten (or find the structurally identical cached
-    /// entry) and return its handle plus the CPU cost incurred.
-    pub fn commit(&mut self, desc: &TypeDesc) -> (TypeHandle, Duration) {
-        self.stats.commits += 1;
+    pub fn with_config(config: LayoutCacheConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        LayoutCache {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shard_mask: shards as u64 - 1,
+            shard_capacity: config.shard_capacity.max(1),
+            by_handle: HashMap::new(),
+            next: 0,
+            tick: 0,
+            commits: 0,
+            commit_hits: 0,
+            commit_misses: 0,
+            lookups: 0,
+        }
+    }
+
+    fn structural_key(desc: &TypeDesc) -> u64 {
         let mut hasher = DefaultHasher::new();
         desc.hash(&mut hasher);
-        let key = hasher.finish();
-        if let Some(&handle) = self.by_structure.get(&key) {
-            self.stats.hits += 1;
+        hasher.finish()
+    }
+
+    fn touch_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Commit a type: compile (or find the structurally identical cached
+    /// entry) and return its handle plus the CPU cost incurred.
+    pub fn commit(&mut self, desc: &TypeDesc) -> (TypeHandle, Duration) {
+        self.commits += 1;
+        let key = Self::structural_key(desc);
+        let shard_idx = (key & self.shard_mask) as usize;
+        let tick = self.touch_tick();
+        let hit = {
+            let shard = &mut self.shards[shard_idx];
+            match shard.entries.get_mut(&key) {
+                Some(entry) => {
+                    entry.last_use = tick;
+                    shard.stats.hits += 1;
+                    Some(entry.handle)
+                }
+                None => None,
+            }
+        };
+        if let Some(handle) = hit {
+            self.commit_hits += 1;
             return (handle, lookup_cost());
         }
-        self.stats.misses += 1;
-        let layout = Arc::new(Layout::of(desc));
+        self.commit_misses += 1;
+        let layout = Arc::new(CompiledLayout::of(desc));
         let cost = flatten_cost(layout.num_blocks());
         let handle = TypeHandle(self.next);
         self.next += 1;
-        self.by_structure.insert(key, handle);
-        self.by_handle.insert(handle, layout);
+        self.by_handle.insert(
+            handle.0,
+            HandleInfo {
+                shard: shard_idx,
+                key,
+                desc: desc.clone(),
+            },
+        );
+        self.insert(shard_idx, key, handle, layout, tick);
         (handle, cost)
     }
 
-    /// Look up a committed layout. Returns the layout and the lookup cost.
-    pub fn get(&mut self, handle: TypeHandle) -> (Arc<Layout>, Duration) {
-        self.stats.lookups += 1;
-        let layout = self
+    /// Insert a compiled layout into its shard, counting the miss,
+    /// updating residency accounting, and enforcing the LRU bound.
+    fn insert(
+        &mut self,
+        shard_idx: usize,
+        key: u64,
+        handle: TypeHandle,
+        layout: Arc<CompiledLayout>,
+        tick: u64,
+    ) {
+        let capacity = self.shard_capacity;
+        let shard = &mut self.shards[shard_idx];
+        let bytes = layout.resident_bytes();
+        shard.entries.insert(
+            key,
+            CachedEntry {
+                handle,
+                layout,
+                last_use: tick,
+            },
+        );
+        shard.stats.misses += 1;
+        shard.stats.resident_entries += 1;
+        shard.stats.resident_bytes += bytes;
+        shard.stats.high_water_bytes = shard.stats.high_water_bytes.max(shard.stats.resident_bytes);
+
+        // LRU eviction, skipping pinned entries (an Arc held outside the
+        // cache means an in-flight request still uses that layout). Ticks
+        // are globally unique, so the victim choice is deterministic.
+        while shard.entries.len() > capacity {
+            let victim = shard
+                .entries
+                .iter()
+                .filter(|(k, e)| **k != key && Arc::strong_count(&e.layout) == 1)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(vkey) => {
+                    let evicted = shard.entries.remove(&vkey).expect("victim present");
+                    shard.stats.evictions += 1;
+                    shard.stats.resident_entries -= 1;
+                    shard.stats.resident_bytes -= evicted.layout.resident_bytes();
+                }
+                // Everything is pinned: the bound is soft, never drop a
+                // layout someone still holds.
+                None => break,
+            }
+        }
+    }
+
+    /// Resolve a handle to its compiled layout: the cost-free per-message
+    /// path (schemes charge `lookup_cost` separately where the paper's
+    /// model says so). Counts a shard hit; if the entry was evicted,
+    /// recompiles from the retained descriptor and counts a miss.
+    ///
+    /// Panics on a handle this cache never issued.
+    pub fn acquire(&mut self, handle: TypeHandle) -> Arc<CompiledLayout> {
+        // Only the Copy fields here: cloning the retained descriptor on
+        // the per-message hit path would deep-copy its block tables.
+        let info = self
             .by_handle
-            .get(&handle)
-            .unwrap_or_else(|| panic!("uncommitted datatype {handle:?}"))
-            .clone();
-        (layout, lookup_cost())
+            .get(&handle.0)
+            .unwrap_or_else(|| panic!("uncommitted datatype {handle:?}"));
+        let (shard_idx, key) = (info.shard, info.key);
+        let tick = self.touch_tick();
+        {
+            let shard = &mut self.shards[shard_idx];
+            if let Some(entry) = shard.entries.get_mut(&key) {
+                entry.last_use = tick;
+                shard.stats.hits += 1;
+                return Arc::clone(&entry.layout);
+            }
+        }
+        // Evicted: recompile from the retained descriptor and re-insert
+        // under the original handle (the only path that pays the clone).
+        let desc = self.by_handle[&handle.0].desc.clone();
+        let layout = Arc::new(CompiledLayout::of(&desc));
+        self.insert(shard_idx, key, handle, Arc::clone(&layout), tick);
+        layout
     }
 
-    /// Peek without charging a lookup (for assertions/tests).
-    pub fn peek(&self, handle: TypeHandle) -> Option<&Arc<Layout>> {
-        self.by_handle.get(&handle)
+    /// Look up a committed layout. Returns the layout and the lookup cost.
+    pub fn get(&mut self, handle: TypeHandle) -> (Arc<CompiledLayout>, Duration) {
+        self.lookups += 1;
+        (self.acquire(handle), lookup_cost())
     }
 
+    /// Peek without charging a lookup or touching LRU state (for
+    /// assertions/tests). `None` for unknown *or evicted* handles.
+    pub fn peek(&self, handle: TypeHandle) -> Option<&Arc<CompiledLayout>> {
+        let info = self.by_handle.get(&handle.0)?;
+        self.shards[info.shard]
+            .entries
+            .get(&info.key)
+            .map(|e| &e.layout)
+    }
+
+    /// Legacy commit/lookup-granularity counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            commits: self.commits,
+            hits: self.commit_hits,
+            misses: self.commit_misses,
+            lookups: self.lookups,
+        }
     }
 
+    /// Full per-shard health snapshot.
+    pub fn layout_stats(&self) -> LayoutCacheStats {
+        LayoutCacheStats {
+            commits: self.commits,
+            lookups: self.lookups,
+            per_shard: self.shards.iter().map(|s| s.stats).collect(),
+        }
+    }
+
+    /// Resident compiled layouts across all shards.
     pub fn len(&self) -> usize {
-        self.by_handle.len()
+        self.shards.iter().map(|s| s.entries.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.by_handle.is_empty()
+        self.len() == 0
     }
 }
 
@@ -167,5 +482,110 @@ mod tests {
         assert!(flatten_cost(4000) > parse_cost(4000));
         assert!(parse_cost(4000) > lookup_cost());
         assert!(flatten_cost(0) > lookup_cost());
+    }
+
+    fn tiny_cache() -> LayoutCache {
+        LayoutCache::with_config(LayoutCacheConfig {
+            shards: 1,
+            shard_capacity: 2,
+        })
+    }
+
+    fn distinct_type(i: u64) -> std::sync::Arc<TypeDesc> {
+        TypeBuilder::vector(2, 1, 3 + i, TypeBuilder::double())
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = tiny_cache();
+        let (h0, _) = cache.commit(&distinct_type(0));
+        let (h1, _) = cache.commit(&distinct_type(1));
+        // Touch h0 so h1 becomes the LRU victim.
+        cache.acquire(h0);
+        let (_h2, _) = cache.commit(&distinct_type(2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(h0).is_some(), "recently used survives");
+        assert!(cache.peek(h1).is_none(), "LRU entry evicted");
+        assert_eq!(cache.layout_stats().evictions(), 1);
+    }
+
+    #[test]
+    fn evicted_handle_recompiles_on_acquire() {
+        let mut cache = tiny_cache();
+        let (h0, _) = cache.commit(&distinct_type(0));
+        let (_h1, _) = cache.commit(&distinct_type(1));
+        let (_h2, _) = cache.commit(&distinct_type(2));
+        assert!(cache.peek(h0).is_none(), "h0 was evicted");
+        let layout = cache.acquire(h0);
+        assert_eq!(layout.num_blocks(), 2);
+        assert!(cache.peek(h0).is_some(), "recompile re-inserts");
+        // The recompile shows up as a second miss for that shard.
+        assert_eq!(cache.layout_stats().misses(), 4);
+    }
+
+    #[test]
+    fn pinned_entries_are_never_evicted() {
+        let mut cache = tiny_cache();
+        let (h0, _) = cache.commit(&distinct_type(0));
+        let (h1, _) = cache.commit(&distinct_type(1));
+        let pin0 = cache.acquire(h0);
+        let pin1 = cache.acquire(h1);
+        // Both residents are pinned: inserting more may overflow the soft
+        // bound but must not drop either pinned layout.
+        let (h2, _) = cache.commit(&distinct_type(2));
+        let (h3, _) = cache.commit(&distinct_type(3));
+        assert!(cache.peek(h0).is_some());
+        assert!(cache.peek(h1).is_some());
+        assert!(cache.peek(h2).is_some() || cache.peek(h3).is_some());
+        drop(pin0);
+        drop(pin1);
+        // With pins released, the next insert can evict again.
+        let (_h4, _) = cache.commit(&distinct_type(4));
+        assert!(cache.len() <= 3);
+    }
+
+    #[test]
+    fn shard_stats_track_residency_and_high_water() {
+        let mut cache = LayoutCache::with_config(LayoutCacheConfig {
+            shards: 2,
+            shard_capacity: 8,
+        });
+        for i in 0..6 {
+            cache.commit(&distinct_type(i));
+        }
+        let stats = cache.layout_stats();
+        assert_eq!(stats.per_shard.len(), 2);
+        assert_eq!(stats.misses(), 6);
+        assert_eq!(stats.resident_entries(), 6);
+        assert!(stats.resident_bytes() > 0);
+        assert_eq!(stats.high_water_bytes(), stats.resident_bytes());
+        assert_eq!(stats.commits, 6);
+    }
+
+    #[test]
+    fn acquire_counts_hits_for_hit_rate() {
+        let mut cache = LayoutCache::new();
+        let (h, _) = cache.commit(&distinct_type(0));
+        for _ in 0..99 {
+            cache.acquire(h);
+        }
+        let stats = cache.layout_stats();
+        assert_eq!(stats.hits(), 99);
+        assert_eq!(stats.misses(), 1);
+        assert!((stats.hit_rate() - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_absorb_merges_across_caches() {
+        let mut a = LayoutCache::new();
+        let mut b = LayoutCache::new();
+        a.commit(&distinct_type(0));
+        b.commit(&distinct_type(0));
+        b.commit(&distinct_type(1));
+        let mut merged = a.layout_stats();
+        merged.absorb(&b.layout_stats());
+        assert_eq!(merged.commits, 3);
+        assert_eq!(merged.misses(), 3);
+        assert_eq!(merged.resident_entries(), 3);
     }
 }

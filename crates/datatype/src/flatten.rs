@@ -6,14 +6,44 @@
 //! order — the order MPI packs bytes — and adjacent segments that happen to
 //! be contiguous in memory are coalesced as they are emitted, so a
 //! `vector(count, blocklen=stride, ...)` collapses to a single segment.
+//!
+//! [`flatten`] routes through the canonical IR ([`crate::ir`]): the tree is
+//! normalized once (which already coalesces everything the rewrite rules
+//! can see) and the leaf runs are emitted through the coalescing
+//! [`Emitter`], which mops up any cross-node adjacency the node-local
+//! rules could not. The pre-IR direct tree walk is kept as
+//! [`flatten_reference`] — the independent ground truth the IR property
+//! tests compare against.
 
+use crate::ir::LayoutIr;
 use crate::layout::Segment;
 use crate::typedesc::TypeDesc;
 
-/// Flatten one element of `desc` into segments, appending to `out`.
+/// Flatten one element of `desc` into segments via the canonical IR.
 /// Offsets are relative to the element base.
 pub fn flatten(desc: &TypeDesc) -> Vec<Segment> {
-    let mut out = Vec::with_capacity(desc.leaf_block_upper_bound().min(1 << 20) as usize);
+    emit_ir_segments(&LayoutIr::normalize(desc))
+}
+
+/// Emit the coalesced segment list of a normalized IR. The IR's exact
+/// post-rewrite run count sizes the buffer precisely (coalescing can only
+/// shrink it) — unlike the legacy `leaf_block_upper_bound` clamp, which
+/// over-reserved by the full pre-coalesce leaf count on pathological
+/// nested types (e.g. a deeply nested `contiguous` that flattens to one
+/// run).
+pub(crate) fn emit_ir_segments(ir: &LayoutIr) -> Vec<Segment> {
+    let cap = usize::try_from(ir.run_count()).unwrap_or(usize::MAX);
+    let mut out = Vec::with_capacity(cap.min(1 << 16));
+    let mut emitter = Emitter { out: &mut out };
+    ir.for_each_run(|offset, len| emitter.emit(offset, len));
+    out
+}
+
+/// Flatten one element of `desc` by walking the constructor tree directly
+/// (the pre-IR implementation). Kept as an independently-derived reference
+/// for property tests; production code uses [`flatten`].
+pub fn flatten_reference(desc: &TypeDesc) -> Vec<Segment> {
+    let mut out = Vec::with_capacity(desc.leaf_block_upper_bound().min(1 << 16) as usize);
     let mut emitter = Emitter { out: &mut out };
     walk(desc, 0, &mut emitter);
     out
@@ -43,10 +73,13 @@ fn walk(desc: &TypeDesc, base: u64, em: &mut Emitter<'_>) {
     match desc {
         TypeDesc::Named(p) => em.emit(base, p.size()),
         TypeDesc::Contiguous { count, child } => {
-            if child.is_contiguous() {
+            let ext = child.extent();
+            // Like `walk_block`: the single-run shortcut also needs the
+            // child to tile gaplessly (`size == extent`), otherwise a
+            // `resized` child's padding must separate the copies.
+            if child.is_contiguous() && child.size() == ext {
                 em.emit(base, count * child.size());
             } else {
-                let ext = child.extent();
                 for i in 0..*count {
                     walk(child, base + i * ext, em);
                 }

@@ -1,13 +1,22 @@
-//! Committed layouts: the flattened form of a datatype, ready for use by
+//! Committed layouts: the compiled form of a datatype, ready for use by
 //! packing engines.
 //!
 //! A [`Layout`] is the unit the paper's layout cache stores and the fusion
 //! request objects reference ("data layout: the cached data layout entry,
-//! follow the scheme proposed in \[24\]").
+//! follow the scheme proposed in \[24\]"). Since the layout-compiler
+//! refactor it is an alias for [`CompiledLayout`](crate::compile::CompiledLayout):
+//! the product of normalizing a [`TypeDesc`](crate::typedesc::TypeDesc)
+//! tree into the canonical IR ([`crate::ir`]) and lowering it once
+//! ([`crate::compile`]). This module keeps the shared plain-data types —
+//! [`Segment`] and [`UniformPlan`] — and the legacy name.
 
-use crate::flatten::flatten;
-use crate::typedesc::TypeDesc;
 use serde::{Deserialize, Serialize};
+
+pub use crate::compile::{AbsSegments, CompiledLayout};
+
+/// The committed form of a datatype (alias of [`CompiledLayout`], the
+/// historical name used throughout the workspace).
+pub type Layout = CompiledLayout;
 
 /// One contiguous run of bytes within an element: `(offset, len)` relative
 /// to the element base address.
@@ -17,50 +26,11 @@ pub struct Segment {
     pub len: u64,
 }
 
-/// The flattened, committed form of a datatype.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Layout {
-    /// Segments of one element, in pack (traversal) order.
-    segments: Vec<Segment>,
-    /// Prefix sums of segment lengths: `packed_off[j]` is the byte offset
-    /// of segment `j` within the *packed* image of one element. Computed
-    /// once at commit time so pack/unpack loops don't re-derive running
-    /// cursors (and can jump straight to any segment).
-    packed_off: Vec<u64>,
-    /// Payload bytes per element.
-    size: u64,
-    /// Extent (tiling stride) per element.
-    extent: u64,
-    /// Fixed-stride classification, computed once at commit time: `Some`
-    /// when every segment has the same length and consecutive segments sit
-    /// a constant stride apart (vectors, subarray rows, regular indexed
-    /// types). Copy engines use it to run a chunked fixed-stride loop
-    /// instead of walking the segment table per block.
-    uniform: Option<UniformInfo>,
-}
-
-/// Commit-time fixed-stride classification of one element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct UniformInfo {
-    /// Offset of the first run within the element.
-    first: u64,
-    /// Distance between consecutive run starts (≥ `len`, so runs never
-    /// overlap).
-    stride: u64,
-    /// Bytes per run.
-    len: u64,
-    /// Runs per element.
-    per_elem: u64,
-    /// Whether the stride arithmetic continues across extent-tiled
-    /// elements (`extent == per_elem * stride`); when false the plan is
-    /// only valid for a single element.
-    tiles: bool,
-}
-
 /// A resolved fixed-stride copy plan for `count` elements: `runs` copies of
 /// `len` bytes whose source offsets start at `first` (relative to the
-/// element-base address) and advance by `stride`. The middle tier between
-/// "one memcpy" and the generic segment walk — see [`Layout::uniform_for`].
+/// element-base address) and advance by `stride`. The middle tiers between
+/// "one memcpy" and the generic segment walk — see
+/// [`CompiledLayout::uniform_for`] and [`CompiledLayout::plan_for`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UniformPlan {
     /// Offset of the first run relative to the base address.
@@ -72,229 +42,6 @@ pub struct UniformPlan {
     /// Total runs across all `count` elements.
     pub runs: u64,
 }
-
-fn classify_uniform(segments: &[Segment], extent: u64) -> Option<UniformInfo> {
-    let first = *segments.first()?;
-    if first.len == 0 {
-        return None;
-    }
-    let per_elem = segments.len() as u64;
-    let stride = if per_elem == 1 {
-        extent
-    } else {
-        segments[1].offset.checked_sub(segments[0].offset)?
-    };
-    if stride < first.len {
-        return None;
-    }
-    for (j, s) in segments.iter().enumerate() {
-        if s.len != first.len || s.offset != first.offset + j as u64 * stride {
-            return None;
-        }
-    }
-    Some(UniformInfo {
-        first: first.offset,
-        stride,
-        len: first.len,
-        per_elem,
-        tiles: extent == per_elem * stride,
-    })
-}
-
-fn prefix_sums(segments: &[Segment]) -> Vec<u64> {
-    let mut off = 0u64;
-    segments
-        .iter()
-        .map(|s| {
-            let here = off;
-            off += s.len;
-            here
-        })
-        .collect()
-}
-
-impl Layout {
-    /// Flatten and commit one element of `desc`.
-    pub fn of(desc: &TypeDesc) -> Layout {
-        let segments = flatten(desc);
-        let size = segments.iter().map(|s| s.len).sum();
-        debug_assert_eq!(size, desc.size(), "flattening lost bytes");
-        let extent = desc.extent();
-        Layout {
-            packed_off: prefix_sums(&segments),
-            uniform: classify_uniform(&segments, extent),
-            segments,
-            size,
-            extent,
-        }
-    }
-
-    /// Build directly from segments (used by tests and synthetic layouts).
-    pub fn from_segments(segments: Vec<Segment>, extent: u64) -> Layout {
-        let size = segments.iter().map(|s| s.len).sum();
-        Layout {
-            packed_off: prefix_sums(&segments),
-            uniform: classify_uniform(&segments, extent),
-            segments,
-            size,
-            extent,
-        }
-    }
-
-    /// Segments of one element.
-    pub fn segments(&self) -> &[Segment] {
-        &self.segments
-    }
-
-    /// Packed-image byte offset of each segment within one element
-    /// (prefix sums of segment lengths), parallel to [`Self::segments`].
-    pub fn packed_offsets(&self) -> &[u64] {
-        &self.packed_off
-    }
-
-    /// Contiguous blocks per element.
-    pub fn num_blocks(&self) -> u64 {
-        self.segments.len() as u64
-    }
-
-    /// Payload bytes per element.
-    pub fn size(&self) -> u64 {
-        self.size
-    }
-
-    /// Extent per element.
-    pub fn extent(&self) -> u64 {
-        self.extent
-    }
-
-    /// Resolve the fixed-stride copy plan for `count` elements, if this
-    /// layout has one: all runs equal-length, constant stride, and (for
-    /// `count > 1`) the stride arithmetic continuing seamlessly across
-    /// extent-tiled elements. Returns `None` for irregular layouts, which
-    /// must take the generic segment walk.
-    ///
-    /// Classification happens once at commit time; this call is a copy of
-    /// four words plus one multiply.
-    pub fn uniform_for(&self, count: u64) -> Option<UniformPlan> {
-        let u = self.uniform.as_ref()?;
-        if count > 1 && !u.tiles {
-            return None;
-        }
-        Some(UniformPlan {
-            first: u.first,
-            stride: u.stride,
-            len: u.len,
-            runs: u.per_elem * count,
-        })
-    }
-
-    /// Is one element a single contiguous run starting at offset 0?
-    pub fn is_contiguous(&self) -> bool {
-        self.segments.len() == 1
-            && self.segments[0].offset == 0
-            && self.segments[0].len == self.size
-    }
-
-    /// Are `count` elements one single contiguous run? Requires each
-    /// element to be contiguous *and* elements to tile without gaps
-    /// (extent == size) when there is more than one.
-    pub fn is_contiguous_for(&self, count: u64) -> bool {
-        self.is_contiguous() && (count <= 1 || self.extent == self.size)
-    }
-
-    /// Total payload bytes for `count` elements.
-    pub fn total_bytes(&self, count: u64) -> u64 {
-        self.size * count
-    }
-
-    /// Total contiguous blocks for `count` elements (no cross-element
-    /// coalescing — elements are extent-tiled, matching what a real packing
-    /// kernel sees).
-    pub fn total_blocks(&self, count: u64) -> u64 {
-        self.num_blocks() * count
-    }
-
-    /// Shape summary `(total_bytes, total_blocks)` for `count` elements, in
-    /// the form the GPU kernel cost model consumes.
-    pub fn shape(&self, count: u64) -> (u64, u64) {
-        (self.total_bytes(count), self.total_blocks(count))
-    }
-
-    /// Absolute `(address, len)` segments for `count` elements based at
-    /// `base`, in pack order. This is the gather/scatter plan handed to the
-    /// memory pools.
-    pub fn absolute_segments(&self, base: u64, count: u64) -> Vec<(u64, u64)> {
-        self.abs_segments(base, count).collect()
-    }
-
-    /// Iterator form of [`Self::absolute_segments`]: yields the same
-    /// `(address, len)` plan in the same order without materialising a
-    /// `Vec` — the allocation-free path for per-message gather/scatter.
-    pub fn abs_segments(&self, base: u64, count: u64) -> AbsSegments<'_> {
-        AbsSegments {
-            layout: self,
-            base,
-            count,
-            elem: 0,
-            seg: 0,
-        }
-    }
-
-    /// The footprint in bytes that `count` elements occupy in memory
-    /// (`(count-1)*extent + last element's reach`).
-    pub fn footprint(&self, count: u64) -> u64 {
-        if count == 0 {
-            return 0;
-        }
-        let reach = self
-            .segments
-            .iter()
-            .map(|s| s.offset + s.len)
-            .max()
-            .unwrap_or(0);
-        (count - 1) * self.extent + reach.max(self.extent)
-    }
-}
-
-/// Borrowing iterator over the absolute `(address, len)` gather/scatter
-/// plan of `count` extent-tiled elements. See [`Layout::abs_segments`].
-#[derive(Debug, Clone)]
-pub struct AbsSegments<'a> {
-    layout: &'a Layout,
-    base: u64,
-    count: u64,
-    elem: u64,
-    seg: usize,
-}
-
-impl Iterator for AbsSegments<'_> {
-    type Item = (u64, u64);
-
-    #[inline]
-    fn next(&mut self) -> Option<(u64, u64)> {
-        if self.elem >= self.count || self.layout.segments.is_empty() {
-            return None;
-        }
-        let s = self.layout.segments[self.seg];
-        let addr = self.base + self.elem * self.layout.extent + s.offset;
-        self.seg += 1;
-        if self.seg == self.layout.segments.len() {
-            self.seg = 0;
-            self.elem += 1;
-        }
-        Some((addr, s.len))
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let per_elem = self.layout.segments.len();
-        let done = self.elem as usize * per_elem + self.seg;
-        let total = self.count as usize * per_elem;
-        let left = total - done;
-        (left, Some(left))
-    }
-}
-
-impl ExactSizeIterator for AbsSegments<'_> {}
 
 #[cfg(test)]
 mod tests {

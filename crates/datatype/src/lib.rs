@@ -1,26 +1,43 @@
 //! # fusedpack-datatype
 //!
-//! An MPI Derived DataType (DDT) engine: the type constructors of the MPI
-//! standard (`contiguous`, `vector`, `hvector`, `indexed`, `hindexed`,
-//! `indexed_block`, `struct`, `subarray`, `resized`), *flattening* of a
-//! committed type into a list of `(offset, length)` contiguous segments
-//! ("flattening on the fly", Träff et al.), a layout cache following the
-//! scheme of Chu et al. \[24\], and a host-side reference pack/unpack used
-//! both by tests and by the CPU-driven packing paths.
+//! An MPI Derived DataType (DDT) engine, structured as a three-stage
+//! layout compiler:
 //!
-//! The segment list is the lingua franca of the whole workspace: the GPU
-//! kernel cost model consumes its [`shape`](layout::Layout::shape), the
-//! memory pools consume its absolute segments, and the fusion scheduler
-//! carries cached layout references in its request objects.
+//! 1. **Normalize** ([`ir`]): the type constructors of the MPI standard
+//!    (`contiguous`, `vector`, `hvector`, `indexed`, `hindexed`,
+//!    `indexed_block`, `struct`, `subarray`, `resized`) are raised into a
+//!    canonical IR — strided loop nests over leaf byte runs — and
+//!    rewritten to a fixed point (degenerate constructors fold, adjacent
+//!    runs merge, compatible nests hoist into uniform strides).
+//! 2. **Compile** ([`compile`]): the IR lowers once into a
+//!    [`CompiledLayout`] — the `(offset, length)` segment list
+//!    ("flattening on the fly", Träff et al.), packed-offset prefix sums,
+//!    a contiguity/uniformity [`LayoutClass`], and the precomputed
+//!    [`CopyPlan`] every pack/unpack engine dispatches on.
+//! 3. **Cache** ([`cache`]): compiled layouts are cached following the
+//!    scheme of Chu et al. \[24\] in a sharded, LRU-bounded
+//!    [`LayoutCache`] keyed by structural hash, with per-shard telemetry.
+//!
+//! The compiled layout is the lingua franca of the whole workspace: the
+//! GPU kernel cost model consumes its [`shape`](layout::Layout::shape),
+//! the memory pools consume its absolute segments and copy plans, and the
+//! fusion scheduler carries cached layout references in its request
+//! objects.
 
 pub mod builder;
 pub mod cache;
+pub mod compile;
 pub mod flatten;
+pub mod ir;
 pub mod layout;
 pub mod pack;
 pub mod typedesc;
 
 pub use builder::TypeBuilder;
-pub use cache::{CacheStats, LayoutCache, TypeHandle};
+pub use cache::{
+    CacheStats, LayoutCache, LayoutCacheConfig, LayoutCacheStats, LayoutShardStats, TypeHandle,
+};
+pub use compile::{CompiledLayout, CopyPlan, LayoutClass, FIXED_RUN_WIDTH_MAX};
+pub use ir::{IrNode, LayoutIr};
 pub use layout::{AbsSegments, Layout, Segment, UniformPlan};
 pub use typedesc::{Primitive, TypeDesc};

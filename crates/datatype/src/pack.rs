@@ -4,6 +4,7 @@
 //! the simulated GPU gather/scatter paths and the wire protocols against
 //! these functions, and the CPU-driven (GDRCopy) paths use them directly.
 
+use crate::compile::CopyPlan;
 use crate::layout::{Layout, UniformPlan};
 
 /// Pack `count` elements laid out per `layout` starting at `src\[0\]` into a
@@ -17,29 +18,28 @@ pub fn pack(src: &[u8], layout: &Layout, count: u64) -> Vec<u8> {
 /// Pack into a caller-provided buffer of exactly `layout.total_bytes(count)`
 /// bytes.
 ///
-/// Three tiers, decided by commit-time classification: fully contiguous
-/// layouts (single gapless segment, gapless tiling) take a single-`memcpy`
-/// fast path; fixed-stride layouts (vectors, subarray rows — equal-length
-/// runs a constant stride apart) take a chunked fixed-stride loop whose
-/// run length is a compile-time constant for common widths; everything
-/// else runs the generic segment loop driven by the layout's precomputed
-/// prefix sums.
+/// Dispatches on the layout's precomputed [`CopyPlan`] — four tiers,
+/// decided once at compile time: fully contiguous layouts (single gapless
+/// segment, gapless tiling) take a single-`memcpy` fast path; block-uniform
+/// layouts (equal large runs a constant stride apart) take a fixed-stride
+/// loop of chunked inner copies; fixed-run layouts (equal small runs) take
+/// const-generic fixed-width moves; everything else runs the generic
+/// segment loop driven by the layout's prefix sums.
 pub fn pack_into(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
     assert_eq!(
         dst.len() as u64,
         layout.total_bytes(count),
         "destination size mismatch"
     );
-    if layout.is_contiguous_for(count) {
-        let n = dst.len();
-        dst.copy_from_slice(&src[..n]);
-        return;
+    match layout.plan_for(count) {
+        CopyPlan::Memcpy { .. } => {
+            let n = dst.len();
+            dst.copy_from_slice(&src[..n]);
+        }
+        CopyPlan::BlockUniform(plan) => pack_into_block_uniform(src, &plan, dst),
+        CopyPlan::FixedRuns(plan) => pack_into_uniform(src, &plan, dst),
+        CopyPlan::Generic => pack_into_generic(src, layout, count, dst),
     }
-    if let Some(plan) = layout.uniform_for(count) {
-        pack_into_uniform(src, &plan, dst);
-        return;
-    }
-    pack_into_generic(src, layout, count, dst);
 }
 
 /// The fixed-stride middle tier: `plan.runs` copies of `plan.len` bytes at
@@ -74,6 +74,52 @@ fn gather_fixed<const N: usize>(src: &[u8], plan: &UniformPlan, dst: &mut [u8]) 
         let run: &[u8; N] = src[lo..lo + N].try_into().expect("run width");
         chunk.copy_from_slice(run);
         lo += stride;
+    }
+}
+
+/// The block-uniform tier: `plan.runs` copies of a *large* fixed run
+/// length (> [`crate::compile::FIXED_RUN_WIDTH_MAX`] bytes) at constant
+/// source stride. Each run is moved in fixed 64-byte chunks — a
+/// SIMD-friendly shape the compiler turns into full-width vector moves —
+/// with one variable tail copy, avoiding both the per-run `memcpy` call
+/// of the fallback loop and the per-segment table walk of the generic
+/// tier.
+pub fn pack_into_block_uniform(src: &[u8], plan: &UniformPlan, dst: &mut [u8]) {
+    debug_assert_eq!(dst.len() as u64, plan.runs * plan.len);
+    let len = plan.len as usize;
+    let stride = plan.stride as usize;
+    let mut lo = plan.first as usize;
+    for chunk in dst.chunks_exact_mut(len) {
+        copy_run_chunked(&src[lo..lo + len], chunk);
+        lo += stride;
+    }
+}
+
+/// Scatter counterpart of [`pack_into_block_uniform`].
+pub fn unpack_block_uniform(src: &[u8], plan: &UniformPlan, dst: &mut [u8]) {
+    debug_assert_eq!(src.len() as u64, plan.runs * plan.len);
+    let len = plan.len as usize;
+    let stride = plan.stride as usize;
+    let mut lo = plan.first as usize;
+    for chunk in src.chunks_exact(len) {
+        copy_run_chunked(chunk, &mut dst[lo..lo + len]);
+        lo += stride;
+    }
+}
+
+/// Copy one run as fixed 64-byte blocks plus a variable tail.
+#[inline]
+fn copy_run_chunked(src: &[u8], dst: &mut [u8]) {
+    const CHUNK: usize = 64;
+    debug_assert_eq!(src.len(), dst.len());
+    let mut i = 0;
+    while i + CHUNK <= src.len() {
+        let block: &[u8; CHUNK] = src[i..i + CHUNK].try_into().expect("chunk width");
+        dst[i..i + CHUNK].copy_from_slice(block);
+        i += CHUNK;
+    }
+    if i < src.len() {
+        dst[i..].copy_from_slice(&src[i..]);
     }
 }
 
@@ -120,16 +166,15 @@ pub fn unpack(src: &[u8], layout: &Layout, count: u64, dst: &mut [u8]) {
         layout.total_bytes(count),
         "source size mismatch"
     );
-    if layout.is_contiguous_for(count) {
-        let n = src.len();
-        dst[..n].copy_from_slice(src);
-        return;
+    match layout.plan_for(count) {
+        CopyPlan::Memcpy { .. } => {
+            let n = src.len();
+            dst[..n].copy_from_slice(src);
+        }
+        CopyPlan::BlockUniform(plan) => unpack_block_uniform(src, &plan, dst),
+        CopyPlan::FixedRuns(plan) => unpack_uniform(src, &plan, dst),
+        CopyPlan::Generic => unpack_generic(src, layout, count, dst),
     }
-    if let Some(plan) = layout.uniform_for(count) {
-        unpack_uniform(src, &plan, dst);
-        return;
-    }
-    unpack_generic(src, layout, count, dst);
 }
 
 /// Fixed-stride counterpart of [`pack_into_uniform`] on the unpack side:
@@ -264,6 +309,29 @@ mod tests {
         assert_eq!(pack(&src, &l, 2), expect);
     }
 
+    #[test]
+    fn block_uniform_tier_matches_generic() {
+        // 6 runs of 72 bytes every 120: BlockUniform (chunk + 8B tail).
+        let t = TypeBuilder::vector(6, 9, 15, TypeBuilder::double());
+        let l = Layout::of(&t);
+        assert!(matches!(
+            l.plan_for(1),
+            crate::compile::CopyPlan::BlockUniform(_)
+        ));
+        let src: Vec<u8> = (0..l.footprint(1)).map(|i| (i * 7 % 251) as u8).collect();
+        let mut fast = vec![0u8; l.total_bytes(1) as usize];
+        let mut generic = fast.clone();
+        pack_into(&src, &l, 1, &mut fast);
+        pack_into_generic(&src, &l, 1, &mut generic);
+        assert_eq!(fast, generic);
+
+        let mut scat_fast = vec![0xEE; l.footprint(1) as usize];
+        let mut scat_gen = scat_fast.clone();
+        unpack(&fast, &l, 1, &mut scat_fast);
+        unpack_generic(&generic, &l, 1, &mut scat_gen);
+        assert_eq!(scat_fast, scat_gen);
+    }
+
     /// Strategy: a random (but valid) datatype with modest sizes.
     fn arb_type() -> impl Strategy<Value = std::sync::Arc<crate::typedesc::TypeDesc>> {
         prop_oneof![
@@ -272,6 +340,10 @@ mod tests {
             (1u64..16).prop_map(|n| TypeBuilder::contiguous(n, TypeBuilder::double())),
             (1u64..8, 1u64..4, 0u64..8).prop_map(|(count, blocklen, pad)| {
                 TypeBuilder::vector(count, blocklen, blocklen + pad, TypeBuilder::int())
+            }),
+            // Wide runs (> 32 bytes) at fixed stride: the BlockUniform tier.
+            (1u64..8, 5u64..16, 0u64..8).prop_map(|(count, blocklen, pad)| {
+                TypeBuilder::vector(count, blocklen, blocklen + pad, TypeBuilder::double())
             }),
             prop::collection::vec((0u64..4, 1u64..4), 1..6).prop_map(|raw| {
                 // Convert gaps into sorted disjoint (disp, len) blocks.

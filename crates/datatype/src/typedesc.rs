@@ -196,11 +196,17 @@ impl TypeDesc {
     }
 
     /// Number of leaf contiguous blocks one element flattens into, *before*
-    /// adjacent-segment coalescing (an upper bound used for pre-sizing).
+    /// adjacent-segment coalescing (an upper bound). Saturating: deeply
+    /// nested constructors can overflow a product of counts long before
+    /// they describe a representable layout, and this bound must stay a
+    /// bound, not a panic. Pre-sizing uses the *exact* post-normalize run
+    /// count from [`crate::ir::LayoutIr::run_count`] instead.
     pub fn leaf_block_upper_bound(&self) -> u64 {
         match self {
             TypeDesc::Named(_) => 1,
-            TypeDesc::Contiguous { count, child } => count * child.leaf_block_upper_bound(),
+            TypeDesc::Contiguous { count, child } => {
+                count.saturating_mul(child.leaf_block_upper_bound())
+            }
             TypeDesc::Vector {
                 count,
                 blocklen,
@@ -212,22 +218,31 @@ impl TypeDesc {
                 blocklen,
                 child,
                 ..
-            } => count * blocklen * child.leaf_block_upper_bound(),
-            TypeDesc::Indexed { blocks, child } | TypeDesc::Hindexed { blocks, child } => {
-                blocks.iter().map(|&(_, len)| len).sum::<u64>() * child.leaf_block_upper_bound()
-            }
+            } => count
+                .saturating_mul(*blocklen)
+                .saturating_mul(child.leaf_block_upper_bound()),
+            TypeDesc::Indexed { blocks, child } | TypeDesc::Hindexed { blocks, child } => blocks
+                .iter()
+                .map(|&(_, len)| len)
+                .fold(0u64, u64::saturating_add)
+                .saturating_mul(child.leaf_block_upper_bound()),
             TypeDesc::IndexedBlock {
                 displacements,
                 blocklen,
                 child,
-            } => displacements.len() as u64 * blocklen * child.leaf_block_upper_bound(),
+            } => (displacements.len() as u64)
+                .saturating_mul(*blocklen)
+                .saturating_mul(child.leaf_block_upper_bound()),
             TypeDesc::Struct { fields } => fields
                 .iter()
-                .map(|(_, count, child)| count * child.leaf_block_upper_bound())
-                .sum(),
+                .map(|(_, count, child)| count.saturating_mul(child.leaf_block_upper_bound()))
+                .fold(0u64, u64::saturating_add),
             TypeDesc::Subarray {
                 subsizes, child, ..
-            } => subsizes.iter().product::<u64>() * child.leaf_block_upper_bound(),
+            } => subsizes
+                .iter()
+                .fold(1u64, |acc, &s| acc.saturating_mul(s))
+                .saturating_mul(child.leaf_block_upper_bound()),
             TypeDesc::Resized { child, .. } => child.leaf_block_upper_bound(),
         }
     }

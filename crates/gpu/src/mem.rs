@@ -109,6 +109,7 @@ fn strided_within(
         8 => runs_within::<8>(bytes, src, src_stride, dst, dst_stride, runs),
         16 => runs_within::<16>(bytes, src, src_stride, dst, dst_stride, runs),
         32 => runs_within::<32>(bytes, src, src_stride, dst, dst_stride, runs),
+        _ if len > 32 => block_within(bytes, src, src_stride, dst, dst_stride, len, runs),
         _ => {
             let (mut s, mut d) = (src, dst);
             for _ in 0..runs {
@@ -117,6 +118,37 @@ fn strided_within(
                 d += dst_stride;
             }
         }
+    }
+}
+
+/// Block-uniform tier within one buffer: large runs (> 32 bytes) move as
+/// fixed 64-byte chunks (stack-staged, so overlapping source/destination
+/// ranges are safe and each chunk is a full-width vector move) plus one
+/// variable tail.
+fn block_within(
+    bytes: &mut [u8],
+    mut src: usize,
+    src_stride: usize,
+    mut dst: usize,
+    dst_stride: usize,
+    len: usize,
+    runs: u64,
+) {
+    const CHUNK: usize = 64;
+    for _ in 0..runs {
+        let mut i = 0;
+        while i + CHUNK <= len {
+            let tmp: [u8; CHUNK] = bytes[src + i..src + i + CHUNK]
+                .try_into()
+                .expect("chunk width");
+            bytes[dst + i..dst + i + CHUNK].copy_from_slice(&tmp);
+            i += CHUNK;
+        }
+        if i < len {
+            bytes.copy_within(src + i..src + len, dst + i);
+        }
+        src += src_stride;
+        dst += dst_stride;
     }
 }
 
@@ -158,6 +190,7 @@ fn strided_across(
         8 => runs_across::<8>(src, s, src_stride, dst, d, dst_stride, runs),
         16 => runs_across::<16>(src, s, src_stride, dst, d, dst_stride, runs),
         32 => runs_across::<32>(src, s, src_stride, dst, d, dst_stride, runs),
+        _ if len > 32 => block_across(src, s, src_stride, dst, d, dst_stride, len, runs),
         _ => {
             let (mut s, mut d) = (s, d);
             for _ in 0..runs {
@@ -166,6 +199,35 @@ fn strided_across(
                 d += dst_stride;
             }
         }
+    }
+}
+
+/// Block-uniform tier between two buffers: fixed 64-byte chunks plus one
+/// variable tail per run.
+#[allow(clippy::too_many_arguments)]
+fn block_across(
+    src: &[u8],
+    mut s: usize,
+    src_stride: usize,
+    dst: &mut [u8],
+    mut d: usize,
+    dst_stride: usize,
+    len: usize,
+    runs: u64,
+) {
+    const CHUNK: usize = 64;
+    for _ in 0..runs {
+        let mut i = 0;
+        while i + CHUNK <= len {
+            let run: &[u8; CHUNK] = src[s + i..s + i + CHUNK].try_into().expect("chunk width");
+            dst[d + i..d + i + CHUNK].copy_from_slice(run);
+            i += CHUNK;
+        }
+        if i < len {
+            dst[d + i..d + len].copy_from_slice(&src[s + i..s + len]);
+        }
+        s += src_stride;
+        d += dst_stride;
     }
 }
 

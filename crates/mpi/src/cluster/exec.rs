@@ -35,12 +35,16 @@ impl Cluster {
                     let rank = &mut self.ranks[r];
                     let (handle, cost) = rank.ddt_cache.commit(&desc);
                     rank.cpu += cost;
-                    let (layout, cost) = rank.ddt_cache.get(handle);
+                    // The commit-time lookup validates the compiled layout
+                    // (and charges the same lookup cost the pre-handle code
+                    // paid); the slot stores only the handle — messages
+                    // acquire the layout per use.
+                    let (_, cost) = rank.ddt_cache.get(handle);
                     rank.cpu += cost;
                     if rank.types.len() <= slot.0 {
-                        rank.types.resize(slot.0 + 1, layout.clone());
+                        rank.types.resize(slot.0 + 1, handle);
                     }
-                    rank.types[slot.0] = layout;
+                    rank.types[slot.0] = handle;
                 }
                 AppOp::Irecv {
                     buf,
@@ -128,7 +132,7 @@ impl Cluster {
         let rid = {
             let rank = &mut self.ranks[r];
             rank.cpu += self.platform.mpi_call;
-            let layout = rank.types[ty.0].clone();
+            let layout = rank.ddt_cache.acquire(rank.types[ty.0]);
             let packed_bytes = layout.total_bytes(count);
             let blocks = layout.total_blocks(count);
             let rid = RecvId(rank.recvs.len());
@@ -173,7 +177,7 @@ impl Cluster {
         let sid = {
             let rank = &mut self.ranks[r];
             rank.cpu += self.platform.mpi_call;
-            let layout = rank.types[ty.0].clone();
+            let layout = rank.ddt_cache.acquire(rank.types[ty.0]);
             let packed_bytes = layout.total_bytes(count);
             let blocks = layout.total_blocks(count);
             let sid = SendId(rank.sends.len());
@@ -214,29 +218,48 @@ impl Cluster {
         pack: bool,
         blocking: bool,
     ) {
+        use super::CopyTier;
         use fusedpack_gpu::SegmentStats;
         let (layout, src_ptr, dst_ptr) = {
-            let rank = &self.ranks[r];
-            (rank.types[ty.0].clone(), rank.bufs[src.0], rank.bufs[dst.0])
+            let rank = &mut self.ranks[r];
+            let layout = rank.ddt_cache.acquire(rank.types[ty.0]);
+            (layout, rank.bufs[src.0], rank.bufs[dst.0])
         };
         let stats = SegmentStats::new(layout.total_bytes(count), layout.total_blocks(count));
-        // Data movement within device memory: fixed-stride fast path when
-        // the layout classifies as uniform, else the plan streams straight
-        // off the layout.
+        // Data movement within device memory, dispatched on the copy plan
+        // the layout compiler classified at commit time.
         if pack {
-            if let Some(plan) = super::fixed_runs_for(&layout, src_ptr.addr, count) {
-                self.gpus[r].mem.gather_uniform(plan, dst_ptr.addr);
-            } else {
-                self.gpus[r]
-                    .mem
-                    .gather_iter(layout.abs_segments(src_ptr.addr, count), dst_ptr.addr);
+            match super::copy_tier_for(&layout, src_ptr.addr, count) {
+                CopyTier::Contiguous { bytes } => {
+                    self.gpus[r]
+                        .mem
+                        .copy_within(src_ptr.addr, dst_ptr.addr, bytes);
+                }
+                CopyTier::Runs(plan) => {
+                    self.gpus[r].mem.gather_uniform(plan, dst_ptr.addr);
+                }
+                CopyTier::Generic => {
+                    self.gpus[r]
+                        .mem
+                        .gather_iter(layout.abs_segments(src_ptr.addr, count), dst_ptr.addr);
+                }
             }
-        } else if let Some(plan) = super::fixed_runs_for(&layout, dst_ptr.addr, count) {
-            self.gpus[r].mem.scatter_uniform(src_ptr.addr, plan);
         } else {
-            self.gpus[r]
-                .mem
-                .scatter_iter(src_ptr.addr, layout.abs_segments(dst_ptr.addr, count));
+            match super::copy_tier_for(&layout, dst_ptr.addr, count) {
+                CopyTier::Contiguous { bytes } => {
+                    self.gpus[r]
+                        .mem
+                        .copy_within(src_ptr.addr, dst_ptr.addr, bytes);
+                }
+                CopyTier::Runs(plan) => {
+                    self.gpus[r].mem.scatter_uniform(src_ptr.addr, plan);
+                }
+                CopyTier::Generic => {
+                    self.gpus[r]
+                        .mem
+                        .scatter_iter(src_ptr.addr, layout.abs_segments(dst_ptr.addr, count));
+                }
+            }
         }
         if blocking {
             // MPI_Pack/MPI_Unpack: the library parses the datatype and

@@ -47,21 +47,38 @@ pub(crate) use shardrun::PendingTransmit;
 /// is byte-identical whether one queue or many drain it.
 pub(crate) const KEY_RANK_SHIFT: u32 = 42;
 
-/// Resolve the copy tier for `(layout, base, count)`: the fixed-stride plan
-/// (anchored at the absolute base address) when commit-time classification
-/// admits one, else `None` — callers fall back to the generic segment
-/// iterator.
-pub(crate) fn fixed_runs_for(
+/// The copy tier the cluster's data planes dispatch on, resolved from the
+/// layout's compile-time [`fusedpack_datatype::CopyPlan`] by
+/// [`copy_tier_for`]. `Contiguous` is one flat memcpy; `Runs` carries the
+/// fixed-stride plan anchored at the absolute base address (the GPU
+/// dispatch internally picks const-generic widths for small runs and the
+/// chunked block-uniform loop for large ones); `Generic` walks segments.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CopyTier {
+    Contiguous { bytes: u64 },
+    Runs(FixedRuns),
+    Generic,
+}
+
+/// Resolve the copy tier for `(layout, base, count)` from the plan the
+/// layout compiler classified at commit time — no per-call-site
+/// re-detection.
+pub(crate) fn copy_tier_for(
     layout: &fusedpack_datatype::Layout,
     base: u64,
     count: u64,
-) -> Option<FixedRuns> {
-    layout.uniform_for(count).map(|p| FixedRuns {
-        first: base + p.first,
-        stride: p.stride,
-        len: p.len,
-        runs: p.runs,
-    })
+) -> CopyTier {
+    use fusedpack_datatype::CopyPlan;
+    match layout.plan_for(count) {
+        CopyPlan::Memcpy { bytes } => CopyTier::Contiguous { bytes },
+        CopyPlan::BlockUniform(p) | CopyPlan::FixedRuns(p) => CopyTier::Runs(FixedRuns {
+            first: base + p.first,
+            stride: p.stride,
+            len: p.len,
+            runs: p.runs,
+        }),
+        CopyPlan::Generic => CopyTier::Generic,
+    }
 }
 
 /// Rendezvous sub-protocol for large messages (§IV-B1).
@@ -481,6 +498,12 @@ pub struct RunReport {
     /// admitted/deferred message counts, mailbox spills, and wall-clock
     /// barrier/stall time. All-zero for single-queue runs.
     pub shard: ShardStats,
+    /// Layout-compiler cache health, aggregated over every rank's sharded
+    /// cache: commit/acquire hit counts, LRU evictions, and resident
+    /// compiled-plan bytes. Acquires are cost-free in virtual time, so
+    /// these counters never perturb timing — they report how much flatten
+    /// work the cache amortized.
+    pub layout_cache: fusedpack_datatype::LayoutCacheStats,
 }
 
 impl RunReport {
@@ -587,6 +610,24 @@ impl Cluster {
                 slots_drained: wheel.slots_drained,
                 events: events_processed,
             });
+        // Layout-compiler cache health, merged across ranks. Sharded runs
+        // recompose every rank (cache included) before reaching here, so
+        // the aggregate is identical at any shard count.
+        let mut layout_cache = fusedpack_datatype::LayoutCacheStats::default();
+        for rank in self.ranks.iter() {
+            layout_cache.absorb(&rank.ddt_cache.layout_stats());
+        }
+        {
+            let lc = &layout_cache;
+            self.telemetry
+                .instant(Lane::Host, end_time, || Payload::LayoutCacheHealth {
+                    hits: lc.hits(),
+                    misses: lc.misses(),
+                    evictions: lc.evictions(),
+                    resident_bytes: lc.resident_bytes(),
+                    high_water_bytes: lc.high_water_bytes(),
+                });
+        }
         RunReport {
             laps: self.ranks.iter().map(|r| r.laps.clone()).collect(),
             breakdowns: self.ranks.iter().map(|r| r.breakdown).collect(),
@@ -613,6 +654,7 @@ impl Cluster {
                 .map(|net| net.fabric_health())
                 .unwrap_or_default(),
             shard: self.shard_stats,
+            layout_cache,
         }
     }
 

@@ -689,49 +689,33 @@ impl Cluster {
             let s = &self.ranks[r].sends[sid.0];
             (s.layout.clone(), s.user_buf.addr, s.count, s.staging)
         };
-        let plan = super::fixed_runs_for(&layout, base, count);
-        match staging {
-            StagingLoc::Gpu(p) => {
-                if let Some(plan) = plan {
-                    MemPool::gather_between_uniform(
-                        &self.gpus[r].mem,
-                        plan,
-                        &mut self.staging_mems[r],
-                        p.addr,
-                    );
-                } else {
-                    MemPool::gather_between_iter(
-                        &self.gpus[r].mem,
-                        layout.abs_segments(base, count),
-                        &mut self.staging_mems[r],
-                        p.addr,
-                    );
-                }
-            }
-            StagingLoc::Host(p) => {
-                if let Some(plan) = plan {
-                    MemPool::gather_between_uniform(
-                        &self.gpus[r].mem,
-                        plan,
-                        &mut self.host_mems[r],
-                        p.addr,
-                    );
-                } else {
-                    MemPool::gather_between_iter(
-                        &self.gpus[r].mem,
-                        layout.abs_segments(base, count),
-                        &mut self.host_mems[r],
-                        p.addr,
-                    );
-                }
-            }
-            StagingLoc::UserGpu(_) => {} // contiguous: nothing to move
+        let (dst, dst_off) = match staging {
+            StagingLoc::Gpu(p) => (&mut self.staging_mems[r], p.addr),
+            StagingLoc::Host(p) => (&mut self.host_mems[r], p.addr),
+            StagingLoc::UserGpu(_) => return, // contiguous: nothing to move
             StagingLoc::None => {
                 // Unreachable by construction (begin_pack assigns staging
                 // before any movement); under fault injection a stale
                 // event is absorbed rather than aborting the exchange.
                 debug_assert!(false, "pack movement without staging");
                 self.fault_stats.spurious += 1;
+                return;
+            }
+        };
+        match super::copy_tier_for(&layout, base, count) {
+            super::CopyTier::Contiguous { bytes } => {
+                MemPool::copy_between(&self.gpus[r].mem, base, dst, dst_off, bytes);
+            }
+            super::CopyTier::Runs(plan) => {
+                MemPool::gather_between_uniform(&self.gpus[r].mem, plan, dst, dst_off);
+            }
+            super::CopyTier::Generic => {
+                MemPool::gather_between_iter(
+                    &self.gpus[r].mem,
+                    layout.abs_segments(base, count),
+                    dst,
+                    dst_off,
+                );
             }
         }
     }
@@ -743,46 +727,30 @@ impl Cluster {
             let op = &self.ranks[r].recvs[rid.0];
             (op.layout.clone(), op.user_buf.addr, op.count, op.staging)
         };
-        let plan = super::fixed_runs_for(&layout, base, count);
-        match staging {
-            StagingLoc::Gpu(p) => {
-                if let Some(plan) = plan {
-                    MemPool::scatter_between_uniform(
-                        &self.staging_mems[r],
-                        p.addr,
-                        &mut self.gpus[r].mem,
-                        plan,
-                    );
-                } else {
-                    MemPool::scatter_between_iter(
-                        &self.staging_mems[r],
-                        p.addr,
-                        &mut self.gpus[r].mem,
-                        layout.abs_segments(base, count),
-                    );
-                }
-            }
-            StagingLoc::Host(p) => {
-                if let Some(plan) = plan {
-                    MemPool::scatter_between_uniform(
-                        &self.host_mems[r],
-                        p.addr,
-                        &mut self.gpus[r].mem,
-                        plan,
-                    );
-                } else {
-                    MemPool::scatter_between_iter(
-                        &self.host_mems[r],
-                        p.addr,
-                        &mut self.gpus[r].mem,
-                        layout.abs_segments(base, count),
-                    );
-                }
-            }
-            StagingLoc::UserGpu(_) => {} // contiguous: payload landed in place
+        let (src, src_off) = match staging {
+            StagingLoc::Gpu(p) => (&self.staging_mems[r], p.addr),
+            StagingLoc::Host(p) => (&self.host_mems[r], p.addr),
+            StagingLoc::UserGpu(_) => return, // contiguous: payload landed in place
             StagingLoc::None => {
                 debug_assert!(false, "unpack movement without staging");
                 self.fault_stats.spurious += 1;
+                return;
+            }
+        };
+        match super::copy_tier_for(&layout, base, count) {
+            super::CopyTier::Contiguous { bytes } => {
+                MemPool::copy_between(src, src_off, &mut self.gpus[r].mem, base, bytes);
+            }
+            super::CopyTier::Runs(plan) => {
+                MemPool::scatter_between_uniform(src, src_off, &mut self.gpus[r].mem, plan);
+            }
+            super::CopyTier::Generic => {
+                MemPool::scatter_between_iter(
+                    src,
+                    src_off,
+                    &mut self.gpus[r].mem,
+                    layout.abs_segments(base, count),
+                );
             }
         }
     }

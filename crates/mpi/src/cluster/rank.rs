@@ -7,12 +7,11 @@ use crate::message::WireMsg;
 use crate::program::Program;
 use crate::sendrecv::{PackState, RecvOp, SendOp};
 use fusedpack_core::{Scheduler, Uid};
-use fusedpack_datatype::{Layout, LayoutCache};
+use fusedpack_datatype::{LayoutCache, TypeHandle};
 use fusedpack_gpu::DevPtr;
 use fusedpack_sim::{Duration, Time};
 use fusedpack_telemetry::{SpanId, Telemetry};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Which operation a fusion UID belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,8 +59,11 @@ pub(crate) struct RankState {
     pub done: bool,
     /// Buffer id → device pointer in the rank's user pool.
     pub bufs: Vec<DevPtr>,
-    /// Type slot → committed layout.
-    pub types: Vec<Arc<Layout>>,
+    /// Type slot → committed cache handle. Each message resolves its
+    /// compiled layout through [`LayoutCache::acquire`] (cost-free, counts
+    /// a cache hit) and pins the `Arc` in its request for its lifetime, so
+    /// the LRU can never evict a layout still in flight.
+    pub types: Vec<TypeHandle>,
     pub ddt_cache: LayoutCache,
     pub sends: Vec<SendOp>,
     pub recvs: Vec<RecvOp>,

@@ -287,20 +287,38 @@ impl FusionEngine {
                 let op = &cx.cl.ranks[r].recvs[rid.0];
                 (op.layout.clone(), op.count, op.user_buf)
             };
+            use crate::cluster::{copy_tier_for, CopyTier};
             let mut packed = cx.cl.buf_pool.take(layout.total_bytes(count) as usize);
-            if let Some(plan) = crate::cluster::fixed_runs_for(&layout, origin, count) {
-                cx.cl.gpus[src].mem.gather_into_uniform(plan, &mut packed);
-            } else {
-                cx.cl.gpus[src]
-                    .mem
-                    .gather_into(layout.abs_segments(origin, count), &mut packed);
+            match copy_tier_for(&layout, origin, count) {
+                CopyTier::Contiguous { bytes } => {
+                    cx.cl.gpus[src]
+                        .mem
+                        .gather_into([(origin, bytes)], &mut packed);
+                }
+                CopyTier::Runs(plan) => {
+                    cx.cl.gpus[src].mem.gather_into_uniform(plan, &mut packed);
+                }
+                CopyTier::Generic => {
+                    cx.cl.gpus[src]
+                        .mem
+                        .gather_into(layout.abs_segments(origin, count), &mut packed);
+                }
             }
-            if let Some(plan) = crate::cluster::fixed_runs_for(&layout, user_buf.addr, count) {
-                cx.cl.gpus[r].mem.scatter_from_slice_uniform(&packed, plan);
-            } else {
-                cx.cl.gpus[r]
-                    .mem
-                    .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
+            match copy_tier_for(&layout, user_buf.addr, count) {
+                CopyTier::Contiguous { bytes } => {
+                    cx.cl.gpus[r]
+                        .mem
+                        .scatter_from_slice_iter(&packed, [(user_buf.addr, bytes)]);
+                }
+                CopyTier::Runs(plan) => {
+                    cx.cl.gpus[r].mem.scatter_from_slice_uniform(&packed, plan);
+                }
+                CopyTier::Generic => {
+                    cx.cl.gpus[r].mem.scatter_from_slice_iter(
+                        &packed,
+                        layout.abs_segments(user_buf.addr, count),
+                    );
+                }
             }
             cx.cl.buf_pool.put(packed);
         }
@@ -356,20 +374,38 @@ impl FusionEngine {
         // Data movement, visible at completion: same gather/scatter as the
         // zero-copy path, via the staged bounce buffer.
         {
+            use crate::cluster::{copy_tier_for, CopyTier};
             let mut packed = cx.cl.buf_pool.take(layout.total_bytes(count) as usize);
-            if let Some(plan) = crate::cluster::fixed_runs_for(&layout, origin, count) {
-                cx.cl.gpus[src].mem.gather_into_uniform(plan, &mut packed);
-            } else {
-                cx.cl.gpus[src]
-                    .mem
-                    .gather_into(layout.abs_segments(origin, count), &mut packed);
+            match copy_tier_for(&layout, origin, count) {
+                CopyTier::Contiguous { bytes } => {
+                    cx.cl.gpus[src]
+                        .mem
+                        .gather_into([(origin, bytes)], &mut packed);
+                }
+                CopyTier::Runs(plan) => {
+                    cx.cl.gpus[src].mem.gather_into_uniform(plan, &mut packed);
+                }
+                CopyTier::Generic => {
+                    cx.cl.gpus[src]
+                        .mem
+                        .gather_into(layout.abs_segments(origin, count), &mut packed);
+                }
             }
-            if let Some(plan) = crate::cluster::fixed_runs_for(&layout, user_buf.addr, count) {
-                cx.cl.gpus[r].mem.scatter_from_slice_uniform(&packed, plan);
-            } else {
-                cx.cl.gpus[r]
-                    .mem
-                    .scatter_from_slice_iter(&packed, layout.abs_segments(user_buf.addr, count));
+            match copy_tier_for(&layout, user_buf.addr, count) {
+                CopyTier::Contiguous { bytes } => {
+                    cx.cl.gpus[r]
+                        .mem
+                        .scatter_from_slice_iter(&packed, [(user_buf.addr, bytes)]);
+                }
+                CopyTier::Runs(plan) => {
+                    cx.cl.gpus[r].mem.scatter_from_slice_uniform(&packed, plan);
+                }
+                CopyTier::Generic => {
+                    cx.cl.gpus[r].mem.scatter_from_slice_iter(
+                        &packed,
+                        layout.abs_segments(user_buf.addr, count),
+                    );
+                }
             }
             cx.cl.buf_pool.put(packed);
         }

@@ -224,6 +224,16 @@ pub enum Payload {
         slots_drained: u64,
         events: u64,
     },
+    /// End-of-run layout-compiler cache snapshot, aggregated over every
+    /// rank's sharded cache: acquire hits/misses, LRU evictions, resident
+    /// compiled bytes, and the residency high-water mark.
+    LayoutCacheHealth {
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+        resident_bytes: u64,
+        high_water_bytes: u64,
+    },
     /// A sharded run crossed a conservative window barrier: the
     /// coordinator admitted cross-shard messages and applied deferred
     /// routed transmits before opening the next window. Recorded as an
@@ -296,6 +306,7 @@ impl Payload {
             Payload::Marker { label } => label,
             Payload::ClampedEvent { .. } => "past-event-clamp",
             Payload::QueueHealth { .. } => "queue-health",
+            Payload::LayoutCacheHealth { .. } => "layout-cache-health",
             Payload::ShardBarrier { .. } => "shard-barrier",
             Payload::SweepCell { .. } => "sweep-cell",
             Payload::FaultInjected { .. } => "fault-injected",
@@ -332,6 +343,7 @@ impl Payload {
             Payload::Marker { .. } => "marker",
             Payload::ClampedEvent { .. }
             | Payload::QueueHealth { .. }
+            | Payload::LayoutCacheHealth { .. }
             | Payload::ShardBarrier { .. } => "sim",
             Payload::SweepCell { .. } => "sweep",
             Payload::FaultInjected { .. }
@@ -460,6 +472,19 @@ impl Payload {
                         events as f64 / slots_drained as f64
                     }),
                 ),
+            ],
+            Payload::LayoutCacheHealth {
+                hits,
+                misses,
+                evictions,
+                resident_bytes,
+                high_water_bytes,
+            } => vec![
+                ("hits", ArgValue::U64(hits)),
+                ("misses", ArgValue::U64(misses)),
+                ("evictions", ArgValue::U64(evictions)),
+                ("resident_bytes", ArgValue::U64(resident_bytes)),
+                ("high_water_bytes", ArgValue::U64(high_water_bytes)),
             ],
             Payload::ShardBarrier {
                 window_ns,

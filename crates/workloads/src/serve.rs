@@ -133,6 +133,10 @@ pub struct ServeOutcome {
     pub events: u64,
     /// Window barriers the sharded coordinator ran (zero single-queue).
     pub shard_barriers: u64,
+    /// Layout-compiler cache health merged over both ranks: after the
+    /// single commit per rank, every per-message acquire is a hit, so the
+    /// hit rate converges to ~100% under sustained load.
+    pub layout_cache: fusedpack_datatype::LayoutCacheStats,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice: the smallest
@@ -240,6 +244,7 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeOutcome {
         pool: cluster.staging_pool_stats(),
         events: report.events_processed,
         shard_barriers: report.shard.barriers,
+        layout_cache: report.layout_cache,
     }
 }
 
@@ -339,6 +344,36 @@ mod tests {
         assert_eq!(single.max, sharded.max);
         assert_eq!(single.events, sharded.events);
         assert_eq!(single.requests, sharded.requests);
+        // Cache counters are virtual-time-free bookkeeping, but they must
+        // still merge to the same totals at any shard count.
+        assert_eq!(single.layout_cache.hits(), sharded.layout_cache.hits());
+        assert_eq!(single.layout_cache.misses(), sharded.layout_cache.misses());
+        assert_eq!(
+            single.layout_cache.evictions(),
+            sharded.layout_cache.evictions()
+        );
+    }
+
+    #[test]
+    fn serve_amortizes_layout_compilation() {
+        let cfg = ServeConfig::new(
+            Platform::lassen(),
+            SchemeKind::fusion_default(),
+            specfem3d_oc(200),
+            2_000,
+        );
+        let out = run_serve(&cfg);
+        let lc = &out.layout_cache;
+        // One commit-miss per rank, then every per-message acquire hits.
+        assert_eq!(lc.misses(), 2, "one compile per rank");
+        assert!(lc.hits() >= out.requests, "each message acquires");
+        assert!(
+            lc.hit_rate() >= 0.99,
+            "sustained load must amortize compilation: {}",
+            lc.hit_rate()
+        );
+        assert_eq!(lc.evictions(), 0, "one resident layout, nothing to evict");
+        assert!(lc.resident_bytes() > 0 && lc.high_water_bytes() >= lc.resident_bytes());
     }
 
     #[test]
